@@ -1,0 +1,41 @@
+//! RPU hardware architecture model (Section IV and Fig. 6 of the paper).
+//!
+//! Encodes the chiplet hierarchy — TMAC → reasoning core → compute unit
+//! (CU) → package → ring-station board — with the Fig. 6 area, bandwidth
+//! and energy constants, the bandwidth-first power-provisioning rule
+//! (70–80 % of TDP to memory interfaces), the roofline model, and the
+//! ring interconnect used for activation broadcasts.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpu_arch::RpuConfig;
+//! use rpu_hbmco::HbmCoConfig;
+//!
+//! let rpu = RpuConfig::new(64, HbmCoConfig::candidate()).unwrap();
+//! assert_eq!(rpu.num_cores(), 1024);
+//! // 64 CUs x 512 GB/s = 32.8 TB/s of memory bandwidth.
+//! assert!((rpu.mem_bandwidth() - 32.768e12).abs() < 1e6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod area;
+mod energy;
+mod links;
+mod power;
+mod roofline;
+mod spec;
+
+pub use area::{
+    core_area, hbm_shoreline_mm, rpu_shoreline_at_h100_area, shoreline_per_area, CoreArea,
+    HBM_IO_GBPS_PER_MM, H100_DIE_MM2, H100_SHORELINE_MM, SRAM_MB_PER_MM2, TMAC_UM2, UCIE_GBPS_PER_MM,
+};
+pub use energy::EnergyCoeffs;
+pub use links::{
+    ring_broadcast_latency, ring_reduce_latency, two_level_broadcast_latency,
+    two_level_reduce_latency, LinkSpec, TwoLevelRing,
+};
+pub use power::{cu_mem_power, cu_tdp, iso_tdp_cus, system_tdp, MEM_POWER_FRACTION};
+pub use roofline::Roofline;
+pub use spec::{ArchError, CoreSpec, CuSpec, PackageSpec, RpuConfig};

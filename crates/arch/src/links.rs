@@ -1,0 +1,237 @@
+//! Interconnect model: the outer-ring topology of CUs, packages and the
+//! ring station (§IV, "RPU Scale-Up"), used for activation broadcasts and
+//! reductions.
+
+/// Physical link parameters for a CU-to-CU segment of the outer ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Per-core injection bandwidth onto the ring, bytes/s.
+    pub core_bandwidth: f64,
+    /// CU-to-CU hop latency, seconds.
+    pub hop_latency_s: f64,
+    /// `true` when the ring is traversed in both directions, halving the
+    /// worst-case hop count.
+    pub bidirectional: bool,
+}
+
+impl LinkSpec {
+    /// The paper's ring: 16 GB/s per core, ≤ 10 ns hops, bidirectional.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            core_bandwidth: 16e9,
+            hop_latency_s: 10e-9,
+            bidirectional: true,
+        }
+    }
+
+    fn worst_hops(&self, num_cus: u32) -> f64 {
+        if num_cus <= 1 {
+            return 0.0;
+        }
+        if self.bidirectional {
+            f64::from(num_cus.div_ceil(2))
+        } else {
+            f64::from(num_cus - 1)
+        }
+    }
+}
+
+/// Latency for the column-sharded activation broadcast: every CU owns a
+/// `fragment_bytes` slice of the vector and forwards it around the ring
+/// until all CUs hold the full vector (a ring all-gather).
+///
+/// The transfer is pipelined: total time is the worst-case hop distance
+/// times the per-hop cost, where each hop costs the max of wire latency
+/// and fragment serialisation.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_arch::{ring_broadcast_latency, LinkSpec};
+///
+/// let t = ring_broadcast_latency(64, 512.0, &LinkSpec::paper());
+/// // 32 worst-case hops x max(10 ns, 512B / 16GB/s = 32 ns) = ~1 us.
+/// assert!(t > 0.9e-6 && t < 1.2e-6);
+/// ```
+#[must_use]
+pub fn ring_broadcast_latency(num_cus: u32, fragment_bytes: f64, link: &LinkSpec) -> f64 {
+    let per_hop = link.hop_latency_s.max(fragment_bytes / link.core_bandwidth);
+    link.worst_hops(num_cus) * per_hop
+}
+
+/// Latency for a ring reduction (e.g. the K-dimension partial-sum
+/// reduction, or the softmax max / exp-sum collectives): partial values
+/// travel the ring accumulating at each hop, then the result returns.
+///
+/// Cost is one full ring traversal of reduce-scatter plus the broadcast
+/// of the result — approximately twice the all-gather cost.
+#[must_use]
+pub fn ring_reduce_latency(num_cus: u32, fragment_bytes: f64, link: &LinkSpec) -> f64 {
+    2.0 * ring_broadcast_latency(num_cus, fragment_bytes, link)
+}
+
+/// Hierarchical (two-level) ring topology — the paper's §VIII future
+/// direction for breaking the broadcast plateau: a second-level ring
+/// interconnects the ring stations, so a broadcast crosses
+/// `√N`-ish-sized local rings plus the station ring instead of the full
+/// `N`-CU ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoLevelRing {
+    /// Number of ring stations (board-level rings).
+    pub stations: u32,
+    /// Link parameters of the intra-board CU ring.
+    pub local: LinkSpec,
+    /// Station-to-station hop latency, seconds (longer reach than a
+    /// CU-to-CU hop: PCB + retimer).
+    pub station_hop_s: f64,
+}
+
+impl TwoLevelRing {
+    /// A two-level ring over `num_cus` CUs with the station count that
+    /// minimises worst-case hop distance (≈ √(N/2) stations for the
+    /// paper's 3× station-hop cost).
+    #[must_use]
+    pub fn balanced(num_cus: u32) -> Self {
+        let stations = ((f64::from(num_cus) / 2.0).sqrt().round() as u32).max(1);
+        Self {
+            stations,
+            local: LinkSpec::paper(),
+            station_hop_s: 30e-9,
+        }
+    }
+
+    /// CUs per station ring (ceiling division).
+    #[must_use]
+    pub fn cus_per_station(&self, num_cus: u32) -> u32 {
+        num_cus.div_ceil(self.stations.max(1))
+    }
+}
+
+/// Broadcast latency over a two-level ring: the fragment crosses its
+/// local ring, the station ring, and the destination's local ring, all
+/// pipelined.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_arch::{ring_broadcast_latency, two_level_broadcast_latency, LinkSpec, TwoLevelRing};
+///
+/// // At 428 CUs, the hierarchical ring beats the flat ring.
+/// let flat = ring_broadcast_latency(428, 64.0, &LinkSpec::paper());
+/// let two = two_level_broadcast_latency(428, 64.0, &TwoLevelRing::balanced(428));
+/// assert!(two < flat);
+/// ```
+#[must_use]
+pub fn two_level_broadcast_latency(num_cus: u32, fragment_bytes: f64, ring: &TwoLevelRing) -> f64 {
+    if num_cus <= 1 {
+        return 0.0;
+    }
+    let local_cus = ring.cus_per_station(num_cus);
+    // Source local ring + destination local ring.
+    let local = 2.0 * ring_broadcast_latency(local_cus, fragment_bytes, &ring.local);
+    // Station ring: same serialisation bandwidth, longer hops.
+    let station_link = LinkSpec {
+        hop_latency_s: ring.station_hop_s,
+        ..ring.local
+    };
+    let station = ring_broadcast_latency(ring.stations, fragment_bytes, &station_link);
+    local + station
+}
+
+/// Reduction latency over a two-level ring (reduce-scatter + broadcast).
+#[must_use]
+pub fn two_level_reduce_latency(num_cus: u32, fragment_bytes: f64, ring: &TwoLevelRing) -> f64 {
+    2.0 * two_level_broadcast_latency(num_cus, fragment_bytes, ring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cu_is_free() {
+        assert_eq!(ring_broadcast_latency(1, 4096.0, &LinkSpec::paper()), 0.0);
+        assert_eq!(ring_reduce_latency(1, 4096.0, &LinkSpec::paper()), 0.0);
+    }
+
+    #[test]
+    fn latency_grows_with_scale() {
+        let l = LinkSpec::paper();
+        let t64 = ring_broadcast_latency(64, 64.0, &l);
+        let t428 = ring_broadcast_latency(428, 64.0, &l);
+        assert!(t428 > 5.0 * t64);
+    }
+
+    #[test]
+    fn tiny_fragments_are_latency_bound() {
+        // Below 160 B per fragment, the 10 ns hop dominates serialisation.
+        let l = LinkSpec::paper();
+        let t = ring_broadcast_latency(100, 16.0, &l);
+        assert!((t - 50.0 * 10e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_costs_twice_broadcast() {
+        let l = LinkSpec::paper();
+        let b = ring_broadcast_latency(32, 1024.0, &l);
+        let r = ring_reduce_latency(32, 1024.0, &l);
+        assert!((r - 2.0 * b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unidirectional_ring_doubles_hops() {
+        let bi = LinkSpec::paper();
+        let uni = LinkSpec {
+            bidirectional: false,
+            ..bi
+        };
+        let tb = ring_broadcast_latency(64, 16.0, &bi);
+        let tu = ring_broadcast_latency(64, 16.0, &uni);
+        assert!(tu > 1.9 * tb);
+    }
+
+    #[test]
+    fn two_level_ring_beats_flat_ring_at_scale() {
+        // §VIII future direction: "Reduce hop count by adding another
+        // level of scale-out which interconnects ring-stations."
+        for n in [128u32, 308, 428, 512] {
+            let flat = ring_broadcast_latency(n, 64.0, &LinkSpec::paper());
+            let two = two_level_broadcast_latency(n, 64.0, &TwoLevelRing::balanced(n));
+            assert!(two < flat, "{n} CUs: two-level {two} vs flat {flat}");
+        }
+    }
+
+    #[test]
+    fn two_level_ring_loses_at_small_scale() {
+        // Below ~32 CUs the extra station hop costs more than it saves.
+        let flat = ring_broadcast_latency(8, 64.0, &LinkSpec::paper());
+        let two = two_level_broadcast_latency(8, 64.0, &TwoLevelRing::balanced(8));
+        assert!(two >= flat, "8 CUs: two-level {two} vs flat {flat}");
+    }
+
+    #[test]
+    fn two_level_scaling_is_sublinear() {
+        // Hop distance grows ~sqrt(N) instead of ~N/2.
+        let t128 = two_level_broadcast_latency(128, 16.0, &TwoLevelRing::balanced(128));
+        let t512 = two_level_broadcast_latency(512, 16.0, &TwoLevelRing::balanced(512));
+        assert!(t512 / t128 < 3.0, "128 -> 512 ratio {}", t512 / t128);
+    }
+
+    #[test]
+    fn two_level_degenerate_cases() {
+        let r = TwoLevelRing::balanced(1);
+        assert_eq!(two_level_broadcast_latency(1, 64.0, &r), 0.0);
+        assert!(r.stations >= 1);
+        assert_eq!(r.cus_per_station(1), 1);
+    }
+
+    #[test]
+    fn collectives_are_microsecond_scale() {
+        // §VI: "latency-bound network collectives are often on the orders
+        // of microseconds".
+        let l = LinkSpec::paper();
+        let t = ring_reduce_latency(64, 128.0, &l);
+        assert!(t > 0.1e-6 && t < 10e-6, "collective latency {t}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Bandwidth-first power provisioning (§IV, Contribution 2).
+//!
+//! The RPU dedicates 70–80 % of its thermal design power to the memory
+//! interfaces, so that memory-bandwidth-bound execution runs near peak
+//! power. A CU's TDP is therefore its full-bandwidth memory-path power
+//! divided by that fraction; scaling out at ISO-TDP against a GPU budget
+//! divides the budget by the per-CU TDP.
+
+use crate::energy::EnergyCoeffs;
+use crate::spec::RpuConfig;
+use rpu_hbmco::energy_per_bit;
+
+/// Fraction of CU TDP allocated to the memory interfaces (paper: 70–80 %).
+pub const MEM_POWER_FRACTION: f64 = 0.75;
+
+/// Full-bandwidth memory-path power of one CU, watts: device energy per
+/// bit plus the on-chip datapath into the memory buffers.
+#[must_use]
+pub fn cu_mem_power(rpu: &RpuConfig, coeffs: &EnergyCoeffs) -> f64 {
+    let pj_per_bit = energy_per_bit(&rpu.memory).total() + coeffs.mem_to_buffer_pj_bit();
+    let bw = f64::from(rpu.cu.cores) * rpu.core.mem_bandwidth;
+    bw * 8.0 * pj_per_bit * 1e-12
+}
+
+/// Thermal design power of one CU, watts.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_arch::{cu_tdp, EnergyCoeffs, RpuConfig};
+/// use rpu_hbmco::HbmCoConfig;
+///
+/// let rpu = RpuConfig::new(1, HbmCoConfig::candidate()).unwrap();
+/// let tdp = cu_tdp(&rpu, &EnergyCoeffs::paper());
+/// // Fig. 6: 8 W -> 18 W depending on the memory stack.
+/// assert!(tdp > 8.0 && tdp < 18.0);
+/// ```
+#[must_use]
+pub fn cu_tdp(rpu: &RpuConfig, coeffs: &EnergyCoeffs) -> f64 {
+    cu_mem_power(rpu, coeffs) / MEM_POWER_FRACTION
+}
+
+/// System TDP, watts.
+#[must_use]
+pub fn system_tdp(rpu: &RpuConfig, coeffs: &EnergyCoeffs) -> f64 {
+    f64::from(rpu.num_cus) * cu_tdp(rpu, coeffs)
+}
+
+/// Number of CUs affordable within `budget_w` watts at ISO-TDP, for the
+/// given memory configuration.
+#[must_use]
+pub fn iso_tdp_cus(budget_w: f64, memory: rpu_hbmco::HbmCoConfig, coeffs: &EnergyCoeffs) -> u32 {
+    let one = match RpuConfig::new(1, memory) {
+        Ok(c) => c,
+        Err(_) => return 0,
+    };
+    (budget_w / cu_tdp(&one, coeffs)).floor().max(0.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_hbmco::HbmCoConfig;
+    use rpu_util::assert_approx;
+
+    #[test]
+    fn candidate_cu_tdp_near_9w() {
+        let rpu = RpuConfig::new(1, HbmCoConfig::candidate()).unwrap();
+        let tdp = cu_tdp(&rpu, &EnergyCoeffs::paper());
+        // 6.84 W memory path / 0.75 = 9.1 W.
+        assert_approx(tdp, 9.1, 0.02, "candidate CU TDP");
+    }
+
+    #[test]
+    fn hbm3e_config_cu_tdp_near_fig6_max() {
+        // With an HBM3e-energy stack (R4 B4 S1) the CU TDP approaches the
+        // 18 W upper end of Fig. 6's range.
+        let mem = HbmCoConfig {
+            ranks: 4,
+            banks_per_group: 4,
+            ..HbmCoConfig::candidate()
+        };
+        let rpu = RpuConfig::new(1, mem).unwrap();
+        let tdp = cu_tdp(&rpu, &EnergyCoeffs::paper());
+        assert!(tdp > 16.0 && tdp < 22.0, "HBM3e-config TDP {tdp}");
+    }
+
+    #[test]
+    fn iso_tdp_matches_fig11_anchor() {
+        // Fig. 11: 4xH100 (2800 W) aligns with a ~308-CU RPU.
+        let n = iso_tdp_cus(2800.0, HbmCoConfig::candidate(), &EnergyCoeffs::paper());
+        assert!((295..=320).contains(&n), "ISO-TDP CUs = {n}");
+    }
+
+    #[test]
+    fn iso_tdp_2xh100_anchor() {
+        // Fig. 11: 2xH100 (1400 W) aligns with ~144-154 CUs (74 TB/s).
+        let n = iso_tdp_cus(1400.0, HbmCoConfig::candidate(), &EnergyCoeffs::paper());
+        assert!((140..=160).contains(&n), "ISO-TDP CUs = {n}");
+    }
+
+    #[test]
+    fn memory_dominates_tdp() {
+        let rpu = RpuConfig::new(16, HbmCoConfig::candidate()).unwrap();
+        let c = EnergyCoeffs::paper();
+        let frac = f64::from(rpu.num_cus) * cu_mem_power(&rpu, &c) / system_tdp(&rpu, &c);
+        assert_approx(frac, MEM_POWER_FRACTION, 1e-12, "memory power fraction");
+        assert!(frac > 0.7 && frac < 0.8);
+    }
+
+    #[test]
+    fn system_tdp_scales_linearly() {
+        let c = EnergyCoeffs::paper();
+        let one = RpuConfig::new(1, HbmCoConfig::candidate()).unwrap();
+        let many = RpuConfig::new(100, HbmCoConfig::candidate()).unwrap();
+        assert_approx(
+            system_tdp(&many, &c),
+            100.0 * system_tdp(&one, &c),
+            1e-12,
+            "TDP linearity",
+        );
+    }
+
+    #[test]
+    fn iso_tdp_zero_budget() {
+        assert_eq!(
+            iso_tdp_cus(0.0, HbmCoConfig::candidate(), &EnergyCoeffs::paper()),
+            0
+        );
+    }
+}

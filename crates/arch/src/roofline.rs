@@ -1,0 +1,107 @@
+//! Roofline performance model (Fig. 1).
+
+/// A two-parameter roofline: peak compute and memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak arithmetic throughput, FLOP/s (or OP/s for quantised math).
+    pub peak_flops: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline.
+    #[must_use]
+    pub fn new(peak_flops: f64, bandwidth: f64) -> Self {
+        Self { peak_flops, bandwidth }
+    }
+
+    /// Attainable throughput at arithmetic intensity `ai` (FLOPs/byte).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rpu_arch::Roofline;
+    ///
+    /// let r = Roofline::new(1e15, 1e12);
+    /// assert_eq!(r.attainable(1.0), 1e12);     // memory-bound
+    /// assert_eq!(r.attainable(1e6), 1e15);     // compute-bound
+    /// ```
+    #[must_use]
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.bandwidth).min(self.peak_flops)
+    }
+
+    /// The ridge point: arithmetic intensity at which the machine turns
+    /// compute-bound (its compute-to-bandwidth ratio).
+    #[must_use]
+    pub fn ridge_ai(&self) -> f64 {
+        self.peak_flops / self.bandwidth
+    }
+
+    /// `true` when a kernel of intensity `ai` is memory-bandwidth-bound.
+    #[must_use]
+    pub fn is_memory_bound(&self, ai: f64) -> bool {
+        ai < self.ridge_ai()
+    }
+
+    /// Execution time for a kernel with the given totals, seconds.
+    #[must_use]
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
+        (flops / self.peak_flops).max(bytes / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RpuConfig;
+    use rpu_hbmco::HbmCoConfig;
+    use rpu_util::assert_approx;
+
+    fn rpu_roofline(cus: u32) -> Roofline {
+        let rpu = RpuConfig::new(cus, HbmCoConfig::candidate()).unwrap();
+        Roofline::new(rpu.peak_flops(), rpu.mem_bandwidth())
+    }
+
+    #[test]
+    fn rpu_ridge_at_32_ops_per_byte() {
+        // §IV: 32 OPs/Byte maximises utilisation for MXFP4 inference.
+        assert_approx(rpu_roofline(40).ridge_ai(), 32.0, 0.03, "RPU ridge");
+    }
+
+    #[test]
+    fn h100_ridge_far_higher() {
+        // H100: ~989 TFLOPS BF16 over 3.35 TB/s ~= 295 FLOPs/byte; the
+        // paper quotes ~200 Ops/Byte for its class. Either way, the RPU
+        // ridge sits an order of magnitude lower (down-and-left shift).
+        let h100 = Roofline::new(989e12, 3.35e12);
+        assert!(h100.ridge_ai() > 5.0 * rpu_roofline(40).ridge_ai());
+    }
+
+    #[test]
+    fn attainable_continuous_at_ridge() {
+        let r = rpu_roofline(8);
+        let ridge = r.ridge_ai();
+        assert_approx(
+            r.attainable(ridge),
+            r.peak_flops,
+            1e-9,
+            "roofline continuity",
+        );
+    }
+
+    #[test]
+    fn memory_bound_classification() {
+        let r = rpu_roofline(8);
+        assert!(r.is_memory_bound(1.0));
+        assert!(!r.is_memory_bound(100.0));
+    }
+
+    #[test]
+    fn kernel_time_matches_binding_side() {
+        let r = Roofline::new(1e12, 1e9);
+        assert_approx(r.kernel_time(1e12, 1.0), 1.0, 1e-12, "compute side");
+        assert_approx(r.kernel_time(1.0, 1e9), 1.0, 1e-12, "memory side");
+    }
+}

@@ -1,0 +1,357 @@
+//! Hardware specifications of the RPU hierarchy (Fig. 6).
+
+use rpu_hbmco::HbmCoConfig;
+use std::fmt;
+
+/// Specification of one reasoning core (Fig. 6, "Core Specification").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreSpec {
+    /// Vector-tile MAC units per core.
+    pub tmacs: u32,
+    /// MAC lanes per TMAC (8×8 array).
+    pub macs_per_tmac: u32,
+    /// MAC array clock, Hz (the datapath runs at 2 GHz to deliver the
+    /// 1 TFLOP/core figure; buses run at 1 GHz).
+    pub mac_clock_hz: f64,
+    /// Bus clock, Hz.
+    pub bus_clock_hz: f64,
+    /// Dedicated HBM-CO pseudo-channel read bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Per-core network (ring) bandwidth, bytes/s.
+    pub net_bandwidth: f64,
+    /// Memory buffer capacity, bytes (SRAM, pipeline-arbitrated).
+    pub mem_buf_bytes: u64,
+    /// Network / global buffer capacity, bytes.
+    pub net_buf_bytes: u64,
+    /// Activation/accumulator buffer capacity, bytes (per VEC-TILE pair).
+    pub act_buf_bytes: u64,
+    /// Stream-decoder output width to the TMACs, bits per bus cycle —
+    /// Fig. 6 specifies a 256 GB/s compute bus *per tile multiplier*
+    /// from the stream decoder, i.e. 4 × 2048 bits per 1 GHz cycle for
+    /// the four TMACs of a core.
+    pub compute_bus_bits: u32,
+    /// HP-VOPs throughput, vector operations per bus cycle.
+    pub vops_per_cycle: u32,
+    /// Core thermal design power, watts.
+    pub tdp_w: f64,
+}
+
+impl CoreSpec {
+    /// The paper's N2 reasoning core.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            tmacs: 4,
+            macs_per_tmac: 64,
+            mac_clock_hz: 2e9,
+            bus_clock_hz: 1e9,
+            mem_bandwidth: 32e9,
+            net_bandwidth: 16e9,
+            mem_buf_bytes: 512 * 1024,
+            net_buf_bytes: 256 * 1024,
+            act_buf_bytes: 2 * 32 * 1024,
+            compute_bus_bits: 8192,
+            vops_per_cycle: 8,
+            tdp_w: 0.25,
+        }
+    }
+
+    /// Peak BF16 throughput, FLOP/s (MAC = 2 FLOPs).
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        f64::from(self.tmacs) * f64::from(self.macs_per_tmac) * 2.0 * self.mac_clock_hz
+    }
+
+    /// Total SRAM per core, bytes.
+    #[must_use]
+    pub fn sram_bytes(&self) -> u64 {
+        self.mem_buf_bytes + self.net_buf_bytes + self.act_buf_bytes * u64::from(self.tmacs) / 2
+    }
+}
+
+/// Specification of one compute unit: a compute chiplet co-packaged with
+/// two HBM-CO stacks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuSpec {
+    /// Reasoning cores per CU.
+    pub cores: u32,
+    /// HBM-CO stacks (memory shorelines) per CU.
+    pub stacks: u32,
+    /// Compute-die width along the shoreline, mm.
+    pub die_width_mm: f64,
+    /// Compute-die height, mm.
+    pub die_height_mm: f64,
+}
+
+impl CuSpec {
+    /// The paper's CU: 16 cores, dual 256 GB/s shorelines, 3.75 × 2.75 mm
+    /// compute die.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            cores: 16,
+            stacks: 2,
+            die_width_mm: 3.75,
+            die_height_mm: 2.75,
+        }
+    }
+
+    /// Compute-die area, mm².
+    #[must_use]
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_width_mm * self.die_height_mm
+    }
+
+    /// Memory I/O shoreline per CU, mm (both long edges carry memory IO).
+    #[must_use]
+    pub fn shoreline_mm(&self) -> f64 {
+        2.0 * self.die_width_mm
+    }
+}
+
+/// Specification of one package (four CUs on a substrate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackageSpec {
+    /// CUs per package.
+    pub cus: u32,
+    /// CU-to-CU hop latency inside / between packages, seconds (≤ 10 ns
+    /// per the paper's DMA-engine design).
+    pub hop_latency_s: f64,
+}
+
+impl PackageSpec {
+    /// The paper's package: 4 CUs, 10 ns hops.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            cus: 4,
+            hop_latency_s: 10e-9,
+        }
+    }
+}
+
+/// Error type for invalid RPU system configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// The HBM-CO stack must expose a single-channel (256 GB/s, 8-pCH)
+    /// interface so each core maps to one pseudo-channel.
+    WrongChannelCount(u32),
+    /// The underlying memory configuration is invalid.
+    InvalidMemory(rpu_hbmco::ConfigError),
+    /// At least one CU is required.
+    ZeroCus,
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::WrongChannelCount(c) => write!(
+                f,
+                "RPU stacks must have 1 channel/layer (8 pseudo-channels), got {c}"
+            ),
+            ArchError::InvalidMemory(e) => write!(f, "invalid memory config: {e}"),
+            ArchError::ZeroCus => f.write_str("an RPU needs at least one CU"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// A complete RPU system: `num_cus` compute units, each with two HBM-CO
+/// stacks of the given configuration, composed into packages on a
+/// ring-station board.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpuConfig {
+    /// Number of compute units.
+    pub num_cus: u32,
+    /// Memory stack configuration (single-channel HBM-CO).
+    pub memory: HbmCoConfig,
+    /// Core specification.
+    pub core: CoreSpec,
+    /// CU specification.
+    pub cu: CuSpec,
+    /// Package specification.
+    pub package: PackageSpec,
+}
+
+impl RpuConfig {
+    /// Builds an RPU with paper-spec cores/CUs/packages and the given
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if `num_cus` is zero or the memory stack is
+    /// invalid / not single-channel.
+    pub fn new(num_cus: u32, memory: HbmCoConfig) -> Result<Self, ArchError> {
+        if num_cus == 0 {
+            return Err(ArchError::ZeroCus);
+        }
+        memory.validate().map_err(ArchError::InvalidMemory)?;
+        if memory.channels_per_layer != 1 {
+            return Err(ArchError::WrongChannelCount(memory.channels_per_layer));
+        }
+        Ok(Self {
+            num_cus,
+            memory,
+            core: CoreSpec::paper(),
+            cu: CuSpec::paper(),
+            package: PackageSpec::paper(),
+        })
+    }
+
+    /// Total reasoning cores.
+    #[must_use]
+    pub fn num_cores(&self) -> u32 {
+        self.num_cus * self.cu.cores
+    }
+
+    /// Number of packages (4 CUs each, rounded up).
+    #[must_use]
+    pub fn num_packages(&self) -> u32 {
+        self.num_cus.div_ceil(self.package.cus)
+    }
+
+    /// Aggregate memory bandwidth, bytes/s.
+    #[must_use]
+    pub fn mem_bandwidth(&self) -> f64 {
+        f64::from(self.num_cores()) * self.core.mem_bandwidth
+    }
+
+    /// Aggregate memory capacity, bytes.
+    #[must_use]
+    pub fn mem_capacity(&self) -> f64 {
+        f64::from(self.num_cores()) * self.memory.capacity_per_pch()
+    }
+
+    /// Aggregate peak compute, FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        f64::from(self.num_cores()) * self.core.peak_flops()
+    }
+
+    /// Compute-to-bandwidth ratio, operations per byte. The paper sets
+    /// this to 32 Ops/Byte for MXFP4 inference.
+    #[must_use]
+    pub fn ops_per_byte(&self) -> f64 {
+        self.peak_flops() / self.mem_bandwidth()
+    }
+
+    /// Total memory I/O shoreline, mm.
+    #[must_use]
+    pub fn shoreline_mm(&self) -> f64 {
+        f64::from(self.num_cus) * self.cu.shoreline_mm()
+    }
+
+    /// Total compute-die silicon, mm².
+    #[must_use]
+    pub fn die_area_mm2(&self) -> f64 {
+        f64::from(self.num_cus) * self.cu.die_area_mm2()
+    }
+}
+
+impl fmt::Display for RpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RPU-{}CU ({} cores, {:.1} TB/s, {:.1} GB, {})",
+            self.num_cus,
+            self.num_cores(),
+            self.mem_bandwidth() / 1e12,
+            self.mem_capacity() / 1e9,
+            self.memory.label(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_util::assert_approx;
+
+    #[test]
+    fn core_peak_is_1_tflop() {
+        // Fig. 6: 1 TFLOP BF16 per core.
+        assert_approx(CoreSpec::paper().peak_flops(), 1.0e12, 0.03, "core TFLOPs");
+    }
+
+    #[test]
+    fn core_sram_is_about_1mb() {
+        // Fig. 6: 1.0 MB on-chip memory per core.
+        let s = CoreSpec::paper().sram_bytes() as f64;
+        assert_approx(s, 1.0e6, 0.15, "core SRAM");
+    }
+
+    #[test]
+    fn cu_metrics_match_fig6() {
+        let rpu = RpuConfig::new(1, HbmCoConfig::candidate()).unwrap();
+        // 16 TFLOPs, 512 GB/s, 16 cores per CU.
+        assert_approx(rpu.peak_flops(), 16e12, 0.03, "CU TFLOPs");
+        assert_approx(rpu.mem_bandwidth(), 512e9, 1e-9, "CU bandwidth");
+        // 32 Ops/Byte compute-to-bandwidth ratio.
+        assert_approx(rpu.ops_per_byte(), 32.0, 0.03, "Ops/Byte");
+    }
+
+    #[test]
+    fn package_metrics_match_fig6() {
+        let rpu = RpuConfig::new(4, HbmCoConfig::candidate()).unwrap();
+        assert_approx(rpu.peak_flops(), 64e12, 0.03, "package TFLOPs");
+        assert_approx(rpu.mem_bandwidth(), 2.048e12, 1e-9, "package bandwidth");
+        assert_eq!(rpu.num_packages(), 1);
+    }
+
+    #[test]
+    fn shoreline_advantage_over_h100() {
+        // §I: "for the same compute die area, the RPU exposes nearly 10x
+        // more memory IO shoreline than the H100 (600 mm vs. 60 mm)".
+        let cu = CuSpec::paper();
+        let h100_area = 814.0; // mm^2
+        let cus_matching_h100 = h100_area / cu.die_area_mm2();
+        let shoreline = cus_matching_h100 * cu.shoreline_mm();
+        assert!(shoreline > 550.0 && shoreline < 650.0, "shoreline {shoreline}");
+    }
+
+    #[test]
+    fn capacity_ranges_match_fig6() {
+        // Fig. 6: CU capacity 1 GB -> 24 GB depending on the stack.
+        let small = RpuConfig::new(1, HbmCoConfig::candidate()).unwrap();
+        assert_approx(small.mem_capacity(), 1.6e9, 0.05, "small CU capacity");
+        let big = RpuConfig::new(
+            1,
+            HbmCoConfig {
+                ranks: 4,
+                banks_per_group: 4,
+                ..HbmCoConfig::candidate()
+            },
+        )
+        .unwrap();
+        assert_approx(big.mem_capacity(), 25.8e9, 0.05, "big CU capacity");
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(matches!(
+            RpuConfig::new(0, HbmCoConfig::candidate()),
+            Err(ArchError::ZeroCus)
+        ));
+        assert!(matches!(
+            RpuConfig::new(4, HbmCoConfig::hbm3e_like()),
+            Err(ArchError::WrongChannelCount(4))
+        ));
+        let bad = HbmCoConfig {
+            ranks: 9,
+            ..HbmCoConfig::candidate()
+        };
+        assert!(matches!(
+            RpuConfig::new(4, bad),
+            Err(ArchError::InvalidMemory(_))
+        ));
+    }
+
+    #[test]
+    fn display_mentions_scale() {
+        let rpu = RpuConfig::new(64, HbmCoConfig::candidate()).unwrap();
+        let s = rpu.to_string();
+        assert!(s.contains("RPU-64CU"));
+        assert!(s.contains("1024 cores"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the architecture model: composition rules, power
+//! provisioning and interconnect latencies across the full configuration
+//! space.
+
+use proptest::prelude::*;
+use rpu_arch::{
+    cu_mem_power, cu_tdp, iso_tdp_cus, ring_broadcast_latency, ring_reduce_latency,
+    system_tdp, two_level_broadcast_latency, EnergyCoeffs, LinkSpec, Roofline, RpuConfig,
+    TwoLevelRing, MEM_POWER_FRACTION,
+};
+use rpu_hbmco::HbmCoConfig;
+
+fn any_memory() -> impl Strategy<Value = HbmCoConfig> {
+    (1u32..=4, prop_oneof![Just(1u32), Just(2), Just(4)], prop_oneof![Just(0.5f64), Just(1.0)])
+        .prop_map(|(ranks, banks_per_group, subarray_scale)| HbmCoConfig {
+            ranks,
+            banks_per_group,
+            subarray_scale,
+            ..HbmCoConfig::candidate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// System quantities compose linearly in CU count.
+    #[test]
+    fn composition_is_linear(mem in any_memory(), cus in 1u32..=512) {
+        let one = RpuConfig::new(1, mem).expect("valid");
+        let many = RpuConfig::new(cus, mem).expect("valid");
+        let n = f64::from(cus);
+        prop_assert!((many.mem_bandwidth() - n * one.mem_bandwidth()).abs() < 1.0);
+        prop_assert!((many.mem_capacity() - n * one.mem_capacity()).abs() < n);
+        prop_assert!((many.peak_flops() - n * one.peak_flops()).abs() < n);
+        prop_assert_eq!(many.num_cores(), cus * 16);
+    }
+
+    /// The bandwidth-first provisioning rule: memory interfaces take the
+    /// majority of CU power for every memory choice.
+    #[test]
+    fn memory_power_dominates_cu_tdp(mem in any_memory()) {
+        let rpu = RpuConfig::new(64, mem).expect("valid");
+        let coeffs = EnergyCoeffs::paper();
+        let frac = cu_mem_power(&rpu, &coeffs) / cu_tdp(&rpu, &coeffs);
+        prop_assert!(frac >= MEM_POWER_FRACTION - 1e-9, "memory power fraction {frac}");
+        prop_assert!(frac < 0.95);
+    }
+
+    /// ISO-TDP sizing inverts system TDP: the returned CU count fits the
+    /// budget and one more CU would exceed it.
+    #[test]
+    fn iso_tdp_is_tight(mem in any_memory(), budget in 100.0f64..5000.0) {
+        let coeffs = EnergyCoeffs::paper();
+        let cus = iso_tdp_cus(budget, mem, &coeffs);
+        if cus > 0 {
+            let fit = RpuConfig::new(cus, mem).expect("valid");
+            prop_assert!(system_tdp(&fit, &coeffs) <= budget * 1.001);
+            let over = RpuConfig::new(cus + 1, mem).expect("valid");
+            prop_assert!(system_tdp(&over, &coeffs) > budget * 0.999);
+        }
+    }
+
+    /// Roofline: attainable throughput is min(peak, AI * BW), with the
+    /// ridge exactly at peak/BW.
+    #[test]
+    fn roofline_identities(
+        peak in 1e12f64..1e15,
+        bw in 1e11f64..1e14,
+        ai in 0.01f64..10_000.0,
+    ) {
+        let r = Roofline::new(peak, bw);
+        let got = r.attainable(ai);
+        prop_assert!((got - peak.min(ai * bw)).abs() / got < 1e-12);
+        prop_assert!((r.ridge_ai() - peak / bw).abs() < 1e-9);
+        prop_assert_eq!(r.is_memory_bound(ai), ai < r.ridge_ai());
+    }
+
+    /// Ring broadcast latency is monotone in participants and fragment
+    /// size; reduce is exactly twice broadcast.
+    #[test]
+    fn ring_latency_monotone(n in 2u32..=640, frag in 1.0f64..1e6) {
+        let l = LinkSpec::paper();
+        let t = ring_broadcast_latency(n, frag, &l);
+        prop_assert!(t > 0.0);
+        prop_assert!(ring_broadcast_latency(n + 8, frag, &l) >= t);
+        prop_assert!(ring_broadcast_latency(n, frag * 2.0, &l) >= t);
+        prop_assert!((ring_reduce_latency(n, frag, &l) - 2.0 * t).abs() < 1e-15);
+    }
+
+    /// The two-level ring's advantage grows with scale and never turns
+    /// into a loss at large scale.
+    #[test]
+    fn two_level_advantage_at_scale(n in 64u32..=640, frag in 16.0f64..4096.0) {
+        let flat = ring_broadcast_latency(n, frag, &LinkSpec::paper());
+        let two = two_level_broadcast_latency(n, frag, &TwoLevelRing::balanced(n));
+        prop_assert!(two <= flat * 1.35, "{n} CUs: two-level {two} vs flat {flat}");
+    }
+}
+
+#[test]
+fn zero_cus_is_rejected() {
+    assert!(RpuConfig::new(0, HbmCoConfig::candidate()).is_err());
+}
+
+#[test]
+fn compute_to_bandwidth_ratio_is_32() {
+    let rpu = RpuConfig::new(64, HbmCoConfig::candidate()).unwrap();
+    assert!((rpu.ops_per_byte() - 32.0).abs() < 2.0, "Ops/Byte {}", rpu.ops_per_byte());
+}

@@ -1,0 +1,24 @@
+//! §IX ablation bench: the decomposed-contribution analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let a = ablations::run();
+    expect_band("HBM-CO energy ratio", a.memory.energy_ratio, 1.5, 3.0);
+    expect_band("global-sync slowdown", a.decoupling.global_sync_slowdown, 1.1, 2.5);
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    g.warm_up_time(std::time::Duration::from_secs(2));
+    g.bench_function("all_contributions", |b| {
+        b.iter(|| black_box(ablations::run()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 1 bench: roofline analysis of H100 vs RPU at ISO-TDP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fig01_roofline;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Validate the figure's headline shape once up front.
+    let f = fig01_roofline::run();
+    expect_band("RPU/H100 bandwidth ratio", f.rpu.bandwidth / f.h100.bandwidth, 2.0, 10.0);
+    expect_band("RPU ridge AI", f.rpu.ridge_ai(), 28.0, 36.0);
+
+    c.bench_function("fig01_roofline", |b| {
+        b.iter(|| black_box(fig01_roofline::run()));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

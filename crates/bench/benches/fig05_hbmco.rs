@@ -1,0 +1,24 @@
+//! Fig. 5 bench: the full HBM-CO design-space sweep (energy + cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fig05_hbmco_tradeoffs;
+use rpu_hbmco::{energy_per_bit, HbmCoConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fig05_hbmco_tradeoffs::run();
+    expect_band("HBM3e pJ/bit", f.hbm3e.energy_pj_per_bit, 3.27, 3.61);
+    expect_band("candidate pJ/bit", f.candidate.energy_pj_per_bit, 1.38, 1.52);
+
+    c.bench_function("fig05_design_space_sweep", |b| {
+        b.iter(|| black_box(fig05_hbmco_tradeoffs::run()));
+    });
+    c.bench_function("fig05_energy_model_single_eval", |b| {
+        let cfg = HbmCoConfig::candidate();
+        b.iter(|| black_box(energy_per_bit(black_box(&cfg))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 8 bench: the event-driven simulator on one decode step
+//! (Llama3-8B, 64 CUs), the central performance path of the framework.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_hbmco::HbmCoConfig;
+use rpu_isa::{compile_decode_step, ShardPlan};
+use rpu_models::{ModelConfig, Precision};
+use rpu_sim::{SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = ModelConfig::llama3_8b();
+    let prec = Precision::mxfp4_inference();
+    let plan = ShardPlan::new(64, 16);
+
+    let prog1 = compile_decode_step(&model, prec, 1, 16 * 1024, &plan);
+    let prog32 = compile_decode_step(&model, prec, 32, 8 * 1024, &plan);
+    let sim = Simulator::new(HbmCoConfig::candidate(), prec, plan, SimConfig::default());
+
+    let r1 = sim.run(&prog1).expect("BS=1 simulates");
+    let r32 = sim.run(&prog32).expect("BS=32 simulates");
+    expect_band("BS=1 memory BW utilisation", r1.mem_bw_utilization(), 0.85, 1.0);
+    expect_band("BS=32 step slowdown", r32.total_time_s / r1.total_time_s, 5.0, 25.0);
+
+    c.bench_function("fig08_sim_bs1_16k", |b| {
+        b.iter(|| black_box(sim.run(black_box(&prog1)).unwrap()));
+    });
+    c.bench_function("fig08_sim_bs32_8k", |b| {
+        b.iter(|| black_box(sim.run(black_box(&prog32)).unwrap()));
+    });
+    c.bench_function("fig08_compile_bs1_16k", |b| {
+        b.iter(|| black_box(compile_decode_step(&model, prec, 1, 16 * 1024, &plan)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

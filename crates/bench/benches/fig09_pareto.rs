@@ -1,0 +1,30 @@
+//! Fig. 9 bench: Pareto-frontier extraction and SKU selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fig09_pareto;
+use rpu_hbmco::{pareto_frontier, select_sku};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fig09_pareto::run();
+    expect_band(
+        "optimal energy gain vs HBM3e-class",
+        1.0 / f.optimal_entry().norm_energy,
+        1.4,
+        2.1,
+    );
+
+    c.bench_function("fig09_pareto_run", |b| {
+        b.iter(|| black_box(fig09_pareto::run()));
+    });
+    c.bench_function("fig09_pareto_frontier", |b| {
+        b.iter(|| black_box(pareto_frontier()));
+    });
+    c.bench_function("fig09_select_sku", |b| {
+        b.iter(|| black_box(select_sku(black_box(192.0 * 1024.0 * 1024.0))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

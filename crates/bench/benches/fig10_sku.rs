@@ -1,0 +1,24 @@
+//! Fig. 10 bench: the SKU-selection map over the batch × sequence grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fig10_sku_map;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fig10_sku_map::run();
+    let corner = f.cell(32, 131_072).expect("corner cell");
+    expect_band("corner slowdown", f.slowdown(corner), 20.0, 100.0);
+
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    g.warm_up_time(std::time::Duration::from_secs(2));
+    g.bench_function("sku_map_full_grid", |b| {
+        b.iter(|| black_box(fig10_sku_map::run()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

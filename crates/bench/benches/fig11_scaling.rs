@@ -1,0 +1,34 @@
+//! Fig. 11 bench: strong scaling and the simulated decode step at the
+//! paper's headline scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fig11_scaling;
+use rpu_core::RpuSystem;
+use rpu_models::{ModelConfig, Precision};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fig11_scaling::run();
+    let m405 = f.marker("Llama3-405B").expect("405B marker");
+    expect_band("405B ISO-TDP speedup vs 4xH100", m405.speedup(), 15.0, 90.0);
+
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    g.warm_up_time(std::time::Duration::from_secs(2));
+    g.bench_function("strong_scaling_full", |b| {
+        b.iter(|| black_box(fig11_scaling::run()));
+    });
+    // The single headline configuration: 405B on 428 CUs.
+    let model = ModelConfig::llama3_405b();
+    let prec = Precision::mxfp4_inference();
+    let sys = RpuSystem::with_optimal_memory(&model, prec, 1, 8192, 428).expect("fits");
+    g.bench_function("decode_step_405b_428cu", |b| {
+        b.iter(|| black_box(sys.decode_step(&model, 1, 8192).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

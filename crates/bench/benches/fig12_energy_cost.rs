@@ -1,0 +1,28 @@
+//! Fig. 12 bench: energy-per-inference and cost sweep over CU counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fig12_energy_cost;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fig12_energy_cost::run();
+    let best_cost = f
+        .samples
+        .iter()
+        .map(|s| s.cost_hbm3e / s.cost.total())
+        .fold(0.0, f64::max);
+    expect_band("HBM3e/HBM-CO cost ratio", best_cost, 8.0, 16.0);
+
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    g.warm_up_time(std::time::Duration::from_secs(2));
+    g.bench_function("energy_cost_sweep", |b| {
+        b.iter(|| black_box(fig12_energy_cost::run()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 13 bench: the RPU-vs-H100 batch sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fig13_batch_sweep;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fig13_batch_sweep::run();
+    let p = f.point("Llama3-70B", 1).expect("70B BS=1 point");
+    expect_band("70B BS=1 speedup", p.speedup(), 25.0, 90.0);
+
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    g.warm_up_time(std::time::Duration::from_secs(2));
+    g.bench_function("batch_sweep_full", |b| {
+        b.iter(|| black_box(fig13_batch_sweep::run()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

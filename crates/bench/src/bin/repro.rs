@@ -1,0 +1,138 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation as text tables.
+//!
+//! ```text
+//! repro              # run everything
+//! repro fig1 fig9    # run selected figures
+//! repro --list       # list available targets
+//! ```
+
+use rpu_core::experiments as exp;
+use std::process::ExitCode;
+
+struct Target {
+    name: &'static str,
+    about: &'static str,
+    run: fn(),
+}
+
+fn print_tables(tables: &[rpu_util::table::Table]) {
+    for t in tables {
+        println!("{t}");
+        println!();
+    }
+}
+
+const TARGETS: &[Target] = &[
+    Target {
+        name: "fig1",
+        about: "rooflines: H100 vs RPU at ISO-TDP; AI vs batch",
+        run: || print_tables(&exp::fig01_roofline::run().tables()),
+    },
+    Target {
+        name: "fig2",
+        about: "H100 power trace and VMM bandwidth utilisation",
+        run: || print_tables(&exp::fig02_h100_profile::run().tables()),
+    },
+    Target {
+        name: "fig3",
+        about: "H100 kernel power and energy per FLOP vs batch",
+        run: || println!("{}\n", exp::fig03_kernel_power::run().table()),
+    },
+    Target {
+        name: "fig4",
+        about: "memory technology landscape (Goldilocks gap)",
+        run: || println!("{}\n", exp::fig04_landscape::run().table()),
+    },
+    Target {
+        name: "fig5",
+        about: "HBM-CO design space: cost/GB and energy/bit",
+        run: || print_tables(&exp::fig05_hbmco_tradeoffs::run().tables()),
+    },
+    Target {
+        name: "fig8",
+        about: "one-CU pipeline timelines, BS=1 vs BS=32",
+        run: || print_tables(&exp::fig08_pipeline_trace::run().tables()),
+    },
+    Target {
+        name: "fig9",
+        about: "HBM-CO Pareto frontier for Llama3-405B, 64 CUs",
+        run: || println!("{}\n", exp::fig09_pareto::run().table()),
+    },
+    Target {
+        name: "fig10",
+        about: "SKU selection map and slowdown matrix (Maverick)",
+        run: || print_tables(&exp::fig10_sku_map::run().tables()),
+    },
+    Target {
+        name: "fig11",
+        about: "strong scaling vs H100 ISO-TDP; batched throughput",
+        run: || print_tables(&exp::fig11_scaling::run().tables()),
+    },
+    Target {
+        name: "fig12",
+        about: "energy per inference and system cost vs CU count",
+        run: || print_tables(&exp::fig12_energy_cost::run().tables()),
+    },
+    Target {
+        name: "fig13",
+        about: "speedup and energy vs H100 across batch sizes",
+        run: || println!("{}\n", exp::fig13_batch_sweep::run().table()),
+    },
+    Target {
+        name: "fig14",
+        about: "platform comparison under speculative decoding",
+        run: || println!("{}\n", exp::fig14_platforms::run().table()),
+    },
+    Target {
+        name: "ablations",
+        about: "section IX decomposed contributions",
+        run: || println!("{}\n", exp::ablations::run().table()),
+    },
+    Target {
+        name: "design-points",
+        about: "section VIII edge/datacenter/peak design points",
+        run: || println!("{}\n", exp::design_points::run().table()),
+    },
+    Target {
+        name: "ext-scaleout",
+        about: "extension: two-level ring vs flat-ring plateau",
+        run: || println!("{}\n", exp::ext_scaleout::run().table()),
+    },
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for t in TARGETS {
+            println!("{:14} {}", t.name, t.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: repro [--list] [target ...]\n");
+        println!("Regenerates the paper's tables and figures. With no arguments,");
+        println!("runs every target in order.");
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&Target> = if args.is_empty() {
+        TARGETS.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match TARGETS.iter().find(|t| t.name == a.as_str()) {
+                Some(t) => sel.push(t),
+                None => {
+                    eprintln!("unknown target `{a}` (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+    for t in selected {
+        println!("==== {} — {}\n", t.name, t.about);
+        (t.run)();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,171 @@
+//! System cost model (Fig. 12 bottom): silicon, memory, substrate, PCB.
+//!
+//! All costs are normalised to one HBM3e module (= 1.0), the same unit
+//! as `rpu_hbmco::module_cost`. The paper's observation is that memory
+//! utterly dominates system cost, so the non-memory components are small
+//! per-CU constants; the HBM-CO vs HBM3e total-cost gap then approaches
+//! the per-module gap (up to 12.4× at scale).
+
+use rpu_arch::RpuConfig;
+use rpu_hbmco::module_cost;
+
+/// Cost-model constants, in HBM3e-module units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Compute-die cost per CU (small N2 chiplet, high yield).
+    pub compute_per_cu: f64,
+    /// Package substrate + assembly per package (4 CUs).
+    pub substrate_per_package: f64,
+    /// Board base cost (PCB + ring station).
+    pub pcb_base: f64,
+    /// Incremental PCB cost per package site.
+    pub pcb_per_package: f64,
+    /// Reference cost of one H100 SXM module (die + 5 HBM3 stacks +
+    /// packaging), for the 8×H100 comparison bar.
+    pub h100_module: f64,
+}
+
+impl CostModel {
+    /// Constants calibrated to the paper's claims: memory dominates; an
+    /// HBM-CO system at scale costs up to ~12.4× less than the same
+    /// system with HBM3e-class stacks; a large RPU lands near 8×H100
+    /// system cost.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            compute_per_cu: 0.003,
+            substrate_per_package: 0.006,
+            pcb_base: 0.2,
+            pcb_per_package: 0.002,
+            h100_module: 3.8,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Cost breakdown of an RPU system, HBM3e-module units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Compute silicon.
+    pub silicon: f64,
+    /// Memory modules (2 HBM-CO stacks per CU).
+    pub memory: f64,
+    /// Package substrates.
+    pub substrate: f64,
+    /// PCB and ring station.
+    pub pcb: f64,
+}
+
+impl CostBreakdown {
+    /// Total system cost.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.silicon + self.memory + self.substrate + self.pcb
+    }
+}
+
+/// Computes the system cost of an RPU configuration.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_arch::RpuConfig;
+/// use rpu_core::{system_cost, CostModel};
+/// use rpu_hbmco::HbmCoConfig;
+///
+/// let rpu = RpuConfig::new(64, HbmCoConfig::candidate()).unwrap();
+/// let c = system_cost(&rpu, &CostModel::paper());
+/// assert!(c.memory > c.silicon); // memory dominates
+/// ```
+#[must_use]
+pub fn system_cost(rpu: &RpuConfig, model: &CostModel) -> CostBreakdown {
+    let cus = f64::from(rpu.num_cus);
+    let packages = f64::from(rpu.num_packages());
+    CostBreakdown {
+        silicon: cus * model.compute_per_cu,
+        memory: cus * f64::from(rpu.cu.stacks) * module_cost(&rpu.memory),
+        substrate: packages * model.substrate_per_package,
+        pcb: model.pcb_base + packages * model.pcb_per_package,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_hbmco::HbmCoConfig;
+
+    fn hbm3e_class() -> HbmCoConfig {
+        // The "RPU+HBM3e BW/Cap" config of Fig. 12: full ranks, banks and
+        // sub-arrays on the single-channel RPU stack (1.5 GiB/core).
+        HbmCoConfig {
+            ranks: 4,
+            banks_per_group: 4,
+            ..HbmCoConfig::candidate()
+        }
+    }
+
+    #[test]
+    fn hbmco_vs_hbm3e_total_cost_ratio_near_12x() {
+        // Fig. 12 / §IX: "HBM-CO system reduces total cost by up to
+        // 12.4x" at large scale, where the smallest SKU suffices.
+        let small_sku = HbmCoConfig {
+            subarray_scale: 0.5,
+            ..HbmCoConfig::candidate()
+        };
+        let co = RpuConfig::new(428, small_sku).unwrap();
+        let e3 = RpuConfig::new(428, hbm3e_class()).unwrap();
+        let m = CostModel::paper();
+        let ratio = system_cost(&e3, &m).total() / system_cost(&co, &m).total();
+        assert!(ratio > 10.0 && ratio < 14.0, "cost ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_dominates_cost() {
+        let rpu = RpuConfig::new(128, HbmCoConfig::candidate()).unwrap();
+        let c = system_cost(&rpu, &CostModel::paper());
+        assert!(c.memory / c.total() > 0.5, "memory share {}", c.memory / c.total());
+    }
+
+    #[test]
+    fn large_rpu_near_8xh100_cost() {
+        // §VIII: at similar system cost to the GPU baseline. A ~428-CU
+        // RPU with its optimal small SKUs should land within ~2x of an
+        // 8xH100 DGX.
+        let m = CostModel::paper();
+        let rpu = RpuConfig::new(
+            428,
+            HbmCoConfig { subarray_scale: 0.5, ..HbmCoConfig::candidate() },
+        )
+        .unwrap();
+        let rpu_cost = system_cost(&rpu, &m).total();
+        let dgx = 8.0 * m.h100_module;
+        let ratio = rpu_cost / dgx;
+        assert!(ratio > 0.3 && ratio < 2.0, "RPU/DGX cost ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_cost_linear_memory_sublinear_with_adaptive_sku() {
+        // Fig. 12 bottom: compute grows linearly with CU count; memory
+        // grows sublinearly because bigger systems pick smaller SKUs.
+        let m = CostModel::paper();
+        let small = RpuConfig::new(
+            64,
+            HbmCoConfig { ranks: 2, ..HbmCoConfig::candidate() },
+        )
+        .unwrap();
+        let big = RpuConfig::new(
+            256,
+            HbmCoConfig { subarray_scale: 0.5, ..HbmCoConfig::candidate() },
+        )
+        .unwrap();
+        let cs = system_cost(&small, &m);
+        let cb = system_cost(&big, &m);
+        assert!((cb.silicon / cs.silicon - 4.0).abs() < 1e-9);
+        assert!(cb.memory / cs.memory < 4.0, "memory must grow sublinearly");
+    }
+}

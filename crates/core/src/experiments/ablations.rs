@@ -1,0 +1,302 @@
+//! §IX decomposed contributions: ablations isolating each of the RPU's
+//! three design pillars.
+//!
+//! 1. **HBM-CO memory** versus HBM3e-class stacks: energy per inference,
+//!    system cost, and ISO-TDP latency.
+//! 2. **Power/area provisioning** versus an H100-like 200 Ops/Byte
+//!    compute-to-bandwidth ratio: die cost, TDP utilisation and ISO-TDP
+//!    latency.
+//! 3. **Microarchitectural decoupling**: coupled pipelines (no
+//!    prefetch-ahead), global synchronisation on collectives, and
+//!    stream-decode off (SRAM-interface energy).
+
+use crate::dse::optimal_memory;
+use crate::{system_cost, CostModel, RpuSystem};
+use rpu_arch::{cu_mem_power, cu_tdp, iso_tdp_cus, EnergyCoeffs, RpuConfig};
+use rpu_hbmco::HbmCoConfig;
+use rpu_models::{ModelConfig, Precision};
+use rpu_sim::SimConfig;
+use rpu_util::table::{num, Table};
+
+/// Contribution-1 ablation results (HBM-CO vs HBM3e-class memory).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryAblation {
+    /// Energy-per-inference ratio (HBM3e / HBM-CO) at equal scale.
+    pub energy_ratio: f64,
+    /// System-cost ratio (HBM3e / HBM-CO) at equal scale.
+    pub cost_ratio: f64,
+    /// ISO-TDP latency ratio (HBM3e / HBM-CO): cheaper, cooler memory
+    /// lets more CUs fit the power budget.
+    pub iso_tdp_latency_ratio: f64,
+}
+
+/// Contribution-2 ablation results (provisioning vs H100-like ratio).
+#[derive(Debug, Clone, Copy)]
+pub struct ProvisioningAblation {
+    /// Ops/Byte of the RPU.
+    pub rpu_ops_per_byte: f64,
+    /// Ops/Byte of the H100-like variant.
+    pub h100_like_ops_per_byte: f64,
+    /// Die-cost ratio (H100-like / RPU) from the extra compute area.
+    pub die_cost_ratio: f64,
+    /// TDP-utilisation ratio during memory-bound decode (RPU /
+    /// H100-like).
+    pub tdp_util_ratio: f64,
+    /// ISO-TDP latency ratio (H100-like / RPU).
+    pub iso_tdp_latency_ratio: f64,
+}
+
+/// Contribution-3 ablation results (decoupling switches).
+#[derive(Debug, Clone, Copy)]
+pub struct DecouplingAblation {
+    /// BS=1 slowdown from coupling memory/compute pipelines (paper: up
+    /// to 1.2× from serialized kernel execution).
+    pub coupled_bs1_slowdown: f64,
+    /// BS=32 slowdown from coupling (paper: up to 1.6× losing the
+    /// phase-imbalance buffer).
+    pub coupled_bs32_slowdown: f64,
+    /// BS=1 slowdown from global-barrier collectives (paper: up to
+    /// 2.0×).
+    pub global_sync_slowdown: f64,
+    /// SRAM-interface energy ratio without on-the-fly stream decode
+    /// (paper: 1.7×).
+    pub sram_energy_ratio: f64,
+}
+
+/// All §IX ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct Ablations {
+    /// Contribution 1.
+    pub memory: MemoryAblation,
+    /// Contribution 2.
+    pub provisioning: ProvisioningAblation,
+    /// Contribution 3.
+    pub decoupling: DecouplingAblation,
+}
+
+/// The HBM3e-BW/Cap comparison SKU (full capacity structures).
+fn hbm3e_class() -> HbmCoConfig {
+    HbmCoConfig {
+        ranks: 4,
+        banks_per_group: 4,
+        ..HbmCoConfig::candidate()
+    }
+}
+
+fn memory_ablation() -> MemoryAblation {
+    let model = ModelConfig::llama3_405b();
+    let prec = Precision::mxfp4_inference();
+    let seq = 8192;
+    let cus = 164;
+    let sku = optimal_memory(&model, prec, 1, seq, cus).expect("405B fits");
+    let co = RpuSystem::build(cus, sku.config, prec).expect("valid");
+    let e3 = RpuSystem::build(cus, hbm3e_class(), prec).expect("valid");
+    let rep_co = co.decode_step(&model, 1, seq).expect("sim");
+    let rep_e3 = e3.decode_step(&model, 1, seq).expect("sim");
+
+    let cm = CostModel::paper();
+    let cost_ratio =
+        system_cost(&e3.arch, &cm).total() / system_cost(&co.arch, &cm).total();
+
+    // ISO-TDP: fix the budget at the HBM3e system's TDP and ask how many
+    // CUs each memory choice affords; memory-bound latency scales
+    // inversely with CU count.
+    let coeffs = EnergyCoeffs::paper();
+    let budget = e3.tdp_w();
+    let cus_e3 = iso_tdp_cus(budget, hbm3e_class(), &coeffs);
+    let cus_co = iso_tdp_cus(budget, sku.config, &coeffs);
+    let iso_tdp_latency_ratio = f64::from(cus_co) / f64::from(cus_e3);
+
+    MemoryAblation {
+        energy_ratio: rep_e3.system_energy_j() / rep_co.system_energy_j(),
+        cost_ratio,
+        iso_tdp_latency_ratio,
+    }
+}
+
+fn provisioning_ablation() -> ProvisioningAblation {
+    let rpu = RpuConfig::new(64, HbmCoConfig::candidate()).expect("valid");
+    let coeffs = EnergyCoeffs::paper();
+    let rpu_ops_per_byte = rpu.ops_per_byte();
+    let h100_like_ops_per_byte = 200.0;
+    let compute_scale = h100_like_ops_per_byte / rpu_ops_per_byte;
+
+    // Power: memory interfaces keep their share; compute power and area
+    // scale with the provisioning ratio.
+    let mem_w = cu_mem_power(&rpu, &coeffs);
+    let comp_w = cu_tdp(&rpu, &coeffs) - mem_w;
+    let cu_tdp_rpu = mem_w + comp_w;
+    let cu_tdp_h100like = mem_w + comp_w * compute_scale;
+
+    // During memory-bound decode both variants draw ~the memory power:
+    // TDP utilisation = drawn / provisioned.
+    let tdp_util_ratio = (mem_w / cu_tdp_rpu) / (mem_w / cu_tdp_h100like);
+
+    // Die cost: compute area dominates a CU die; the non-compute share
+    // (IO shoreline, buffers) is ~35 % and does not scale.
+    let fixed = 0.35;
+    let die_cost_ratio = (fixed + (1.0 - fixed) * compute_scale) / 1.0;
+
+    // ISO-TDP latency: at a fixed blade budget the CU count scales
+    // inversely with per-CU TDP.
+    let iso_tdp_latency_ratio = cu_tdp_h100like / cu_tdp_rpu;
+
+    ProvisioningAblation {
+        rpu_ops_per_byte,
+        h100_like_ops_per_byte,
+        die_cost_ratio,
+        tdp_util_ratio,
+        iso_tdp_latency_ratio,
+    }
+}
+
+fn decoupling_ablation() -> DecouplingAblation {
+    let model = ModelConfig::llama3_8b();
+    let prec = Precision::mxfp4_inference();
+    let cus = 64;
+
+    let run = |batch: u32, seq: u32, cfg: SimConfig| {
+        let mut sys = RpuSystem::with_optimal_memory(&model, prec, batch, seq, cus)
+            .expect("8B fits");
+        sys.sim_config = cfg;
+        sys.decode_step(&model, batch, seq).expect("sim")
+    };
+
+    let base = SimConfig::default();
+    let coupled = SimConfig { coupled_pipelines: true, ..base };
+    let global = SimConfig { global_sync: true, ..base };
+    let no_decode = SimConfig { stream_decode: false, ..base };
+
+    let bs1 = run(1, 16 * 1024, base);
+    let bs1_coupled = run(1, 16 * 1024, coupled);
+    let bs1_global = run(1, 16 * 1024, global);
+    let bs32 = run(32, 8 * 1024, base);
+    let bs32_coupled = run(32, 8 * 1024, coupled);
+    let bs1_nodecode = run(1, 16 * 1024, no_decode);
+
+    DecouplingAblation {
+        coupled_bs1_slowdown: bs1_coupled.total_time_s / bs1.total_time_s,
+        coupled_bs32_slowdown: bs32_coupled.total_time_s / bs32.total_time_s,
+        global_sync_slowdown: bs1_global.total_time_s / bs1.total_time_s,
+        sram_energy_ratio: bs1_nodecode.energy.sram / bs1.energy.sram,
+    }
+}
+
+/// Runs all §IX ablations.
+#[must_use]
+pub fn run() -> Ablations {
+    Ablations {
+        memory: memory_ablation(),
+        provisioning: provisioning_ablation(),
+        decoupling: decoupling_ablation(),
+    }
+}
+
+impl Ablations {
+    /// Renders the decomposed contributions.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Decomposed contributions (§IX)",
+            &["ablation", "metric", "measured", "paper"],
+        );
+        let m = &self.memory;
+        t.row(&["HBM-CO vs HBM3e".into(), "energy/inf".into(), num(m.energy_ratio, 2), "2.2x".into()]);
+        t.row(&["HBM-CO vs HBM3e".into(), "system cost".into(), num(m.cost_ratio, 2), "12.4x".into()]);
+        t.row(&[
+            "HBM-CO vs HBM3e".into(),
+            "ISO-TDP latency".into(),
+            num(m.iso_tdp_latency_ratio, 2),
+            "2.1x".into(),
+        ]);
+        let p = &self.provisioning;
+        t.row(&["provisioning".into(), "die cost".into(), num(p.die_cost_ratio, 2), "3.3x".into()]);
+        t.row(&["provisioning".into(), "TDP util".into(), num(p.tdp_util_ratio, 2), "2.6x".into()]);
+        t.row(&[
+            "provisioning".into(),
+            "ISO-TDP latency".into(),
+            num(p.iso_tdp_latency_ratio, 2),
+            "2.2x".into(),
+        ]);
+        let d = &self.decoupling;
+        t.row(&["decoupling".into(), "BS=1 coupled".into(), num(d.coupled_bs1_slowdown, 2), "1.2x".into()]);
+        t.row(&["decoupling".into(), "BS=32 coupled".into(), num(d.coupled_bs32_slowdown, 2), "1.6x".into()]);
+        t.row(&["decoupling".into(), "global sync".into(), num(d.global_sync_slowdown, 2), "2.0x".into()]);
+        t.row(&["decoupling".into(), "SRAM energy".into(), num(d.sram_energy_ratio, 2), "1.7x".into()]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_ablation_matches_paper_bands() {
+        let m = memory_ablation();
+        assert!(m.energy_ratio > 1.5 && m.energy_ratio < 3.0, "energy {}", m.energy_ratio);
+        assert!(m.cost_ratio > 8.0 && m.cost_ratio < 16.0, "cost {}", m.cost_ratio);
+        assert!(
+            m.iso_tdp_latency_ratio > 1.3 && m.iso_tdp_latency_ratio < 3.0,
+            "iso-tdp {}",
+            m.iso_tdp_latency_ratio
+        );
+    }
+
+    #[test]
+    fn provisioning_ablation_matches_paper_bands() {
+        let p = provisioning_ablation();
+        assert!((p.rpu_ops_per_byte - 32.0).abs() < 2.0);
+        assert!(p.die_cost_ratio > 2.5 && p.die_cost_ratio < 5.0, "die {}", p.die_cost_ratio);
+        assert!(p.tdp_util_ratio > 1.8 && p.tdp_util_ratio < 4.0, "tdp {}", p.tdp_util_ratio);
+        assert!(
+            p.iso_tdp_latency_ratio > 1.6 && p.iso_tdp_latency_ratio < 4.0,
+            "latency {}",
+            p.iso_tdp_latency_ratio
+        );
+    }
+
+    #[test]
+    fn coupling_pipelines_hurts() {
+        let d = decoupling_ablation();
+        assert!(
+            d.coupled_bs1_slowdown > 1.02 && d.coupled_bs1_slowdown < 1.6,
+            "BS=1 {}",
+            d.coupled_bs1_slowdown
+        );
+        assert!(
+            d.coupled_bs32_slowdown > 1.05 && d.coupled_bs32_slowdown < 2.2,
+            "BS=32 {}",
+            d.coupled_bs32_slowdown
+        );
+    }
+
+    #[test]
+    fn global_sync_hurts_more_than_coupling_at_bs1() {
+        let d = decoupling_ablation();
+        assert!(
+            d.global_sync_slowdown > 1.1 && d.global_sync_slowdown < 2.5,
+            "global {}",
+            d.global_sync_slowdown
+        );
+        assert!(d.global_sync_slowdown > d.coupled_bs1_slowdown);
+    }
+
+    #[test]
+    fn stream_decode_saves_sram_energy() {
+        let d = decoupling_ablation();
+        // Paper reports 1.7x; our MXFP4 expansion factor (16-bit decoded
+        // vs ~4.25-bit stored) lands slightly higher once memory-buffer
+        // writes are included.
+        assert!(
+            d.sram_energy_ratio > 1.3 && d.sram_energy_ratio < 2.6,
+            "SRAM energy {}",
+            d.sram_energy_ratio
+        );
+    }
+
+    #[test]
+    fn table_reports_all_ten_rows() {
+        assert_eq!(run().table().len(), 10);
+    }
+}

@@ -1,0 +1,230 @@
+//! §VIII named design points: edge and datacenter RPU deployments sized
+//! by TDP budget, the peak-performance configurations, the >200 TB/s
+//! tensor-parallel bandwidth claim, and the 412× EDP improvement.
+
+use crate::dse::optimal_memory;
+use crate::RpuSystem;
+use rpu_gpu::{GpuSpec, GpuSystem};
+use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+use rpu_util::table::{num, Table};
+
+/// One named deployment.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Deployment label.
+    pub label: String,
+    /// Model name.
+    pub model: &'static str,
+    /// CU count.
+    pub num_cus: u32,
+    /// System TDP, watts.
+    pub tdp_w: f64,
+    /// Selected memory BW/Cap, 1/s.
+    pub bw_per_cap: f64,
+    /// Token latency, ms.
+    pub ms_per_token: f64,
+    /// Aggregate memory bandwidth, TB/s.
+    pub mem_bw_tb_s: f64,
+}
+
+/// Results for the §VIII design-point study.
+#[derive(Debug, Clone)]
+pub struct DesignPoints {
+    /// All named deployments.
+    pub points: Vec<DesignPoint>,
+    /// EDP improvement of the 428-CU 405B RPU over a 4×H100.
+    pub edp_improvement_405b: f64,
+}
+
+fn build_point(
+    label: &str,
+    model: &ModelConfig,
+    num_cus: u32,
+    prec: Precision,
+    seq: u32,
+) -> Option<DesignPoint> {
+    let sku = optimal_memory(model, prec, 1, seq, num_cus)?;
+    let sys = RpuSystem::build(num_cus, sku.config, prec).ok()?;
+    let latency = sys.token_latency(model, 1, seq).ok()?;
+    Some(DesignPoint {
+        label: label.to_string(),
+        model: model.name,
+        num_cus,
+        tdp_w: sys.tdp_w(),
+        bw_per_cap: sku.bw_per_cap,
+        ms_per_token: latency * 1e3,
+        mem_bw_tb_s: sys.arch.mem_bandwidth() / 1e12,
+    })
+}
+
+/// Largest CU count whose system TDP fits `budget_w` for the workload's
+/// optimal SKU (searched over the SKU/CU fixed point).
+fn cus_for_budget(model: &ModelConfig, prec: Precision, seq: u32, budget_w: f64) -> u32 {
+    let mut best = 0;
+    for cus in (4..=1024).step_by(4) {
+        let Some(sku) = optimal_memory(model, prec, 1, seq, cus) else {
+            continue;
+        };
+        let Ok(sys) = RpuSystem::build(cus, sku.config, prec) else {
+            continue;
+        };
+        if sys.tdp_w() <= budget_w {
+            best = cus;
+        } else if best > 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Runs the design-point study.
+#[must_use]
+pub fn run() -> DesignPoints {
+    let prec = Precision::mxfp4_inference();
+    let seq = 8192;
+    let llama70 = ModelConfig::llama3_70b();
+    let llama405 = ModelConfig::llama3_405b();
+    let maverick = ModelConfig::llama4_maverick();
+
+    let mut points = Vec::new();
+    // Edge deployments (§VIII: 220 W / 260 W).
+    let edge70 = cus_for_budget(&llama70, prec, seq, 220.0);
+    points.extend(build_point("edge", &llama70, edge70, prec, seq));
+    let edge_mav = cus_for_budget(&maverick, prec, seq, 260.0);
+    points.extend(build_point("edge", &maverick, edge_mav, prec, seq));
+    // Datacenter deployments (1 kW).
+    let dc70 = cus_for_budget(&llama70, prec, seq, 1000.0);
+    points.extend(build_point("datacenter", &llama70, dc70, prec, seq));
+    let dc_mav = cus_for_budget(&maverick, prec, seq, 1000.0);
+    points.extend(build_point("datacenter", &maverick, dc_mav, prec, seq));
+    // Peak-performance configurations.
+    points.extend(build_point("peak", &llama70, 204, prec, seq));
+    points.extend(build_point("peak", &llama405, 428, prec, seq));
+    points.extend(build_point("peak", &maverick, 128, prec, seq));
+
+    // EDP vs 4xH100 for 405B at the peak configuration.
+    let peak405 = points
+        .iter()
+        .find(|p| p.model == "Llama3-405B" && p.label == "peak")
+        .expect("peak 405B point exists");
+    let sys = RpuSystem::with_optimal_memory(&llama405, prec, 1, seq, peak405.num_cus)
+        .expect("405B fits at peak scale");
+    let report = sys.decode_step(&llama405, 1, seq).expect("sim");
+    let rpu_edp = report.system_energy_j() * report.total_time_s;
+    let gpus = GpuSystem::new(GpuSpec::h100_sxm(), 4);
+    let wl = DecodeWorkload::new(&llama405, Precision::gpu_w4a16(), 1, seq);
+    let gpu_edp = gpus.decode_step_energy_j(&wl) * gpus.decode_step_latency(&wl);
+
+    DesignPoints {
+        points,
+        edp_improvement_405b: gpu_edp / rpu_edp,
+    }
+}
+
+impl DesignPoints {
+    /// The point matching `label` and `model`, if present.
+    #[must_use]
+    pub fn point(&self, label: &str, model: &str) -> Option<&DesignPoint> {
+        self.points.iter().find(|p| p.label == label && p.model == model)
+    }
+
+    /// Renders the design points.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Design points (§VIII): edge, datacenter and peak deployments",
+            &["deployment", "model", "CUs", "TDP (W)", "BW/Cap", "ms/token", "mem BW (TB/s)"],
+        );
+        for p in &self.points {
+            t.row(&[
+                p.label.clone(),
+                p.model.to_string(),
+                p.num_cus.to_string(),
+                num(p.tdp_w, 0),
+                num(p.bw_per_cap, 0),
+                num(p.ms_per_token, 2),
+                num(p.mem_bw_tb_s, 1),
+            ]);
+        }
+        t.row(&[
+            "EDP vs 4xH100 (405B)".into(),
+            format!("{:.0}x", self.edp_improvement_405b),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_points_fit_their_budgets() {
+        let d = run();
+        let e70 = d.point("edge", "Llama3-70B").unwrap();
+        assert!(e70.tdp_w <= 220.0, "edge 70B TDP {}", e70.tdp_w);
+        let emav = d.point("edge", "Llama4-Maverick").unwrap();
+        assert!(emav.tdp_w <= 260.0, "edge Maverick TDP {}", emav.tdp_w);
+    }
+
+    #[test]
+    fn edge_70b_latency_in_paper_band() {
+        // Paper: 3.5 ms/token at 220 W.
+        let d = run();
+        let p = d.point("edge", "Llama3-70B").unwrap();
+        assert!(p.ms_per_token > 1.5 && p.ms_per_token < 7.0, "{}", p.ms_per_token);
+    }
+
+    #[test]
+    fn datacenter_faster_than_edge() {
+        let d = run();
+        for model in ["Llama3-70B", "Llama4-Maverick"] {
+            let edge = d.point("edge", model).unwrap();
+            let dc = d.point("datacenter", model).unwrap();
+            assert!(dc.ms_per_token < edge.ms_per_token, "{model}");
+            assert!(dc.bw_per_cap >= edge.bw_per_cap, "{model}: bigger scale, higher BW/Cap");
+        }
+    }
+
+    #[test]
+    fn peak_405b_sustains_over_200_tb_s() {
+        // §VIII: "the first system capable of sustaining over 200 TB/s of
+        // tensor-parallel memory bandwidth during inference".
+        let d = run();
+        let p = d.point("peak", "Llama3-405B").unwrap();
+        assert!(p.mem_bw_tb_s > 200.0, "405B peak BW {}", p.mem_bw_tb_s);
+        assert!(p.ms_per_token > 0.3 && p.ms_per_token < 3.0, "{}", p.ms_per_token);
+    }
+
+    #[test]
+    fn peak_latencies_ordered_by_active_size() {
+        // Maverick (17B active) < 70B < 405B at their peak scales.
+        let d = run();
+        let mav = d.point("peak", "Llama4-Maverick").unwrap().ms_per_token;
+        let l70 = d.point("peak", "Llama3-70B").unwrap().ms_per_token;
+        let l405 = d.point("peak", "Llama3-405B").unwrap().ms_per_token;
+        assert!(mav < l70 && l70 < l405, "{mav} < {l70} < {l405}");
+    }
+
+    #[test]
+    fn edp_improvement_is_two_orders() {
+        // Paper: 412x EDP vs 4xH100.
+        let d = run();
+        assert!(
+            d.edp_improvement_405b > 100.0 && d.edp_improvement_405b < 2000.0,
+            "EDP {}",
+            d.edp_improvement_405b
+        );
+    }
+
+    #[test]
+    fn table_lists_every_point() {
+        let d = run();
+        assert_eq!(d.table().len(), d.points.len() + 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Extension (§VIII future directions): breaking the strong-scaling
+//! plateau with a hierarchical two-level ring.
+//!
+//! The paper observes that "beyond these scales, performance plateaus as
+//! broadcasting the activation becomes the bottleneck" and proposes
+//! interconnecting ring stations with a second-level ring. This
+//! experiment implements that proposal and quantifies the recovered
+//! scaling headroom.
+
+use crate::RpuSystem;
+use rpu_models::{ModelConfig, Precision};
+use rpu_sim::SimConfig;
+use rpu_util::table::{num, Table};
+
+/// One scale point comparing flat and hierarchical rings.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleoutPoint {
+    /// CU count.
+    pub num_cus: u32,
+    /// Token latency with the flat outer ring, seconds.
+    pub flat_s: f64,
+    /// Token latency with the two-level ring, seconds.
+    pub two_level_s: f64,
+}
+
+impl ScaleoutPoint {
+    /// Latency recovered by the hierarchical ring.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.flat_s / self.two_level_s
+    }
+}
+
+/// Results of the scale-out extension study.
+#[derive(Debug, Clone)]
+pub struct ExtScaleout {
+    /// Model name.
+    pub model: &'static str,
+    /// Scale points, ascending CU count.
+    pub points: Vec<ScaleoutPoint>,
+}
+
+/// CU counts swept (the plateau region of Fig. 11).
+pub const CU_SWEEP: [u32; 5] = [128, 256, 384, 512, 640];
+
+/// Runs the study on Llama3-405B at batch 1 / 8k.
+#[must_use]
+pub fn run() -> ExtScaleout {
+    let model = ModelConfig::llama3_405b();
+    let prec = Precision::mxfp4_inference();
+    let seq = 8192;
+    let mut points = Vec::new();
+    for &cus in &CU_SWEEP {
+        let Ok(mut sys) = RpuSystem::with_optimal_memory(&model, prec, 1, seq, cus) else {
+            continue;
+        };
+        let flat_s = sys.token_latency(&model, 1, seq).expect("flat simulates");
+        sys.sim_config = SimConfig { two_level_ring: true, ..SimConfig::default() };
+        let two_level_s = sys.token_latency(&model, 1, seq).expect("two-level simulates");
+        points.push(ScaleoutPoint { num_cus: cus, flat_s, two_level_s });
+    }
+    ExtScaleout { model: model.name, points }
+}
+
+impl ExtScaleout {
+    /// Renders the comparison.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Extension (§VIII): flat vs two-level ring, Llama3-405B BS=1 8K",
+            &["CUs", "flat ms/tok", "two-level ms/tok", "gain"],
+        );
+        for p in &self.points {
+            t.row(&[
+                p.num_cus.to_string(),
+                num(p.flat_s * 1e3, 3),
+                num(p.two_level_s * 1e3, 3),
+                format!("{:.2}x", p.gain()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_ring_always_wins_in_plateau_region() {
+        let e = run();
+        assert!(e.points.len() >= 4);
+        for p in &e.points {
+            assert!(p.gain() > 1.0, "{} CUs: gain {}", p.num_cus, p.gain());
+        }
+    }
+
+    #[test]
+    fn gain_grows_with_scale() {
+        // The broadcast share of latency grows with CU count, so the
+        // hierarchical ring recovers more at larger scales.
+        let e = run();
+        let first = e.points.first().unwrap().gain();
+        let last = e.points.last().unwrap().gain();
+        assert!(last > first, "gain {first} -> {last} must grow");
+    }
+
+    #[test]
+    fn two_level_extends_useful_scaling() {
+        // The flat ring's marginal benefit from 512 -> 640 CUs is small;
+        // the hierarchical ring keeps more of it.
+        let e = run();
+        let p512 = e.points.iter().find(|p| p.num_cus == 512).unwrap();
+        let p640 = e.points.iter().find(|p| p.num_cus == 640).unwrap();
+        let flat_gain = p512.flat_s / p640.flat_s;
+        let two_gain = p512.two_level_s / p640.two_level_s;
+        assert!(
+            two_gain >= flat_gain * 0.99,
+            "scaling 512->640: two-level {two_gain} vs flat {flat_gain}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let e = run();
+        assert_eq!(e.table().len(), e.points.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! Fig. 1: rooflines of H100 vs RPU at ISO-TDP, kernel arithmetic
+//! intensities, and the impact of batching on AI for dense vs MoE
+//! models.
+
+use rpu_arch::{Roofline, RpuConfig};
+use rpu_gpu::GpuSpec;
+use rpu_hbmco::HbmCoConfig;
+use rpu_models::{DecodeWorkload, Kernel, KernelClass, KernelKind, ModelConfig, Precision};
+use rpu_util::table::{num, Table};
+
+/// A kernel point on the roofline: intensity and attainable throughput.
+#[derive(Debug, Clone)]
+pub struct KernelPoint {
+    /// Label, e.g. `"BS=1 Linear"`.
+    pub label: String,
+    /// Arithmetic intensity, FLOPs/byte.
+    pub ai: f64,
+    /// Attainable throughput on the RPU roofline, FLOP/s.
+    pub rpu_flops: f64,
+    /// Attainable throughput on the H100 roofline, FLOP/s.
+    pub h100_flops: f64,
+}
+
+/// Results for Fig. 1.
+#[derive(Debug, Clone)]
+pub struct Fig01 {
+    /// H100 roofline.
+    pub h100: Roofline,
+    /// RPU-40CU roofline (ISO-TDP with one H100).
+    pub rpu: Roofline,
+    /// Kernel-class intensity points for Llama4-Maverick at 8K.
+    pub points: Vec<KernelPoint>,
+    /// `(batch, dense AI, MoE AI)` rows for the batching sub-plot.
+    pub ai_vs_batch: Vec<(u32, f64, f64)>,
+}
+
+fn is_moe(kind: KernelKind) -> bool {
+    matches!(
+        kind,
+        KernelKind::Router | KernelKind::MoeGateUp | KernelKind::MoeDown
+    )
+}
+
+/// Average AI of a set of kernels within a decode step.
+fn kernels_ai<'a>(kernels: impl Iterator<Item = &'a Kernel>) -> f64 {
+    let (f, b) = kernels.fold((0.0, 0.0), |(f, b), k| (f + k.flops, b + k.streaming_bytes()));
+    if b == 0.0 {
+        0.0
+    } else {
+        f / b
+    }
+}
+
+/// Runs the Fig. 1 analysis.
+#[must_use]
+pub fn run() -> Fig01 {
+    let prec = Precision::mxfp4_inference();
+    let h100_spec = GpuSpec::h100_sxm();
+    let h100 = Roofline::new(h100_spec.peak_bf16_flops, h100_spec.mem_bandwidth);
+    let rpu_cfg = RpuConfig::new(40, HbmCoConfig::candidate()).expect("valid RPU");
+    let rpu = Roofline::new(rpu_cfg.peak_flops(), rpu_cfg.mem_bandwidth());
+
+    let maverick = ModelConfig::llama4_maverick();
+    let mut points = Vec::new();
+    for batch in [1u32, 32] {
+        let wl = DecodeWorkload::new(&maverick, prec, batch, 8192);
+        // The paper plots dense Linear and MoE layers separately: MoE
+        // expert traffic has far lower reuse per weight byte.
+        let linear = kernels_ai(
+            wl.kernels()
+                .iter()
+                .filter(|k| k.class == KernelClass::Vmm && !is_moe(k.kind)),
+        );
+        let moe = kernels_ai(wl.kernels().iter().filter(|k| is_moe(k.kind)));
+        let sdpa = kernels_ai(wl.kernels().iter().filter(|k| k.class == KernelClass::Attention));
+        let avg = wl.arithmetic_intensity();
+        for (name, ai) in [("Linear", linear), ("MoE", moe), ("SDPA", sdpa), ("Avg.", avg)] {
+            points.push(KernelPoint {
+                label: format!("BS={batch} {name}"),
+                ai,
+                rpu_flops: rpu.attainable(ai),
+                h100_flops: h100.attainable(ai),
+            });
+        }
+    }
+
+    let dense = ModelConfig::llama3_70b();
+    let ai_vs_batch = [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&b| {
+            let d = DecodeWorkload::new(&dense, prec, b, 8192).arithmetic_intensity();
+            let m = DecodeWorkload::new(&maverick, prec, b, 8192).arithmetic_intensity();
+            (b, d, m)
+        })
+        .collect();
+
+    Fig01 { h100, rpu, points, ai_vs_batch }
+}
+
+impl Fig01 {
+    /// Renders the figure's series as tables.
+    #[must_use]
+    pub fn tables(&self) -> Vec<Table> {
+        let mut t1 = Table::new(
+            "Fig. 1 (left): rooflines and kernel points (Llama4-Maverick, 8K, FP4)",
+            &["point", "AI (FLOP/B)", "RPU-40CU (TFLOP/s)", "H100 (TFLOP/s)"],
+        );
+        t1.row(&[
+            "RPU ridge".into(),
+            num(self.rpu.ridge_ai(), 1),
+            num(self.rpu.peak_flops / 1e12, 1),
+            String::new(),
+        ]);
+        t1.row(&[
+            "H100 ridge".into(),
+            num(self.h100.ridge_ai(), 1),
+            String::new(),
+            num(self.h100.peak_flops / 1e12, 1),
+        ]);
+        for p in &self.points {
+            t1.row(&[
+                p.label.clone(),
+                num(p.ai, 2),
+                num(p.rpu_flops / 1e12, 2),
+                num(p.h100_flops / 1e12, 2),
+            ]);
+        }
+        let mut t2 = Table::new(
+            "Fig. 1 (right): impact of batching on AI (8K seq len)",
+            &["batch", "Dense Llama3-70B AI", "MoE Llama4-Maverick AI"],
+        );
+        for (b, d, m) in &self.ai_vs_batch {
+            t2.row(&[b.to_string(), num(*d, 2), num(*m, 2)]);
+        }
+        vec![t1, t2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpu_shifts_roofline_down_and_left() {
+        let f = run();
+        assert!(f.rpu.peak_flops < f.h100.peak_flops, "down");
+        assert!(f.rpu.ridge_ai() < f.h100.ridge_ai(), "left");
+        // ISO-TDP: more bandwidth than the H100.
+        assert!(f.rpu.bandwidth > 2.0 * f.h100.bandwidth);
+    }
+
+    #[test]
+    fn ai_rises_with_batch_but_stays_low() {
+        // Paper: "Even up to BS=32, arithmetic intensity remains low".
+        let f = run();
+        let (b0, d0, m0) = f.ai_vs_batch[0];
+        let (bn, dn, mn) = *f.ai_vs_batch.last().unwrap();
+        assert_eq!((b0, bn), (1, 32));
+        assert!(dn > d0 && mn > m0);
+        assert!(mn < 64.0, "MoE BS=32 AI {mn} must stay below the H100 ridge");
+    }
+
+    #[test]
+    fn bs32_straddles_rpu_roofline() {
+        // §I: BS=32 kernels straddle the RPU roofline — Linear above the
+        // ridge, SDPA and MoE below.
+        let f = run();
+        let ridge = f.rpu.ridge_ai();
+        let linear = f.points.iter().find(|p| p.label == "BS=32 Linear").unwrap();
+        let sdpa = f.points.iter().find(|p| p.label == "BS=32 SDPA").unwrap();
+        let moe = f.points.iter().find(|p| p.label == "BS=32 MoE").unwrap();
+        assert!(linear.ai > ridge, "Linear {} vs ridge {ridge}", linear.ai);
+        assert!(sdpa.ai < ridge, "SDPA {} vs ridge {ridge}", sdpa.ai);
+        assert!(moe.ai < ridge, "MoE {} vs ridge {ridge}", moe.ai);
+    }
+
+    #[test]
+    fn moe_ai_stays_low_even_at_bs32() {
+        // Fig. 1 legend: the BS=32 MoE point sits far left of BS=32
+        // Linear — experts see few tokens each, so reuse stays low.
+        let f = run();
+        let linear = f.points.iter().find(|p| p.label == "BS=32 Linear").unwrap();
+        let moe = f.points.iter().find(|p| p.label == "BS=32 MoE").unwrap();
+        assert!(moe.ai < 0.5 * linear.ai, "MoE {} vs Linear {}", moe.ai, linear.ai);
+    }
+
+    #[test]
+    fn tables_render() {
+        let tables = run().tables();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].to_string().contains("BS=1"));
+        assert!(tables[1].len() == 6);
+    }
+}

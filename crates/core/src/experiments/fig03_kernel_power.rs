@@ -1,0 +1,172 @@
+//! Fig. 3: isolated dense-linear kernel profiling on the H100 — power
+//! consumption (left) and energy per FLOP (right) across batch sizes and
+//! matrix dimensions, BF16.
+
+use rpu_gpu::{gpu_power_w, GpuSpec, GpuSystem};
+use rpu_models::{Kernel, KernelKind, Precision};
+use rpu_util::table::{num, Table};
+
+/// One `(batch, N)` profile sample.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSample {
+    /// Batch size (GEMM M dimension).
+    pub batch: u32,
+    /// Square matrix dimension (K = N).
+    pub n: u32,
+    /// Kernel execution time, seconds.
+    pub time_s: f64,
+    /// Average device power, watts.
+    pub power_w: f64,
+    /// Energy per FLOP, picojoules.
+    pub pj_per_flop: f64,
+}
+
+/// Results for Fig. 3.
+#[derive(Debug, Clone)]
+pub struct Fig03 {
+    /// Samples over the `(batch, N)` grid.
+    pub samples: Vec<KernelSample>,
+}
+
+/// The batch sizes the paper sweeps (4 … 16384, log-spaced).
+pub const BATCHES: [u32; 7] = [4, 32, 256, 1024, 2048, 8192, 16384];
+
+/// The matrix dimensions the paper sweeps.
+pub const SIZES: [u32; 3] = [1024, 2048, 4096];
+
+/// Runs the Fig. 3 sweep on a single H100.
+#[must_use]
+pub fn run() -> Fig03 {
+    let gpu = GpuSystem::new(GpuSpec::h100_sxm(), 1);
+    let bf16 = Precision::bf16();
+    let mut samples = Vec::new();
+    for &n in &SIZES {
+        for &batch in &BATCHES {
+            let k = Kernel::vmm(
+                KernelKind::GateUp,
+                u64::from(batch),
+                u64::from(n),
+                u64::from(n),
+                bf16,
+            );
+            let time_s = gpu.kernel_time(&k);
+            let comp_util = (k.flops / time_s / gpu.spec.peak_bf16_flops).clamp(0.0, 1.0);
+            let bw_util = (k.total_mem_bytes() / time_s / gpu.spec.mem_bandwidth).clamp(0.0, 1.0);
+            let power_w = gpu_power_w(&gpu.spec, comp_util, bw_util);
+            samples.push(KernelSample {
+                batch,
+                n,
+                time_s,
+                power_w,
+                pj_per_flop: power_w * time_s / k.flops * 1e12,
+            });
+        }
+    }
+    Fig03 { samples }
+}
+
+impl Fig03 {
+    /// The sample for `(batch, n)`, if in the sweep.
+    #[must_use]
+    pub fn sample(&self, batch: u32, n: u32) -> Option<&KernelSample> {
+        self.samples.iter().find(|s| s.batch == batch && s.n == n)
+    }
+
+    /// Renders both panels as one table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 3: H100 dense-linear kernels (BF16): power and energy per FLOP",
+            &["N", "batch", "time (us)", "power (W)", "pJ/FLOP"],
+        );
+        for s in &self.samples {
+            t.row(&[
+                s.n.to_string(),
+                s.batch.to_string(),
+                num(s.time_s * 1e6, 2),
+                num(s.power_w, 1),
+                num(s.pj_per_flop, 2),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_batch_low_power() {
+        // Paper: batch <= 64 consistently yields < 30% TDP.
+        let f = run();
+        for s in f.samples.iter().filter(|s| s.batch <= 32) {
+            assert!(
+                s.power_w < 0.4 * 700.0,
+                "batch {} N {} power {}",
+                s.batch,
+                s.n,
+                s.power_w
+            );
+        }
+    }
+
+    #[test]
+    fn high_batch_approaches_tdp() {
+        let f = run();
+        let s = f.sample(16384, 4096).unwrap();
+        assert!(s.power_w > 0.6 * 700.0, "power {}", s.power_w);
+    }
+
+    #[test]
+    fn high_ai_kernels_near_1pj_per_flop() {
+        // Paper: compute-bound kernels reach ~1.0 pJ/BF16 FLOP.
+        let f = run();
+        let s = f.sample(16384, 4096).unwrap();
+        assert!(
+            s.pj_per_flop > 0.4 && s.pj_per_flop < 2.5,
+            "pJ/FLOP {}",
+            s.pj_per_flop
+        );
+    }
+
+    #[test]
+    fn low_batch_degrades_10_to_1000x() {
+        // Paper: energy/FLOP degrades 10-1000x at low batch.
+        let f = run();
+        let hi = f.sample(16384, 4096).unwrap().pj_per_flop;
+        let lo = f.sample(4, 1024).unwrap().pj_per_flop;
+        let degradation = lo / hi;
+        assert!(
+            degradation > 10.0 && degradation < 2000.0,
+            "degradation {degradation}"
+        );
+    }
+
+    #[test]
+    fn energy_per_flop_monotonically_improves_with_batch() {
+        let f = run();
+        for &n in &SIZES {
+            let series: Vec<f64> = BATCHES
+                .iter()
+                .map(|&b| f.sample(b, n).unwrap().pj_per_flop)
+                .collect();
+            for w in series.windows(2) {
+                assert!(w[1] <= w[0] * 1.05, "N={n}: {series:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_matrices_use_more_power_at_fixed_batch() {
+        let f = run();
+        let p1 = f.sample(256, 1024).unwrap().power_w;
+        let p4 = f.sample(256, 4096).unwrap().power_w;
+        assert!(p4 > p1, "N=4096 {p4} vs N=1024 {p1}");
+    }
+
+    #[test]
+    fn table_has_full_grid() {
+        assert_eq!(run().table().len(), BATCHES.len() * SIZES.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! Fig. 4: memory technology landscape — bandwidth-per-capacity versus
+//! ideal latency per token at 100 % capacity utilisation, exposing the
+//! *Goldilocks* gap no commercial technology fills.
+
+use rpu_hbmco::landscape::{commercial_landscape, in_goldilocks, MemoryTech};
+use rpu_hbmco::{pareto_frontier, HbmCoConfig};
+use rpu_util::table::{num, Table};
+
+/// One technology point on the landscape.
+#[derive(Debug, Clone)]
+pub struct TechPoint {
+    /// Technology name (e.g. `"HBM3e"`).
+    pub name: String,
+    /// Bandwidth / capacity, 1/s.
+    pub bw_per_cap: f64,
+    /// Ideal latency per token at full capacity utilisation, seconds.
+    pub latency_per_token: f64,
+    /// Whether the point falls in the Goldilocks band.
+    pub goldilocks: bool,
+}
+
+/// Results for Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Fig04 {
+    /// Commercial technologies (HBM, GDDR, LPDDR, SRAM, eNVM).
+    pub commercial: Vec<TechPoint>,
+    /// The HBM-CO design-space span `(min BW/Cap, max BW/Cap)` over the
+    /// Pareto frontier.
+    pub hbmco_span: (f64, f64),
+    /// The candidate HBM-CO device's point.
+    pub candidate: TechPoint,
+}
+
+fn tech_point(t: &MemoryTech) -> TechPoint {
+    TechPoint {
+        name: t.name.to_string(),
+        bw_per_cap: t.bw_per_cap(),
+        latency_per_token: t.latency_per_token(),
+        goldilocks: in_goldilocks(t.bw_per_cap()),
+    }
+}
+
+/// Runs the Fig. 4 analysis.
+#[must_use]
+pub fn run() -> Fig04 {
+    let commercial = commercial_landscape().iter().map(tech_point).collect();
+    let frontier = pareto_frontier();
+    let span = frontier
+        .iter()
+        .fold((f64::INFINITY, 0.0_f64), |(lo, hi), p| {
+            (lo.min(p.bw_per_cap), hi.max(p.bw_per_cap))
+        });
+    let co = HbmCoConfig::candidate();
+    let candidate = TechPoint {
+        name: "HBM-CO (candidate)".to_string(),
+        bw_per_cap: co.bw_per_cap(),
+        latency_per_token: rpu_hbmco::ideal_token_latency(co.bw_per_cap()),
+        goldilocks: in_goldilocks(co.bw_per_cap()),
+    };
+    Fig04 { commercial, hbmco_span: span, candidate }
+}
+
+impl Fig04 {
+    /// Renders the landscape as a table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 4: memory technology landscape (100% capacity utilisation)",
+            &["technology", "BW/Cap (1/s)", "latency/token (ms)", "Goldilocks?"],
+        );
+        for p in self.commercial.iter().chain(std::iter::once(&self.candidate)) {
+            t.row(&[
+                p.name.clone(),
+                num(p.bw_per_cap, 1),
+                num(p.latency_per_token * 1e3, 3),
+                if p.goldilocks { "yes".into() } else { "-".into() },
+            ]);
+        }
+        t.row(&[
+            "HBM-CO design space".into(),
+            format!("{:.0} - {:.0}", self.hbmco_span.0, self.hbmco_span.1),
+            String::new(),
+            "spans".into(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_hbmco::landscape::GOLDILOCKS_BW_PER_CAP;
+
+    #[test]
+    fn no_commercial_tech_in_goldilocks() {
+        // The paper's central claim for Fig. 4: a technology gap exists.
+        let f = run();
+        assert!(
+            f.commercial.iter().all(|p| !p.goldilocks),
+            "some commercial tech already sits in the Goldilocks band"
+        );
+    }
+
+    #[test]
+    fn candidate_fills_the_gap() {
+        let f = run();
+        assert!(f.candidate.goldilocks, "candidate BW/Cap {}", f.candidate.bw_per_cap);
+        // ~2.9 ms ideal token latency (paper, §III).
+        assert!(f.candidate.latency_per_token > 2.0e-3 && f.candidate.latency_per_token < 4.0e-3);
+    }
+
+    #[test]
+    fn dram_below_sram_above() {
+        // DRAM-class techs sit below the band, SRAM far above it.
+        let f = run();
+        let hbm = f.commercial.iter().find(|p| p.name.contains("HBM3e")).unwrap();
+        let sram = f.commercial.iter().find(|p| p.name.contains("SRAM")).unwrap();
+        assert!(hbm.bw_per_cap < GOLDILOCKS_BW_PER_CAP.0);
+        assert!(sram.bw_per_cap > GOLDILOCKS_BW_PER_CAP.1);
+    }
+
+    #[test]
+    fn hbmco_span_covers_goldilocks_low_end() {
+        let f = run();
+        assert!(f.hbmco_span.0 < GOLDILOCKS_BW_PER_CAP.0);
+        assert!(f.hbmco_span.1 > GOLDILOCKS_BW_PER_CAP.0);
+    }
+
+    #[test]
+    fn latency_inversely_tracks_bw_per_cap() {
+        let f = run();
+        for p in &f.commercial {
+            let expect = 1.0 / p.bw_per_cap;
+            assert!((p.latency_per_token - expect).abs() / expect < 1e-9, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn table_lists_all_technologies() {
+        let f = run();
+        assert_eq!(f.table().len(), f.commercial.len() + 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fig. 5: tradeoffs in HBM-CO memories — cost per GB versus capacity
+//! and energy per bit versus BW/Cap across the full design space.
+
+use rpu_hbmco::{enumerate_design_space, DesignPoint, HbmCoConfig};
+use rpu_util::table::{num, Table};
+use rpu_util::units::GIB;
+
+/// Results for Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig05 {
+    /// Every evaluated design point.
+    pub points: Vec<DesignPoint>,
+    /// The HBM3e-like anchor.
+    pub hbm3e: DesignPoint,
+    /// The candidate Pareto-optimal HBM-CO.
+    pub candidate: DesignPoint,
+}
+
+/// Runs the Fig. 5 design-space sweep.
+#[must_use]
+pub fn run() -> Fig05 {
+    Fig05 {
+        points: enumerate_design_space(),
+        hbm3e: DesignPoint::evaluate(HbmCoConfig::hbm3e_like()),
+        candidate: DesignPoint::evaluate(HbmCoConfig::candidate()),
+    }
+}
+
+impl Fig05 {
+    /// Cost per GB of `p` normalised to the HBM3e anchor.
+    #[must_use]
+    pub fn norm_cost_per_gb(&self, p: &DesignPoint) -> f64 {
+        p.cost_per_gb / self.hbm3e.cost_per_gb
+    }
+
+    /// Renders both panels as tables (a subsample of the design space,
+    /// plus the two anchors).
+    #[must_use]
+    pub fn tables(&self) -> Vec<Table> {
+        let mut t1 = Table::new(
+            "Fig. 5 (left): cost/GB (normalised to HBM3e) vs capacity",
+            &["config", "capacity (GB)", "cost/GB (norm)"],
+        );
+        let mut t2 = Table::new(
+            "Fig. 5 (right): energy per bit vs BW/Cap",
+            &["config", "BW/Cap (1/s)", "pJ/bit"],
+        );
+        let mut show: Vec<&DesignPoint> = self.points.iter().collect();
+        show.sort_by(|a, b| a.capacity_bytes.total_cmp(&b.capacity_bytes));
+        // Subsample so the table stays readable while spanning the space.
+        let step = (show.len() / 16).max(1);
+        for p in show.iter().step_by(step) {
+            t1.row(&[
+                p.config.label(),
+                num(p.capacity_bytes / GIB, 2),
+                num(self.norm_cost_per_gb(p), 2),
+            ]);
+            t2.row(&[p.config.label(), num(p.bw_per_cap, 0), num(p.energy_pj_per_bit, 2)]);
+        }
+        for (name, p) in [("HBM3e anchor", &self.hbm3e), ("Candidate HBM-CO", &self.candidate)] {
+            t1.row(&[
+                format!("{name} ({})", p.config.label()),
+                num(p.capacity_bytes / GIB, 2),
+                num(self.norm_cost_per_gb(p), 2),
+            ]);
+            t2.row(&[name.to_string(), num(p.bw_per_cap, 0), num(p.energy_pj_per_bit, 2)]);
+        }
+        vec![t1, t2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_util::assert_approx;
+
+    #[test]
+    fn anchors_match_paper() {
+        let f = run();
+        assert_approx(f.hbm3e.energy_pj_per_bit, 3.44, 0.05, "HBM3e pJ/bit");
+        assert_approx(f.candidate.energy_pj_per_bit, 1.45, 0.05, "candidate pJ/bit");
+        assert_approx(f.norm_cost_per_gb(&f.candidate), 1.81, 0.10, "candidate cost/GB");
+    }
+
+    #[test]
+    fn candidate_energy_ratio_near_2_4x() {
+        let f = run();
+        let ratio = f.hbm3e.energy_pj_per_bit / f.candidate.energy_pj_per_bit;
+        assert!(ratio > 2.0 && ratio < 2.6, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn smaller_capacity_costs_more_per_gb() {
+        // Fixed die costs dominate at low capacity (paper, §III).
+        let f = run();
+        let mut pts = f.points.clone();
+        pts.sort_by(|a, b| a.capacity_bytes.total_cmp(&b.capacity_bytes));
+        let smallest = f.norm_cost_per_gb(&pts[0]);
+        let largest = f.norm_cost_per_gb(pts.last().unwrap());
+        assert!(smallest > largest, "cost/GB must fall with capacity");
+    }
+
+    #[test]
+    fn energy_falls_with_bw_per_cap() {
+        // Across the space, the highest-BW/Cap point must be the most
+        // energy-efficient and the lowest the least.
+        let f = run();
+        let lo = f
+            .points
+            .iter()
+            .min_by(|a, b| a.bw_per_cap.total_cmp(&b.bw_per_cap))
+            .unwrap();
+        let hi = f
+            .points
+            .iter()
+            .max_by(|a, b| a.bw_per_cap.total_cmp(&b.bw_per_cap))
+            .unwrap();
+        assert!(hi.energy_pj_per_bit < lo.energy_pj_per_bit);
+    }
+
+    #[test]
+    fn design_space_covers_paper_axes() {
+        // Paper plots BW/Cap up to ~700/s and capacities up to ~50 GB.
+        let f = run();
+        let max_bwcap = f.points.iter().map(|p| p.bw_per_cap).fold(0.0, f64::max);
+        let max_cap = f.points.iter().map(|p| p.capacity_bytes).fold(0.0, f64::max);
+        assert!(max_bwcap > 600.0, "max BW/Cap {max_bwcap}");
+        assert!(max_cap > 40.0 * GIB, "max capacity {max_cap}");
+    }
+
+    #[test]
+    fn tables_include_anchors() {
+        let tables = run().tables();
+        let s = tables[0].to_string();
+        assert!(s.contains("HBM3e anchor") && s.contains("Candidate"));
+    }
+}

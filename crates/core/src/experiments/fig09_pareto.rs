@@ -1,0 +1,236 @@
+//! Fig. 9: system implications of capacity-optimised memory — the
+//! Pareto frontier of HBM-CO configurations for Llama3-405B inference on
+//! a 64-CU RPU, normalised energy per inference versus system capacity,
+//! annotated with the capacity-reduction step between neighbours.
+
+use crate::dse::required_bytes_per_core;
+use rpu_hbmco::{energy_per_bit, pareto_frontier, DesignPoint, HbmCoConfig};
+use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+use rpu_util::table::{num, Table};
+use rpu_util::units::GB;
+
+/// Fraction of inference energy that is *not* memory-device energy when
+/// running on the HBM3e-class configuration (datapath, compute, network).
+/// Fig. 12's breakdown shows memory dominating; this constant sets the
+/// floor the energy curve approaches as memory energy shrinks.
+const NON_MEMORY_FRACTION_AT_HBM3E: f64 = 0.18;
+
+/// One Pareto point of the Fig. 9 frontier.
+#[derive(Debug, Clone)]
+pub struct ParetoEntry {
+    /// The memory design point.
+    pub point: DesignPoint,
+    /// Total system capacity at 64 CUs (128 stacks), bytes.
+    pub system_capacity: f64,
+    /// Energy per inference, normalised to the HBM3e-class config.
+    pub norm_energy: f64,
+    /// Whether this SKU can hold the workload at 64 CUs.
+    pub feasible: bool,
+    /// Which capacity structure was reduced relative to the previous
+    /// (larger) Pareto point: `"R"`, `"B/G"`, `"SA"` or combinations.
+    pub step: String,
+}
+
+/// Results for Fig. 9.
+#[derive(Debug, Clone)]
+pub struct Fig09 {
+    /// Frontier entries, largest capacity first (paper's right-to-left).
+    pub entries: Vec<ParetoEntry>,
+    /// Required model capacity (weights + KV) at the workload, bytes.
+    pub model_capacity: f64,
+    /// The optimal (smallest feasible) entry index.
+    pub optimal: usize,
+}
+
+/// Number of CUs in the Fig. 9 system.
+pub const NUM_CUS: u32 = 64;
+
+fn step_label(prev: &HbmCoConfig, cur: &HbmCoConfig) -> String {
+    let mut parts = Vec::new();
+    if cur.ranks < prev.ranks {
+        parts.push("R");
+    }
+    if cur.banks_per_group < prev.banks_per_group {
+        parts.push("B/G");
+    }
+    if cur.subarray_scale < prev.subarray_scale {
+        parts.push("SA");
+    }
+    if cur.channels_per_layer < prev.channels_per_layer {
+        parts.push("Ch");
+    }
+    parts.join("  ")
+}
+
+/// Energy per inference for a memory SKU: the whole model footprint is
+/// streamed once through the device at `e_bit`, plus the (constant)
+/// datapath/compute/network energy.
+fn energy_per_inference(footprint_bytes: f64, cfg: &HbmCoConfig, hbm3e_pj: f64) -> f64 {
+    let bits = footprint_bytes * 8.0;
+    let mem = bits * energy_per_bit(cfg).total() * 1e-12;
+    let non_mem_j = bits * hbm3e_pj * 1e-12 * NON_MEMORY_FRACTION_AT_HBM3E
+        / (1.0 - NON_MEMORY_FRACTION_AT_HBM3E);
+    mem + non_mem_j
+}
+
+/// Runs the Fig. 9 analysis: Llama3-405B, batch 1, seq 8k, 64 CUs.
+#[must_use]
+pub fn run() -> Fig09 {
+    let model = ModelConfig::llama3_405b();
+    let prec = Precision::mxfp4_inference();
+    let (batch, seq) = (1, 8 * 1024);
+    let footprint = DecodeWorkload::new(&model, prec, batch, seq).streaming_bytes();
+    let required_per_core = required_bytes_per_core(&model, prec, batch, seq, NUM_CUS);
+    let hbm3e_pj = energy_per_bit(&HbmCoConfig::hbm3e_like()).total();
+
+    let mut frontier = pareto_frontier();
+    // Largest capacity first, matching the paper's annotation direction.
+    frontier.sort_by(|a, b| b.capacity_bytes.total_cmp(&a.capacity_bytes));
+
+    let stacks = f64::from(NUM_CUS) * 2.0;
+    let baseline = energy_per_inference(footprint, &frontier[0].config, hbm3e_pj);
+    let mut entries: Vec<ParetoEntry> = Vec::new();
+    for p in frontier {
+        let step = entries
+            .last()
+            .map(|prev: &ParetoEntry| step_label(&prev.point.config, &p.config))
+            .unwrap_or_default();
+        entries.push(ParetoEntry {
+            system_capacity: p.capacity_bytes * stacks,
+            norm_energy: energy_per_inference(footprint, &p.config, hbm3e_pj) / baseline,
+            feasible: p.capacity_per_pch() >= required_per_core,
+            step,
+            point: p,
+        });
+    }
+    let optimal = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.feasible)
+        .min_by(|a, b| a.1.system_capacity.total_cmp(&b.1.system_capacity))
+        .map(|(i, _)| i)
+        .expect("405B fits a 64-CU RPU with some SKU");
+    Fig09 { entries, model_capacity: footprint, optimal }
+}
+
+impl Fig09 {
+    /// The optimal entry.
+    #[must_use]
+    pub fn optimal_entry(&self) -> &ParetoEntry {
+        &self.entries[self.optimal]
+    }
+
+    /// Renders the frontier as a table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 9: HBM-CO Pareto frontier, Llama3-405B, 64 CUs, BS=1, 8K",
+            &[
+                "config",
+                "system cap (GB)",
+                "norm energy/inf",
+                "step",
+                "feasible",
+            ],
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            let mut tag = String::new();
+            if i == self.optimal {
+                tag = " <- optimal".into();
+            }
+            t.row(&[
+                e.point.config.label() + &tag,
+                num(e.system_capacity / GB, 0),
+                num(e.norm_energy, 3),
+                e.step.clone(),
+                if e.feasible { "yes".into() } else { "capacity-limited".into() },
+            ]);
+        }
+        t.row(&[
+            "model capacity".into(),
+            num(self.model_capacity / GB, 0),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_util::units::MIB;
+
+    #[test]
+    fn optimal_is_192mb_per_core() {
+        // Fig. 9 annotation: optimal = 192 MB/core, 2 ranks | 1
+        // bank/group | 1.0x sub-arrays.
+        let f = run();
+        let e = f.optimal_entry();
+        assert!((e.point.capacity_per_pch() - 192.0 * MIB).abs() < 1.0);
+        assert_eq!(e.point.config.ranks, 2);
+        assert_eq!(e.point.config.banks_per_group, 1);
+        assert!((e.point.config.subarray_scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_improves_monotonically_down_the_frontier() {
+        // Smaller capacity => shorter wires => lower energy.
+        let f = run();
+        for w in f.entries.windows(2) {
+            assert!(
+                w[1].norm_energy <= w[0].norm_energy + 1e-12,
+                "{} -> {}",
+                w[0].point.config.label(),
+                w[1].point.config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_improves_energy_about_1_7x() {
+        // §VII: system-level energy per inference improves by 1.7x vs
+        // the HBM3e-class configuration.
+        let f = run();
+        let gain = 1.0 / f.optimal_entry().norm_energy;
+        assert!(gain > 1.4 && gain < 2.1, "energy gain {gain}");
+    }
+
+    #[test]
+    fn some_lower_energy_skus_are_infeasible_at_64_cus() {
+        // §VII: "several HBM-CO configurations offer even lower energy
+        // per inference but remain inaccessible at the current 64-CU
+        // scale".
+        let f = run();
+        let opt = f.optimal_entry().norm_energy;
+        assert!(f
+            .entries
+            .iter()
+            .any(|e| !e.feasible && e.norm_energy < opt));
+    }
+
+    #[test]
+    fn steps_are_annotated() {
+        let f = run();
+        // Every non-first entry must name at least one reduced structure.
+        for e in &f.entries[1..] {
+            assert!(!e.step.is_empty(), "missing step annotation for {}", e.point.config.label());
+        }
+    }
+
+    #[test]
+    fn frontier_spans_the_paper_axis() {
+        // Paper x-axis: ~32 GB to ~2048 GB system capacity.
+        let f = run();
+        let lo = f.entries.last().unwrap().system_capacity;
+        let hi = f.entries[0].system_capacity;
+        assert!(lo < 64.0 * GB, "smallest {lo}");
+        assert!(hi > 1000.0 * GB, "largest {hi}");
+    }
+
+    #[test]
+    fn table_marks_the_optimum() {
+        assert!(run().table().to_string().contains("optimal"));
+    }
+}

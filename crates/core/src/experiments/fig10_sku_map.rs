@@ -1,0 +1,215 @@
+//! Fig. 10: HBM-CO SKU selection map for a 64-CU RPU running
+//! Llama4-Maverick — the optimal BW/Cap per (batch, sequence-length)
+//! cell (top) and the slowdown relative to BS=1 / 8K with KV-cache
+//! capacity shares (bottom).
+
+use crate::dse::optimal_memory;
+use crate::RpuSystem;
+use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+use rpu_util::table::{num, Table};
+use rpu_util::units::GB;
+
+/// One (batch, seq-len) cell of the map.
+#[derive(Debug, Clone)]
+pub struct SkuCell {
+    /// Batch size.
+    pub batch: u32,
+    /// Sequence length.
+    pub seq_len: u32,
+    /// Optimal SKU's BW/Cap (1/s); `None` when nothing fits at 64 CUs.
+    pub bw_per_cap: Option<f64>,
+    /// Total system capacity with that SKU, bytes.
+    pub system_capacity: Option<f64>,
+    /// Per-query token latency, seconds.
+    pub token_latency_s: f64,
+    /// KV-cache share of the streamed bytes per token.
+    pub kv_share: f64,
+    /// KV-cache share of total system capacity.
+    pub kv_capacity_share: f64,
+}
+
+/// Results for Fig. 10.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// All cells, batch-major.
+    pub cells: Vec<SkuCell>,
+    /// The reference cell's latency (BS=1, 8K).
+    pub reference_latency_s: f64,
+}
+
+/// Batch sizes on the map's x-axis.
+pub const BATCHES: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Sequence lengths on the map's y-axis.
+pub const SEQ_LENS: [u32; 5] = [8192, 16384, 32768, 65536, 131_072];
+
+/// Number of CUs (fixed 32 TB/s system bandwidth).
+pub const NUM_CUS: u32 = 64;
+
+/// Runs the Fig. 10 sweep.
+#[must_use]
+pub fn run() -> Fig10 {
+    let model = ModelConfig::llama4_maverick();
+    let prec = Precision::mxfp4_inference();
+    let mut cells = Vec::new();
+    for &seq in &SEQ_LENS {
+        for &batch in &BATCHES {
+            cells.push(cell(&model, prec, batch, seq));
+        }
+    }
+    let reference_latency_s = cells
+        .iter()
+        .find(|c| c.batch == 1 && c.seq_len == 8192)
+        .expect("reference cell present")
+        .token_latency_s;
+    Fig10 { cells, reference_latency_s }
+}
+
+fn cell(model: &ModelConfig, prec: Precision, batch: u32, seq: u32) -> SkuCell {
+    let sku = optimal_memory(model, prec, batch, seq, NUM_CUS);
+    let (bw_per_cap, system_capacity, token_latency_s) = match &sku {
+        Some(p) => {
+            let sys = RpuSystem::build(NUM_CUS, p.config, prec).expect("valid system");
+            let t = sys
+                .token_latency(model, batch, seq)
+                .expect("simulation succeeds");
+            (
+                Some(p.bw_per_cap),
+                Some(p.capacity_bytes * f64::from(NUM_CUS) * 2.0),
+                t,
+            )
+        }
+        None => {
+            // Out of capacity even with the largest SKU: report the
+            // roofline latency so the slowdown map stays complete.
+            let wl = DecodeWorkload::new(model, prec, batch, seq);
+            let bw = 32.0e12;
+            (None, None, wl.streaming_bytes() / bw)
+        }
+    };
+    let wl = DecodeWorkload::new(model, prec, batch, seq);
+    let kv = wl.kv_read_bytes();
+    let active = wl.streaming_bytes();
+    let kv_total = model.kv_bytes_per_token(prec) * f64::from(batch) * f64::from(seq);
+    SkuCell {
+        batch,
+        seq_len: seq,
+        bw_per_cap,
+        system_capacity,
+        token_latency_s,
+        kv_share: kv / active,
+        kv_capacity_share: system_capacity.map_or(1.0, |c| (kv_total / c).min(1.0)),
+    }
+}
+
+impl Fig10 {
+    /// The cell for `(batch, seq_len)`.
+    #[must_use]
+    pub fn cell(&self, batch: u32, seq_len: u32) -> Option<&SkuCell> {
+        self.cells.iter().find(|c| c.batch == batch && c.seq_len == seq_len)
+    }
+
+    /// Slowdown of a cell versus the BS=1 / 8K reference.
+    #[must_use]
+    pub fn slowdown(&self, c: &SkuCell) -> f64 {
+        c.token_latency_s / self.reference_latency_s
+    }
+
+    /// Renders both panels.
+    #[must_use]
+    pub fn tables(&self) -> Vec<Table> {
+        let mut t1 = Table::new(
+            "Fig. 10 (top): optimal HBM-CO BW/Cap | system capacity (Llama4-Maverick, 64 CUs)",
+            &["seq len", "batch", "BW/Cap (1/s)", "system cap (GB)"],
+        );
+        let mut t2 = Table::new(
+            "Fig. 10 (bottom): slowdown vs BS=1/8K | KV share of streamed bytes | KV share of capacity",
+            &["seq len", "batch", "slowdown", "KV stream", "KV cap"],
+        );
+        for c in &self.cells {
+            let seq = format!("{}K", c.seq_len / 1024);
+            t1.row(&[
+                seq.clone(),
+                c.batch.to_string(),
+                c.bw_per_cap.map_or("-".into(), |v| num(v, 0)),
+                c.system_capacity.map_or("over capacity".into(), |v| num(v / GB, 0)),
+            ]);
+            t2.row(&[
+                seq,
+                c.batch.to_string(),
+                format!("{:.1}x", self.slowdown(c)),
+                format!("{:.0}%", c.kv_share * 100.0),
+                format!("{:.0}%", c.kv_capacity_share * 100.0),
+            ]);
+        }
+        vec![t1, t2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_workloads_need_lower_bw_per_cap() {
+        // Fig. 10 top: the (1, 8K) cell uses the highest BW/Cap SKU; the
+        // (32, 128K) cell the lowest (or none).
+        let f = run();
+        let small = f.cell(1, 8192).unwrap().bw_per_cap.unwrap();
+        let big = f.cell(32, 131_072).unwrap();
+        // `None` (over capacity) is an even stronger statement.
+        if let Some(v) = big.bw_per_cap {
+            assert!(v < small, "big {v} vs small {small}");
+        }
+    }
+
+    #[test]
+    fn slowdown_grows_with_batch_and_seq() {
+        let f = run();
+        let s_ref = f.slowdown(f.cell(1, 8192).unwrap());
+        assert!((s_ref - 1.0).abs() < 1e-9);
+        let s_batch = f.slowdown(f.cell(32, 8192).unwrap());
+        let s_seq = f.slowdown(f.cell(1, 131_072).unwrap());
+        let s_both = f.slowdown(f.cell(32, 131_072).unwrap());
+        assert!(s_batch > 2.0, "batch slowdown {s_batch}");
+        assert!(s_seq > 1.3, "seq slowdown {s_seq}");
+        assert!(s_both > s_batch && s_both > s_seq, "corner {s_both}");
+    }
+
+    #[test]
+    fn corner_slowdown_matches_paper_magnitude() {
+        // Paper: 50.7x at BS=32, 128K.
+        let f = run();
+        let s = f.slowdown(f.cell(32, 131_072).unwrap());
+        assert!(s > 20.0 && s < 100.0, "corner slowdown {s}");
+    }
+
+    #[test]
+    fn kv_dominates_long_context_cells() {
+        // Paper: "more than 50% of the active parameters are KV$ for
+        // BS=8 128k".
+        let f = run();
+        let c = f.cell(8, 131_072).unwrap();
+        assert!(c.kv_share > 0.4, "KV share {}", c.kv_share);
+        let short = f.cell(1, 8192).unwrap();
+        assert!(short.kv_share < 0.2, "short-context KV share {}", short.kv_share);
+    }
+
+    #[test]
+    fn reference_cell_uses_highest_bw_per_cap_on_map() {
+        let f = run();
+        let r = f.cell(1, 8192).unwrap().bw_per_cap.unwrap();
+        for c in &f.cells {
+            if let Some(v) = c.bw_per_cap {
+                assert!(v <= r + 1e-9, "cell ({}, {})", c.batch, c.seq_len);
+            }
+        }
+    }
+
+    #[test]
+    fn map_is_complete() {
+        let f = run();
+        assert_eq!(f.cells.len(), BATCHES.len() * SEQ_LENS.len());
+        assert_eq!(f.tables()[0].len(), f.cells.len());
+    }
+}

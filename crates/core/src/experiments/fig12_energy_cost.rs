@@ -1,0 +1,284 @@
+//! Fig. 12: energy per inference and normalised system cost for
+//! Llama3-405B at batch size 1, swept over CU counts with adaptive
+//! HBM-CO SKU selection, against HBM3e-class memory and a 4×/8×H100
+//! baseline.
+
+use crate::dse::optimal_memory;
+use crate::{system_cost, CostBreakdown, CostModel, RpuSystem};
+use rpu_arch::RpuConfig;
+use rpu_gpu::{GpuSpec, GpuSystem};
+use rpu_hbmco::HbmCoConfig;
+use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+use rpu_util::table::{num, Table};
+
+/// One CU-count sample.
+#[derive(Debug, Clone)]
+pub struct ScaleSample {
+    /// CU count.
+    pub num_cus: u32,
+    /// Optimal SKU BW/Cap at this scale, 1/s.
+    pub bw_per_cap: f64,
+    /// Energy per inference: memory device, joules.
+    pub epi_mem_j: f64,
+    /// Energy per inference: compute (TMAC + VOPs + decode + SRAM), joules.
+    pub epi_comp_j: f64,
+    /// Energy per inference: network, joules.
+    pub epi_net_j: f64,
+    /// Energy per inference with an HBM3e-class SKU instead, joules.
+    pub epi_hbm3e_j: f64,
+    /// System cost breakdown (HBM3e-module units).
+    pub cost: CostBreakdown,
+    /// Cost with fixed HBM3e-class memory (HBM3e-module units).
+    pub cost_hbm3e: f64,
+}
+
+impl ScaleSample {
+    /// Total energy per inference, joules.
+    #[must_use]
+    pub fn epi_j(&self) -> f64 {
+        self.epi_mem_j + self.epi_comp_j + self.epi_net_j
+    }
+}
+
+/// Results for Fig. 12.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Samples, ascending CU count.
+    pub samples: Vec<ScaleSample>,
+    /// Measured-equivalent 4×H100 energy per inference, joules.
+    pub h100_epi_j: f64,
+    /// 8×H100 DGX cost, HBM3e-module units.
+    pub dgx_cost: f64,
+}
+
+/// CU counts swept (paper x-axis: 36 … 484).
+pub const CU_SWEEP: [u32; 8] = [36, 100, 164, 228, 292, 356, 420, 484];
+
+/// The HBM3e-BW/Cap comparison SKU: full ranks/banks/sub-arrays.
+#[must_use]
+pub fn hbm3e_class_sku() -> HbmCoConfig {
+    HbmCoConfig {
+        ranks: 4,
+        banks_per_group: 4,
+        ..HbmCoConfig::candidate()
+    }
+}
+
+fn epi_buckets(sys: &RpuSystem, model: &ModelConfig, seq: u32) -> Option<(f64, f64, f64)> {
+    let report = sys.decode_step(model, 1, seq).ok()?;
+    let cores = f64::from(report.plan.num_cus) * f64::from(report.plan.cores_per_cu);
+    let e = &report.energy;
+    Some((
+        e.mem_device * cores,
+        (e.tmac + e.vops + e.decode + e.sram) * cores,
+        e.net * cores,
+    ))
+}
+
+/// Runs the Fig. 12 sweep.
+#[must_use]
+pub fn run() -> Fig12 {
+    let model = ModelConfig::llama3_405b();
+    let prec = Precision::mxfp4_inference();
+    let seq = 8192;
+    let cost_model = CostModel::paper();
+
+    let mut samples = Vec::new();
+    for &cus in &CU_SWEEP {
+        let Some(sku) = optimal_memory(&model, prec, 1, seq, cus) else {
+            continue;
+        };
+        let sys = RpuSystem::build(cus, sku.config, prec).expect("valid system");
+        let Some((epi_mem_j, epi_comp_j, epi_net_j)) = epi_buckets(&sys, &model, seq) else {
+            continue;
+        };
+        // HBM3e-class comparison at the same scale.
+        let sys3e = RpuSystem::build(cus, hbm3e_class_sku(), prec).expect("valid system");
+        let epi_hbm3e_j = epi_buckets(&sys3e, &model, seq)
+            .map(|(m, c, n)| m + c + n)
+            .unwrap_or(f64::NAN);
+        let cost = system_cost(&sys.arch, &cost_model);
+        let cost_hbm3e =
+            system_cost(&RpuConfig::new(cus, hbm3e_class_sku()).expect("valid"), &cost_model)
+                .total();
+        samples.push(ScaleSample {
+            num_cus: cus,
+            bw_per_cap: sku.bw_per_cap,
+            epi_mem_j,
+            epi_comp_j,
+            epi_net_j,
+            epi_hbm3e_j,
+            cost,
+            cost_hbm3e,
+        });
+    }
+
+    let gpus = GpuSystem::new(GpuSpec::h100_sxm(), 4);
+    let wl = DecodeWorkload::new(&model, Precision::gpu_w4a16(), 1, seq);
+    Fig12 {
+        samples,
+        h100_epi_j: gpus.decode_step_energy_j(&wl),
+        dgx_cost: 8.0 * cost_model.h100_module,
+    }
+}
+
+impl Fig12 {
+    /// The cost normaliser: the smallest valid configuration's total.
+    #[must_use]
+    pub fn cost_norm(&self) -> f64 {
+        self.samples.first().map_or(1.0, |s| s.cost.total())
+    }
+
+    /// Renders both panels.
+    #[must_use]
+    pub fn tables(&self) -> Vec<Table> {
+        let mut t1 = Table::new(
+            "Fig. 12 (top): energy per inference, Llama3-405B BS=1",
+            &["CUs", "BW/Cap", "EPI mem (J)", "EPI comp (J)", "EPI net (J)", "EPI (J)", "EPI w/ HBM3e (J)"],
+        );
+        for s in &self.samples {
+            t1.row(&[
+                s.num_cus.to_string(),
+                num(s.bw_per_cap, 0),
+                num(s.epi_mem_j, 2),
+                num(s.epi_comp_j, 2),
+                num(s.epi_net_j, 2),
+                num(s.epi_j(), 2),
+                num(s.epi_hbm3e_j, 2),
+            ]);
+        }
+        t1.row(&[
+            "4xH100".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            num(self.h100_epi_j, 2),
+            String::new(),
+        ]);
+        let norm = self.cost_norm();
+        let mut t2 = Table::new(
+            "Fig. 12 (bottom): normalised system cost",
+            &["CUs", "silicon", "memory", "substrate", "PCB", "total", "w/ HBM3e"],
+        );
+        for s in &self.samples {
+            t2.row(&[
+                s.num_cus.to_string(),
+                num(s.cost.silicon / norm, 2),
+                num(s.cost.memory / norm, 2),
+                num(s.cost.substrate / norm, 2),
+                num(s.cost.pcb / norm, 2),
+                num(s.cost.total() / norm, 2),
+                num(s.cost_hbm3e / norm, 2),
+            ]);
+        }
+        t2.row(&[
+            "8xH100".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            num(self.dgx_cost / norm, 2),
+            String::new(),
+        ]);
+        vec![t1, t2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_dominates_epi() {
+        let f = run();
+        for s in &f.samples {
+            assert!(
+                s.epi_mem_j / s.epi_j() > 0.5,
+                "CUs {}: mem share {}",
+                s.num_cus,
+                s.epi_mem_j / s.epi_j()
+            );
+        }
+    }
+
+    #[test]
+    fn epi_improves_with_scale_then_saturates() {
+        // Paper: energy per inference improves steadily with scale until
+        // ~268 CUs where the highest BW/Cap SKU is reached.
+        let f = run();
+        let first = f.samples.first().unwrap();
+        let last = f.samples.last().unwrap();
+        assert!(last.epi_j() < first.epi_j());
+        // Once the best SKU is selected, further scale barely helps.
+        let best_bwcap = f.samples.iter().map(|s| s.bw_per_cap).fold(0.0, f64::max);
+        let saturated: Vec<&ScaleSample> =
+            f.samples.iter().filter(|s| s.bw_per_cap == best_bwcap).collect();
+        if saturated.len() >= 2 {
+            let a = saturated[0].epi_j();
+            let b = saturated.last().unwrap().epi_j();
+            assert!((a - b).abs() / a < 0.25, "saturated EPI drift {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hbmco_beats_hbm3e_energy_by_about_2x() {
+        // §VIII: up to 2.2x lower EPI than HBM3e BW/Cap memory.
+        let f = run();
+        let best = f
+            .samples
+            .iter()
+            .map(|s| s.epi_hbm3e_j / s.epi_j())
+            .fold(0.0, f64::max);
+        assert!(best > 1.5 && best < 3.0, "max EPI ratio {best}");
+    }
+
+    #[test]
+    fn rpu_epi_lower_than_4xh100() {
+        // §VIII: 6.5x lower EPI than a measured 4xH100.
+        let f = run();
+        let best_epi = f.samples.iter().map(ScaleSample::epi_j).fold(f64::INFINITY, f64::min);
+        let ratio = f.h100_epi_j / best_epi;
+        assert!(ratio > 3.0 && ratio < 15.0, "EPI ratio vs 4xH100 {ratio}");
+    }
+
+    #[test]
+    fn silicon_cost_linear_memory_sublinear() {
+        let f = run();
+        let a = &f.samples[0];
+        let b = f.samples.last().unwrap();
+        let cu_ratio = f64::from(b.num_cus) / f64::from(a.num_cus);
+        let silicon_ratio = b.cost.silicon / a.cost.silicon;
+        let memory_ratio = b.cost.memory / a.cost.memory;
+        assert!((silicon_ratio - cu_ratio).abs() / cu_ratio < 1e-9);
+        assert!(memory_ratio < cu_ratio, "memory must grow sublinearly");
+    }
+
+    #[test]
+    fn hbmco_cuts_system_cost_an_order_of_magnitude() {
+        // §VIII: up to 12.4x cheaper than fixed HBM3e memory.
+        let f = run();
+        let best = f
+            .samples
+            .iter()
+            .map(|s| s.cost_hbm3e / s.cost.total())
+            .fold(0.0, f64::max);
+        assert!(best > 8.0 && best < 16.0, "max cost ratio {best}");
+    }
+
+    #[test]
+    fn large_rpu_cost_comparable_to_dgx() {
+        let f = run();
+        let last = f.samples.last().unwrap();
+        let ratio = last.cost.total() / f.dgx_cost;
+        assert!(ratio > 0.2 && ratio < 3.0, "RPU/DGX cost ratio {ratio}");
+    }
+
+    #[test]
+    fn bw_per_cap_monotonically_rises_with_scale() {
+        let f = run();
+        for w in f.samples.windows(2) {
+            assert!(w[1].bw_per_cap >= w[0].bw_per_cap);
+        }
+    }
+}

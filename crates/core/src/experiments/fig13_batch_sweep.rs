@@ -1,0 +1,193 @@
+//! Fig. 13: RPU speedup and energy-per-inference improvement over an
+//! H100 swept across batch sizes, for Llama3-8B (vs 64 CUs) and
+//! Llama3-70B (vs 128 CUs), 8k prefill / 2k decode.
+
+use crate::RpuSystem;
+use rpu_gpu::{GpuSpec, GpuSystem};
+use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+use rpu_util::table::{num, Table};
+
+/// One batch-size sample for one pairing.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Model name.
+    pub model: &'static str,
+    /// Batch size.
+    pub batch: u32,
+    /// RPU step latency, seconds.
+    pub rpu_latency_s: f64,
+    /// GPU step latency, seconds.
+    pub gpu_latency_s: f64,
+    /// RPU energy per generated token, joules.
+    pub rpu_energy_j: f64,
+    /// GPU energy per generated token, joules.
+    pub gpu_energy_j: f64,
+}
+
+impl SweepPoint {
+    /// Latency speedup over the GPU.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.gpu_latency_s / self.rpu_latency_s
+    }
+
+    /// Energy-per-inference improvement over the GPU.
+    #[must_use]
+    pub fn epi_improvement(&self) -> f64 {
+        self.gpu_energy_j / self.rpu_energy_j
+    }
+}
+
+/// Results for Fig. 13.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// All samples, model-major then ascending batch.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Batch sizes swept.
+pub const BATCHES: [u32; 6] = [1, 2, 4, 8, 16, 64];
+
+/// The pairings the paper plots: `(model, number of RPU CUs, H100s)`.
+#[must_use]
+pub fn pairings() -> Vec<(ModelConfig, u32, u32)> {
+    vec![
+        (ModelConfig::llama3_8b(), 64, 1),
+        (ModelConfig::llama3_70b(), 128, 1),
+    ]
+}
+
+/// Runs the Fig. 13 sweep at mid-generation context (8k prefill + ~1k of
+/// the 2k decode tokens).
+#[must_use]
+pub fn run() -> Fig13 {
+    let seq = 9 * 1024;
+    let prec = Precision::mxfp4_inference();
+    let gpu_prec = Precision::gpu_w4a16();
+    let mut points = Vec::new();
+    for (model, cus, gpus) in pairings() {
+        let gpu = GpuSystem::new(GpuSpec::h100_sxm(), gpus);
+        for &batch in &BATCHES {
+            let Ok(sys) = RpuSystem::with_optimal_memory(&model, prec, batch, seq, cus) else {
+                continue;
+            };
+            let Ok(report) = sys.decode_step(&model, batch, seq) else {
+                continue;
+            };
+            let wl = DecodeWorkload::new(&model, gpu_prec, batch, seq);
+            let b = f64::from(batch);
+            points.push(SweepPoint {
+                model: model.name,
+                batch,
+                rpu_latency_s: report.total_time_s,
+                gpu_latency_s: gpu.decode_step_latency(&wl),
+                rpu_energy_j: report.system_energy_j() / b,
+                gpu_energy_j: gpu.decode_step_energy_j(&wl) / b,
+            });
+        }
+    }
+    Fig13 { points }
+}
+
+impl Fig13 {
+    /// The sample for `(model, batch)`.
+    #[must_use]
+    pub fn point(&self, model: &str, batch: u32) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| p.model == model && p.batch == batch)
+    }
+
+    /// Renders the sweep.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 13: RPU vs H100 across batch sizes (8k/2k)",
+            &[
+                "model",
+                "batch",
+                "RPU ms/step",
+                "H100 ms/step",
+                "speedup",
+                "EPI improvement",
+            ],
+        );
+        for p in &self.points {
+            t.row(&[
+                p.model.to_string(),
+                p.batch.to_string(),
+                num(p.rpu_latency_s * 1e3, 3),
+                num(p.gpu_latency_s * 1e3, 2),
+                format!("{:.1}x", p.speedup()),
+                format!("{:.1}x", p.epi_improvement()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batch_speedup_over_40x() {
+        // Paper: "At small batch sizes, the RPU shines, delivering over
+        // 40-50x speedup".
+        let f = run();
+        let p = f.point("Llama3-70B", 1).unwrap();
+        assert!(p.speedup() > 25.0 && p.speedup() < 90.0, "70B BS1 speedup {}", p.speedup());
+    }
+
+    #[test]
+    fn speedup_declines_with_batch() {
+        // Larger batches improve the GPU's compute efficiency, so the
+        // gap narrows (plateauing at ~15-20x in the paper).
+        let f = run();
+        for model in ["Llama3-8B", "Llama3-70B"] {
+            let lo = f.point(model, 1).unwrap().speedup();
+            let hi = f.point(model, 64).unwrap().speedup();
+            assert!(hi < lo, "{model}: speedup must decline ({lo} -> {hi})");
+            assert!(hi > 3.0, "{model}: RPU must stay ahead at batch 64 ({hi})");
+        }
+    }
+
+    #[test]
+    fn energy_improvement_high_at_low_batch() {
+        // Paper: 8-10x energy-per-inference at small batch.
+        let f = run();
+        let p = f.point("Llama3-70B", 1).unwrap();
+        assert!(
+            p.epi_improvement() > 4.0 && p.epi_improvement() < 25.0,
+            "EPI improvement {}",
+            p.epi_improvement()
+        );
+    }
+
+    #[test]
+    fn rpu_keeps_energy_lead_across_batches() {
+        let f = run();
+        for p in &f.points {
+            assert!(
+                p.epi_improvement() > 1.0,
+                "{} batch {}: GPU must not win on energy",
+                p.model,
+                p.batch
+            );
+        }
+    }
+
+    #[test]
+    fn per_token_energy_falls_with_batch_on_both() {
+        let f = run();
+        for model in ["Llama3-8B", "Llama3-70B"] {
+            let lo = f.point(model, 1).unwrap();
+            let hi = f.point(model, 64).unwrap();
+            assert!(hi.gpu_energy_j < lo.gpu_energy_j, "{model}: GPU energy/token");
+        }
+    }
+
+    #[test]
+    fn table_covers_both_models() {
+        let s = run().table().to_string();
+        assert!(s.contains("Llama3-8B") && s.contains("Llama3-70B"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Fig. 14: comparison of leading hardware platforms under speculative
+//! decoding of Llama3-70B — published vendor numbers for H200,
+//! SambaNova SN40L, Groq LPU and Cerebras WSE-3 versus the RPU-200CU
+//! configuration computed by this reproduction.
+//!
+//! Vendor rows are constants from the paper's citations ([2], [52],
+//! [57], [64]); only the RPU row is computed (DESIGN.md §3,
+//! substitution 5).
+
+use crate::RpuSystem;
+use rpu_models::{Precision, SpeculativeConfig};
+use rpu_util::table::{num, Table};
+
+/// One platform row.
+#[derive(Debug, Clone)]
+pub struct PlatformRow {
+    /// System name.
+    pub system: &'static str,
+    /// Main-memory technology.
+    pub memory: &'static str,
+    /// Bandwidth / capacity of the main memory, 1/s.
+    pub bw_per_cap: f64,
+    /// System TDP in watts (whole deployment for the 70B workload).
+    pub tdp_w: f64,
+    /// Compute-to-bandwidth ratio, Ops/Byte.
+    pub comp_per_bw: f64,
+    /// Devices needed to serve speculative Llama3-70B.
+    pub devices: f64,
+    /// Published (or computed) speculative-decoding throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// Whether the row is computed by this reproduction (vs published).
+    pub computed: bool,
+}
+
+/// Results for Fig. 14.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// All platform rows, RPU last.
+    pub rows: Vec<PlatformRow>,
+    /// The RPU speculative speedup over its own plain decoding.
+    pub rpu_spec_speedup: f64,
+}
+
+/// Number of CUs in the paper's speculative-decoding RPU configuration.
+pub const RPU_CUS: u32 = 200;
+
+/// Vendor-published rows (from the paper's Fig. 14 and citations).
+#[must_use]
+pub fn published_rows() -> Vec<PlatformRow> {
+    vec![
+        PlatformRow {
+            system: "NVIDIA H200",
+            memory: "HBM3e",
+            bw_per_cap: 34.0,
+            tdp_w: 700.0,
+            comp_per_bw: 206.0,
+            devices: 1.0,
+            tokens_per_s: 704.0,
+            computed: false,
+        },
+        PlatformRow {
+            system: "SambaNova SN40L",
+            memory: "HBM3",
+            bw_per_cap: 25.0,
+            tdp_w: 10_000.0,
+            comp_per_bw: 399.0,
+            devices: 16.0,
+            tokens_per_s: 660.0,
+            computed: false,
+        },
+        PlatformRow {
+            system: "Groq LPU",
+            memory: "SRAM",
+            bw_per_cap: 355_000.0,
+            tdp_w: 100_000.0,
+            comp_per_bw: 2.4,
+            devices: 500.0,
+            tokens_per_s: 1660.0,
+            computed: false,
+        },
+        PlatformRow {
+            system: "Cerebras WSE-3",
+            memory: "SRAM",
+            bw_per_cap: 477_000.0,
+            tdp_w: 136_000.0,
+            comp_per_bw: 6.0,
+            devices: 4.0,
+            tokens_per_s: 2148.0,
+            computed: false,
+        },
+    ]
+}
+
+/// Runs the Fig. 14 comparison: the RPU-200CU row is simulated with the
+/// paper's 8-token lookahead / 4.6-accepted speculative setup.
+#[must_use]
+pub fn run() -> Fig14 {
+    let spec = SpeculativeConfig::paper_setup();
+    let prec = Precision::mxfp4_inference();
+    let seq = 8192;
+
+    let target = spec.target;
+    let draft = spec.draft;
+    let sys = RpuSystem::with_optimal_memory(&target, prec, 1, seq, RPU_CUS)
+        .expect("70B fits a 200-CU RPU");
+    let target_step = sys.token_latency(&target, 1, seq).expect("target step simulates");
+    // The draft model runs on a slice of the same machine: a small model
+    // over-sharded across all 200 CUs would be broadcast-bound, so the
+    // deployment picks the slice width that minimises draft latency.
+    let draft_step = [32u32, 64, 128, RPU_CUS]
+        .iter()
+        .filter_map(|&slice| {
+            let s = RpuSystem::with_optimal_memory(&draft, prec, 1, seq, slice).ok()?;
+            s.token_latency(&draft, 1, seq).ok()
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(draft_step.is_finite(), "draft model fits some slice");
+    // Verify pass: the target at batch `lookahead + 1` (one step).
+    let verify_step = sys
+        .token_latency(&target, spec.lookahead + 1, seq)
+        .expect("verify step simulates");
+
+    let tokens_per_s = spec.tokens_per_second(draft_step, verify_step);
+    let rpu_spec_speedup = spec.speedup(draft_step, verify_step, target_step);
+
+    let mut rows = published_rows();
+    let mem = &sys.arch.memory;
+    rows.push(PlatformRow {
+        system: "RPU-200CU",
+        memory: "HBM-CO",
+        bw_per_cap: mem.bw_per_cap(),
+        tdp_w: sys.tdp_w(),
+        comp_per_bw: sys.arch.ops_per_byte(),
+        devices: f64::from(RPU_CUS),
+        tokens_per_s,
+        computed: true,
+    });
+    Fig14 { rows, rpu_spec_speedup }
+}
+
+impl Fig14 {
+    /// The RPU row.
+    #[must_use]
+    pub fn rpu(&self) -> &PlatformRow {
+        self.rows.last().expect("RPU row present")
+    }
+
+    /// Renders the comparison.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 14: platform comparison, speculative decoding Llama3-70B",
+            &[
+                "system",
+                "memory",
+                "BW/Cap (1/s)",
+                "TDP (W)",
+                "Comp/BW (Ops/B)",
+                "devices",
+                "tokens/s",
+                "source",
+            ],
+        );
+        for r in &self.rows {
+            t.row(&[
+                r.system.to_string(),
+                r.memory.to_string(),
+                num(r.bw_per_cap, 0),
+                num(r.tdp_w, 0),
+                num(r.comp_per_bw, 1),
+                num(r.devices, 0),
+                num(r.tokens_per_s, 0),
+                if r.computed { "simulated".into() } else { "published".into() },
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpu_beats_every_published_platform() {
+        // §X: "The RPU-200U configuration is lower latency than all
+        // evaluated systems."
+        let f = run();
+        let rpu = f.rpu().tokens_per_s;
+        for r in f.rows.iter().filter(|r| !r.computed) {
+            assert!(rpu > r.tokens_per_s, "RPU {rpu} vs {} {}", r.system, r.tokens_per_s);
+        }
+    }
+
+    #[test]
+    fn spec_decoding_speedup_near_paper() {
+        // Paper: 4.6 accepted per 8-token window accelerates end-to-end
+        // inference by 1.8x. Our batch-9 verify pass pays the full
+        // 9-query KV$ streaming cost, which lands the gain lower but the
+        // technique must still win clearly.
+        let f = run();
+        assert!(
+            f.rpu_spec_speedup > 1.15 && f.rpu_spec_speedup < 3.0,
+            "spec speedup {}",
+            f.rpu_spec_speedup
+        );
+    }
+
+    #[test]
+    fn rpu_sits_between_dram_and_sram_bw_per_cap() {
+        // Fig. 14's thesis: HBM-CO occupies the Goldilocks middle.
+        let f = run();
+        let rpu = f.rpu().bw_per_cap;
+        let h200 = f.rows.iter().find(|r| r.system.contains("H200")).unwrap();
+        let groq = f.rows.iter().find(|r| r.system.contains("Groq")).unwrap();
+        assert!(rpu > h200.bw_per_cap && rpu < groq.bw_per_cap);
+    }
+
+    #[test]
+    fn rpu_comp_per_bw_is_32() {
+        let f = run();
+        assert!((f.rpu().comp_per_bw - 32.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn rpu_tdp_in_blade_range() {
+        // 200 CUs at 8-18 W/CU: a 1.6-3.6 kW blade, comparable to the
+        // figure's "1.5k" column.
+        let f = run();
+        let w = f.rpu().tdp_w;
+        assert!(w > 1000.0 && w < 4500.0, "RPU TDP {w}");
+    }
+
+    #[test]
+    fn table_has_five_platforms() {
+        assert_eq!(run().table().len(), 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per paper figure/table, each regenerating the rows or
+//! series the paper plots.
+//!
+//! Every module exposes a `run(...)` function returning a structured
+//! result plus a `table()` (or `tables()`) rendering for the `repro`
+//! binary. Benches in `rpu-bench` call the same `run(...)` functions, so
+//! the printed numbers and the benchmarked code paths are identical.
+
+pub mod ablations;
+pub mod design_points;
+pub mod ext_scaleout;
+pub mod fig01_roofline;
+pub mod fig02_h100_profile;
+pub mod fig03_kernel_power;
+pub mod fig04_landscape;
+pub mod fig05_hbmco_tradeoffs;
+pub mod fig08_pipeline_trace;
+pub mod fig09_pareto;
+pub mod fig10_sku_map;
+pub mod fig11_scaling;
+pub mod fig12_energy_cost;
+pub mod fig13_batch_sweep;
+pub mod fig14_platforms;

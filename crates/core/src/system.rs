@@ -1,0 +1,210 @@
+//! The composed RPU system: architecture + memory + compiler + simulator.
+
+use crate::dse::optimal_memory;
+use rpu_arch::{cu_tdp, EnergyCoeffs, RpuConfig};
+use rpu_hbmco::HbmCoConfig;
+use rpu_isa::{compile_decode_step, ShardPlan};
+use rpu_models::{ModelConfig, Precision};
+use rpu_sim::{SimConfig, SimError, SimReport, Simulator};
+use std::fmt;
+
+/// Errors building an [`RpuSystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The architecture configuration is invalid.
+    Arch(rpu_arch::ArchError),
+    /// No HBM-CO SKU on the Pareto frontier can hold the workload at the
+    /// requested scale.
+    NoFittingSku {
+        /// Bytes each core would need to hold.
+        required_per_core: f64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Arch(e) => write!(f, "architecture error: {e}"),
+            BuildError::NoFittingSku { required_per_core } => write!(
+                f,
+                "no HBM-CO SKU holds {:.1} MiB per core; add CUs",
+                required_per_core / (1024.0 * 1024.0)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<rpu_arch::ArchError> for BuildError {
+    fn from(e: rpu_arch::ArchError) -> Self {
+        BuildError::Arch(e)
+    }
+}
+
+/// A deployable RPU system: a scaled chiplet architecture with a chosen
+/// HBM-CO SKU and inference precision.
+#[derive(Debug, Clone, Copy)]
+pub struct RpuSystem {
+    /// Architecture (CU count, memory SKU, specs).
+    pub arch: RpuConfig,
+    /// Inference precision.
+    pub precision: Precision,
+    /// Simulator configuration (ablation switches, tracing).
+    pub sim_config: SimConfig,
+}
+
+impl RpuSystem {
+    /// Builds a system with an explicit memory SKU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Arch`] for invalid configurations.
+    pub fn build(
+        num_cus: u32,
+        memory: HbmCoConfig,
+        precision: Precision,
+    ) -> Result<Self, BuildError> {
+        Ok(Self {
+            arch: RpuConfig::new(num_cus, memory)?,
+            precision,
+            sim_config: SimConfig::default(),
+        })
+    }
+
+    /// Builds a system with the optimal (highest BW/Cap that fits)
+    /// HBM-CO SKU for the given workload — the paper's deployment rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NoFittingSku`] when the model cannot fit at
+    /// this scale.
+    pub fn with_optimal_memory(
+        model: &ModelConfig,
+        precision: Precision,
+        batch: u32,
+        seq_len: u32,
+        num_cus: u32,
+    ) -> Result<Self, BuildError> {
+        let sku = optimal_memory(model, precision, batch, seq_len, num_cus).ok_or({
+            BuildError::NoFittingSku {
+                required_per_core: crate::dse::required_bytes_per_core(
+                    model, precision, batch, seq_len, num_cus,
+                ),
+            }
+        })?;
+        Self::build(num_cus, sku.config, precision)
+    }
+
+    /// The shard plan for this system.
+    #[must_use]
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan::new(self.arch.num_cus, self.arch.cu.cores)
+    }
+
+    /// `true` when the workload's footprint fits this system's memory.
+    #[must_use]
+    pub fn fits(&self, model: &ModelConfig, batch: u32, seq_len: u32) -> bool {
+        model.footprint_bytes(self.precision, batch, seq_len) <= self.arch.mem_capacity()
+    }
+
+    /// System thermal design power, watts.
+    #[must_use]
+    pub fn tdp_w(&self) -> f64 {
+        f64::from(self.arch.num_cus) * cu_tdp(&self.arch, &EnergyCoeffs::paper())
+    }
+
+    /// Compiles and simulates one decode step (one token per query).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures ([`SimError`]).
+    pub fn decode_step(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        seq_len: u32,
+    ) -> Result<SimReport, SimError> {
+        let plan = self.plan();
+        let prog = compile_decode_step(model, self.precision, batch, seq_len, &plan);
+        Simulator::new(self.arch.memory, self.precision, plan, self.sim_config).run(&prog)
+    }
+
+    /// Decode latency per token, seconds (one simulated step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn token_latency(&self, model: &ModelConfig, batch: u32, seq_len: u32) -> Result<f64, SimError> {
+        Ok(self.decode_step(model, batch, seq_len)?.total_time_s)
+    }
+
+    /// Output tokens per second across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn tokens_per_second(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        seq_len: u32,
+    ) -> Result<f64, SimError> {
+        let t = self.token_latency(model, batch, seq_len)?;
+        Ok(f64::from(batch) / t)
+    }
+}
+
+impl fmt::Display for RpuSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.arch, self.precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_with_candidate_memory() {
+        let sys = RpuSystem::build(64, HbmCoConfig::candidate(), Precision::mxfp4_inference())
+            .unwrap();
+        assert_eq!(sys.arch.num_cus, 64);
+        assert!(sys.tdp_w() > 500.0 && sys.tdp_w() < 700.0);
+    }
+
+    #[test]
+    fn optimal_memory_fits_the_model() {
+        let m = ModelConfig::llama3_70b();
+        let p = Precision::mxfp4_inference();
+        let sys = RpuSystem::with_optimal_memory(&m, p, 1, 8192, 64).unwrap();
+        assert!(sys.fits(&m, 1, 8192));
+    }
+
+    #[test]
+    fn no_sku_error_is_informative() {
+        let m = ModelConfig::llama3_405b();
+        let p = Precision::mxfp4_inference();
+        let err = RpuSystem::with_optimal_memory(&m, p, 1, 8192, 4).unwrap_err();
+        assert!(err.to_string().contains("MiB per core"));
+    }
+
+    #[test]
+    fn decode_step_runs_for_small_model() {
+        let m = ModelConfig::llama3_8b();
+        let p = Precision::mxfp4_inference();
+        let sys = RpuSystem::with_optimal_memory(&m, p, 1, 4096, 64).unwrap();
+        let r = sys.decode_step(&m, 1, 4096).unwrap();
+        assert!(r.total_time_s > 0.0);
+        // Throughput consistency.
+        let tps = sys.tokens_per_second(&m, 1, 4096).unwrap();
+        assert!((tps - 1.0 / r.total_time_s).abs() / tps < 1e-9);
+    }
+
+    #[test]
+    fn invalid_arch_propagates() {
+        let e = RpuSystem::build(0, HbmCoConfig::candidate(), Precision::mxfp4_inference())
+            .unwrap_err();
+        assert!(matches!(e, BuildError::Arch(_)));
+    }
+}

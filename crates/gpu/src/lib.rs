@@ -1,0 +1,45 @@
+//! Analytical H100/H200 GPU baseline, substituting for the paper's NVML
+//! profiling (§II) in this reproduction.
+//!
+//! The paper characterises the GPU with a handful of measured curves;
+//! this crate encodes exactly those:
+//!
+//! * memory-bandwidth utilisation vs working-set size (Fig. 2 right:
+//!   full bandwidth only beyond ~1 GB working sets; ~32 % during
+//!   distributed decode);
+//! * power vs compute/bandwidth utilisation (Fig. 2 left and Fig. 3:
+//!   prefill 634 W at 70 % compute utilisation, decode 240 W at 32 % BW
+//!   utilisation, ~1 pJ/FLOP at high arithmetic intensity degrading
+//!   10–1000× at low batch);
+//! * kernel-launch and tensor-parallel collective overheads that dominate
+//!   small decode kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpu_gpu::{GpuSystem, GpuSpec};
+//! use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+//!
+//! let gpus = GpuSystem::new(GpuSpec::h100_sxm(), 2);
+//! let wl = DecodeWorkload::new(
+//!     &ModelConfig::llama3_70b(),
+//!     Precision::gpu_w4a16(),
+//!     1,
+//!     8192,
+//! );
+//! let t = gpus.decode_step_latency(&wl);
+//! // Tens of milliseconds per token for BS=1 70B on 2xH100.
+//! assert!(t > 5e-3 && t < 60e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bwutil;
+mod exec;
+mod power;
+mod spec;
+
+pub use bwutil::bw_utilization;
+pub use exec::GpuSystem;
+pub use power::{gpu_power_w, DECODE_BW_UTIL, IDLE_W, PREFILL_COMPUTE_UTIL};
+pub use spec::GpuSpec;

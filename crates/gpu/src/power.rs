@@ -1,0 +1,96 @@
+//! GPU power model, calibrated to the paper's NVML measurements.
+//!
+//! §II anchors: prefill draws 634.2 W at 70.3 % compute utilisation;
+//! decode draws 239.9 W at 32.2 % bandwidth utilisation; isolated
+//! dense-linear kernels at batch ≤ 64 stay under 30 % of TDP.
+
+use crate::spec::GpuSpec;
+
+/// Idle (static + clocked) power of an H100-class GPU, watts.
+pub const IDLE_W: f64 = 80.0;
+
+/// Aggregate memory-bandwidth utilisation during distributed decode
+/// (§II: "the H100 only utilizes 32 % of its peak memory bandwidth
+/// during distributed LLM decode").
+pub const DECODE_BW_UTIL: f64 = 0.322;
+
+/// Compute utilisation during prefill (Fig. 2 left).
+pub const PREFILL_COMPUTE_UTIL: f64 = 0.703;
+
+/// Marginal power of the fully-utilised memory subsystem, watts.
+const MEM_SLOPE_W: f64 = 420.0;
+/// Marginal power of the fully-utilised compute subsystem, watts.
+const COMPUTE_SLOPE_W: f64 = 590.0;
+
+/// Instantaneous GPU power for the given utilisations, watts, clamped to
+/// the device TDP.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_gpu::{gpu_power_w, GpuSpec, DECODE_BW_UTIL};
+///
+/// let p = gpu_power_w(&GpuSpec::h100_sxm(), 0.05, DECODE_BW_UTIL);
+/// assert!((p - 239.9).abs() < 15.0); // paper: 239.9 W decode average
+/// ```
+#[must_use]
+pub fn gpu_power_w(spec: &GpuSpec, compute_util: f64, bw_util: f64) -> f64 {
+    let c = compute_util.clamp(0.0, 1.0);
+    let b = bw_util.clamp(0.0, 1.0);
+    (IDLE_W + MEM_SLOPE_W * b + COMPUTE_SLOPE_W * c).min(spec.tdp_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_util::assert_approx;
+
+    #[test]
+    fn decode_power_anchor() {
+        // 32.2 % BW utilisation, ~4-5 % compute -> 239.9 W.
+        let p = gpu_power_w(&GpuSpec::h100_sxm(), 0.045, DECODE_BW_UTIL);
+        assert_approx(p, 239.9, 0.05, "decode power");
+    }
+
+    #[test]
+    fn prefill_power_anchor() {
+        // 70.3 % compute utilisation with moderate BW -> 634.2 W.
+        let p = gpu_power_w(&GpuSpec::h100_sxm(), PREFILL_COMPUTE_UTIL, 0.33);
+        assert_approx(p, 634.2, 0.05, "prefill power");
+    }
+
+    #[test]
+    fn decode_fraction_of_tdp_matches_paper() {
+        // §II: the decode phase only uses ~34 % of TDP.
+        let p = gpu_power_w(&GpuSpec::h100_sxm(), 0.045, DECODE_BW_UTIL);
+        let frac = p / GpuSpec::h100_sxm().tdp_w;
+        assert!(frac > 0.30 && frac < 0.40, "decode TDP fraction {frac}");
+    }
+
+    #[test]
+    fn clamped_to_tdp() {
+        let p = gpu_power_w(&GpuSpec::h100_sxm(), 1.0, 1.0);
+        assert_eq!(p, 700.0);
+    }
+
+    #[test]
+    fn low_batch_kernels_under_30_percent_tdp() {
+        // Fig. 3: batch <= 64 dense kernels stay < 30 % TDP... with tiny
+        // working sets the BW utilisation is low and compute negligible.
+        let p = gpu_power_w(&GpuSpec::h100_sxm(), 0.01, 0.12);
+        assert!(p < 0.30 * 700.0, "low-batch power {p}");
+    }
+
+    #[test]
+    fn power_monotone_in_utilisation() {
+        let s = GpuSpec::h100_sxm();
+        assert!(gpu_power_w(&s, 0.2, 0.2) > gpu_power_w(&s, 0.1, 0.2));
+        assert!(gpu_power_w(&s, 0.2, 0.3) > gpu_power_w(&s, 0.2, 0.2));
+    }
+
+    #[test]
+    fn utilisations_clamped() {
+        let s = GpuSpec::h100_sxm();
+        assert_eq!(gpu_power_w(&s, -1.0, -1.0), IDLE_W);
+    }
+}

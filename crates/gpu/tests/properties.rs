@@ -1,0 +1,99 @@
+//! Property tests for the GPU baseline: the calibrated analytical model
+//! must stay physically sensible everywhere, not just at the paper's
+//! calibration anchors.
+
+use proptest::prelude::*;
+use rpu_gpu::{bw_utilization, gpu_power_w, GpuSpec, GpuSystem};
+use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+
+fn any_spec() -> impl Strategy<Value = GpuSpec> {
+    prop_oneof![Just(GpuSpec::h100_sxm()), Just(GpuSpec::h200())]
+}
+
+fn any_model() -> impl Strategy<Value = ModelConfig> {
+    prop_oneof![
+        Just(ModelConfig::llama3_8b()),
+        Just(ModelConfig::llama3_70b()),
+        Just(ModelConfig::llama4_maverick()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bandwidth utilisation is a monotone S-curve in the working set:
+    /// bounded to (0, 1], non-decreasing.
+    #[test]
+    fn bw_utilisation_monotone_bounded(a in 1.0e3f64..1e11, b in 1.0e3f64..1e11) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let ul = bw_utilization(lo);
+        let uh = bw_utilization(hi);
+        prop_assert!(ul > 0.0 && ul <= 1.0);
+        prop_assert!(uh >= ul);
+    }
+
+    /// Power is bounded by TDP and above idle for any utilisation pair.
+    #[test]
+    fn power_within_physical_envelope(
+        spec in any_spec(),
+        cu in 0.0f64..=1.0,
+        bu in 0.0f64..=1.0,
+    ) {
+        let p = gpu_power_w(&spec, cu, bu);
+        prop_assert!(p >= rpu_gpu::IDLE_W * 0.99, "power {p} below idle");
+        prop_assert!(p <= spec.tdp_w * 1.001, "power {p} above TDP {}", spec.tdp_w);
+        // Monotone in each utilisation.
+        prop_assert!(gpu_power_w(&spec, (cu + 0.1).min(1.0), bu) >= p - 1e-9);
+        prop_assert!(gpu_power_w(&spec, cu, (bu + 0.1).min(1.0)) >= p - 1e-9);
+    }
+
+    /// Decode latency rises with batch and context, falls with GPUs.
+    #[test]
+    fn decode_latency_monotonicity(
+        spec in any_spec(),
+        model in any_model(),
+        batch in 1u32..=32,
+    ) {
+        let prec = Precision::gpu_w4a16();
+        let g1 = GpuSystem::new(spec, 1);
+        let g4 = GpuSystem::new(spec, 4);
+        let wl = DecodeWorkload::new(&model, prec, batch, 8192);
+        let wl_bigger = DecodeWorkload::new(&model, prec, batch + 1, 8192);
+        let wl_longer = DecodeWorkload::new(&model, prec, batch, 16384);
+        let t = g1.decode_step_latency(&wl);
+        prop_assert!(g1.decode_step_latency(&wl_bigger) >= t * 0.999);
+        prop_assert!(g1.decode_step_latency(&wl_longer) > t);
+        prop_assert!(g4.decode_step_latency(&wl) < t, "TP must help");
+    }
+
+    /// Tensor parallelism never scales better than linearly.
+    #[test]
+    fn tensor_parallel_sublinear(model in any_model(), n in 2u32..=8) {
+        let prec = Precision::gpu_w4a16();
+        let wl = DecodeWorkload::new(&model, prec, 1, 8192);
+        let t1 = GpuSystem::new(GpuSpec::h100_sxm(), 1).decode_step_latency(&wl);
+        let tn = GpuSystem::new(GpuSpec::h100_sxm(), n).decode_step_latency(&wl);
+        prop_assert!(tn > t1 / f64::from(n) * 0.999, "superlinear TP scaling");
+    }
+
+    /// Energy per token falls with batch (amortisation), as in Fig. 3.
+    #[test]
+    fn energy_per_token_amortises(model in any_model()) {
+        let prec = Precision::gpu_w4a16();
+        let g = GpuSystem::new(GpuSpec::h100_sxm(), 2);
+        let e1 = g.decode_step_energy_j(&DecodeWorkload::new(&model, prec, 1, 8192));
+        let wl32 = DecodeWorkload::new(&model, prec, 32, 8192);
+        let e32 = g.decode_step_energy_j(&wl32) / 32.0;
+        prop_assert!(e32 < e1, "batch-32 energy/token {e32} vs batch-1 {e1}");
+    }
+
+    /// H200's extra bandwidth always helps decode.
+    #[test]
+    fn h200_beats_h100_on_decode(model in any_model(), batch in 1u32..=16) {
+        let prec = Precision::gpu_w4a16();
+        let wl = DecodeWorkload::new(&model, prec, batch, 8192);
+        let t100 = GpuSystem::new(GpuSpec::h100_sxm(), 2).decode_step_latency(&wl);
+        let t200 = GpuSystem::new(GpuSpec::h200(), 2).decode_step_latency(&wl);
+        prop_assert!(t200 < t100);
+    }
+}

@@ -1,0 +1,211 @@
+//! Enumeration of the HBM-CO design space, Pareto frontier extraction and
+//! SKU selection (Figs. 5, 9 and 10 of the paper).
+
+use crate::config::HbmCoConfig;
+use crate::cost::{cost_per_gb, module_cost};
+use crate::energy::energy_per_bit;
+use rpu_util::pareto::{frontier, Objective};
+
+/// One evaluated point of the HBM-CO design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The stack configuration.
+    pub config: HbmCoConfig,
+    /// Stack capacity, bytes.
+    pub capacity_bytes: f64,
+    /// Stack bandwidth, bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+    /// Bandwidth-to-capacity ratio, 1/s.
+    pub bw_per_cap: f64,
+    /// Total energy per bit, pJ/bit.
+    pub energy_pj_per_bit: f64,
+    /// Module cost normalised to HBM3e.
+    pub module_cost: f64,
+    /// Cost per GB normalised to HBM3e.
+    pub cost_per_gb: f64,
+}
+
+impl DesignPoint {
+    /// Evaluates a configuration into a design point.
+    #[must_use]
+    pub fn evaluate(config: HbmCoConfig) -> Self {
+        Self {
+            capacity_bytes: config.capacity_bytes(),
+            bandwidth_bytes_per_s: config.bandwidth_bytes_per_s(),
+            bw_per_cap: config.bw_per_cap(),
+            energy_pj_per_bit: energy_per_bit(&config).total(),
+            module_cost: module_cost(&config),
+            cost_per_gb: cost_per_gb(&config),
+            config,
+        }
+    }
+
+    /// Capacity behind one pseudo-channel (one RPU core), bytes.
+    #[must_use]
+    pub fn capacity_per_pch(&self) -> f64 {
+        self.config.capacity_per_pch()
+    }
+}
+
+/// Enumerates the full design space the paper sweeps in Fig. 5:
+/// ranks ∈ 1..4, banks/group ∈ {1,2,4}, channels/layer ∈ 1..4,
+/// sub-array scale ∈ {0.5, 0.75, 1.0}. All points are valid configs.
+#[must_use]
+pub fn enumerate_design_space() -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    for ranks in 1..=4 {
+        for banks_per_group in [1, 2, 4] {
+            for channels_per_layer in 1..=4 {
+                for subarray_scale in [0.5, 0.75, 1.0] {
+                    let config = HbmCoConfig {
+                        ranks,
+                        banks_per_group,
+                        channels_per_layer,
+                        subarray_scale,
+                        ..HbmCoConfig::hbm3e_like()
+                    };
+                    debug_assert!(config.validate().is_ok());
+                    points.push(DesignPoint::evaluate(config));
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Extracts the Pareto frontier over (capacity ↑, energy/bit ↓) among
+/// single-channel stacks — the SKU ladder of Fig. 9 ("the set of HBM-CO
+/// chiplets useful for a memory-chiplet ecosystem").
+///
+/// Channels-per-layer is fixed to 1 because it scales bandwidth and
+/// capacity together (it picks shoreline width, not BW/Cap); the frontier
+/// is over per-pseudo-channel capacity, which the remaining knobs control.
+#[must_use]
+pub fn pareto_frontier() -> Vec<DesignPoint> {
+    let all: Vec<DesignPoint> = enumerate_design_space()
+        .into_iter()
+        .filter(|p| p.config.channels_per_layer == 1)
+        .collect();
+    // Distinct knob settings can land on the same (capacity, energy) point
+    // (e.g. 2 banks x 0.5 sub-arrays vs 1 bank x 1.0 sub-arrays). Keep one
+    // SKU per capacity tier: the lowest-energy, first-enumerated config.
+    let mut best_per_cap: Vec<DesignPoint> = Vec::new();
+    for p in all {
+        let cap_mb = (p.capacity_bytes / 1e6).round();
+        match best_per_cap
+            .iter_mut()
+            .find(|q| (q.capacity_bytes / 1e6).round() == cap_mb)
+        {
+            Some(q) if p.energy_pj_per_bit < q.energy_pj_per_bit => *q = p,
+            Some(_) => {}
+            None => best_per_cap.push(p),
+        }
+    }
+    frontier(
+        &best_per_cap,
+        |p| (p.capacity_bytes, p.energy_pj_per_bit),
+        (Objective::Maximize, Objective::Minimize),
+    )
+}
+
+/// Selects the optimal HBM-CO SKU from the Pareto frontier: the smallest
+/// per-core capacity that still satisfies `required_bytes_per_core`
+/// (weights + KV cache shard per core). Returns `None` when even the
+/// largest SKU is too small.
+///
+/// This is the paper's selection rule for Figs. 9, 10 and 12: "the highest
+/// BW/Cap memory which satisfies the required capacity".
+#[must_use]
+pub fn select_sku(required_bytes_per_core: f64) -> Option<DesignPoint> {
+    pareto_frontier()
+        .into_iter()
+        .filter(|p| p.capacity_per_pch() >= required_bytes_per_core)
+        .min_by(|a, b| {
+            a.capacity_per_pch()
+                .partial_cmp(&b.capacity_per_pch())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu_util::assert_approx;
+
+    #[test]
+    fn design_space_size() {
+        // 4 ranks x 3 banks x 4 channels x 3 sub-array scales = 144.
+        assert_eq!(enumerate_design_space().len(), 144);
+    }
+
+    #[test]
+    fn frontier_contains_candidate_class() {
+        // The candidate (R1 B1 C1 S1.0) should be on or near the frontier.
+        let front = pareto_frontier();
+        assert!(!front.is_empty());
+        let cand = HbmCoConfig::candidate();
+        let found = front.iter().any(|p| {
+            p.config.ranks == cand.ranks
+                && p.config.banks_per_group == cand.banks_per_group
+                && p.config.subarray_scale == cand.subarray_scale
+        });
+        assert!(found, "candidate missing from frontier: {front:?}");
+    }
+
+    #[test]
+    fn frontier_energy_monotone_in_capacity() {
+        // Along the frontier, more capacity must cost more energy/bit
+        // (otherwise the smaller point would be dominated).
+        let front = pareto_frontier();
+        for w in front.windows(2) {
+            assert!(w[0].capacity_bytes < w[1].capacity_bytes);
+            assert!(w[0].energy_pj_per_bit <= w[1].energy_pj_per_bit);
+        }
+    }
+
+    #[test]
+    fn sku_selection_matches_fig9_optimum() {
+        // Llama3-405B on 64 CUs needs ~199 MB/core (4-bit weights + KV);
+        // the paper picks the 192 MiB/core SKU (2 ranks | 1 bank/group |
+        // 1.0x sub-arrays).
+        let sku = select_sku(199e6).expect("a SKU must fit");
+        assert_approx(sku.capacity_per_pch(), 192.0 * 1024.0 * 1024.0, 1e-9, "selected SKU MiB/core");
+        assert_eq!(sku.config.ranks, 2);
+        assert_eq!(sku.config.banks_per_group, 1);
+        assert_approx(sku.config.subarray_scale, 1.0, 1e-12, "sub-arrays");
+    }
+
+    #[test]
+    fn sku_selection_none_when_too_large() {
+        // Largest per-core capacity is 4 ranks x 4 banks x 1.0 = 1536 MiB.
+        assert!(select_sku(2e9).is_none());
+        assert!(select_sku(1.6e9).is_some());
+    }
+
+    #[test]
+    fn sku_selection_smallest_wins() {
+        let tiny = select_sku(1.0).expect("smallest SKU");
+        // 1 rank x 1 bank x 0.5 sub-arrays = 48 MiB/core.
+        assert_approx(tiny.capacity_per_pch(), 48.0 * 1024.0 * 1024.0, 1e-9, "smallest SKU");
+    }
+
+    #[test]
+    fn energy_spans_fig5_range() {
+        // Fig. 5 (right): energies between ~1.4 and ~3.5 pJ/bit.
+        let pts = enumerate_design_space();
+        let min = pts.iter().map(|p| p.energy_pj_per_bit).fold(f64::INFINITY, f64::min);
+        let max = pts.iter().map(|p| p.energy_pj_per_bit).fold(0.0, f64::max);
+        assert!(min > 1.2 && min < 1.6, "min energy {min}");
+        assert!(max > 3.3 && max < 3.6, "max energy {max}");
+    }
+
+    #[test]
+    fn bw_per_cap_spans_fig5_range() {
+        // Fig. 5 (right) x-axis reaches ~700/s at the smallest devices.
+        let pts = enumerate_design_space();
+        // Paper (Section VIII): "a BW/Cap of 682 (the highest in our
+        // design space)" — 636/s in strict SI units.
+        let max = pts.iter().map(|p| p.bw_per_cap).fold(0.0, f64::max);
+        assert_approx(max, 682.0, 0.08, "max BW/Cap");
+    }
+}

@@ -1,0 +1,180 @@
+//! Memory technology landscape for low-latency inference (Fig. 4).
+//!
+//! Each entry is a representative commercial module with its bandwidth and
+//! capacity; the figure plots BW/Cap against the ideal per-token latency at
+//! 100 % capacity utilisation, exposing the *Goldilocks* gap that HBM-CO
+//! fills.
+
+use crate::ideal_token_latency;
+
+/// Broad class of a memory technology (drives Fig. 4 grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TechClass {
+    /// Stacked high-bandwidth DRAM (HBM3/3e).
+    Hbm,
+    /// Graphics DRAM (GDDR6/7).
+    Gddr,
+    /// Low-power mobile DRAM (LPDDR4/5).
+    Lpddr,
+    /// On-chip SRAM used as main memory (Groq/Cerebras style).
+    Sram,
+    /// Embedded non-volatile memory.
+    Envm,
+    /// Capacity-optimised HBM (this paper).
+    HbmCo,
+}
+
+/// A representative memory module for the landscape plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryTech {
+    /// Display name, e.g. `"HBM3e"`.
+    pub name: &'static str,
+    /// Technology class.
+    pub class: TechClass,
+    /// Module bandwidth, bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+    /// Module capacity, bytes.
+    pub capacity_bytes: f64,
+}
+
+impl MemoryTech {
+    /// Bandwidth-to-capacity ratio, 1/s.
+    #[must_use]
+    pub fn bw_per_cap(&self) -> f64 {
+        self.bandwidth_bytes_per_s / self.capacity_bytes
+    }
+
+    /// Ideal token latency at 100 % capacity utilisation, seconds.
+    #[must_use]
+    pub fn latency_per_token(&self) -> f64 {
+        ideal_token_latency(self.bw_per_cap())
+    }
+}
+
+/// The commercial landscape the paper plots in Fig. 4 (datasheet-level
+/// figures from the cited ISSCC/JSSC publications and vendor specs).
+#[must_use]
+pub fn commercial_landscape() -> Vec<MemoryTech> {
+    vec![
+        MemoryTech {
+            name: "HBM3",
+            class: TechClass::Hbm,
+            bandwidth_bytes_per_s: 819e9,
+            capacity_bytes: 24e9,
+        },
+        MemoryTech {
+            name: "HBM3e",
+            class: TechClass::Hbm,
+            bandwidth_bytes_per_s: 1280e9,
+            capacity_bytes: 48e9,
+        },
+        MemoryTech {
+            name: "GDDR6",
+            class: TechClass::Gddr,
+            bandwidth_bytes_per_s: 64e9,
+            capacity_bytes: 2e9,
+        },
+        MemoryTech {
+            name: "GDDR7",
+            class: TechClass::Gddr,
+            bandwidth_bytes_per_s: 128e9,
+            capacity_bytes: 3e9,
+        },
+        MemoryTech {
+            name: "LPDDR4",
+            class: TechClass::Lpddr,
+            bandwidth_bytes_per_s: 25.6e9,
+            capacity_bytes: 8e9,
+        },
+        MemoryTech {
+            name: "LPDDR5",
+            class: TechClass::Lpddr,
+            bandwidth_bytes_per_s: 51.2e9,
+            capacity_bytes: 16e9,
+        },
+        MemoryTech {
+            name: "SRAM (LPU-class)",
+            class: TechClass::Sram,
+            bandwidth_bytes_per_s: 80e12,
+            capacity_bytes: 230e6,
+        },
+        MemoryTech {
+            name: "eNVM",
+            class: TechClass::Envm,
+            bandwidth_bytes_per_s: 10e12,
+            capacity_bytes: 2e9,
+        },
+    ]
+}
+
+/// The *Goldilocks* BW/Cap range for low-latency inference: roughly 1–10 ms
+/// per token at full capacity utilisation, i.e. BW/Cap of 100–1000 /s.
+pub const GOLDILOCKS_BW_PER_CAP: (f64, f64) = (100.0, 1000.0);
+
+/// Returns `true` when a BW/Cap ratio falls inside the Goldilocks range.
+#[must_use]
+pub fn in_goldilocks(bw_per_cap: f64) -> bool {
+    bw_per_cap >= GOLDILOCKS_BW_PER_CAP.0 && bw_per_cap <= GOLDILOCKS_BW_PER_CAP.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HbmCoConfig;
+
+    #[test]
+    fn hbm3e_bw_per_cap_is_27() {
+        let hbm3e = commercial_landscape()
+            .into_iter()
+            .find(|t| t.name == "HBM3e")
+            .unwrap();
+        assert!((hbm3e.bw_per_cap() - 26.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn no_commercial_tech_in_goldilocks() {
+        // The paper's central claim for Fig. 4: a technology gap exists.
+        for t in commercial_landscape() {
+            assert!(
+                !in_goldilocks(t.bw_per_cap()),
+                "{} unexpectedly in the Goldilocks range ({}/s)",
+                t.name,
+                t.bw_per_cap()
+            );
+        }
+    }
+
+    #[test]
+    fn hbmco_design_space_covers_goldilocks() {
+        // The candidate and several design-space points must fill the gap.
+        assert!(in_goldilocks(HbmCoConfig::candidate().bw_per_cap()));
+        let covered = crate::enumerate_design_space()
+            .iter()
+            .filter(|p| in_goldilocks(p.bw_per_cap))
+            .count();
+        assert!(covered > 20, "only {covered} HBM-CO points in Goldilocks");
+    }
+
+    #[test]
+    fn sram_latency_far_below_1ms() {
+        let sram = commercial_landscape()
+            .into_iter()
+            .find(|t| t.class == TechClass::Sram)
+            .unwrap();
+        assert!(sram.latency_per_token() < 1e-4);
+    }
+
+    #[test]
+    fn dram_latencies_above_goldilocks() {
+        for t in commercial_landscape() {
+            if matches!(t.class, TechClass::Hbm | TechClass::Gddr | TechClass::Lpddr) {
+                assert!(
+                    t.latency_per_token() > 10e-3,
+                    "{} latency {}",
+                    t.name,
+                    t.latency_per_token()
+                );
+            }
+        }
+    }
+}

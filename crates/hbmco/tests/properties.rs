@@ -1,0 +1,114 @@
+//! Property tests for the HBM-CO analytical model: the whole
+//! configuration lattice must behave physically, not just the paper's
+//! two anchor points.
+
+use proptest::prelude::*;
+use rpu_hbmco::{
+    bandwidth_per_cost, cost_per_gb, energy_per_bit, ideal_token_latency, module_cost,
+    DesignPoint, HbmCoConfig,
+};
+
+fn any_cfg() -> impl Strategy<Value = HbmCoConfig> {
+    (
+        1u32..=4,
+        prop_oneof![Just(1u32), Just(2), Just(4)],
+        prop_oneof![Just(1u32), Just(2), Just(3), Just(4)],
+        prop_oneof![Just(0.5f64), Just(0.75), Just(1.0)],
+    )
+        .prop_map(|(ranks, banks_per_group, channels_per_layer, subarray_scale)| HbmCoConfig {
+            ranks,
+            banks_per_group,
+            channels_per_layer,
+            subarray_scale,
+            ..HbmCoConfig::candidate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All derived quantities are positive and finite everywhere.
+    #[test]
+    fn derived_quantities_physical(cfg in any_cfg()) {
+        prop_assert!(cfg.validate().is_ok());
+        prop_assert!(cfg.capacity_bytes() > 0.0);
+        prop_assert!(cfg.bandwidth_bytes_per_s() > 0.0);
+        let e = energy_per_bit(&cfg).total();
+        prop_assert!(e > 0.4 && e < 6.0, "pJ/bit {e}");
+        prop_assert!(module_cost(&cfg) > 0.0);
+        prop_assert!(cost_per_gb(&cfg).is_finite());
+        prop_assert!(bandwidth_per_cost(&cfg) > 0.0);
+    }
+
+    /// Channels per layer add bandwidth *and* capacity; ranks add only
+    /// capacity — the key structural insight of §III.
+    #[test]
+    fn channels_add_bandwidth_ranks_do_not(cfg in any_cfg()) {
+        if cfg.channels_per_layer < 4 {
+            let more_ch = HbmCoConfig { channels_per_layer: cfg.channels_per_layer + 1, ..cfg };
+            prop_assert!(more_ch.bandwidth_bytes_per_s() > cfg.bandwidth_bytes_per_s());
+            prop_assert!(more_ch.capacity_bytes() > cfg.capacity_bytes());
+        }
+        if cfg.ranks < 4 {
+            let more_ranks = HbmCoConfig { ranks: cfg.ranks + 1, ..cfg };
+            prop_assert_eq!(
+                more_ranks.bandwidth_bytes_per_s(),
+                cfg.bandwidth_bytes_per_s(),
+                "ranks share the interface"
+            );
+            prop_assert!(more_ranks.capacity_bytes() > cfg.capacity_bytes());
+        }
+    }
+
+    /// Sub-array scaling moves capacity without touching bandwidth, and
+    /// saves energy (shorter internal wires).
+    #[test]
+    fn subarrays_trade_capacity_for_energy(cfg in any_cfg()) {
+        if cfg.subarray_scale > 0.5 {
+            let smaller = HbmCoConfig { subarray_scale: cfg.subarray_scale - 0.25, ..cfg };
+            prop_assert!(smaller.capacity_bytes() < cfg.capacity_bytes());
+            prop_assert_eq!(smaller.bandwidth_bytes_per_s(), cfg.bandwidth_bytes_per_s());
+            prop_assert!(energy_per_bit(&smaller).total() <= energy_per_bit(&cfg).total());
+        }
+    }
+
+    /// Cost per GB rises as capacity shrinks (fixed die costs dominate),
+    /// yet the module itself gets cheaper.
+    #[test]
+    fn cost_tradeoff_direction(cfg in any_cfg()) {
+        let hbm3e = HbmCoConfig::hbm3e_like();
+        if cfg.capacity_bytes() < hbm3e.capacity_bytes() {
+            prop_assert!(cost_per_gb(&cfg) >= cost_per_gb(&hbm3e) * 0.999);
+            prop_assert!(module_cost(&cfg) <= module_cost(&hbm3e) * 1.001);
+        }
+    }
+
+    /// Ideal token latency is exactly the inverse BW/Cap.
+    #[test]
+    fn latency_inverse_of_bw_per_cap(cfg in any_cfg()) {
+        let t = ideal_token_latency(cfg.bw_per_cap());
+        prop_assert!((t * cfg.bw_per_cap() - 1.0).abs() < 1e-12);
+    }
+
+    /// `DesignPoint::evaluate` agrees with the underlying functions.
+    #[test]
+    fn design_point_is_consistent(cfg in any_cfg()) {
+        let p = DesignPoint::evaluate(cfg);
+        prop_assert!((p.capacity_bytes - cfg.capacity_bytes()).abs() < 1.0);
+        prop_assert!((p.energy_pj_per_bit - energy_per_bit(&cfg).total()).abs() < 1e-12);
+        prop_assert!((p.module_cost - module_cost(&cfg)).abs() < 1e-12);
+        prop_assert!((p.bw_per_cap - cfg.bw_per_cap()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn headline_bandwidth_per_dollar() {
+    // §III: the candidate achieves ~5x higher bandwidth per dollar than
+    // HBM3e.
+    // Our cost model lands the candidate slightly cheaper than the
+    // paper's 35x module-cost figure, so bandwidth/$ comes out a bit
+    // above its quoted 5x.
+    let ratio = bandwidth_per_cost(&HbmCoConfig::candidate())
+        / bandwidth_per_cost(&HbmCoConfig::hbm3e_like());
+    assert!(ratio > 4.0 && ratio < 11.0, "bandwidth/$ ratio {ratio} (paper: ~5x)");
+}

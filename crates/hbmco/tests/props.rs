@@ -1,0 +1,103 @@
+//! Property-based tests for the HBM-CO model invariants.
+
+use proptest::prelude::*;
+use rpu_hbmco::{
+    bandwidth_per_cost, cost_per_gb, energy_per_bit, module_cost, select_sku, HbmCoConfig,
+};
+
+fn arb_config() -> impl Strategy<Value = HbmCoConfig> {
+    (
+        1u32..=4,
+        prop::sample::select(vec![1u32, 2, 4]),
+        1u32..=4,
+        prop::sample::select(vec![0.5f64, 0.75, 1.0]),
+    )
+        .prop_map(|(ranks, banks_per_group, channels_per_layer, subarray_scale)| HbmCoConfig {
+            ranks,
+            banks_per_group,
+            channels_per_layer,
+            subarray_scale,
+            ..HbmCoConfig::hbm3e_like()
+        })
+}
+
+proptest! {
+    #[test]
+    fn configs_in_sweep_validate(cfg in arb_config()) {
+        prop_assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn energy_bounded_by_calibration_endpoints(cfg in arb_config()) {
+        let e = energy_per_bit(&cfg).total();
+        prop_assert!(e > 1.0 && e < 3.6, "energy {e} outside plausible range");
+    }
+
+    #[test]
+    fn energy_components_positive(cfg in arb_config()) {
+        let e = energy_per_bit(&cfg);
+        prop_assert!(e.activation > 0.0 && e.movement > 0.0 && e.tsv > 0.0 && e.io > 0.0);
+    }
+
+    #[test]
+    fn adding_ranks_never_reduces_energy(cfg in arb_config()) {
+        prop_assume!(cfg.ranks < 4);
+        let more = HbmCoConfig { ranks: cfg.ranks + 1, ..cfg };
+        let (e_more, e_base) = (energy_per_bit(&more).total(), energy_per_bit(&cfg).total());
+        prop_assert!(e_more >= e_base);
+    }
+
+    #[test]
+    fn module_cost_monotone_in_every_capacity_knob(cfg in arb_config()) {
+        let base = module_cost(&cfg);
+        if cfg.ranks < 4 {
+            let more = HbmCoConfig { ranks: cfg.ranks + 1, ..cfg };
+            let cost = module_cost(&more);
+            prop_assert!(cost > base);
+        }
+        if cfg.banks_per_group < 4 {
+            let more = HbmCoConfig { banks_per_group: cfg.banks_per_group * 2, ..cfg };
+            let cost = module_cost(&more);
+            prop_assert!(cost > base);
+        }
+        if cfg.subarray_scale < 1.0 {
+            let more = HbmCoConfig { subarray_scale: 1.0, ..cfg };
+            let cost = module_cost(&more);
+            prop_assert!(cost > base);
+        }
+    }
+
+    #[test]
+    fn cost_per_gb_never_below_baseline(cfg in arb_config()) {
+        // Removing capacity can only hurt amortisation of fixed costs.
+        prop_assert!(cost_per_gb(&cfg) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_per_cost_improves_for_small_stacks(cfg in arb_config()) {
+        prop_assume!(cfg.capacity_bytes() < 4e9);
+        prop_assert!(bandwidth_per_cost(&cfg) > 1.0);
+    }
+
+    #[test]
+    fn sku_selection_satisfies_requirement(req_mb in 1.0f64..1400.0) {
+        let req = req_mb * 1e6;
+        if let Some(sku) = select_sku(req) {
+            prop_assert!(sku.capacity_per_pch() >= req);
+            // Minimality: no frontier SKU strictly between req and chosen.
+            for other in rpu_hbmco::pareto_frontier() {
+                if other.capacity_per_pch() >= req {
+                    prop_assert!(other.capacity_per_pch() >= sku.capacity_per_pch());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bw_per_cap_independent_of_channels(cfg in arb_config()) {
+        let other = HbmCoConfig { channels_per_layer: 1, ..cfg };
+        let a = cfg.bw_per_cap();
+        let b = other.bw_per_cap();
+        prop_assert!((a - b).abs() < 1e-9 * a.max(b));
+    }
+}

@@ -1,0 +1,259 @@
+//! Instruction definitions for the three decoupled pipelines.
+
+use rpu_models::KernelKind;
+use std::fmt;
+
+/// A dataflow tag: a named stream of bytes living in an on-chip buffer,
+/// guarded by the pipeline arbiter's valid counters. Producers publish
+/// bytes under a tag with a *valid count*; consumers block until the
+/// bytes are valid and decrement the counter, freeing buffer space when
+/// it reaches zero.
+pub type Tag = u32;
+
+/// Which per-core pipeline executes an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pipeline {
+    /// Memory DMA: HBM-CO pseudo-channel ↔ memory buffer.
+    Memory,
+    /// Compute: stream decoder + TMACs + HP-VOPs.
+    Compute,
+    /// Network DMA: ring collectives and forwarding.
+    Network,
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pipeline::Memory => "mem",
+            Pipeline::Compute => "comp",
+            Pipeline::Network => "net",
+        })
+    }
+}
+
+/// Network collective flavours (all implemented on the outer ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Ring all-gather of per-core output fragments into the full vector
+    /// (the paper's overlapped activation broadcast).
+    AllGather,
+    /// Ring reduction (softmax max / exp-sum, K-dimension partial sums,
+    /// MoE routing decisions).
+    Reduce,
+    /// Small gather within a GQA head group (Q/KV fragments span a few
+    /// CUs).
+    GroupGather,
+}
+
+/// One CISC-style streaming instruction.
+///
+/// Each instruction names the kernel it belongs to (for per-kernel
+/// statistics), the quantities it moves or computes, and the tags it
+/// consumes and produces. The hardware semantics follow §V: instructions
+/// make progress chunk-by-chunk as their inputs become valid and their
+/// output buffers have space — no global barriers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Memory pipeline: stream `bytes` from the core's HBM-CO channel
+    /// into the memory buffer, published under `out`.
+    MemLoad {
+        /// Destination tag (memory buffer).
+        out: Tag,
+        /// Bytes to stream.
+        bytes: u64,
+        /// Declared consumer count (the arbiter's 2-bit valid count).
+        valid_count: u8,
+    },
+    /// Memory pipeline: write `bytes` to the HBM-CO channel (KV append),
+    /// after `input` (if any) is valid.
+    MemStore {
+        /// Tag to wait for before writing, if any.
+        input: Option<Tag>,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// Compute pipeline: weight-streaming VMM. Consumes `weights`
+    /// chunk-by-chunk (through the stream decoder) and `acts` in full,
+    /// producing `out` when the shard completes.
+    Vmm {
+        /// Weight (or KV) stream to drain from the memory buffer.
+        weights: Tag,
+        /// Activation input tags that must be valid before compute
+        /// starts.
+        acts: Vec<Tag>,
+        /// Output fragment published on completion, if any.
+        out: Option<Production>,
+        /// Total weight bytes drained.
+        weight_bytes: u64,
+        /// Total FLOPs executed on the TMACs.
+        flops: u64,
+    },
+    /// Compute pipeline: HP-VOPs vector operation.
+    VOps {
+        /// Input tags that must all be valid.
+        inputs: Vec<Tag>,
+        /// Output published on completion, if any.
+        out: Option<Production>,
+        /// FLOPs executed.
+        flops: u64,
+    },
+    /// Network pipeline: ring collective. Waits for `input` (the local
+    /// fragment), completes after the ring latency, publishing `out`.
+    Collective {
+        /// Collective flavour.
+        kind: CollectiveKind,
+        /// Local fragment tag to wait for, if any.
+        input: Option<Tag>,
+        /// Result published into the network buffer, if any.
+        out: Option<Production>,
+        /// Bytes of the local fragment injected per core.
+        fragment_bytes: u64,
+        /// Number of ring participants.
+        participants: u32,
+    },
+    /// Network pipeline: publish externally-supplied data (e.g. the
+    /// initial input token embedding) without cost.
+    Inject {
+        /// Destination tag (network buffer).
+        out: Production,
+    },
+}
+
+/// A tag production: destination tag, bytes published, declared consumer
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Production {
+    /// The tag being published.
+    pub tag: Tag,
+    /// Bytes published (occupy buffer space until consumed).
+    pub bytes: u64,
+    /// The arbiter's 2-bit valid count: how many consumers must drain
+    /// this tag before its buffer space is reclaimed (e.g. 2 when an
+    /// activation feeds both the compute pipeline and a network forward).
+    pub valid_count: u8,
+}
+
+/// An instruction: an operation annotated with its kernel label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// The kernel this instruction implements (Fig. 8 timeline label).
+    pub kernel: KernelKind,
+    /// Zero-based index of the layer this instruction belongs to
+    /// (`u32::MAX` for the LM head / epilogue).
+    pub layer: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Instr {
+    /// Which pipeline executes this instruction.
+    #[must_use]
+    pub fn pipeline(&self) -> Pipeline {
+        match self.op {
+            Op::MemLoad { .. } | Op::MemStore { .. } => Pipeline::Memory,
+            Op::Vmm { .. } | Op::VOps { .. } => Pipeline::Compute,
+            Op::Collective { .. } | Op::Inject { .. } => Pipeline::Network,
+        }
+    }
+
+    /// Tags this instruction produces.
+    #[must_use]
+    pub fn productions(&self) -> Vec<Production> {
+        match &self.op {
+            Op::MemLoad { out, bytes, valid_count } => vec![Production {
+                tag: *out,
+                bytes: *bytes,
+                valid_count: *valid_count,
+            }],
+            Op::Vmm { out, .. } | Op::VOps { out, .. } | Op::Collective { out, .. } => {
+                out.iter().copied().collect()
+            }
+            Op::Inject { out } => vec![*out],
+            Op::MemStore { .. } => Vec::new(),
+        }
+    }
+
+    /// Tags this instruction consumes (and thereby frees).
+    #[must_use]
+    pub fn consumptions(&self) -> Vec<Tag> {
+        match &self.op {
+            Op::MemLoad { .. } | Op::Inject { .. } => Vec::new(),
+            Op::MemStore { input, .. } => input.iter().copied().collect(),
+            Op::Vmm { weights, acts, .. } => {
+                let mut v = vec![*weights];
+                v.extend(acts.iter().copied());
+                v
+            }
+            Op::VOps { inputs, .. } => inputs.clone(),
+            Op::Collective { input, .. } => input.iter().copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(op: Op) -> Instr {
+        Instr { kernel: KernelKind::QkvProj, layer: 0, op }
+    }
+
+    #[test]
+    fn pipeline_assignment() {
+        assert_eq!(
+            mk(Op::MemLoad { out: 1, bytes: 64, valid_count: 1 }).pipeline(),
+            Pipeline::Memory
+        );
+        assert_eq!(
+            mk(Op::Vmm {
+                weights: 1,
+                acts: vec![],
+                out: None,
+                weight_bytes: 64,
+                flops: 128
+            })
+            .pipeline(),
+            Pipeline::Compute
+        );
+        assert_eq!(
+            mk(Op::Collective {
+                kind: CollectiveKind::AllGather,
+                input: None,
+                out: None,
+                fragment_bytes: 8,
+                participants: 4
+            })
+            .pipeline(),
+            Pipeline::Network
+        );
+    }
+
+    #[test]
+    fn vmm_consumes_weights_and_acts() {
+        let i = mk(Op::Vmm {
+            weights: 7,
+            acts: vec![3, 4],
+            out: Some(Production { tag: 9, bytes: 128, valid_count: 1 }),
+            weight_bytes: 1024,
+            flops: 2048,
+        });
+        assert_eq!(i.consumptions(), vec![7, 3, 4]);
+        assert_eq!(i.productions()[0].tag, 9);
+    }
+
+    #[test]
+    fn memload_produces_its_tag() {
+        let i = mk(Op::MemLoad { out: 5, bytes: 4096, valid_count: 1 });
+        let p = i.productions();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].bytes, 4096);
+        assert!(i.consumptions().is_empty());
+    }
+
+    #[test]
+    fn memstore_waits_on_input() {
+        let i = mk(Op::MemStore { input: Some(2), bytes: 100 });
+        assert_eq!(i.consumptions(), vec![2]);
+        assert!(i.productions().is_empty());
+    }
+}

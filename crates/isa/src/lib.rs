@@ -1,0 +1,39 @@
+//! RPU instruction set and compiler (§V–VI of the paper).
+//!
+//! The RPU executes CISC-style streaming instructions on three decoupled
+//! per-core pipelines — memory, compute and network — synchronised only
+//! through buffer-resident dataflow *tags* (the pipeline-arbiter valid
+//! counters of §V). This crate defines those instructions ([`Instr`],
+//! [`Op`]) and a compiler that lowers a transformer decode step into the
+//! three per-core instruction streams ([`compile_decode_step`]), using
+//! the paper's column-sharded distributed-VMM strategy: every core
+//! computes a disjoint output fragment, broadcasts it on the ring, and
+//! immediately starts the next layer's local work.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpu_isa::{compile_decode_step, ShardPlan};
+//! use rpu_models::{ModelConfig, Precision};
+//!
+//! let plan = ShardPlan::new(64, 16);
+//! let prog = compile_decode_step(
+//!     &ModelConfig::llama3_8b(),
+//!     Precision::mxfp4_inference(),
+//!     1,
+//!     16 * 1024,
+//!     &plan,
+//! );
+//! // The program streams a positive per-core share of the weights.
+//! assert!(prog.stats().weight_bytes > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod compiler;
+mod instr;
+mod program;
+
+pub use compiler::{compile_decode_step, ShardPlan};
+pub use instr::{CollectiveKind, Instr, Op, Pipeline, Production, Tag};
+pub use program::{CoreProgram, ProgramStats};

@@ -1,0 +1,195 @@
+//! Per-core programs: three synchronized instruction streams.
+
+use crate::instr::{Instr, Op, Pipeline};
+use crate::instr::Tag;
+use std::collections::HashMap;
+
+/// The compiled program of one representative core: three statically
+/// ordered instruction streams, one per pipeline (§VI: "the compiler
+/// statically orders all DMA and compute instructions ... and generates
+/// synchronized instruction streams for the memory, compute, and network
+/// pipelines").
+#[derive(Debug, Clone, Default)]
+pub struct CoreProgram {
+    /// Memory-pipeline stream.
+    pub mem: Vec<Instr>,
+    /// Compute-pipeline stream.
+    pub comp: Vec<Instr>,
+    /// Network-pipeline stream.
+    pub net: Vec<Instr>,
+}
+
+/// Aggregate accounting of a program (per core).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProgramStats {
+    /// Weight + KV bytes streamed from memory.
+    pub weight_bytes: f64,
+    /// Bytes written back to memory (KV appends).
+    pub store_bytes: f64,
+    /// TMAC + HP-VOPs FLOPs.
+    pub flops: f64,
+    /// Bytes injected onto the ring by this core.
+    pub net_fragment_bytes: f64,
+    /// Number of collectives issued.
+    pub collectives: u32,
+    /// Total instructions across the three streams.
+    pub instructions: u32,
+}
+
+impl CoreProgram {
+    /// Appends an instruction to the stream its pipeline dictates.
+    pub fn push(&mut self, instr: Instr) {
+        match instr.pipeline() {
+            Pipeline::Memory => self.mem.push(instr),
+            Pipeline::Compute => self.comp.push(instr),
+            Pipeline::Network => self.net.push(instr),
+        }
+    }
+
+    /// All instructions, for analysis.
+    pub fn all(&self) -> impl Iterator<Item = &Instr> {
+        self.mem.iter().chain(self.comp.iter()).chain(self.net.iter())
+    }
+
+    /// Computes aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> ProgramStats {
+        let mut s = ProgramStats::default();
+        for i in self.all() {
+            s.instructions += 1;
+            match &i.op {
+                Op::MemLoad { bytes, .. } => s.weight_bytes += *bytes as f64,
+                Op::MemStore { bytes, .. } => s.store_bytes += *bytes as f64,
+                Op::Vmm { flops, .. } | Op::VOps { flops, .. } => s.flops += *flops as f64,
+                Op::Collective { fragment_bytes, .. } => {
+                    s.collectives += 1;
+                    s.net_fragment_bytes += *fragment_bytes as f64;
+                }
+                Op::Inject { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Validates the pipeline-arbiter dataflow: every produced tag is
+    /// produced exactly once with a positive valid count, every consumed
+    /// tag exists, and no tag is consumed more times than its declared
+    /// valid count (the arbiter would underflow its 2-bit counter).
+    ///
+    /// Terminal outputs may remain under-consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_dataflow(&self) -> Result<(), String> {
+        let mut produced: HashMap<Tag, u8> = HashMap::new();
+        for i in self.all() {
+            for p in i.productions() {
+                if p.valid_count == 0 {
+                    return Err(format!("tag {} declares valid_count 0", p.tag));
+                }
+                if produced.insert(p.tag, p.valid_count).is_some() {
+                    return Err(format!("tag {} produced twice", p.tag));
+                }
+            }
+        }
+        let mut consumed: HashMap<Tag, u8> = HashMap::new();
+        for i in self.all() {
+            for t in i.consumptions() {
+                let Some(&vc) = produced.get(&t) else {
+                    return Err(format!("tag {t} consumed but never produced"));
+                };
+                let c = consumed.entry(t).or_insert(0);
+                *c += 1;
+                if *c > vc {
+                    return Err(format!(
+                        "tag {t} consumed {c} times but valid_count is {vc} (consumed twice)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Production;
+    use rpu_models::KernelKind;
+
+    fn load(tag: u32, bytes: u64) -> Instr {
+        Instr {
+            kernel: KernelKind::QkvProj,
+            layer: 0,
+            op: Op::MemLoad { out: tag, bytes, valid_count: 1 },
+        }
+    }
+
+    fn vmm(weights: u32, out: Option<u32>) -> Instr {
+        Instr {
+            kernel: KernelKind::QkvProj,
+            layer: 0,
+            op: Op::Vmm {
+                weights,
+                acts: vec![],
+                out: out.map(|t| Production { tag: t, bytes: 64, valid_count: 1 }),
+                weight_bytes: 128,
+                flops: 256,
+            },
+        }
+    }
+
+    #[test]
+    fn push_routes_by_pipeline() {
+        let mut p = CoreProgram::default();
+        p.push(load(1, 128));
+        p.push(vmm(1, None));
+        assert_eq!(p.mem.len(), 1);
+        assert_eq!(p.comp.len(), 1);
+        assert!(p.net.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = CoreProgram::default();
+        p.push(load(1, 128));
+        p.push(vmm(1, Some(2)));
+        let s = p.stats();
+        assert_eq!(s.weight_bytes, 128.0);
+        assert_eq!(s.flops, 256.0);
+        assert_eq!(s.instructions, 2);
+    }
+
+    #[test]
+    fn dataflow_validation_passes_for_chain() {
+        let mut p = CoreProgram::default();
+        p.push(load(1, 128));
+        p.push(vmm(1, Some(2)));
+        p.validate_dataflow().unwrap();
+    }
+
+    #[test]
+    fn dataflow_validation_catches_double_produce() {
+        let mut p = CoreProgram::default();
+        p.push(load(1, 128));
+        p.push(load(1, 64));
+        assert!(p.validate_dataflow().unwrap_err().contains("produced twice"));
+    }
+
+    #[test]
+    fn dataflow_validation_catches_unproduced_consume() {
+        let mut p = CoreProgram::default();
+        p.push(vmm(42, None));
+        assert!(p.validate_dataflow().unwrap_err().contains("never produced"));
+    }
+
+    #[test]
+    fn dataflow_validation_catches_double_consume() {
+        let mut p = CoreProgram::default();
+        p.push(load(1, 128));
+        p.push(vmm(1, None));
+        p.push(vmm(1, None));
+        assert!(p.validate_dataflow().unwrap_err().contains("consumed twice"));
+    }
+}

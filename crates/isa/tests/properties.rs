@@ -1,0 +1,107 @@
+//! Property tests for the compiler: every compiled program must be a
+//! valid dataflow whose totals agree with the analytical workload model.
+
+use proptest::prelude::*;
+use rpu_isa::{compile_decode_step, Pipeline, ShardPlan};
+use rpu_models::{DecodeWorkload, ModelConfig, Precision};
+
+fn any_model() -> impl Strategy<Value = ModelConfig> {
+    prop_oneof![
+        Just(ModelConfig::llama3_8b()),
+        Just(ModelConfig::llama3_70b()),
+        Just(ModelConfig::llama4_scout()),
+        Just(ModelConfig::llama4_maverick()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compiled programs always validate: every consumed tag has a
+    /// producer, and valid counts cover all consumers.
+    #[test]
+    fn programs_always_validate(
+        model in any_model(),
+        batch in prop_oneof![Just(1u32), Just(8), Just(32)],
+        seq in prop_oneof![Just(4096u32), Just(16384), Just(131_072)],
+        cus in prop_oneof![Just(8u32), Just(64), Just(256)],
+    ) {
+        let plan = ShardPlan::new(cus, 16);
+        let prog = compile_decode_step(&model, Precision::mxfp4_inference(), batch, seq, &plan);
+        prop_assert!(prog.validate_dataflow().is_ok());
+    }
+
+    /// Per-core weight traffic times the core count matches the
+    /// workload's total streaming traffic (weights + KV), within the
+    /// rounding of integer byte sizes per instruction.
+    #[test]
+    fn sharded_traffic_sums_to_workload(
+        model in any_model(),
+        batch in prop_oneof![Just(1u32), Just(16)],
+        cus in prop_oneof![Just(16u32), Just(128)],
+    ) {
+        let prec = Precision::mxfp4_inference();
+        let plan = ShardPlan::new(cus, 16);
+        let prog = compile_decode_step(&model, prec, batch, 8192, &plan);
+        let per_core = prog.stats().weight_bytes;
+        let total = DecodeWorkload::new(&model, prec, batch, 8192).streaming_bytes();
+        let rel = (per_core * plan.total_cores() - total).abs() / total;
+        prop_assert!(rel < 0.02, "sharded {} vs workload {total} (rel {rel})",
+            per_core * plan.total_cores());
+    }
+
+    /// FLOPs are conserved through sharding.
+    #[test]
+    fn sharded_flops_sum_to_workload(model in any_model(), cus in prop_oneof![Just(32u32), Just(64)]) {
+        let prec = Precision::mxfp4_inference();
+        let plan = ShardPlan::new(cus, 16);
+        let prog = compile_decode_step(&model, prec, 1, 8192, &plan);
+        let total = DecodeWorkload::new(&model, prec, 1, 8192).flops();
+        let sharded = prog.stats().flops * plan.total_cores();
+        prop_assert!((sharded - total).abs() / total < 0.02, "{sharded} vs {total}");
+    }
+
+    /// Instructions land on the pipeline their opcode belongs to.
+    #[test]
+    fn streams_are_pipeline_homogeneous(model in any_model()) {
+        let plan = ShardPlan::new(64, 16);
+        let prog = compile_decode_step(&model, Precision::mxfp4_inference(), 1, 8192, &plan);
+        prop_assert!(prog.mem.iter().all(|i| i.pipeline() == Pipeline::Memory));
+        prop_assert!(prog.comp.iter().all(|i| i.pipeline() == Pipeline::Compute));
+        prop_assert!(prog.net.iter().all(|i| i.pipeline() == Pipeline::Network));
+    }
+
+    /// More CUs means less work per core, never more.
+    #[test]
+    fn scaling_out_shrinks_per_core_work(model in any_model()) {
+        let prec = Precision::mxfp4_inference();
+        let small = compile_decode_step(&model, prec, 1, 8192, &ShardPlan::new(32, 16));
+        let big = compile_decode_step(&model, prec, 1, 8192, &ShardPlan::new(256, 16));
+        prop_assert!(big.stats().weight_bytes < small.stats().weight_bytes);
+        prop_assert!(big.stats().flops < small.stats().flops);
+    }
+
+    /// Layer count shows up as program length: programs scale with the
+    /// model's depth, not its width.
+    #[test]
+    fn program_length_tracks_depth(batch in prop_oneof![Just(1u32), Just(8)]) {
+        let prec = Precision::mxfp4_inference();
+        let plan = ShardPlan::new(64, 16);
+        let shallow = compile_decode_step(&ModelConfig::llama3_8b(), prec, batch, 8192, &plan);
+        let deep = compile_decode_step(&ModelConfig::llama3_405b(), prec, batch, 8192, &plan);
+        let ratio = f64::from(deep.stats().instructions) / f64::from(shallow.stats().instructions);
+        let depth_ratio = 126.0 / 32.0;
+        prop_assert!((ratio - depth_ratio).abs() / depth_ratio < 0.15, "ratio {ratio}");
+    }
+}
+
+#[test]
+fn collectives_present_for_distributed_plans_absent_for_single_cu() {
+    let prec = Precision::mxfp4_inference();
+    let model = ModelConfig::llama3_8b();
+    let multi = compile_decode_step(&model, prec, 1, 8192, &ShardPlan::new(64, 16));
+    assert!(multi.stats().collectives > 0);
+    // A single-CU plan still gathers across its 16 cores.
+    let single = compile_decode_step(&model, prec, 1, 8192, &ShardPlan::new(1, 16));
+    assert!(single.validate_dataflow().is_ok());
+}

@@ -1,0 +1,35 @@
+//! LLM workload models for the RPU reproduction.
+//!
+//! Provides the model zoo the paper evaluates (Llama3-8B/70B/405B and the
+//! Llama4 Scout/Maverick MoE variants), block-quantised datatype
+//! accounting (MXFP/NxFP/BFP, FP8, BF16), and a per-layer *kernel
+//! decomposition* of the decode and prefill phases into (FLOPs, bytes)
+//! tuples — the workload description consumed by the roofline model, the
+//! ISA compiler and the GPU baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpu_models::{ModelConfig, Precision, DecodeWorkload};
+//!
+//! let model = ModelConfig::llama3_70b();
+//! let prec = Precision::mxfp4_inference();
+//! let wl = DecodeWorkload::new(&model, prec, 1, 8192);
+//! // BS=1 decode is deeply memory-bound: a few FLOPs per byte, far
+//! // below any modern accelerator's compute-to-bandwidth ratio.
+//! assert!(wl.arithmetic_intensity() < 8.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod dtype;
+mod kernels;
+mod phases;
+mod speculative;
+
+pub use config::{MoeConfig, ModelConfig};
+pub use dtype::{DType, Precision};
+pub use kernels::{layer_kernels, lm_head_kernel, Kernel, KernelClass, KernelKind};
+pub use phases::{DecodeWorkload, PrefillWorkload};
+pub use speculative::SpeculativeConfig;

@@ -1,0 +1,119 @@
+//! Speculative decoding model (§X, "Comparison Under Speculative
+//! Decoding" and Fig. 14).
+//!
+//! A lightweight draft model proposes `lookahead` tokens; the target
+//! model verifies them in one batched pass. The paper adopts an 8-token
+//! lookahead with 4.6 tokens accepted per window on average, yielding a
+//! 1.8× end-to-end speedup for Llama3-8B drafting for Llama3-70B.
+
+use crate::config::ModelConfig;
+
+/// Configuration of a draft/target speculative-decoding deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeculativeConfig {
+    /// The small draft model.
+    pub draft: ModelConfig,
+    /// The large target model.
+    pub target: ModelConfig,
+    /// Tokens proposed per speculative window.
+    pub lookahead: u32,
+    /// Average tokens accepted per window (from [41]).
+    pub accepted_per_window: f64,
+}
+
+impl SpeculativeConfig {
+    /// The paper's evaluation setup: Llama3-8B drafting for Llama3-70B,
+    /// 8-token lookahead, 4.6 accepted per window.
+    #[must_use]
+    pub fn paper_setup() -> Self {
+        Self {
+            draft: ModelConfig::llama3_8b(),
+            target: ModelConfig::llama3_70b(),
+            lookahead: 8,
+            accepted_per_window: 4.6,
+        }
+    }
+
+    /// Effective tokens committed per speculative window (accepted tokens
+    /// plus the one token the verify pass itself produces).
+    #[must_use]
+    pub fn tokens_per_window(&self) -> f64 {
+        self.accepted_per_window
+    }
+
+    /// End-to-end speedup over plain decoding given per-token latencies.
+    ///
+    /// One window costs `lookahead` draft steps plus one target verify
+    /// pass (a batch-`lookahead+1` step, whose latency the caller
+    /// supplies), and commits [`Self::tokens_per_window`] tokens; plain
+    /// decoding costs one target step per token.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rpu_models::SpeculativeConfig;
+    ///
+    /// let cfg = SpeculativeConfig::paper_setup();
+    /// // Draft steps 8x cheaper than target; verify ~= 1.1x a target step.
+    /// let s = cfg.speedup(0.125, 1.1, 1.0);
+    /// assert!(s > 1.5 && s < 3.0);
+    /// ```
+    #[must_use]
+    pub fn speedup(
+        &self,
+        draft_step_latency: f64,
+        verify_step_latency: f64,
+        target_step_latency: f64,
+    ) -> f64 {
+        let window = f64::from(self.lookahead) * draft_step_latency + verify_step_latency;
+        let plain = self.tokens_per_window() * target_step_latency;
+        plain / window
+    }
+
+    /// Effective tokens/second given the same latencies.
+    #[must_use]
+    pub fn tokens_per_second(&self, draft_step_latency: f64, verify_step_latency: f64) -> f64 {
+        let window = f64::from(self.lookahead) * draft_step_latency + verify_step_latency;
+        self.tokens_per_window() / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_shapes() {
+        let s = SpeculativeConfig::paper_setup();
+        assert_eq!(s.lookahead, 8);
+        assert!((s.accepted_per_window - 4.6).abs() < 1e-12);
+        assert_eq!(s.draft.name, "Llama3-8B");
+        assert_eq!(s.target.name, "Llama3-70B");
+    }
+
+    #[test]
+    fn speedup_matches_paper_ballpark() {
+        // With an ~8.8x cheaper draft (8B vs 70B) and a verify pass close
+        // to a plain step (memory-bound batch-9 ~ batch-1), the paper
+        // reports 1.8x end-to-end.
+        let s = SpeculativeConfig::paper_setup();
+        let speedup = s.speedup(1.0 / 8.8, 1.1, 1.0);
+        assert!(speedup > 1.6 && speedup < 2.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn zero_draft_cost_upper_bound() {
+        let s = SpeculativeConfig::paper_setup();
+        // Free drafting: bound is accepted_per_window / verify.
+        let max = s.speedup(0.0, 1.0, 1.0);
+        assert!((max - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokens_per_second_consistency() {
+        let s = SpeculativeConfig::paper_setup();
+        let tps = s.tokens_per_second(0.1e-3, 1.0e-3);
+        let window = 8.0 * 0.1e-3 + 1.0e-3;
+        assert!((tps - 4.6 / window).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the workload model: kernel decomposition
+//! accounting must stay consistent for every model, batch, context and
+//! precision.
+
+use proptest::prelude::*;
+use rpu_models::{DecodeWorkload, KernelClass, ModelConfig, Precision, PrefillWorkload};
+
+fn any_model() -> impl Strategy<Value = ModelConfig> {
+    prop_oneof![
+        Just(ModelConfig::llama3_8b()),
+        Just(ModelConfig::llama3_70b()),
+        Just(ModelConfig::llama3_405b()),
+        Just(ModelConfig::llama4_scout()),
+        Just(ModelConfig::llama4_maverick()),
+    ]
+}
+
+fn any_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::mxfp4_inference()),
+        Just(Precision::gpu_w4a16()),
+        Just(Precision::bf16()),
+        Just(Precision::fp8_weights()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Weight traffic of a decode step is independent of batch and
+    /// context for dense models (weights are read once per step), and
+    /// monotone in batch for MoE models (more active experts).
+    #[test]
+    fn weight_bytes_behave_with_batch(
+        model in any_model(),
+        prec in any_precision(),
+        batch in 1u32..=64,
+        seq in prop_oneof![Just(2048u32), Just(8192), Just(32768)],
+    ) {
+        let w1 = DecodeWorkload::new(&model, prec, 1, seq).weight_bytes();
+        let wb = DecodeWorkload::new(&model, prec, batch, seq).weight_bytes();
+        if model.moe.is_none() {
+            prop_assert!((wb - w1).abs() / w1 < 1e-9, "dense weights must not scale with batch");
+        } else {
+            prop_assert!(wb >= w1 - 1.0, "MoE weights must not shrink with batch");
+        }
+    }
+
+    /// KV-cache reads scale linearly in batch and context.
+    #[test]
+    fn kv_reads_scale_linearly(
+        model in any_model(),
+        prec in any_precision(),
+        batch in 1u32..=32,
+    ) {
+        let base = DecodeWorkload::new(&model, prec, 1, 4096).kv_read_bytes();
+        let scaled = DecodeWorkload::new(&model, prec, batch, 4096).kv_read_bytes();
+        prop_assert!((scaled - f64::from(batch) * base).abs() / scaled < 1e-9);
+        let longer = DecodeWorkload::new(&model, prec, 1, 8192).kv_read_bytes();
+        prop_assert!((longer - 2.0 * base).abs() / longer < 0.01);
+    }
+
+    /// Arithmetic intensity rises with batch but is bounded by
+    /// 2 * batch / weight_bytes_per_param (perfect weight reuse).
+    #[test]
+    fn ai_monotone_and_bounded(model in any_model(), prec in any_precision()) {
+        let mut last = 0.0;
+        for batch in [1u32, 2, 4, 8, 16, 32] {
+            let ai = DecodeWorkload::new(&model, prec, batch, 8192).arithmetic_intensity();
+            prop_assert!(ai > last, "AI must strictly rise with batch");
+            // Weights: each byte feeds at most 2*batch FLOPs. KV cache:
+            // each byte feeds at most 2 * (q heads per KV head) FLOPs —
+            // GQA reuse, batch-independent (<= 16 queries/KV in the zoo).
+            let bound = 2.0 * f64::from(batch) / prec.weights.bytes_per_value()
+                + 2.0 * 16.0 / prec.kv_cache.bytes_per_value();
+            prop_assert!(ai <= bound, "AI {ai} above perfect-reuse bound {bound}");
+            last = ai;
+        }
+    }
+
+    /// The footprint decomposes exactly into weights + KV for the batch.
+    #[test]
+    fn footprint_decomposition(
+        model in any_model(),
+        prec in any_precision(),
+        batch in 1u32..=32,
+        seq in 1024u32..=65536,
+    ) {
+        let f = model.footprint_bytes(prec, batch, seq);
+        let expect = model.weight_bytes(prec)
+            + model.kv_bytes_per_token(prec) * f64::from(batch) * f64::from(seq);
+        prop_assert!((f - expect).abs() / f < 1e-12);
+    }
+
+    /// Every kernel's byte accounting is non-negative and the step's
+    /// totals equal the kernel sums.
+    #[test]
+    fn kernel_sums_match_step_totals(
+        model in any_model(),
+        batch in prop_oneof![Just(1u32), Just(8), Just(32)],
+    ) {
+        let prec = Precision::mxfp4_inference();
+        let wl = DecodeWorkload::new(&model, prec, batch, 8192);
+        let mut flops = 0.0;
+        let mut stream = 0.0;
+        for k in wl.kernels() {
+            prop_assert!(k.flops >= 0.0);
+            prop_assert!(k.weight_bytes >= 0.0 && k.kv_read_bytes >= 0.0);
+            flops += k.flops;
+            stream += k.streaming_bytes();
+        }
+        prop_assert!((flops - wl.flops()).abs() / flops < 1e-12);
+        prop_assert!((stream - wl.streaming_bytes()).abs() / stream < 1e-12);
+    }
+
+    /// Prefill arithmetic intensity dwarfs decode AI (the Splitwise
+    /// motivation for the phase split).
+    #[test]
+    fn prefill_far_more_compute_intense(model in any_model()) {
+        let prec = Precision::mxfp4_inference();
+        let d = DecodeWorkload::new(&model, prec, 1, 8192).arithmetic_intensity();
+        let p = PrefillWorkload::new(&model, prec, 1, 8192).arithmetic_intensity();
+        prop_assert!(p > 20.0 * d, "prefill AI {p} vs decode AI {d}");
+    }
+
+    /// Attention kernels dominate streamed bytes at long context.
+    #[test]
+    fn attention_takes_over_at_long_context(model in any_model()) {
+        let prec = Precision::mxfp4_inference();
+        let wl = DecodeWorkload::new(&model, prec, 32, 131_072);
+        let attn: f64 = wl
+            .kernels()
+            .iter()
+            .filter(|k| k.class == KernelClass::Attention)
+            .map(|k| k.streaming_bytes())
+            .sum();
+        prop_assert!(attn / wl.streaming_bytes() > 0.3, "attention share {}", attn / wl.streaming_bytes());
+    }
+}
+
+#[test]
+fn zoo_parameter_counts_match_names() {
+    // Each model's parameter count must be within 15 % of its name.
+    for (model, expect) in [
+        (ModelConfig::llama3_8b(), 8e9),
+        (ModelConfig::llama3_70b(), 70e9),
+        (ModelConfig::llama3_405b(), 405e9),
+    ] {
+        let p = model.total_params();
+        assert!(
+            (p - expect).abs() / expect < 0.15,
+            "{}: {p} vs {expect}",
+            model.name
+        );
+    }
+    // Maverick: ~400B total, ~17B active per token.
+    let mav = ModelConfig::llama4_maverick();
+    assert!(mav.total_params() > 250e9, "Maverick total {}", mav.total_params());
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for workload-model invariants.
+
+use proptest::prelude::*;
+use rpu_models::{DecodeWorkload, ModelConfig, Precision, PrefillWorkload};
+
+fn arb_model() -> impl Strategy<Value = ModelConfig> {
+    prop::sample::select(ModelConfig::zoo())
+}
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop::sample::select(vec![
+        Precision::mxfp4_inference(),
+        Precision::bf16(),
+        Precision::fp8_weights(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decode_totals_positive(
+        model in arb_model(),
+        prec in arb_precision(),
+        batch in 1u32..64,
+        seq_pow in 7u32..15,
+    ) {
+        let wl = DecodeWorkload::new(&model, prec, batch, 1 << seq_pow);
+        prop_assert!(wl.flops() > 0.0);
+        prop_assert!(wl.streaming_bytes() > 0.0);
+        prop_assert!(wl.total_mem_bytes() >= wl.streaming_bytes());
+        prop_assert!(wl.arithmetic_intensity().is_finite());
+    }
+
+    #[test]
+    fn decode_flops_monotone_in_batch(
+        model in arb_model(),
+        prec in arb_precision(),
+        batch in 1u32..32,
+    ) {
+        let a = DecodeWorkload::new(&model, prec, batch, 4096).flops();
+        let b = DecodeWorkload::new(&model, prec, batch + 1, 4096).flops();
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn decode_bytes_monotone_in_seq(
+        model in arb_model(),
+        prec in arb_precision(),
+        seq in 128u32..32_768,
+    ) {
+        let a = DecodeWorkload::new(&model, prec, 2, seq).streaming_bytes();
+        let b = DecodeWorkload::new(&model, prec, 2, seq * 2).streaming_bytes();
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn ai_rises_with_batch_for_dense(
+        prec in arb_precision(),
+        batch in 1u32..32,
+    ) {
+        let m = ModelConfig::llama3_70b();
+        let a = DecodeWorkload::new(&m, prec, batch, 4096).arithmetic_intensity();
+        let b = DecodeWorkload::new(&m, prec, batch * 2, 4096).arithmetic_intensity();
+        prop_assert!(b > a, "AI must rise with batch: {a} vs {b}");
+    }
+
+    #[test]
+    fn weight_stream_never_exceeds_stored(
+        model in arb_model(),
+        batch in 1u32..128,
+    ) {
+        let p = Precision::mxfp4_inference();
+        let wl = DecodeWorkload::new(&model, p, batch, 1024);
+        prop_assert!(wl.weight_bytes() <= model.weight_bytes(p) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn prefill_more_intense_than_decode(
+        model in arb_model(),
+        prec in arb_precision(),
+        batch in 1u32..16,
+    ) {
+        let d = DecodeWorkload::new(&model, prec, batch, 8192).arithmetic_intensity();
+        let f = PrefillWorkload::new(&model, prec, batch, 8192).arithmetic_intensity();
+        prop_assert!(f > d);
+    }
+
+    #[test]
+    fn footprint_additive(
+        model in arb_model(),
+        batch in 1u32..32,
+        seq in 1024u32..65_536,
+    ) {
+        let p = Precision::mxfp4_inference();
+        let total = model.footprint_bytes(p, batch, seq);
+        let weights = model.weight_bytes(p);
+        let kv = model.kv_bytes_per_token(p) * batch as f64 * seq as f64;
+        prop_assert!((total - weights - kv).abs() < 1.0);
+    }
+
+    #[test]
+    fn active_experts_bounded(
+        batch in 1u32..512,
+    ) {
+        for m in [ModelConfig::llama4_scout(), ModelConfig::llama4_maverick()] {
+            let e = m.expected_active_experts(batch);
+            let max = f64::from(m.moe.unwrap().num_experts);
+            prop_assert!(e >= 1.0 - 1e-9 && e <= max + 1e-9);
+        }
+    }
+}

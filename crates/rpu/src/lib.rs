@@ -1,0 +1,106 @@
+//! # RPU — a Reasoning Processing Unit, reproduced in Rust
+//!
+//! This facade crate re-exports the full public API of the reproduction
+//! of *"RPU – A Reasoning Processing Unit"* (Adiletta, Wei, Brooks —
+//! HPCA 2026): a chiplet-based accelerator architecture for low-latency
+//! (low-batch) LLM decode, built around three ideas:
+//!
+//! 1. **HBM-CO** ([`hbmco`]) — capacity-optimised high-bandwidth memory:
+//!    keep the shoreline bandwidth, shrink the capacity structures
+//!    (ranks, banks, sub-arrays), gain up to ~2.4× energy per bit and
+//!    ~35× module cost.
+//! 2. **A bandwidth-first chiplet fabric** ([`arch`]) — 70–80 % of power
+//!    to memory interfaces, 32 Ops/Byte compute-to-bandwidth ratio,
+//!    composed core → compute unit → package → ring.
+//! 3. **Decoupled pipelines** ([`isa`], [`sim`]) — per-core memory /
+//!    compute / network instruction streams synchronised only through
+//!    buffer-resident valid counters, so memory prefetch hides network
+//!    collectives and phase imbalance.
+//!
+//! The [`core`] module composes these into deployable systems and
+//! regenerates every figure of the paper's evaluation; [`gpu`] provides
+//! the calibrated H100/H200 baseline; [`models`] the Llama 3/4 workload
+//! zoo.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rpu::core::RpuSystem;
+//! use rpu::models::{ModelConfig, Precision};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Deploy Llama3-70B on a 128-CU RPU with the optimal HBM-CO SKU.
+//! let model = ModelConfig::llama3_70b();
+//! let sys = RpuSystem::with_optimal_memory(
+//!     &model,
+//!     Precision::mxfp4_inference(),
+//!     1,      // batch
+//!     8192,   // context length
+//!     128,    // compute units
+//! )?;
+//! let report = sys.decode_step(&model, 1, 8192)?;
+//! println!(
+//!     "token latency {:.2} ms at {:.0}% memory-bandwidth utilisation",
+//!     report.total_time_s * 1e3,
+//!     report.mem_bw_utilization() * 100.0,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+/// The HBM-CO analytical memory model (paper §III).
+pub mod hbmco {
+    pub use rpu_hbmco::*;
+}
+
+/// LLM workload models: the Llama 3/4 zoo, datatypes, kernels, phases.
+pub mod models {
+    pub use rpu_models::*;
+}
+
+/// The RPU chiplet architecture model (paper §IV, Fig. 6).
+pub mod arch {
+    pub use rpu_arch::*;
+}
+
+/// The calibrated H100/H200 analytical baseline (paper §II).
+pub mod gpu {
+    pub use rpu_gpu::*;
+}
+
+/// The RPU ISA and transformer compiler (paper §V–VI).
+pub mod isa {
+    pub use rpu_isa::*;
+}
+
+/// The event-driven microarchitectural simulator (paper §VI).
+pub mod sim {
+    pub use rpu_sim::*;
+}
+
+/// System composition, SKU selection, and the paper's experiments.
+pub mod core {
+    pub use rpu_core::*;
+}
+
+pub use rpu_core::{optimal_memory, BuildError, RpuSystem};
+pub use rpu_hbmco::HbmCoConfig;
+pub use rpu_models::{ModelConfig, Precision};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compose() {
+        let sku = crate::optimal_memory(
+            &crate::ModelConfig::llama3_8b(),
+            crate::Precision::mxfp4_inference(),
+            1,
+            4096,
+            64,
+        )
+        .expect("8B fits a 64-CU RPU");
+        assert!(sku.bw_per_cap > 0.0);
+    }
+}

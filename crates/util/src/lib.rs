@@ -1,0 +1,83 @@
+//! Shared utilities for the RPU reproduction workspace.
+//!
+//! This crate intentionally contains only domain-neutral helpers used by the
+//! other crates: unit constants and conversions ([`units`]), aligned text
+//! table rendering ([`table`]), Pareto-frontier extraction ([`pareto`]) and
+//! small statistics helpers ([`stats`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use rpu_util::units::{GIB, GB};
+//!
+//! assert!(GIB > GB);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pareto;
+pub mod stats;
+pub mod table;
+pub mod units;
+
+/// Returns `true` when `a` and `b` agree within relative tolerance `rel`.
+///
+/// Comparison is symmetric and treats two exact zeros as equal. Intended for
+/// calibration assertions in tests (e.g. "energy per bit ≈ 3.44 pJ ± 5 %").
+///
+/// # Examples
+///
+/// ```
+/// assert!(rpu_util::approx_eq(3.44, 3.50, 0.05));
+/// assert!(!rpu_util::approx_eq(3.44, 4.50, 0.05));
+/// ```
+pub fn approx_eq(a: f64, b: f64, rel: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= rel * scale
+}
+
+/// Asserts that `a` and `b` agree within relative tolerance `rel`, with a
+/// readable panic message on failure.
+///
+/// # Panics
+///
+/// Panics when the relative error exceeds `rel`.
+#[track_caller]
+pub fn assert_approx(a: f64, b: f64, rel: f64, what: &str) {
+    assert!(
+        approx_eq(a, b, rel),
+        "{what}: {a} vs {b} differ by more than {:.1}%",
+        rel * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_exact() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(approx_eq(100.0, 104.0, 0.05));
+        assert!(!approx_eq(100.0, 106.0, 0.05));
+    }
+
+    #[test]
+    fn approx_eq_symmetric() {
+        assert_eq!(approx_eq(3.0, 3.2, 0.1), approx_eq(3.2, 3.0, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration")]
+    fn assert_approx_panics_with_label() {
+        assert_approx(1.0, 2.0, 0.01, "calibration");
+    }
+}

@@ -1,0 +1,137 @@
+//! Pareto-frontier extraction for design-space exploration.
+//!
+//! Used by the HBM-CO design space (Fig. 5 and Fig. 9): points are scored on
+//! two axes, and the frontier keeps every point not dominated by another.
+
+/// Orientation of an objective axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Smaller values are better (e.g. energy per bit, cost).
+    Minimize,
+    /// Larger values are better (e.g. capacity, bandwidth per dollar).
+    Maximize,
+}
+
+impl Objective {
+    /// Returns `true` if `a` is at least as good as `b` on this axis.
+    fn at_least(self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::Minimize => a <= b,
+            Objective::Maximize => a >= b,
+        }
+    }
+
+    /// Returns `true` if `a` is strictly better than `b` on this axis.
+    fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Objective::Minimize => a < b,
+            Objective::Maximize => a > b,
+        }
+    }
+}
+
+/// Returns `true` when point `a` dominates point `b` under the two
+/// objectives: at least as good on both axes and strictly better on one.
+#[must_use]
+pub fn dominates(a: (f64, f64), b: (f64, f64), obj: (Objective, Objective)) -> bool {
+    obj.0.at_least(a.0, b.0)
+        && obj.1.at_least(a.1, b.1)
+        && (obj.0.better(a.0, b.0) || obj.1.better(a.1, b.1))
+}
+
+/// Extracts the Pareto frontier of `items` under two objectives.
+///
+/// `score` maps each item to its `(x, y)` objective values. The result is
+/// sorted ascending by `x` and contains every non-dominated item.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_util::pareto::{frontier, Objective};
+///
+/// // Minimise both coordinates.
+/// let pts = vec![(1.0, 3.0), (2.0, 2.0), (3.0, 1.0), (3.0, 3.0)];
+/// let front = frontier(&pts, |p| *p, (Objective::Minimize, Objective::Minimize));
+/// assert_eq!(front.len(), 3); // (3,3) is dominated
+/// ```
+pub fn frontier<T: Clone>(
+    items: &[T],
+    score: impl Fn(&T) -> (f64, f64),
+    obj: (Objective, Objective),
+) -> Vec<T> {
+    let mut kept: Vec<(T, (f64, f64))> = Vec::new();
+    'outer: for item in items {
+        let s = score(item);
+        if !(s.0.is_finite() && s.1.is_finite()) {
+            continue;
+        }
+        // Drop the candidate if an existing member dominates it; evict
+        // members the candidate dominates.
+        for (_, ks) in &kept {
+            if dominates(*ks, s, obj) {
+                continue 'outer;
+            }
+        }
+        kept.retain(|(_, ks)| !dominates(s, *ks, obj));
+        kept.push((item.clone(), s));
+    }
+    kept.sort_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal));
+    kept.into_iter().map(|(t, _)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN_MIN: (Objective, Objective) = (Objective::Minimize, Objective::Minimize);
+
+    #[test]
+    fn dominated_point_removed() {
+        let pts = vec![(1.0, 1.0), (2.0, 2.0)];
+        let f = frontier(&pts, |p| *p, MIN_MIN);
+        assert_eq!(f, vec![(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn incomparable_points_kept() {
+        let pts = vec![(1.0, 3.0), (3.0, 1.0)];
+        let f = frontier(&pts, |p| *p, MIN_MIN);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn equal_points_keep_one_each() {
+        // A point does not dominate an identical point (no strict axis).
+        let pts = vec![(1.0, 1.0), (1.0, 1.0)];
+        let f = frontier(&pts, |p| *p, MIN_MIN);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn maximize_axis() {
+        // Maximise x (capacity), minimise y (energy).
+        let pts = vec![(10.0, 5.0), (20.0, 5.0), (20.0, 7.0)];
+        let f = frontier(&pts, |p| *p, (Objective::Maximize, Objective::Minimize));
+        assert_eq!(f, vec![(20.0, 5.0)]);
+    }
+
+    #[test]
+    fn non_finite_scores_skipped() {
+        let pts = vec![(f64::NAN, 1.0), (1.0, 1.0)];
+        let f = frontier(&pts, |p| *p, MIN_MIN);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn frontier_members_mutually_non_dominating() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| ((i % 7) as f64, ((i * 13) % 11) as f64))
+            .collect();
+        let f = frontier(&pts, |p| *p, MIN_MIN);
+        for a in &f {
+            for b in &f {
+                assert!(!dominates(*a, *b, MIN_MIN) || a == b, "{a:?} dominates {b:?}");
+            }
+        }
+    }
+}

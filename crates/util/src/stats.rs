@@ -1,0 +1,208 @@
+//! Small statistics helpers used by trace post-processing and benches.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for slices shorter than two.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Geometric mean of strictly positive values; `0.0` if any value is `<= 0`
+/// or the slice is empty.
+#[must_use]
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Linear interpolation of `y` at `x` over sorted `(x, y)` samples.
+///
+/// Clamps to the first/last sample outside the range. Returns `None` for an
+/// empty sample set.
+#[must_use]
+pub fn interp(samples: &[(f64, f64)], x: f64) -> Option<f64> {
+    let first = samples.first()?;
+    if x <= first.0 {
+        return Some(first.1);
+    }
+    let last = samples.last().expect("non-empty");
+    if x >= last.0 {
+        return Some(last.1);
+    }
+    for w in samples.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x >= x0 && x <= x1 {
+            if x1 == x0 {
+                return Some(y0);
+            }
+            let t = (x - x0) / (x1 - x0);
+            return Some(y0 + t * (y1 - y0));
+        }
+    }
+    Some(last.1)
+}
+
+/// Accumulates samples into fixed-width time bins (used for power traces).
+///
+/// # Examples
+///
+/// ```
+/// use rpu_util::stats::Binner;
+///
+/// let mut b = Binner::new(1.0);
+/// b.add(0.5, 2.0);
+/// b.add(1.5, 4.0);
+/// assert_eq!(b.bins(), &[2.0, 4.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Binner {
+    width: f64,
+    bins: Vec<f64>,
+}
+
+impl Binner {
+    /// Creates a binner with the given bin width (same unit as `t` in
+    /// [`Binner::add`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive.
+    #[must_use]
+    pub fn new(width: f64) -> Self {
+        assert!(width > 0.0, "bin width must be positive");
+        Self { width, bins: Vec::new() }
+    }
+
+    /// Adds `amount` into the bin containing time `t` (negative `t` clamps
+    /// to the first bin).
+    pub fn add(&mut self, t: f64, amount: f64) {
+        let idx = (t.max(0.0) / self.width).floor() as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += amount;
+    }
+
+    /// Spreads `amount` uniformly over the interval `[t0, t1)` across bins.
+    pub fn add_interval(&mut self, t0: f64, t1: f64, amount: f64) {
+        if t1 <= t0 || amount == 0.0 {
+            if t1 == t0 {
+                self.add(t0, amount);
+            }
+            return;
+        }
+        let rate = amount / (t1 - t0);
+        let mut t = t0.max(0.0);
+        while t < t1 {
+            let idx = (t / self.width).floor();
+            let mut bin_end = (idx + 1.0) * self.width;
+            if bin_end <= t {
+                // Floating-point rounding can place the computed bin
+                // boundary at or before `t`; skip to the next boundary so
+                // the sweep always makes forward progress.
+                bin_end = (idx + 2.0) * self.width;
+            }
+            let seg_end = bin_end.min(t1);
+            // Attribute the segment at its midpoint: when rounding
+            // forced a boundary skip, `t` itself may sit in the next
+            // bin, and the midpoint always lands in the bin that owns
+            // the bulk of the segment.
+            self.add(0.5 * (t + seg_end), rate * (seg_end - t));
+            t = seg_end;
+        }
+    }
+
+    /// The accumulated bins.
+    #[must_use]
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// The bin width supplied at construction.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_interval_makes_progress_on_hostile_boundaries() {
+        // Regression: with a 50 ns bin width, rounding could compute a
+        // bin boundary at or before `t`, looping forever. Sweep many
+        // boundary-adjacent intervals and require termination + mass
+        // conservation.
+        let mut b = Binner::new(50e-9);
+        let mut total = 0.0;
+        for i in 0..10_000u64 {
+            let t0 = i as f64 * 50e-9;
+            let t1 = t0 + 37.3e-9;
+            b.add_interval(t0, t1, 1.0);
+            total += 1.0;
+        }
+        let sum: f64 = b.bins().iter().sum();
+        assert!((sum - total).abs() / total < 1e-6, "mass {sum} vs {total}");
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[1.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn interp_clamps_and_interpolates() {
+        let s = [(0.0, 0.0), (10.0, 100.0)];
+        assert_eq!(interp(&s, -5.0), Some(0.0));
+        assert_eq!(interp(&s, 5.0), Some(50.0));
+        assert_eq!(interp(&s, 20.0), Some(100.0));
+        assert_eq!(interp(&[], 1.0), None);
+    }
+
+    #[test]
+    fn binner_interval_conserves_mass() {
+        let mut b = Binner::new(0.25);
+        b.add_interval(0.1, 2.3, 10.0);
+        let total: f64 = b.bins().iter().sum();
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binner_zero_length_interval() {
+        let mut b = Binner::new(1.0);
+        b.add_interval(1.0, 1.0, 5.0);
+        assert_eq!(b.bins()[1], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn binner_rejects_zero_width() {
+        let _ = Binner::new(0.0);
+    }
+}

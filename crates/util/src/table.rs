@@ -1,0 +1,166 @@
+//! Aligned text-table rendering for the figure/table reproduction harness.
+//!
+//! Every experiment in `rpu-core` prints its rows through [`Table`], so the
+//! `repro` binary emits the same series the paper plots, in a diff-friendly
+//! plain-text form.
+
+use std::fmt;
+
+/// A simple aligned text table with a title, a header row and data rows.
+///
+/// # Examples
+///
+/// ```
+/// use rpu_util::table::Table;
+///
+/// let mut t = Table::new("Demo", &["x", "y"]);
+/// t.row(&["1".into(), "2.5".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains("2.5"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows are allowed and extend the layout.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a data row built from displayable values.
+    pub fn row_display<D: fmt::Display>(&mut self, cells: &[D]) {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows currently in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header + rows), for machine consumption.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 != widths.len() {
+                    line.push_str("   ");
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        writeln!(f, "{}", "-".repeat(total.max(4)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` significant decimals, trimming noise.
+#[must_use]
+pub fn num(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_header_rows() {
+        let mut t = Table::new("T", &["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("== T =="));
+        assert!(s.contains("a     bb"));
+        assert!(s.contains("333"));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("T", &["a", "b", "c"]);
+        t.row(&["1".into()]);
+        let s = t.to_string();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new("T", &["a"]);
+        assert!(t.is_empty());
+        t.row_display(&[42]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Pipeline trace (Fig. 8 style): dump one CU's memory / compute /
+//! network utilisation, buffer occupancy and power timeline as CSV for
+//! plotting.
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace [batch] [seq] > trace.csv
+//! ```
+
+use rpu::models::{ModelConfig, Precision};
+use rpu::sim::SimConfig;
+use rpu::RpuSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let batch: u32 = args.get(1).map_or(Ok(1), |s| s.parse())?;
+    let seq: u32 = args.get(2).map_or(Ok(16 * 1024), |s| s.parse())?;
+
+    let model = ModelConfig::llama3_8b();
+    let prec = Precision::mxfp4_inference();
+    let mut sys = RpuSystem::with_optimal_memory(&model, prec, batch, seq, 64)?;
+    sys.sim_config = SimConfig {
+        trace_bin_s: Some(100e-9),
+        ..SimConfig::default()
+    };
+
+    let report = sys.decode_step(&model, batch, seq)?;
+    let trace = report.trace.as_ref().expect("trace enabled");
+
+    eprintln!(
+        "# {} BS={batch} seq={seq}: {:.1} us/step, mem util {:.2}, comp util {:.2}",
+        model.name,
+        report.total_time_s * 1e6,
+        report.mem_bw_utilization(),
+        report.compute_utilization(),
+    );
+
+    println!("time_us,mem_util,comp_util,net_util,power_w_per_cu");
+    let cores = 16.0;
+    for i in 0..trace.mem_util.len() {
+        println!(
+            "{:.3},{:.4},{:.4},{:.4},{:.3}",
+            i as f64 * trace.bin_s * 1e6,
+            trace.mem_util[i],
+            trace.comp_util[i],
+            trace.net_util.get(i).copied().unwrap_or(0.0),
+            trace.power_w.get(i).copied().unwrap_or(0.0) * cores,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build an RPU, pick the optimal HBM-CO SKU, and simulate
+//! one decode step of Llama3-70B at batch size 1.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rpu::core::experiments::fig09_pareto;
+use rpu::models::{ModelConfig, Precision};
+use rpu::RpuSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::llama3_70b();
+    let precision = Precision::mxfp4_inference();
+    let (batch, seq_len, num_cus) = (1, 8192, 128);
+
+    // The deployment rule of the paper: the highest-BW/Cap HBM-CO SKU on
+    // the Pareto frontier that still holds the model at this scale.
+    let sys = RpuSystem::with_optimal_memory(&model, precision, batch, seq_len, num_cus)?;
+    println!("system     : {sys}");
+    println!("memory SKU : {}", sys.arch.memory.label());
+    println!(
+        "capacity   : {:.1} GB across {} cores ({:.0} MB/core)",
+        sys.arch.mem_capacity() / 1e9,
+        sys.arch.num_cores(),
+        sys.arch.memory.capacity_per_pch() / 1e6,
+    );
+    println!(
+        "bandwidth  : {:.1} TB/s aggregate, {:.0} W TDP",
+        sys.arch.mem_bandwidth() / 1e12,
+        sys.tdp_w(),
+    );
+
+    // Compile the decode step to the three per-core pipelines and run it
+    // through the event-driven simulator.
+    let report = sys.decode_step(&model, batch, seq_len)?;
+    println!();
+    println!("token latency        : {:.3} ms", report.total_time_s * 1e3);
+    println!("tokens/second        : {:.0}", 1.0 / report.total_time_s);
+    println!(
+        "memory BW utilisation: {:.1} %",
+        report.mem_bw_utilization() * 100.0
+    );
+    println!(
+        "compute utilisation  : {:.1} %",
+        report.compute_utilization() * 100.0
+    );
+    println!("energy / token       : {:.2} J", report.system_energy_j());
+    println!(
+        "avg system power     : {:.0} W",
+        report.avg_system_power_w()
+    );
+
+    // For context: where this sits on the paper's Fig. 9 frontier.
+    let fig9 = fig09_pareto::run();
+    println!();
+    println!(
+        "(Fig. 9 optimal SKU for Llama3-405B at 64 CUs: {})",
+        fig9.optimal_entry().point.config.label()
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Reasoning-turn latency (§IX application domain): a disaggregated
+//! deployment with GPU prefill and RPU decode, compared against a
+//! GPU-only deployment, across the paper's motivating workloads
+//! (planning, coding, writing assistance).
+//!
+//! ```text
+//! cargo run --release --example reasoning_turn [num_cus]
+//! ```
+
+use rpu::core::{Deployment, ReasoningTask, INTERACTION_THRESHOLD_S};
+use rpu::gpu::{GpuSpec, GpuSystem};
+use rpu::models::{ModelConfig, Precision};
+use rpu::RpuSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_cus: u32 = std::env::args().nth(1).map_or(Ok(128), |s| s.parse())?;
+    let model = ModelConfig::llama3_70b();
+    let decode =
+        RpuSystem::with_optimal_memory(&model, Precision::mxfp4_inference(), 1, 32 * 1024, num_cus)?;
+    let d = Deployment::new(GpuSystem::new(GpuSpec::h100_sxm(), 4), decode);
+
+    println!(
+        "{} | prefill: 4xH100 | decode: RPU-{num_cus}CU | interactive threshold {INTERACTION_THRESHOLD_S} s",
+        model.name
+    );
+    println!();
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "task", "prompt", "decode", "prefill s", "KV xfer s", "decode s", "RPU turn s", "GPU turn s"
+    );
+
+    for (name, task) in [
+        ("planning", ReasoningTask::planning()),
+        ("coding", ReasoningTask::coding()),
+        ("writing", ReasoningTask::writing()),
+    ] {
+        let rpu = d.turn_latency(&model, &task)?;
+        let gpu = d.gpu_only_turn_latency(&model, &task);
+        println!(
+            "{:<10} {:>8} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>2} {:>9.2} {:>2}",
+            name,
+            task.prompt_tokens,
+            task.decode_tokens(),
+            rpu.prefill_s,
+            rpu.kv_transfer_s,
+            rpu.decode_s,
+            rpu.total(),
+            if rpu.interactive() { "ok" } else { "!!" },
+            gpu.total(),
+            if gpu.interactive() { "ok" } else { "!!" },
+        );
+    }
+
+    let budget = d.max_interactive_tokens(&model, &ReasoningTask::planning())?;
+    println!();
+    println!("max interactive thinking budget (planning prompt): {budget} tokens");
+    Ok(())
+}

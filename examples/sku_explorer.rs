@@ -1,0 +1,67 @@
+//! SKU explorer (Figs. 9/10 style): for a model and deployment scale,
+//! walk the HBM-CO Pareto frontier and show which SKUs fit, their
+//! energy, and their cost.
+//!
+//! ```text
+//! cargo run --release --example sku_explorer [model] [num_cus]
+//! ```
+
+use rpu::core::{required_bytes_per_core, system_cost, CostModel};
+use rpu::hbmco::{pareto_frontier, ideal_token_latency};
+use rpu::models::{ModelConfig, Precision};
+use rpu::RpuSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let model = match args.get(1).map(String::as_str) {
+        None | Some("maverick") => ModelConfig::llama4_maverick(),
+        Some("8b") => ModelConfig::llama3_8b(),
+        Some("70b") => ModelConfig::llama3_70b(),
+        Some("405b") => ModelConfig::llama3_405b(),
+        Some("scout") => ModelConfig::llama4_scout(),
+        Some(other) => {
+            eprintln!("unknown model `{other}`");
+            std::process::exit(1);
+        }
+    };
+    let num_cus: u32 = args.get(2).map_or(Ok(64), |s| s.parse())?;
+    let prec = Precision::mxfp4_inference();
+    let (batch, seq) = (1, 8192);
+
+    let need = required_bytes_per_core(&model, prec, batch, seq, num_cus);
+    println!(
+        "{} on {num_cus} CUs needs {:.0} MB per core",
+        model.name,
+        need / 1e6
+    );
+    println!();
+    println!(
+        "{:<26} {:>10} {:>9} {:>9} {:>11} {:>8}",
+        "HBM-CO SKU (Pareto)", "MB/core", "BW/Cap", "pJ/bit", "ideal ms/tok", "fits?"
+    );
+
+    let mut frontier = pareto_frontier();
+    frontier.sort_by(|a, b| b.capacity_bytes.total_cmp(&a.capacity_bytes));
+    for p in &frontier {
+        println!(
+            "{:<26} {:>10.0} {:>9.0} {:>9.2} {:>11.2} {:>8}",
+            p.config.label(),
+            p.capacity_per_pch() / 1e6,
+            p.bw_per_cap,
+            p.energy_pj_per_bit,
+            ideal_token_latency(p.bw_per_cap) * 1e3,
+            if p.capacity_per_pch() >= need { "yes" } else { "-" },
+        );
+    }
+
+    // Build the optimal deployment and report its cost split.
+    let sys = RpuSystem::with_optimal_memory(&model, prec, batch, seq, num_cus)?;
+    let cost = system_cost(&sys.arch, &CostModel::paper());
+    println!();
+    println!("optimal SKU: {}", sys.arch.memory.label());
+    println!(
+        "system cost (HBM3e-module units): silicon {:.2} + memory {:.2} + substrate {:.2} + PCB {:.2} = {:.2}",
+        cost.silicon, cost.memory, cost.substrate, cost.pcb, cost.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Strong scaling (Fig. 11 style): sweep the CU count for one model and
+//! print latency, speedup and the ISO-TDP H100 comparison.
+//!
+//! ```text
+//! cargo run --release --example strong_scaling [model]
+//! # model: 8b | 70b | 405b | scout | maverick   (default: 70b)
+//! ```
+
+use rpu::gpu::{GpuSpec, GpuSystem};
+use rpu::models::{DecodeWorkload, ModelConfig, Precision};
+use rpu::RpuSystem;
+
+fn model_by_name(name: &str) -> Option<ModelConfig> {
+    match name {
+        "8b" => Some(ModelConfig::llama3_8b()),
+        "70b" => Some(ModelConfig::llama3_70b()),
+        "405b" => Some(ModelConfig::llama3_405b()),
+        "scout" => Some(ModelConfig::llama4_scout()),
+        "maverick" => Some(ModelConfig::llama4_maverick()),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "70b".to_string());
+    let Some(model) = model_by_name(&arg) else {
+        eprintln!("unknown model `{arg}` (use 8b|70b|405b|scout|maverick)");
+        std::process::exit(1);
+    };
+    let prec = Precision::mxfp4_inference();
+    let seq = 8192;
+
+    println!("strong scaling: {} BS=1 seq={}", model.name, seq);
+    println!("{:>6} {:>12} {:>10} {:>12} {:>10}", "CUs", "ms/token", "speedup", "mem TB/s", "TDP (W)");
+
+    let mut base: Option<f64> = None;
+    for cus in [8u32, 16, 32, 64, 96, 128, 192, 256, 384, 512] {
+        let Ok(sys) = RpuSystem::with_optimal_memory(&model, prec, 1, seq, cus) else {
+            continue; // model does not fit at this scale
+        };
+        let t = sys.token_latency(&model, 1, seq)?;
+        let b = *base.get_or_insert(t);
+        println!(
+            "{:>6} {:>12.3} {:>9.1}x {:>12.1} {:>10.0}",
+            cus,
+            t * 1e3,
+            b / t,
+            sys.arch.mem_bandwidth() / 1e12,
+            sys.tdp_w(),
+        );
+    }
+
+    // ISO-TDP H100 reference: how many H100s match a mid-size RPU, and
+    // how do their latencies compare?
+    let gpus = GpuSystem::new(GpuSpec::h100_sxm(), 2);
+    let wl = DecodeWorkload::new(&model, Precision::gpu_w4a16(), 1, seq);
+    println!();
+    println!(
+        "2xH100 ({:.0} W): {:.2} ms/token",
+        gpus.tdp_w(),
+        gpus.decode_step_latency(&wl) * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration: compose memory, architecture, compiler,
+//! simulator and GPU baseline through the public facade, and check the
+//! paper's headline claims hold across the stack.
+
+use rpu::gpu::{GpuSpec, GpuSystem};
+use rpu::models::{DecodeWorkload, ModelConfig, Precision};
+use rpu::{HbmCoConfig, RpuSystem};
+
+#[test]
+fn headline_405b_iso_tdp_speedup() {
+    // §VIII: 45.3x lower latency than 4xH100 at ISO-TDP on Llama3-405B.
+    // Shape target: an order-of-magnitude-plus win at matched power.
+    let model = ModelConfig::llama3_405b();
+    let prec = Precision::mxfp4_inference();
+    let gpus = GpuSystem::new(GpuSpec::h100_sxm(), 4);
+
+    // Find the CU count whose TDP matches the 4xH100 budget.
+    let mut cus = 4;
+    let mut sys = None;
+    for c in (4..=1024).step_by(4) {
+        let Ok(s) = RpuSystem::with_optimal_memory(&model, prec, 1, 8192, c) else {
+            continue;
+        };
+        if s.tdp_w() <= gpus.tdp_w() {
+            cus = c;
+            sys = Some(s);
+        } else {
+            break;
+        }
+    }
+    let sys = sys.expect("an ISO-TDP configuration exists");
+    assert!(cus >= 100, "ISO-TDP with 2800 W should afford 100+ CUs, got {cus}");
+
+    let rpu_latency = sys.token_latency(&model, 1, 8192).expect("simulates");
+    let wl = DecodeWorkload::new(&model, Precision::gpu_w4a16(), 1, 8192);
+    let gpu_latency = gpus.decode_step_latency(&wl);
+    let speedup = gpu_latency / rpu_latency;
+    assert!(
+        speedup > 15.0 && speedup < 90.0,
+        "ISO-TDP speedup {speedup} (RPU {rpu_latency}s vs GPU {gpu_latency}s)"
+    );
+}
+
+#[test]
+fn decode_latency_tracks_roofline_across_models() {
+    // The simulator's latency must sit at or just above the analytic
+    // streaming bound for BS=1 (roofline performance, §VI).
+    let prec = Precision::mxfp4_inference();
+    for (model, cus) in [
+        (ModelConfig::llama3_8b(), 64u32),
+        (ModelConfig::llama3_70b(), 128),
+        (ModelConfig::llama4_maverick(), 64),
+    ] {
+        let sys = RpuSystem::with_optimal_memory(&model, prec, 1, 8192, cus).expect("fits");
+        let t = sys.token_latency(&model, 1, 8192).expect("simulates");
+        let wl = DecodeWorkload::new(&model, prec, 1, 8192);
+        let bound = wl.streaming_bytes() / sys.arch.mem_bandwidth();
+        assert!(t >= bound * 0.98, "{}: {t} below bound {bound}", model.name);
+        assert!(t <= bound * 1.5, "{}: {t} too far above bound {bound}", model.name);
+    }
+}
+
+#[test]
+fn fastest_thinking_speed_sub_millisecond_70b() {
+    // §VIII: Llama3-70B reaches 0.4 ms/token at 204 CUs.
+    let model = ModelConfig::llama3_70b();
+    let prec = Precision::mxfp4_inference();
+    let sys = RpuSystem::with_optimal_memory(&model, prec, 1, 8192, 204).expect("fits");
+    let t = sys.token_latency(&model, 1, 8192).expect("simulates");
+    assert!(t < 1.0e-3, "70B at 204 CUs must be sub-millisecond, got {t}");
+    assert!(t > 0.1e-3, "sub-0.1ms would beat the paper by >4x: {t}");
+}
+
+#[test]
+fn memory_capacity_is_actually_respected() {
+    let model = ModelConfig::llama3_405b();
+    let prec = Precision::mxfp4_inference();
+    // 405B MXFP4 is ~200+ GB; 8 CUs with the largest SKU hold 192 GiB.
+    assert!(RpuSystem::with_optimal_memory(&model, prec, 32, 131_072, 8).is_err());
+    let sys = RpuSystem::with_optimal_memory(&model, prec, 1, 8192, 64).expect("fits at 64");
+    assert!(sys.fits(&model, 1, 8192));
+    assert!(
+        sys.arch.mem_capacity() >= model.footprint_bytes(prec, 1, 8192),
+        "selected SKU must hold the model"
+    );
+}
+
+#[test]
+fn energy_per_token_scales_with_model_size() {
+    let prec = Precision::mxfp4_inference();
+    let mut last = 0.0;
+    for (model, cus) in [
+        (ModelConfig::llama3_8b(), 64u32),
+        (ModelConfig::llama3_70b(), 64),
+        (ModelConfig::llama3_405b(), 64),
+    ] {
+        let sys = RpuSystem::with_optimal_memory(&model, prec, 1, 8192, cus).expect("fits");
+        let e = sys
+            .decode_step(&model, 1, 8192)
+            .expect("simulates")
+            .system_energy_j();
+        assert!(e > last, "{}: energy {e} must exceed smaller model {last}", model.name);
+        last = e;
+    }
+}
+
+#[test]
+fn explicit_sku_build_matches_candidate_spec() {
+    let sys = RpuSystem::build(
+        64,
+        HbmCoConfig::candidate(),
+        Precision::mxfp4_inference(),
+    )
+    .expect("builds");
+    // 64 CUs x 2 stacks x 768 MiB.
+    let expect = 64.0 * 2.0 * 768.0 * 1024.0 * 1024.0;
+    assert!((sys.arch.mem_capacity() - expect).abs() / expect < 1e-9);
+    // 64 CUs x 512 GB/s.
+    assert!((sys.arch.mem_bandwidth() - 64.0 * 512e9).abs() < 1e6);
+}
+
+#[test]
+fn gpu_baseline_matches_paper_characterisation() {
+    // The substitution contract (DESIGN.md §3): the analytical GPU must
+    // reproduce the paper's measured H100 behaviour.
+    let gpus = GpuSystem::new(GpuSpec::h100_sxm(), 4);
+    let wl = DecodeWorkload::new(&ModelConfig::llama3_70b(), Precision::fp8_weights(), 32, 17 * 1024);
+    let bw_util = gpus.effective_bw_utilization(&wl);
+    assert!(bw_util > 0.15 && bw_util < 0.45, "decode BW util {bw_util} (paper: 32%)");
+    let power = gpus.decode_power_w(&wl) / 4.0;
+    assert!(power < 0.55 * 700.0, "decode power {power} far below TDP (paper: 34%)");
+}

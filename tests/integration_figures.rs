@@ -1,0 +1,148 @@
+//! Figure-harness integration: every experiment module runs end to end
+//! and reproduces its figure's qualitative shape. These are the smoke
+//! tests behind the `repro` binary — each figure's detailed assertions
+//! live in its module's unit tests.
+
+use rpu::core::experiments as exp;
+
+#[test]
+fn fig01_rpu_roofline_sits_down_left_of_h100() {
+    let f = exp::fig01_roofline::run();
+    assert!(f.rpu.peak_flops < f.h100.peak_flops);
+    assert!(f.rpu.ridge_ai() < f.h100.ridge_ai());
+    assert!(f.rpu.bandwidth > f.h100.bandwidth);
+}
+
+#[test]
+fn fig02_decode_far_below_prefill_power() {
+    let f = exp::fig02_h100_profile::run();
+    assert!(f.prefill_power_w > 2.0 * f.decode_power_w);
+}
+
+#[test]
+fn fig03_low_batch_wastes_energy() {
+    let f = exp::fig03_kernel_power::run();
+    let lo = f.sample(4, 2048).unwrap().pj_per_flop;
+    let hi = f.sample(16384, 2048).unwrap().pj_per_flop;
+    assert!(lo / hi > 10.0, "degradation {}", lo / hi);
+}
+
+#[test]
+fn fig04_goldilocks_gap_exists_and_candidate_fills_it() {
+    let f = exp::fig04_landscape::run();
+    assert!(f.commercial.iter().all(|p| !p.goldilocks));
+    assert!(f.candidate.goldilocks);
+}
+
+#[test]
+fn fig05_candidate_anchors() {
+    let f = exp::fig05_hbmco_tradeoffs::run();
+    let ratio = f.hbm3e.energy_pj_per_bit / f.candidate.energy_pj_per_bit;
+    assert!(ratio > 2.0 && ratio < 2.6);
+}
+
+#[test]
+fn fig08_decoupled_pipelines_fill_buffers() {
+    let f = exp::fig08_pipeline_trace::run();
+    assert!(f.bs1.report.mem_bw_utilization() > 0.85);
+    assert!(f.bs32.report.peak_buffer_bytes > f.bs1.report.peak_buffer_bytes);
+}
+
+#[test]
+fn fig09_optimal_sku_is_not_the_largest() {
+    let f = exp::fig09_pareto::run();
+    let largest = f
+        .entries
+        .iter()
+        .map(|e| e.system_capacity)
+        .fold(0.0_f64, f64::max);
+    assert!(f.optimal_entry().system_capacity < largest);
+}
+
+#[test]
+fn fig10_sku_map_spans_multiple_skus() {
+    let f = exp::fig10_sku_map::run();
+    let mut bwcaps: Vec<u64> = f
+        .cells
+        .iter()
+        .filter_map(|c| c.bw_per_cap.map(|v| v.round() as u64))
+        .collect();
+    bwcaps.sort_unstable();
+    bwcaps.dedup();
+    assert!(bwcaps.len() >= 2, "the map must select more than one SKU");
+}
+
+#[test]
+fn fig11_rpu_wins_at_iso_tdp_everywhere() {
+    let f = exp::fig11_scaling::run();
+    for m in &f.markers {
+        assert!(m.speedup() > 5.0, "{}: ISO-TDP speedup {}", m.model, m.speedup());
+    }
+}
+
+#[test]
+fn fig12_adaptive_memory_beats_fixed_hbm3e() {
+    let f = exp::fig12_energy_cost::run();
+    for s in &f.samples {
+        assert!(s.epi_hbm3e_j > s.epi_j(), "CUs {}: HBM-CO must win on energy", s.num_cus);
+        assert!(s.cost_hbm3e > s.cost.total(), "CUs {}: HBM-CO must win on cost", s.num_cus);
+    }
+}
+
+#[test]
+fn fig13_speedup_and_energy_both_favor_rpu() {
+    let f = exp::fig13_batch_sweep::run();
+    for p in &f.points {
+        assert!(p.speedup() > 1.0, "{} batch {}", p.model, p.batch);
+        assert!(p.epi_improvement() > 1.0, "{} batch {}", p.model, p.batch);
+    }
+}
+
+#[test]
+fn fig14_rpu_row_is_simulated_and_fastest() {
+    let f = exp::fig14_platforms::run();
+    let rpu = f.rpu();
+    assert!(rpu.computed);
+    assert!(f
+        .rows
+        .iter()
+        .filter(|r| !r.computed)
+        .all(|r| r.tokens_per_s < rpu.tokens_per_s));
+}
+
+#[test]
+fn ablations_every_contribution_helps() {
+    let a = exp::ablations::run();
+    assert!(a.memory.energy_ratio > 1.0);
+    assert!(a.memory.cost_ratio > 1.0);
+    assert!(a.provisioning.iso_tdp_latency_ratio > 1.0);
+    assert!(a.decoupling.coupled_bs1_slowdown > 1.0);
+    assert!(a.decoupling.coupled_bs32_slowdown > 1.0);
+    assert!(a.decoupling.global_sync_slowdown > 1.0);
+    assert!(a.decoupling.sram_energy_ratio > 1.0);
+}
+
+#[test]
+fn design_points_cover_edge_and_datacenter() {
+    let d = exp::design_points::run();
+    assert!(d.points.iter().any(|p| p.label == "edge"));
+    assert!(d.points.iter().any(|p| p.label == "datacenter"));
+    assert!(d.points.iter().any(|p| p.label == "peak"));
+    assert!(d.edp_improvement_405b > 50.0);
+}
+
+#[test]
+fn all_tables_render_nonempty() {
+    // Rendering must never panic and always produce rows.
+    assert!(!exp::fig04_landscape::run().table().is_empty());
+    assert!(!exp::fig09_pareto::run().table().is_empty());
+    assert!(!exp::fig13_batch_sweep::run().table().is_empty());
+    assert!(!exp::ablations::run().table().is_empty());
+    assert!(!exp::design_points::run().table().is_empty());
+    for t in exp::fig01_roofline::run().tables() {
+        assert!(!t.is_empty());
+    }
+    for t in exp::fig10_sku_map::run().tables() {
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based invariants across the compiler/simulator boundary and
+//! the HBM-CO design space, using proptest.
+
+use proptest::prelude::*;
+use rpu::hbmco::{energy_per_bit, module_cost, pareto_frontier, select_sku, HbmCoConfig};
+use rpu::isa::{compile_decode_step, ShardPlan};
+use rpu::models::{DecodeWorkload, ModelConfig, Precision};
+use rpu::sim::{SimConfig, Simulator};
+
+fn any_model() -> impl Strategy<Value = ModelConfig> {
+    prop_oneof![
+        Just(ModelConfig::llama3_8b()),
+        Just(ModelConfig::llama3_70b()),
+        Just(ModelConfig::llama4_scout()),
+        Just(ModelConfig::llama4_maverick()),
+    ]
+}
+
+fn any_hbmco() -> impl Strategy<Value = HbmCoConfig> {
+    (1u32..=4, prop_oneof![Just(1u32), Just(2), Just(4)], prop_oneof![Just(0.5), Just(0.75), Just(1.0)])
+        .prop_map(|(ranks, banks_per_group, subarray_scale)| HbmCoConfig {
+            ranks,
+            banks_per_group,
+            subarray_scale,
+            ..HbmCoConfig::candidate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator streams exactly the bytes the compiler scheduled,
+    /// for any model / batch / sequence / scale combination.
+    #[test]
+    fn sim_conserves_compiled_bytes(
+        model in any_model(),
+        batch in prop_oneof![Just(1u32), Just(4), Just(16), Just(32)],
+        seq_pow in 12u32..=16,
+        cus in prop_oneof![Just(16u32), Just(64), Just(128)],
+    ) {
+        let prec = Precision::mxfp4_inference();
+        let plan = ShardPlan::new(cus, 16);
+        let prog = compile_decode_step(&model, prec, batch, 1 << seq_pow, &plan);
+        prog.validate_dataflow().expect("compiled dataflow is acyclic and complete");
+        let sim = Simulator::new(HbmCoConfig::candidate(), prec, plan, SimConfig::default());
+        let r = sim.run(&prog).expect("no deadlock");
+        let stats = prog.stats();
+        prop_assert!((r.streamed_bytes as f64 - stats.weight_bytes).abs() < 1.0);
+        prop_assert!((r.stored_bytes as f64 - stats.store_bytes).abs() < 1.0);
+        prop_assert!((r.flops - stats.flops).abs() / stats.flops < 1e-9);
+    }
+
+    /// Simulated latency is bounded below by the per-core streaming
+    /// roofline and never pathologically above it.
+    #[test]
+    fn sim_latency_brackets_roofline(
+        model in any_model(),
+        cus in prop_oneof![Just(32u32), Just(64), Just(128)],
+    ) {
+        let prec = Precision::mxfp4_inference();
+        let plan = ShardPlan::new(cus, 16);
+        let prog = compile_decode_step(&model, prec, 1, 8192, &plan);
+        let sim = Simulator::new(HbmCoConfig::candidate(), prec, plan, SimConfig::default());
+        let r = sim.run(&prog).expect("no deadlock");
+        let wl = DecodeWorkload::new(&model, prec, 1, 8192);
+        let bound = wl.streaming_bytes() / (f64::from(cus) * 16.0 * 32e9);
+        prop_assert!(r.total_time_s >= bound * 0.98, "{} < {}", r.total_time_s, bound);
+        prop_assert!(r.total_time_s <= bound * 2.0, "{} vs {}", r.total_time_s, bound);
+    }
+
+    /// Decoupled execution is never slower than coupled or globally
+    /// synchronised execution.
+    #[test]
+    fn decoupling_never_loses(
+        model in any_model(),
+        batch in prop_oneof![Just(1u32), Just(16)],
+    ) {
+        let prec = Precision::mxfp4_inference();
+        let plan = ShardPlan::new(64, 16);
+        let prog = compile_decode_step(&model, prec, batch, 8192, &plan);
+        let run = |cfg: SimConfig| {
+            Simulator::new(HbmCoConfig::candidate(), prec, plan, cfg)
+                .run(&prog)
+                .expect("no deadlock")
+                .total_time_s
+        };
+        let fast = run(SimConfig::default());
+        let coupled = run(SimConfig { coupled_pipelines: true, ..SimConfig::default() });
+        let global = run(SimConfig { global_sync: true, ..SimConfig::default() });
+        prop_assert!(coupled >= fast * 0.999);
+        prop_assert!(global >= fast * 0.999);
+    }
+
+    /// Chunk size changes throughput accounting, never totals.
+    #[test]
+    fn chunk_size_invariance_of_totals(chunk_kb in prop_oneof![Just(4u64), Just(16), Just(64)]) {
+        let prec = Precision::mxfp4_inference();
+        let plan = ShardPlan::new(64, 16);
+        let model = ModelConfig::llama3_8b();
+        let prog = compile_decode_step(&model, prec, 1, 8192, &plan);
+        let cfg = SimConfig { chunk_bytes: chunk_kb * 1024, ..SimConfig::default() };
+        let r = Simulator::new(HbmCoConfig::candidate(), prec, plan, cfg)
+            .run(&prog)
+            .expect("no deadlock");
+        prop_assert!((r.streamed_bytes as f64 - prog.stats().weight_bytes).abs() < 1.0);
+    }
+
+    /// Capacity parameters move capacity monotonically and never change
+    /// shoreline bandwidth; energy and cost-per-module track capacity.
+    #[test]
+    fn hbmco_capacity_energy_cost_monotonicity(cfg in any_hbmco()) {
+        let bigger = HbmCoConfig { ranks: cfg.ranks + 1, ..cfg };
+        prop_assert!(bigger.capacity_bytes() > cfg.capacity_bytes());
+        prop_assert_eq!(bigger.bandwidth_bytes_per_s(), cfg.bandwidth_bytes_per_s());
+        prop_assert!(energy_per_bit(&bigger).total() >= energy_per_bit(&cfg).total());
+        prop_assert!(module_cost(&bigger) > module_cost(&cfg));
+        prop_assert!(bigger.bw_per_cap() < cfg.bw_per_cap());
+    }
+
+    /// The energy breakdown is strictly positive and dominated by
+    /// components that exist in every configuration.
+    #[test]
+    fn hbmco_energy_components_positive(cfg in any_hbmco()) {
+        let e = energy_per_bit(&cfg);
+        prop_assert!(e.activation > 0.0);
+        prop_assert!(e.movement > 0.0);
+        prop_assert!(e.tsv > 0.0);
+        prop_assert!(e.io > 0.0);
+        prop_assert!(e.total() < 10.0, "pJ/bit {} out of physical range", e.total());
+    }
+
+    /// SKU selection returns the highest-BW/Cap Pareto point that fits,
+    /// and never one that does not fit.
+    #[test]
+    fn sku_selection_is_optimal_and_feasible(need_mb in 1.0f64..4000.0) {
+        let need = need_mb * 1024.0 * 1024.0;
+        if let Some(sku) = select_sku(need) {
+            prop_assert!(sku.capacity_per_pch() >= need);
+            for p in pareto_frontier() {
+                if p.capacity_per_pch() >= need {
+                    prop_assert!(sku.bw_per_cap >= p.bw_per_cap - 1e-9);
+                }
+            }
+        } else {
+            // Nothing fits: the need must exceed the largest SKU.
+            let max = pareto_frontier()
+                .iter()
+                .map(|p| p.capacity_per_pch())
+                .fold(0.0, f64::max);
+            prop_assert!(need > max);
+        }
+    }
+}
+
+#[test]
+fn pareto_frontier_has_no_dominated_points() {
+    let frontier = pareto_frontier();
+    assert!(frontier.len() >= 4, "frontier should offer several SKUs");
+    for a in &frontier {
+        for b in &frontier {
+            let strictly_better = b.capacity_bytes >= a.capacity_bytes
+                && b.energy_pj_per_bit < a.energy_pj_per_bit;
+            assert!(
+                !strictly_better,
+                "{} dominates {}",
+                b.config.label(),
+                a.config.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn simulator_is_deterministic_across_runs() {
+    let prec = Precision::mxfp4_inference();
+    let plan = ShardPlan::new(64, 16);
+    let model = ModelConfig::llama4_maverick();
+    let prog = compile_decode_step(&model, prec, 8, 16384, &plan);
+    let sim = Simulator::new(HbmCoConfig::candidate(), prec, plan, SimConfig::default());
+    let a = sim.run(&prog).unwrap();
+    let b = sim.run(&prog).unwrap();
+    assert_eq!(a.total_time_s.to_bits(), b.total_time_s.to_bits());
+    assert_eq!(a.streamed_bytes, b.streamed_bytes);
+    assert_eq!(a.energy.total().to_bits(), b.energy.total().to_bits());
+}
