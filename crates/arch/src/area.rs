@@ -145,7 +145,11 @@ mod tests {
         // ~832 KB of buffers at 4 MB/mm2 dwarfs 4 TMACs + VOPs: the RPU
         // spends its area on dataflow buffering, not arithmetic.
         let a = core_area(&CoreSpec::paper());
-        assert!(a.sram_fraction() > 0.5, "SRAM fraction {}", a.sram_fraction());
+        assert!(
+            a.sram_fraction() > 0.5,
+            "SRAM fraction {}",
+            a.sram_fraction()
+        );
         assert!(a.tmacs < a.sram);
     }
 
@@ -162,7 +166,11 @@ mod tests {
         // its 2 x 16 mm edges provide ample margin.
         let cu = CuSpec::paper();
         let need = hbm_shoreline_mm(512e9);
-        assert!(need < cu.shoreline_mm(), "need {need} mm vs have {}", cu.shoreline_mm());
+        assert!(
+            need < cu.shoreline_mm(),
+            "need {need} mm vs have {}",
+            cu.shoreline_mm()
+        );
     }
 
     #[test]
@@ -176,7 +184,10 @@ mod tests {
             "RPU shoreline at H100 area: {rpu_mm} mm (paper: ~600)"
         );
         let ratio = rpu_mm / H100_SHORELINE_MM;
-        assert!(ratio > 7.0 && ratio < 13.0, "shoreline ratio {ratio} (paper: ~10x)");
+        assert!(
+            ratio > 7.0 && ratio < 13.0,
+            "shoreline ratio {ratio} (paper: ~10x)"
+        );
     }
 
     #[test]

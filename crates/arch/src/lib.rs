@@ -29,7 +29,8 @@ mod spec;
 
 pub use area::{
     core_area, hbm_shoreline_mm, rpu_shoreline_at_h100_area, shoreline_per_area, CoreArea,
-    HBM_IO_GBPS_PER_MM, H100_DIE_MM2, H100_SHORELINE_MM, SRAM_MB_PER_MM2, TMAC_UM2, UCIE_GBPS_PER_MM,
+    H100_DIE_MM2, H100_SHORELINE_MM, HBM_IO_GBPS_PER_MM, SRAM_MB_PER_MM2, TMAC_UM2,
+    UCIE_GBPS_PER_MM,
 };
 pub use energy::EnergyCoeffs;
 pub use links::{

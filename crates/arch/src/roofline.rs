@@ -13,7 +13,10 @@ impl Roofline {
     /// Creates a roofline.
     #[must_use]
     pub fn new(peak_flops: f64, bandwidth: f64) -> Self {
-        Self { peak_flops, bandwidth }
+        Self {
+            peak_flops,
+            bandwidth,
+        }
     }
 
     /// Attainable throughput at arithmetic intensity `ai` (FLOPs/byte).

@@ -307,7 +307,10 @@ mod tests {
         let h100_area = 814.0; // mm^2
         let cus_matching_h100 = h100_area / cu.die_area_mm2();
         let shoreline = cus_matching_h100 * cu.shoreline_mm();
-        assert!(shoreline > 550.0 && shoreline < 650.0, "shoreline {shoreline}");
+        assert!(
+            shoreline > 550.0 && shoreline < 650.0,
+            "shoreline {shoreline}"
+        );
     }
 
     #[test]

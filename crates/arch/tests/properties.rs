@@ -4,14 +4,18 @@
 
 use proptest::prelude::*;
 use rpu_arch::{
-    cu_mem_power, cu_tdp, iso_tdp_cus, ring_broadcast_latency, ring_reduce_latency,
-    system_tdp, two_level_broadcast_latency, EnergyCoeffs, LinkSpec, Roofline, RpuConfig,
-    TwoLevelRing, MEM_POWER_FRACTION,
+    cu_mem_power, cu_tdp, iso_tdp_cus, ring_broadcast_latency, ring_reduce_latency, system_tdp,
+    two_level_broadcast_latency, EnergyCoeffs, LinkSpec, Roofline, RpuConfig, TwoLevelRing,
+    MEM_POWER_FRACTION,
 };
 use rpu_hbmco::HbmCoConfig;
 
 fn any_memory() -> impl Strategy<Value = HbmCoConfig> {
-    (1u32..=4, prop_oneof![Just(1u32), Just(2), Just(4)], prop_oneof![Just(0.5f64), Just(1.0)])
+    (
+        1u32..=4,
+        prop_oneof![Just(1u32), Just(2), Just(4)],
+        prop_oneof![Just(0.5f64), Just(1.0)],
+    )
         .prop_map(|(ranks, banks_per_group, subarray_scale)| HbmCoConfig {
             ranks,
             banks_per_group,
@@ -105,5 +109,9 @@ fn zero_cus_is_rejected() {
 #[test]
 fn compute_to_bandwidth_ratio_is_32() {
     let rpu = RpuConfig::new(64, HbmCoConfig::candidate()).unwrap();
-    assert!((rpu.ops_per_byte() - 32.0).abs() < 2.0, "Ops/Byte {}", rpu.ops_per_byte());
+    assert!(
+        (rpu.ops_per_byte() - 32.0).abs() < 2.0,
+        "Ops/Byte {}",
+        rpu.ops_per_byte()
+    );
 }

@@ -8,7 +8,12 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let a = ablations::run();
     expect_band("HBM-CO energy ratio", a.memory.energy_ratio, 1.5, 3.0);
-    expect_band("global-sync slowdown", a.decoupling.global_sync_slowdown, 1.1, 2.5);
+    expect_band(
+        "global-sync slowdown",
+        a.decoupling.global_sync_slowdown,
+        1.1,
+        2.5,
+    );
 
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);

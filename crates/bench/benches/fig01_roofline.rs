@@ -8,7 +8,12 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     // Validate the figure's headline shape once up front.
     let f = fig01_roofline::run();
-    expect_band("RPU/H100 bandwidth ratio", f.rpu.bandwidth / f.h100.bandwidth, 2.0, 10.0);
+    expect_band(
+        "RPU/H100 bandwidth ratio",
+        f.rpu.bandwidth / f.h100.bandwidth,
+        2.0,
+        10.0,
+    );
     expect_band("RPU ridge AI", f.rpu.ridge_ai(), 28.0, 36.0);
 
     c.bench_function("fig01_roofline", |b| {

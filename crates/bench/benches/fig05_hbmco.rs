@@ -9,7 +9,12 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let f = fig05_hbmco_tradeoffs::run();
     expect_band("HBM3e pJ/bit", f.hbm3e.energy_pj_per_bit, 3.27, 3.61);
-    expect_band("candidate pJ/bit", f.candidate.energy_pj_per_bit, 1.38, 1.52);
+    expect_band(
+        "candidate pJ/bit",
+        f.candidate.energy_pj_per_bit,
+        1.38,
+        1.52,
+    );
 
     c.bench_function("fig05_design_space_sweep", |b| {
         b.iter(|| black_box(fig05_hbmco_tradeoffs::run()));

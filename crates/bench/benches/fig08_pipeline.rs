@@ -20,8 +20,18 @@ fn bench(c: &mut Criterion) {
 
     let r1 = sim.run(&prog1).expect("BS=1 simulates");
     let r32 = sim.run(&prog32).expect("BS=32 simulates");
-    expect_band("BS=1 memory BW utilisation", r1.mem_bw_utilization(), 0.85, 1.0);
-    expect_band("BS=32 step slowdown", r32.total_time_s / r1.total_time_s, 5.0, 25.0);
+    expect_band(
+        "BS=1 memory BW utilisation",
+        r1.mem_bw_utilization(),
+        0.85,
+        1.0,
+    );
+    expect_band(
+        "BS=32 step slowdown",
+        r32.total_time_s / r1.total_time_s,
+        5.0,
+        25.0,
+    );
 
     c.bench_function("fig08_sim_bs1_16k", |b| {
         b.iter(|| black_box(sim.run(black_box(&prog1)).unwrap()));

@@ -128,7 +128,11 @@ mod tests {
     fn memory_dominates_cost() {
         let rpu = RpuConfig::new(128, HbmCoConfig::candidate()).unwrap();
         let c = system_cost(&rpu, &CostModel::paper());
-        assert!(c.memory / c.total() > 0.5, "memory share {}", c.memory / c.total());
+        assert!(
+            c.memory / c.total() > 0.5,
+            "memory share {}",
+            c.memory / c.total()
+        );
     }
 
     #[test]
@@ -139,7 +143,10 @@ mod tests {
         let m = CostModel::paper();
         let rpu = RpuConfig::new(
             428,
-            HbmCoConfig { subarray_scale: 0.5, ..HbmCoConfig::candidate() },
+            HbmCoConfig {
+                subarray_scale: 0.5,
+                ..HbmCoConfig::candidate()
+            },
         )
         .unwrap();
         let rpu_cost = system_cost(&rpu, &m).total();
@@ -155,12 +162,18 @@ mod tests {
         let m = CostModel::paper();
         let small = RpuConfig::new(
             64,
-            HbmCoConfig { ranks: 2, ..HbmCoConfig::candidate() },
+            HbmCoConfig {
+                ranks: 2,
+                ..HbmCoConfig::candidate()
+            },
         )
         .unwrap();
         let big = RpuConfig::new(
             256,
-            HbmCoConfig { subarray_scale: 0.5, ..HbmCoConfig::candidate() },
+            HbmCoConfig {
+                subarray_scale: 0.5,
+                ..HbmCoConfig::candidate()
+            },
         )
         .unwrap();
         let cs = system_cost(&small, &m);

@@ -33,20 +33,32 @@ impl ReasoningTask {
     /// Multi-step planning: short prompt, long deliberation.
     #[must_use]
     pub fn planning() -> Self {
-        Self { prompt_tokens: 2 * 1024, reasoning_tokens: 8 * 1024, answer_tokens: 1024 }
+        Self {
+            prompt_tokens: 2 * 1024,
+            reasoning_tokens: 8 * 1024,
+            answer_tokens: 1024,
+        }
     }
 
     /// Iterative coding: large context (repository excerpts), moderate
     /// deliberation.
     #[must_use]
     pub fn coding() -> Self {
-        Self { prompt_tokens: 16 * 1024, reasoning_tokens: 4 * 1024, answer_tokens: 2 * 1024 }
+        Self {
+            prompt_tokens: 16 * 1024,
+            reasoning_tokens: 4 * 1024,
+            answer_tokens: 2 * 1024,
+        }
     }
 
     /// Writing assistance: medium prompt, shallow deliberation.
     #[must_use]
     pub fn writing() -> Self {
-        Self { prompt_tokens: 4 * 1024, reasoning_tokens: 2 * 1024, answer_tokens: 2 * 1024 }
+        Self {
+            prompt_tokens: 4 * 1024,
+            reasoning_tokens: 2 * 1024,
+            answer_tokens: 2 * 1024,
+        }
     }
 
     /// Total generated (decode) tokens.
@@ -104,7 +116,11 @@ impl Deployment {
     /// (100 Gb Ethernet ≈ 12.5 GB/s).
     #[must_use]
     pub fn new(prefill: GpuSystem, decode: RpuSystem) -> Self {
-        Self { prefill, decode, kv_link_bytes_per_s: 12.5e9 }
+        Self {
+            prefill,
+            decode,
+            kv_link_bytes_per_s: 12.5e9,
+        }
     }
 
     /// Latency of one full reasoning turn for `model` on `task`,
@@ -122,12 +138,11 @@ impl Deployment {
         model: &ModelConfig,
         task: &ReasoningTask,
     ) -> Result<TurnLatency, SimError> {
-        let prefill_wl =
-            PrefillWorkload::new(model, self.decode.precision, 1, task.prompt_tokens);
+        let prefill_wl = PrefillWorkload::new(model, self.decode.precision, 1, task.prompt_tokens);
         let prefill_s = self.prefill.prefill_latency(&prefill_wl);
 
-        let kv_bytes = model.kv_bytes_per_token(self.decode.precision)
-            * f64::from(task.prompt_tokens);
+        let kv_bytes =
+            model.kv_bytes_per_token(self.decode.precision) * f64::from(task.prompt_tokens);
         let kv_transfer_s = kv_bytes / self.kv_link_bytes_per_s;
 
         let mid_seq = task.prompt_tokens + task.decode_tokens() / 2;
@@ -143,8 +158,12 @@ impl Deployment {
     /// decode), for comparison.
     #[must_use]
     pub fn gpu_only_turn_latency(&self, model: &ModelConfig, task: &ReasoningTask) -> TurnLatency {
-        let prefill_wl =
-            PrefillWorkload::new(model, rpu_models::Precision::gpu_w4a16(), 1, task.prompt_tokens);
+        let prefill_wl = PrefillWorkload::new(
+            model,
+            rpu_models::Precision::gpu_w4a16(),
+            1,
+            task.prompt_tokens,
+        );
         let prefill_s = self.prefill.prefill_latency(&prefill_wl);
         let mid_seq = task.prompt_tokens + task.decode_tokens() / 2;
         let wl = DecodeWorkload::new(model, rpu_models::Precision::gpu_w4a16(), 1, mid_seq);
@@ -184,15 +203,13 @@ mod tests {
 
     fn deployment_70b() -> (ModelConfig, Deployment) {
         let model = ModelConfig::llama3_70b();
-        let decode = RpuSystem::with_optimal_memory(
-            &model,
-            Precision::mxfp4_inference(),
-            1,
-            32 * 1024,
-            128,
+        let decode =
+            RpuSystem::with_optimal_memory(&model, Precision::mxfp4_inference(), 1, 32 * 1024, 128)
+                .expect("70B fits");
+        (
+            model,
+            Deployment::new(GpuSystem::new(GpuSpec::h100_sxm(), 4), decode),
         )
-        .expect("70B fits");
-        (model, Deployment::new(GpuSystem::new(GpuSpec::h100_sxm(), 4), decode))
     }
 
     #[test]
@@ -205,7 +222,11 @@ mod tests {
         let rpu = d.turn_latency(&model, &task).expect("simulates");
         let gpu = d.gpu_only_turn_latency(&model, &task);
         assert!(rpu.interactive(), "RPU turn {}s", rpu.total());
-        assert!(!gpu.interactive(), "GPU turn {}s should exceed 10s", gpu.total());
+        assert!(
+            !gpu.interactive(),
+            "GPU turn {}s should exceed 10s",
+            gpu.total()
+        );
         assert!(gpu.total() / rpu.total() > 5.0);
     }
 
@@ -214,15 +235,25 @@ mod tests {
         // Prefill and KV handoff are small against thousands of decode
         // steps.
         let (model, d) = deployment_70b();
-        let t = d.turn_latency(&model, &ReasoningTask::planning()).expect("simulates");
-        assert!(t.decode_s > 0.8 * t.total(), "decode share {}", t.decode_s / t.total());
+        let t = d
+            .turn_latency(&model, &ReasoningTask::planning())
+            .expect("simulates");
+        assert!(
+            t.decode_s > 0.8 * t.total(),
+            "decode share {}",
+            t.decode_s / t.total()
+        );
     }
 
     #[test]
     fn kv_transfer_scales_with_prompt() {
         let (model, d) = deployment_70b();
-        let short = d.turn_latency(&model, &ReasoningTask::writing()).expect("simulates");
-        let long = d.turn_latency(&model, &ReasoningTask::coding()).expect("simulates");
+        let short = d
+            .turn_latency(&model, &ReasoningTask::writing())
+            .expect("simulates");
+        let long = d
+            .turn_latency(&model, &ReasoningTask::coding())
+            .expect("simulates");
         assert!(long.kv_transfer_s > 2.0 * short.kv_transfer_s);
     }
 
@@ -239,7 +270,11 @@ mod tests {
 
     #[test]
     fn task_presets_are_consistent() {
-        for t in [ReasoningTask::planning(), ReasoningTask::coding(), ReasoningTask::writing()] {
+        for t in [
+            ReasoningTask::planning(),
+            ReasoningTask::coding(),
+            ReasoningTask::writing(),
+        ] {
             assert_eq!(t.decode_tokens(), t.reasoning_tokens + t.answer_tokens);
             assert_eq!(t.final_seq_len(), t.prompt_tokens + t.decode_tokens());
             assert!(t.reasoning_tokens > 0);

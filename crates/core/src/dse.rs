@@ -47,7 +47,9 @@ pub fn optimal_memory(
     seq_len: u32,
     num_cus: u32,
 ) -> Option<DesignPoint> {
-    select_sku(required_bytes_per_core(model, precision, batch, seq_len, num_cus))
+    select_sku(required_bytes_per_core(
+        model, precision, batch, seq_len, num_cus,
+    ))
 }
 
 #[cfg(test)]

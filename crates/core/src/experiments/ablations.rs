@@ -95,8 +95,7 @@ fn memory_ablation() -> MemoryAblation {
     let rep_e3 = e3.decode_step(&model, 1, seq).expect("sim");
 
     let cm = CostModel::paper();
-    let cost_ratio =
-        system_cost(&e3.arch, &cm).total() / system_cost(&co.arch, &cm).total();
+    let cost_ratio = system_cost(&e3.arch, &cm).total() / system_cost(&co.arch, &cm).total();
 
     // ISO-TDP: fix the budget at the HBM3e system's TDP and ask how many
     // CUs each memory choice affords; memory-bound latency scales
@@ -156,16 +155,25 @@ fn decoupling_ablation() -> DecouplingAblation {
     let cus = 64;
 
     let run = |batch: u32, seq: u32, cfg: SimConfig| {
-        let mut sys = RpuSystem::with_optimal_memory(&model, prec, batch, seq, cus)
-            .expect("8B fits");
+        let mut sys =
+            RpuSystem::with_optimal_memory(&model, prec, batch, seq, cus).expect("8B fits");
         sys.sim_config = cfg;
         sys.decode_step(&model, batch, seq).expect("sim")
     };
 
     let base = SimConfig::default();
-    let coupled = SimConfig { coupled_pipelines: true, ..base };
-    let global = SimConfig { global_sync: true, ..base };
-    let no_decode = SimConfig { stream_decode: false, ..base };
+    let coupled = SimConfig {
+        coupled_pipelines: true,
+        ..base
+    };
+    let global = SimConfig {
+        global_sync: true,
+        ..base
+    };
+    let no_decode = SimConfig {
+        stream_decode: false,
+        ..base
+    };
 
     let bs1 = run(1, 16 * 1024, base);
     let bs1_coupled = run(1, 16 * 1024, coupled);
@@ -201,8 +209,18 @@ impl Ablations {
             &["ablation", "metric", "measured", "paper"],
         );
         let m = &self.memory;
-        t.row(&["HBM-CO vs HBM3e".into(), "energy/inf".into(), num(m.energy_ratio, 2), "2.2x".into()]);
-        t.row(&["HBM-CO vs HBM3e".into(), "system cost".into(), num(m.cost_ratio, 2), "12.4x".into()]);
+        t.row(&[
+            "HBM-CO vs HBM3e".into(),
+            "energy/inf".into(),
+            num(m.energy_ratio, 2),
+            "2.2x".into(),
+        ]);
+        t.row(&[
+            "HBM-CO vs HBM3e".into(),
+            "system cost".into(),
+            num(m.cost_ratio, 2),
+            "12.4x".into(),
+        ]);
         t.row(&[
             "HBM-CO vs HBM3e".into(),
             "ISO-TDP latency".into(),
@@ -210,8 +228,18 @@ impl Ablations {
             "2.1x".into(),
         ]);
         let p = &self.provisioning;
-        t.row(&["provisioning".into(), "die cost".into(), num(p.die_cost_ratio, 2), "3.3x".into()]);
-        t.row(&["provisioning".into(), "TDP util".into(), num(p.tdp_util_ratio, 2), "2.6x".into()]);
+        t.row(&[
+            "provisioning".into(),
+            "die cost".into(),
+            num(p.die_cost_ratio, 2),
+            "3.3x".into(),
+        ]);
+        t.row(&[
+            "provisioning".into(),
+            "TDP util".into(),
+            num(p.tdp_util_ratio, 2),
+            "2.6x".into(),
+        ]);
         t.row(&[
             "provisioning".into(),
             "ISO-TDP latency".into(),
@@ -219,10 +247,30 @@ impl Ablations {
             "2.2x".into(),
         ]);
         let d = &self.decoupling;
-        t.row(&["decoupling".into(), "BS=1 coupled".into(), num(d.coupled_bs1_slowdown, 2), "1.2x".into()]);
-        t.row(&["decoupling".into(), "BS=32 coupled".into(), num(d.coupled_bs32_slowdown, 2), "1.6x".into()]);
-        t.row(&["decoupling".into(), "global sync".into(), num(d.global_sync_slowdown, 2), "2.0x".into()]);
-        t.row(&["decoupling".into(), "SRAM energy".into(), num(d.sram_energy_ratio, 2), "1.7x".into()]);
+        t.row(&[
+            "decoupling".into(),
+            "BS=1 coupled".into(),
+            num(d.coupled_bs1_slowdown, 2),
+            "1.2x".into(),
+        ]);
+        t.row(&[
+            "decoupling".into(),
+            "BS=32 coupled".into(),
+            num(d.coupled_bs32_slowdown, 2),
+            "1.6x".into(),
+        ]);
+        t.row(&[
+            "decoupling".into(),
+            "global sync".into(),
+            num(d.global_sync_slowdown, 2),
+            "2.0x".into(),
+        ]);
+        t.row(&[
+            "decoupling".into(),
+            "SRAM energy".into(),
+            num(d.sram_energy_ratio, 2),
+            "1.7x".into(),
+        ]);
         t
     }
 }
@@ -234,8 +282,16 @@ mod tests {
     #[test]
     fn memory_ablation_matches_paper_bands() {
         let m = memory_ablation();
-        assert!(m.energy_ratio > 1.5 && m.energy_ratio < 3.0, "energy {}", m.energy_ratio);
-        assert!(m.cost_ratio > 8.0 && m.cost_ratio < 16.0, "cost {}", m.cost_ratio);
+        assert!(
+            m.energy_ratio > 1.5 && m.energy_ratio < 3.0,
+            "energy {}",
+            m.energy_ratio
+        );
+        assert!(
+            m.cost_ratio > 8.0 && m.cost_ratio < 16.0,
+            "cost {}",
+            m.cost_ratio
+        );
         assert!(
             m.iso_tdp_latency_ratio > 1.3 && m.iso_tdp_latency_ratio < 3.0,
             "iso-tdp {}",
@@ -247,8 +303,16 @@ mod tests {
     fn provisioning_ablation_matches_paper_bands() {
         let p = provisioning_ablation();
         assert!((p.rpu_ops_per_byte - 32.0).abs() < 2.0);
-        assert!(p.die_cost_ratio > 2.5 && p.die_cost_ratio < 5.0, "die {}", p.die_cost_ratio);
-        assert!(p.tdp_util_ratio > 1.8 && p.tdp_util_ratio < 4.0, "tdp {}", p.tdp_util_ratio);
+        assert!(
+            p.die_cost_ratio > 2.5 && p.die_cost_ratio < 5.0,
+            "die {}",
+            p.die_cost_ratio
+        );
+        assert!(
+            p.tdp_util_ratio > 1.8 && p.tdp_util_ratio < 4.0,
+            "tdp {}",
+            p.tdp_util_ratio
+        );
         assert!(
             p.iso_tdp_latency_ratio > 1.6 && p.iso_tdp_latency_ratio < 4.0,
             "latency {}",

@@ -125,7 +125,9 @@ impl DesignPoints {
     /// The point matching `label` and `model`, if present.
     #[must_use]
     pub fn point(&self, label: &str, model: &str) -> Option<&DesignPoint> {
-        self.points.iter().find(|p| p.label == label && p.model == model)
+        self.points
+            .iter()
+            .find(|p| p.label == label && p.model == model)
     }
 
     /// Renders the design points.
@@ -133,7 +135,15 @@ impl DesignPoints {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Design points (§VIII): edge, datacenter and peak deployments",
-            &["deployment", "model", "CUs", "TDP (W)", "BW/Cap", "ms/token", "mem BW (TB/s)"],
+            &[
+                "deployment",
+                "model",
+                "CUs",
+                "TDP (W)",
+                "BW/Cap",
+                "ms/token",
+                "mem BW (TB/s)",
+            ],
         );
         for p in &self.points {
             t.row(&[
@@ -177,7 +187,11 @@ mod tests {
         // Paper: 3.5 ms/token at 220 W.
         let d = run();
         let p = d.point("edge", "Llama3-70B").unwrap();
-        assert!(p.ms_per_token > 1.5 && p.ms_per_token < 7.0, "{}", p.ms_per_token);
+        assert!(
+            p.ms_per_token > 1.5 && p.ms_per_token < 7.0,
+            "{}",
+            p.ms_per_token
+        );
     }
 
     #[test]
@@ -187,7 +201,10 @@ mod tests {
             let edge = d.point("edge", model).unwrap();
             let dc = d.point("datacenter", model).unwrap();
             assert!(dc.ms_per_token < edge.ms_per_token, "{model}");
-            assert!(dc.bw_per_cap >= edge.bw_per_cap, "{model}: bigger scale, higher BW/Cap");
+            assert!(
+                dc.bw_per_cap >= edge.bw_per_cap,
+                "{model}: bigger scale, higher BW/Cap"
+            );
         }
     }
 
@@ -198,7 +215,11 @@ mod tests {
         let d = run();
         let p = d.point("peak", "Llama3-405B").unwrap();
         assert!(p.mem_bw_tb_s > 200.0, "405B peak BW {}", p.mem_bw_tb_s);
-        assert!(p.ms_per_token > 0.3 && p.ms_per_token < 3.0, "{}", p.ms_per_token);
+        assert!(
+            p.ms_per_token > 0.3 && p.ms_per_token < 3.0,
+            "{}",
+            p.ms_per_token
+        );
     }
 
     #[test]

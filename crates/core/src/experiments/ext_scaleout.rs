@@ -55,11 +55,23 @@ pub fn run() -> ExtScaleout {
             continue;
         };
         let flat_s = sys.token_latency(&model, 1, seq).expect("flat simulates");
-        sys.sim_config = SimConfig { two_level_ring: true, ..SimConfig::default() };
-        let two_level_s = sys.token_latency(&model, 1, seq).expect("two-level simulates");
-        points.push(ScaleoutPoint { num_cus: cus, flat_s, two_level_s });
+        sys.sim_config = SimConfig {
+            two_level_ring: true,
+            ..SimConfig::default()
+        };
+        let two_level_s = sys
+            .token_latency(&model, 1, seq)
+            .expect("two-level simulates");
+        points.push(ScaleoutPoint {
+            num_cus: cus,
+            flat_s,
+            two_level_s,
+        });
     }
-    ExtScaleout { model: model.name, points }
+    ExtScaleout {
+        model: model.name,
+        points,
+    }
 }
 
 impl ExtScaleout {

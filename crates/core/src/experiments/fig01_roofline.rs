@@ -43,7 +43,9 @@ fn is_moe(kind: KernelKind) -> bool {
 
 /// Average AI of a set of kernels within a decode step.
 fn kernels_ai<'a>(kernels: impl Iterator<Item = &'a Kernel>) -> f64 {
-    let (f, b) = kernels.fold((0.0, 0.0), |(f, b), k| (f + k.flops, b + k.streaming_bytes()));
+    let (f, b) = kernels.fold((0.0, 0.0), |(f, b), k| {
+        (f + k.flops, b + k.streaming_bytes())
+    });
     if b == 0.0 {
         0.0
     } else {
@@ -72,9 +74,18 @@ pub fn run() -> Fig01 {
                 .filter(|k| k.class == KernelClass::Vmm && !is_moe(k.kind)),
         );
         let moe = kernels_ai(wl.kernels().iter().filter(|k| is_moe(k.kind)));
-        let sdpa = kernels_ai(wl.kernels().iter().filter(|k| k.class == KernelClass::Attention));
+        let sdpa = kernels_ai(
+            wl.kernels()
+                .iter()
+                .filter(|k| k.class == KernelClass::Attention),
+        );
         let avg = wl.arithmetic_intensity();
-        for (name, ai) in [("Linear", linear), ("MoE", moe), ("SDPA", sdpa), ("Avg.", avg)] {
+        for (name, ai) in [
+            ("Linear", linear),
+            ("MoE", moe),
+            ("SDPA", sdpa),
+            ("Avg.", avg),
+        ] {
             points.push(KernelPoint {
                 label: format!("BS={batch} {name}"),
                 ai,
@@ -94,7 +105,12 @@ pub fn run() -> Fig01 {
         })
         .collect();
 
-    Fig01 { h100, rpu, points, ai_vs_batch }
+    Fig01 {
+        h100,
+        rpu,
+        points,
+        ai_vs_batch,
+    }
 }
 
 impl Fig01 {
@@ -103,7 +119,12 @@ impl Fig01 {
     pub fn tables(&self) -> Vec<Table> {
         let mut t1 = Table::new(
             "Fig. 1 (left): rooflines and kernel points (Llama4-Maverick, 8K, FP4)",
-            &["point", "AI (FLOP/B)", "RPU-40CU (TFLOP/s)", "H100 (TFLOP/s)"],
+            &[
+                "point",
+                "AI (FLOP/B)",
+                "RPU-40CU (TFLOP/s)",
+                "H100 (TFLOP/s)",
+            ],
         );
         t1.row(&[
             "RPU ridge".into(),
@@ -157,7 +178,10 @@ mod tests {
         let (bn, dn, mn) = *f.ai_vs_batch.last().unwrap();
         assert_eq!((b0, bn), (1, 32));
         assert!(dn > d0 && mn > m0);
-        assert!(mn < 64.0, "MoE BS=32 AI {mn} must stay below the H100 ridge");
+        assert!(
+            mn < 64.0,
+            "MoE BS=32 AI {mn} must stay below the H100 ridge"
+        );
     }
 
     #[test]
@@ -181,7 +205,12 @@ mod tests {
         let f = run();
         let linear = f.points.iter().find(|p| p.label == "BS=32 Linear").unwrap();
         let moe = f.points.iter().find(|p| p.label == "BS=32 MoE").unwrap();
-        assert!(moe.ai < 0.5 * linear.ai, "MoE {} vs Linear {}", moe.ai, linear.ai);
+        assert!(
+            moe.ai < 0.5 * linear.ai,
+            "MoE {} vs Linear {}",
+            moe.ai,
+            linear.ai
+        );
     }
 
     #[test]

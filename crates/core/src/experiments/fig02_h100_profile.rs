@@ -52,8 +52,7 @@ pub fn run() -> Fig02 {
     let prefill = PrefillWorkload::new(&model, prec, 32, 16 * 1024);
     let prefill_time_s = gpus.prefill_latency(&prefill);
     let prefill_comp_util = rpu_gpu::PREFILL_COMPUTE_UTIL;
-    let prefill_power_w =
-        rpu_gpu::gpu_power_w(&gpus.spec, prefill_comp_util, 0.35);
+    let prefill_power_w = rpu_gpu::gpu_power_w(&gpus.spec, prefill_comp_util, 0.35);
 
     // Decode at mid-generation context (16k prompt + ~1k generated).
     let decode = DecodeWorkload::new(&model, prec, 32, 17 * 1024);
@@ -134,7 +133,11 @@ impl Fig02 {
             &["matrix", "capacity (KB)", "BW util"],
         );
         for p in &self.bw_points {
-            t2.row(&[p.label.clone(), num(p.capacity_bytes / KIB, 0), num(p.bw_util, 3)]);
+            t2.row(&[
+                p.label.clone(),
+                num(p.capacity_bytes / KIB, 0),
+                num(p.bw_util, 3),
+            ]);
         }
         vec![t1, t2]
     }
@@ -153,7 +156,10 @@ mod tests {
             "decode power {}",
             f.decode_power_w
         );
-        assert!(f.decode_power_w / 700.0 < 0.5, "decode must sit far below TDP");
+        assert!(
+            f.decode_power_w / 700.0 < 0.5,
+            "decode must sit far below TDP"
+        );
     }
 
     #[test]
@@ -178,8 +184,16 @@ mod tests {
     fn full_bw_needs_gigabyte_working_sets() {
         // Paper: full bandwidth only when the working set exceeds ~1 GB.
         let f = run();
-        let huge = f.bw_points.iter().find(|p| p.label.contains("huge")).unwrap();
-        let tiny = f.bw_points.iter().find(|p| p.label.contains("tiny")).unwrap();
+        let huge = f
+            .bw_points
+            .iter()
+            .find(|p| p.label.contains("huge"))
+            .unwrap();
+        let tiny = f
+            .bw_points
+            .iter()
+            .find(|p| p.label.contains("tiny"))
+            .unwrap();
         assert!(huge.bw_util > 0.9);
         assert!(tiny.bw_util < 0.2);
         // Real LLM matrices sit well below full utilisation.
@@ -191,8 +205,16 @@ mod tests {
     #[test]
     fn bigger_matrices_utilise_more_bandwidth() {
         let f = run();
-        let small = f.bw_points.iter().find(|p| p.label == "llama3-8B wO").unwrap();
-        let big = f.bw_points.iter().find(|p| p.label == "llama3-70B wUpGate").unwrap();
+        let small = f
+            .bw_points
+            .iter()
+            .find(|p| p.label == "llama3-8B wO")
+            .unwrap();
+        let big = f
+            .bw_points
+            .iter()
+            .find(|p| p.label == "llama3-70B wUpGate")
+            .unwrap();
         assert!(big.capacity_bytes > small.capacity_bytes);
         assert!(big.bw_util > small.bw_util);
     }

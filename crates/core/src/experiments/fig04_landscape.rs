@@ -57,7 +57,11 @@ pub fn run() -> Fig04 {
         latency_per_token: rpu_hbmco::ideal_token_latency(co.bw_per_cap()),
         goldilocks: in_goldilocks(co.bw_per_cap()),
     };
-    Fig04 { commercial, hbmco_span: span, candidate }
+    Fig04 {
+        commercial,
+        hbmco_span: span,
+        candidate,
+    }
 }
 
 impl Fig04 {
@@ -66,14 +70,27 @@ impl Fig04 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Fig. 4: memory technology landscape (100% capacity utilisation)",
-            &["technology", "BW/Cap (1/s)", "latency/token (ms)", "Goldilocks?"],
+            &[
+                "technology",
+                "BW/Cap (1/s)",
+                "latency/token (ms)",
+                "Goldilocks?",
+            ],
         );
-        for p in self.commercial.iter().chain(std::iter::once(&self.candidate)) {
+        for p in self
+            .commercial
+            .iter()
+            .chain(std::iter::once(&self.candidate))
+        {
             t.row(&[
                 p.name.clone(),
                 num(p.bw_per_cap, 1),
                 num(p.latency_per_token * 1e3, 3),
-                if p.goldilocks { "yes".into() } else { "-".into() },
+                if p.goldilocks {
+                    "yes".into()
+                } else {
+                    "-".into()
+                },
             ]);
         }
         t.row(&[
@@ -104,7 +121,11 @@ mod tests {
     #[test]
     fn candidate_fills_the_gap() {
         let f = run();
-        assert!(f.candidate.goldilocks, "candidate BW/Cap {}", f.candidate.bw_per_cap);
+        assert!(
+            f.candidate.goldilocks,
+            "candidate BW/Cap {}",
+            f.candidate.bw_per_cap
+        );
         // ~2.9 ms ideal token latency (paper, §III).
         assert!(f.candidate.latency_per_token > 2.0e-3 && f.candidate.latency_per_token < 4.0e-3);
     }
@@ -113,8 +134,16 @@ mod tests {
     fn dram_below_sram_above() {
         // DRAM-class techs sit below the band, SRAM far above it.
         let f = run();
-        let hbm = f.commercial.iter().find(|p| p.name.contains("HBM3e")).unwrap();
-        let sram = f.commercial.iter().find(|p| p.name.contains("SRAM")).unwrap();
+        let hbm = f
+            .commercial
+            .iter()
+            .find(|p| p.name.contains("HBM3e"))
+            .unwrap();
+        let sram = f
+            .commercial
+            .iter()
+            .find(|p| p.name.contains("SRAM"))
+            .unwrap();
         assert!(hbm.bw_per_cap < GOLDILOCKS_BW_PER_CAP.0);
         assert!(sram.bw_per_cap > GOLDILOCKS_BW_PER_CAP.1);
     }
@@ -131,7 +160,11 @@ mod tests {
         let f = run();
         for p in &f.commercial {
             let expect = 1.0 / p.bw_per_cap;
-            assert!((p.latency_per_token - expect).abs() / expect < 1e-9, "{}", p.name);
+            assert!(
+                (p.latency_per_token - expect).abs() / expect < 1e-9,
+                "{}",
+                p.name
+            );
         }
     }
 

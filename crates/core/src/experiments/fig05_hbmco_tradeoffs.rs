@@ -55,15 +55,26 @@ impl Fig05 {
                 num(p.capacity_bytes / GIB, 2),
                 num(self.norm_cost_per_gb(p), 2),
             ]);
-            t2.row(&[p.config.label(), num(p.bw_per_cap, 0), num(p.energy_pj_per_bit, 2)]);
+            t2.row(&[
+                p.config.label(),
+                num(p.bw_per_cap, 0),
+                num(p.energy_pj_per_bit, 2),
+            ]);
         }
-        for (name, p) in [("HBM3e anchor", &self.hbm3e), ("Candidate HBM-CO", &self.candidate)] {
+        for (name, p) in [
+            ("HBM3e anchor", &self.hbm3e),
+            ("Candidate HBM-CO", &self.candidate),
+        ] {
             t1.row(&[
                 format!("{name} ({})", p.config.label()),
                 num(p.capacity_bytes / GIB, 2),
                 num(self.norm_cost_per_gb(p), 2),
             ]);
-            t2.row(&[name.to_string(), num(p.bw_per_cap, 0), num(p.energy_pj_per_bit, 2)]);
+            t2.row(&[
+                name.to_string(),
+                num(p.bw_per_cap, 0),
+                num(p.energy_pj_per_bit, 2),
+            ]);
         }
         vec![t1, t2]
     }
@@ -78,8 +89,18 @@ mod tests {
     fn anchors_match_paper() {
         let f = run();
         assert_approx(f.hbm3e.energy_pj_per_bit, 3.44, 0.05, "HBM3e pJ/bit");
-        assert_approx(f.candidate.energy_pj_per_bit, 1.45, 0.05, "candidate pJ/bit");
-        assert_approx(f.norm_cost_per_gb(&f.candidate), 1.81, 0.10, "candidate cost/GB");
+        assert_approx(
+            f.candidate.energy_pj_per_bit,
+            1.45,
+            0.05,
+            "candidate pJ/bit",
+        );
+        assert_approx(
+            f.norm_cost_per_gb(&f.candidate),
+            1.81,
+            0.10,
+            "candidate cost/GB",
+        );
     }
 
     #[test]
@@ -123,7 +144,11 @@ mod tests {
         // Paper plots BW/Cap up to ~700/s and capacities up to ~50 GB.
         let f = run();
         let max_bwcap = f.points.iter().map(|p| p.bw_per_cap).fold(0.0, f64::max);
-        let max_cap = f.points.iter().map(|p| p.capacity_bytes).fold(0.0, f64::max);
+        let max_cap = f
+            .points
+            .iter()
+            .map(|p| p.capacity_bytes)
+            .fold(0.0, f64::max);
         assert!(max_bwcap > 600.0, "max BW/Cap {max_bwcap}");
         assert!(max_cap > 40.0 * GIB, "max capacity {max_cap}");
     }

@@ -38,8 +38,14 @@ fn simulate(batch: u32, seq_len: u32) -> Scenario {
         trace_bin_s: Some(50e-9),
         ..SimConfig::default()
     };
-    let report = sys.decode_step(&model, batch, seq_len).expect("simulation succeeds");
-    Scenario { batch, seq_len, report }
+    let report = sys
+        .decode_step(&model, batch, seq_len)
+        .expect("simulation succeeds");
+    Scenario {
+        batch,
+        seq_len,
+        report,
+    }
 }
 
 /// Runs both Fig. 8 scenarios.

@@ -110,7 +110,11 @@ pub fn run() -> Fig09 {
         .min_by(|a, b| a.1.system_capacity.total_cmp(&b.1.system_capacity))
         .map(|(i, _)| i)
         .expect("405B fits a 64-CU RPU with some SKU");
-    Fig09 { entries, model_capacity: footprint, optimal }
+    Fig09 {
+        entries,
+        model_capacity: footprint,
+        optimal,
+    }
 }
 
 impl Fig09 {
@@ -143,7 +147,11 @@ impl Fig09 {
                 num(e.system_capacity / GB, 0),
                 num(e.norm_energy, 3),
                 e.step.clone(),
-                if e.feasible { "yes".into() } else { "capacity-limited".into() },
+                if e.feasible {
+                    "yes".into()
+                } else {
+                    "capacity-limited".into()
+                },
             ]);
         }
         t.row(&[
@@ -204,10 +212,7 @@ mod tests {
         // scale".
         let f = run();
         let opt = f.optimal_entry().norm_energy;
-        assert!(f
-            .entries
-            .iter()
-            .any(|e| !e.feasible && e.norm_energy < opt));
+        assert!(f.entries.iter().any(|e| !e.feasible && e.norm_energy < opt));
     }
 
     #[test]
@@ -215,7 +220,11 @@ mod tests {
         let f = run();
         // Every non-first entry must name at least one reduced structure.
         for e in &f.entries[1..] {
-            assert!(!e.step.is_empty(), "missing step annotation for {}", e.point.config.label());
+            assert!(
+                !e.step.is_empty(),
+                "missing step annotation for {}",
+                e.point.config.label()
+            );
         }
     }
 

@@ -62,7 +62,10 @@ pub fn run() -> Fig10 {
         .find(|c| c.batch == 1 && c.seq_len == 8192)
         .expect("reference cell present")
         .token_latency_s;
-    Fig10 { cells, reference_latency_s }
+    Fig10 {
+        cells,
+        reference_latency_s,
+    }
 }
 
 fn cell(model: &ModelConfig, prec: Precision, batch: u32, seq: u32) -> SkuCell {
@@ -106,7 +109,9 @@ impl Fig10 {
     /// The cell for `(batch, seq_len)`.
     #[must_use]
     pub fn cell(&self, batch: u32, seq_len: u32) -> Option<&SkuCell> {
-        self.cells.iter().find(|c| c.batch == batch && c.seq_len == seq_len)
+        self.cells
+            .iter()
+            .find(|c| c.batch == batch && c.seq_len == seq_len)
     }
 
     /// Slowdown of a cell versus the BS=1 / 8K reference.
@@ -132,7 +137,8 @@ impl Fig10 {
                 seq.clone(),
                 c.batch.to_string(),
                 c.bw_per_cap.map_or("-".into(), |v| num(v, 0)),
-                c.system_capacity.map_or("over capacity".into(), |v| num(v / GB, 0)),
+                c.system_capacity
+                    .map_or("over capacity".into(), |v| num(v / GB, 0)),
             ]);
             t2.row(&[
                 seq,
@@ -192,7 +198,11 @@ mod tests {
         let c = f.cell(8, 131_072).unwrap();
         assert!(c.kv_share > 0.4, "KV share {}", c.kv_share);
         let short = f.cell(1, 8192).unwrap();
-        assert!(short.kv_share < 0.2, "short-context KV share {}", short.kv_share);
+        assert!(
+            short.kv_share < 0.2,
+            "short-context KV share {}",
+            short.kv_share
+        );
     }
 
     #[test]

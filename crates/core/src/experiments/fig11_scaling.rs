@@ -84,7 +84,13 @@ pub const CU_SWEEP: [u32; 12] = [4, 8, 16, 32, 64, 96, 128, 192, 256, 308, 428, 
 /// Batch sizes for the bottom panels.
 pub const BATCH_SWEEP: [u32; 5] = [1, 8, 32, 64, 128];
 
-fn rpu_latency(model: &ModelConfig, prec: Precision, cus: u32, batch: u32, seq: u32) -> Option<f64> {
+fn rpu_latency(
+    model: &ModelConfig,
+    prec: Precision,
+    cus: u32,
+    batch: u32,
+    seq: u32,
+) -> Option<f64> {
     let sys = RpuSystem::with_optimal_memory(model, prec, batch, seq, cus).ok()?;
     sys.token_latency(model, batch, seq).ok()
 }
@@ -100,7 +106,11 @@ pub fn run() -> Fig11 {
         let mut points = Vec::new();
         for &cus in &CU_SWEEP {
             if let Some(latency_s) = rpu_latency(&model, prec, cus, 1, seq) {
-                points.push(ScalePoint { num_cus: cus, latency_s, speedup: 0.0 });
+                points.push(ScalePoint {
+                    num_cus: cus,
+                    latency_s,
+                    speedup: 0.0,
+                });
             }
         }
         if let Some(base) = points.first().map(|p| p.latency_s) {
@@ -108,7 +118,10 @@ pub fn run() -> Fig11 {
                 p.speedup = base / p.latency_s;
             }
         }
-        scaling.push(ModelScaling { model: model.name, points });
+        scaling.push(ModelScaling {
+            model: model.name,
+            points,
+        });
     }
 
     // ISO-TDP markers: the paper pairs (70B, 2xH100) and (405B, 4xH100),
@@ -126,11 +139,7 @@ pub fn run() -> Fig11 {
         let gpu_latency_s = gpus.decode_step_latency(&wl);
         // ISO-TDP CU count with the workload's optimal SKU at that scale
         // (fixed point: the SKU choice barely moves CU TDP).
-        let mut iso_cus = iso_tdp_cus(
-            gpus.tdp_w(),
-            rpu_hbmco::HbmCoConfig::candidate(),
-            &coeffs,
-        );
+        let mut iso_cus = iso_tdp_cus(gpus.tdp_w(), rpu_hbmco::HbmCoConfig::candidate(), &coeffs);
         let mut rpu_latency_s = rpu_latency(&model, prec, iso_cus, 1, seq);
         // If the model does not fit at ISO-TDP scale, grow to the
         // smallest fitting count (the paper's markers always fit).
@@ -174,7 +183,11 @@ pub fn run() -> Fig11 {
         }
     }
 
-    Fig11 { scaling, markers, batched }
+    Fig11 {
+        scaling,
+        markers,
+        batched,
+    }
 }
 
 impl Fig11 {
@@ -209,7 +222,14 @@ impl Fig11 {
         }
         let mut tm = Table::new(
             "Fig. 11 (top): H100 ISO-TDP markers",
-            &["model", "GPUs", "GPU ms/tok", "ISO CUs", "RPU ms/tok", "speedup"],
+            &[
+                "model",
+                "GPUs",
+                "GPU ms/tok",
+                "ISO CUs",
+                "RPU ms/tok",
+                "speedup",
+            ],
         );
         for mk in &self.markers {
             tm.row(&[
@@ -223,7 +243,13 @@ impl Fig11 {
         }
         let mut t2 = Table::new(
             "Fig. 11 (bottom): OTPS/query and BW util vs batch (128 CUs vs 8xH200)",
-            &["model", "batch", "RPU OTPS/query", "8xH200 OTPS/query", "RPU BW util"],
+            &[
+                "model",
+                "batch",
+                "RPU OTPS/query",
+                "8xH200 OTPS/query",
+                "RPU BW util",
+            ],
         );
         for b in &self.batched {
             t2.row(&[
@@ -249,8 +275,16 @@ mod tests {
         let f = run();
         let m70 = f.marker("Llama3-70B").unwrap();
         let m405 = f.marker("Llama3-405B").unwrap();
-        assert!(m70.speedup() > 15.0 && m70.speedup() < 90.0, "70B {}", m70.speedup());
-        assert!(m405.speedup() > 15.0 && m405.speedup() < 90.0, "405B {}", m405.speedup());
+        assert!(
+            m70.speedup() > 15.0 && m70.speedup() < 90.0,
+            "70B {}",
+            m70.speedup()
+        );
+        assert!(
+            m405.speedup() > 15.0 && m405.speedup() < 90.0,
+            "405B {}",
+            m405.speedup()
+        );
     }
 
     #[test]
@@ -269,7 +303,10 @@ mod tests {
         let mid = &s.points[s.points.len() / 2];
         let early_gain = mid.speedup / first.speedup;
         let late_gain = last.speedup / mid.speedup;
-        assert!(late_gain < early_gain, "early {early_gain} late {late_gain}");
+        assert!(
+            late_gain < early_gain,
+            "early {early_gain} late {late_gain}"
+        );
     }
 
     #[test]
@@ -285,7 +322,11 @@ mod tests {
             .iter()
             .find(|p| p.num_cus == 192)
             .unwrap();
-        assert!(p70.latency_s > 0.1e-3 && p70.latency_s < 1.2e-3, "70B {}", p70.latency_s);
+        assert!(
+            p70.latency_s > 0.1e-3 && p70.latency_s < 1.2e-3,
+            "70B {}",
+            p70.latency_s
+        );
         let p405 = f
             .model_scaling("Llama3-405B")
             .unwrap()
@@ -293,15 +334,18 @@ mod tests {
             .iter()
             .find(|p| p.num_cus == 428)
             .unwrap();
-        assert!(p405.latency_s > 0.3e-3 && p405.latency_s < 3e-3, "405B {}", p405.latency_s);
+        assert!(
+            p405.latency_s > 0.3e-3 && p405.latency_s < 3e-3,
+            "405B {}",
+            p405.latency_s
+        );
     }
 
     #[test]
     fn otps_per_query_decreases_with_batch() {
         let f = run();
         for model in ["Llama3-70B", "Llama4-Maverick"] {
-            let series: Vec<&BatchPoint> =
-                f.batched.iter().filter(|b| b.model == model).collect();
+            let series: Vec<&BatchPoint> = f.batched.iter().filter(|b| b.model == model).collect();
             for w in series.windows(2) {
                 assert!(
                     w[1].rpu_otps_per_query <= w[0].rpu_otps_per_query * 1.02,
@@ -338,7 +382,11 @@ mod tests {
             .iter()
             .find(|b| b.model == "Llama4-Maverick" && b.batch == 128);
         if let Some(m) = mav {
-            assert!(m.rpu_bw_util > 0.5, "Maverick@128 BW util {}", m.rpu_bw_util);
+            assert!(
+                m.rpu_bw_util > 0.5,
+                "Maverick@128 BW util {}",
+                m.rpu_bw_util
+            );
         }
         let b405 = f
             .batched
@@ -350,7 +398,10 @@ mod tests {
                 .iter()
                 .find(|b| b.model == "Llama3-405B" && b.batch == 1)
                 .unwrap();
-            assert!(p.rpu_bw_util < low.rpu_bw_util, "405B util must fall with batch");
+            assert!(
+                p.rpu_bw_util < low.rpu_bw_util,
+                "405B util must fall with batch"
+            );
         }
     }
 

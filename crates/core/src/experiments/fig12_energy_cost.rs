@@ -98,9 +98,11 @@ pub fn run() -> Fig12 {
             .map(|(m, c, n)| m + c + n)
             .unwrap_or(f64::NAN);
         let cost = system_cost(&sys.arch, &cost_model);
-        let cost_hbm3e =
-            system_cost(&RpuConfig::new(cus, hbm3e_class_sku()).expect("valid"), &cost_model)
-                .total();
+        let cost_hbm3e = system_cost(
+            &RpuConfig::new(cus, hbm3e_class_sku()).expect("valid"),
+            &cost_model,
+        )
+        .total();
         samples.push(ScaleSample {
             num_cus: cus,
             bw_per_cap: sku.bw_per_cap,
@@ -134,7 +136,15 @@ impl Fig12 {
     pub fn tables(&self) -> Vec<Table> {
         let mut t1 = Table::new(
             "Fig. 12 (top): energy per inference, Llama3-405B BS=1",
-            &["CUs", "BW/Cap", "EPI mem (J)", "EPI comp (J)", "EPI net (J)", "EPI (J)", "EPI w/ HBM3e (J)"],
+            &[
+                "CUs",
+                "BW/Cap",
+                "EPI mem (J)",
+                "EPI comp (J)",
+                "EPI net (J)",
+                "EPI (J)",
+                "EPI w/ HBM3e (J)",
+            ],
         );
         for s in &self.samples {
             t1.row(&[
@@ -159,7 +169,15 @@ impl Fig12 {
         let norm = self.cost_norm();
         let mut t2 = Table::new(
             "Fig. 12 (bottom): normalised system cost",
-            &["CUs", "silicon", "memory", "substrate", "PCB", "total", "w/ HBM3e"],
+            &[
+                "CUs",
+                "silicon",
+                "memory",
+                "substrate",
+                "PCB",
+                "total",
+                "w/ HBM3e",
+            ],
         );
         for s in &self.samples {
             t2.row(&[
@@ -212,8 +230,11 @@ mod tests {
         assert!(last.epi_j() < first.epi_j());
         // Once the best SKU is selected, further scale barely helps.
         let best_bwcap = f.samples.iter().map(|s| s.bw_per_cap).fold(0.0, f64::max);
-        let saturated: Vec<&ScaleSample> =
-            f.samples.iter().filter(|s| s.bw_per_cap == best_bwcap).collect();
+        let saturated: Vec<&ScaleSample> = f
+            .samples
+            .iter()
+            .filter(|s| s.bw_per_cap == best_bwcap)
+            .collect();
         if saturated.len() >= 2 {
             let a = saturated[0].epi_j();
             let b = saturated.last().unwrap().epi_j();
@@ -237,7 +258,11 @@ mod tests {
     fn rpu_epi_lower_than_4xh100() {
         // §VIII: 6.5x lower EPI than a measured 4xH100.
         let f = run();
-        let best_epi = f.samples.iter().map(ScaleSample::epi_j).fold(f64::INFINITY, f64::min);
+        let best_epi = f
+            .samples
+            .iter()
+            .map(ScaleSample::epi_j)
+            .fold(f64::INFINITY, f64::min);
         let ratio = f.h100_epi_j / best_epi;
         assert!(ratio > 3.0 && ratio < 15.0, "EPI ratio vs 4xH100 {ratio}");
     }

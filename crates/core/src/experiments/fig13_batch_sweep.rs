@@ -93,7 +93,9 @@ impl Fig13 {
     /// The sample for `(model, batch)`.
     #[must_use]
     pub fn point(&self, model: &str, batch: u32) -> Option<&SweepPoint> {
-        self.points.iter().find(|p| p.model == model && p.batch == batch)
+        self.points
+            .iter()
+            .find(|p| p.model == model && p.batch == batch)
     }
 
     /// Renders the sweep.
@@ -134,7 +136,11 @@ mod tests {
         // 40-50x speedup".
         let f = run();
         let p = f.point("Llama3-70B", 1).unwrap();
-        assert!(p.speedup() > 25.0 && p.speedup() < 90.0, "70B BS1 speedup {}", p.speedup());
+        assert!(
+            p.speedup() > 25.0 && p.speedup() < 90.0,
+            "70B BS1 speedup {}",
+            p.speedup()
+        );
     }
 
     #[test]
@@ -181,7 +187,10 @@ mod tests {
         for model in ["Llama3-8B", "Llama3-70B"] {
             let lo = f.point(model, 1).unwrap();
             let hi = f.point(model, 64).unwrap();
-            assert!(hi.gpu_energy_j < lo.gpu_energy_j, "{model}: GPU energy/token");
+            assert!(
+                hi.gpu_energy_j < lo.gpu_energy_j,
+                "{model}: GPU energy/token"
+            );
         }
     }
 

@@ -103,7 +103,9 @@ pub fn run() -> Fig14 {
     let draft = spec.draft;
     let sys = RpuSystem::with_optimal_memory(&target, prec, 1, seq, RPU_CUS)
         .expect("70B fits a 200-CU RPU");
-    let target_step = sys.token_latency(&target, 1, seq).expect("target step simulates");
+    let target_step = sys
+        .token_latency(&target, 1, seq)
+        .expect("target step simulates");
     // The draft model runs on a slice of the same machine: a small model
     // over-sharded across all 200 CUs would be broadcast-bound, so the
     // deployment picks the slice width that minimises draft latency.
@@ -135,7 +137,10 @@ pub fn run() -> Fig14 {
         tokens_per_s,
         computed: true,
     });
-    Fig14 { rows, rpu_spec_speedup }
+    Fig14 {
+        rows,
+        rpu_spec_speedup,
+    }
 }
 
 impl Fig14 {
@@ -170,7 +175,11 @@ impl Fig14 {
                 num(r.comp_per_bw, 1),
                 num(r.devices, 0),
                 num(r.tokens_per_s, 0),
-                if r.computed { "simulated".into() } else { "published".into() },
+                if r.computed {
+                    "simulated".into()
+                } else {
+                    "published".into()
+                },
             ]);
         }
         t
@@ -188,7 +197,12 @@ mod tests {
         let f = run();
         let rpu = f.rpu().tokens_per_s;
         for r in f.rows.iter().filter(|r| !r.computed) {
-            assert!(rpu > r.tokens_per_s, "RPU {rpu} vs {} {}", r.system, r.tokens_per_s);
+            assert!(
+                rpu > r.tokens_per_s,
+                "RPU {rpu} vs {} {}",
+                r.system,
+                r.tokens_per_s
+            );
         }
     }
 

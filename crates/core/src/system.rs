@@ -135,7 +135,12 @@ impl RpuSystem {
     /// # Errors
     ///
     /// Propagates simulator failures.
-    pub fn token_latency(&self, model: &ModelConfig, batch: u32, seq_len: u32) -> Result<f64, SimError> {
+    pub fn token_latency(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        seq_len: u32,
+    ) -> Result<f64, SimError> {
         Ok(self.decode_step(model, batch, seq_len)?.total_time_s)
     }
 
@@ -167,8 +172,8 @@ mod tests {
 
     #[test]
     fn build_with_candidate_memory() {
-        let sys = RpuSystem::build(64, HbmCoConfig::candidate(), Precision::mxfp4_inference())
-            .unwrap();
+        let sys =
+            RpuSystem::build(64, HbmCoConfig::candidate(), Precision::mxfp4_inference()).unwrap();
         assert_eq!(sys.arch.num_cus, 64);
         assert!(sys.tdp_w() > 500.0 && sys.tdp_w() < 700.0);
     }

@@ -14,15 +14,15 @@ use rpu_util::stats::interp;
 /// Digitised from Fig. 2 (right): x-axis 10 KB → 1 GB, utilisation
 /// rising from ~2 % to ~90 %.
 const CURVE: [(f64, f64); 9] = [
-    (4.0, 0.02),  // 10 KB
-    (5.0, 0.05),  // 100 KB
-    (6.0, 0.10),  // 1 MB
-    (7.0, 0.18),  // 10 MB
-    (7.7, 0.28),  // 50 MB
-    (8.0, 0.38),  // 100 MB
-    (8.5, 0.55),  // ~316 MB
-    (9.0, 0.85),  // 1 GB
-    (9.7, 0.93),  // 5 GB
+    (4.0, 0.02), // 10 KB
+    (5.0, 0.05), // 100 KB
+    (6.0, 0.10), // 1 MB
+    (7.0, 0.18), // 10 MB
+    (7.7, 0.28), // 50 MB
+    (8.0, 0.38), // 100 MB
+    (8.5, 0.55), // ~316 MB
+    (9.0, 0.85), // 1 GB
+    (9.7, 0.93), // 5 GB
 ];
 
 /// Fraction of peak HBM bandwidth achieved by a streaming kernel whose

@@ -44,12 +44,11 @@ impl GpuSystem {
     pub fn kernel_time(&self, kernel: &Kernel) -> f64 {
         let n = f64::from(self.num_gpus);
         // Utilisation is keyed on the per-GPU streamed working set.
-        let ws = (kernel.weight_bytes + kernel.kv_read_bytes).max(kernel.total_mem_bytes() * 0.1)
-            / n;
+        let ws =
+            (kernel.weight_bytes + kernel.kv_read_bytes).max(kernel.total_mem_bytes() * 0.1) / n;
         let util = bw_utilization(ws);
         let t_mem = kernel.total_mem_bytes() / n / (self.spec.mem_bandwidth * util);
-        let t_comp =
-            kernel.flops / n / (self.spec.peak_bf16_flops * self.spec.compute_efficiency);
+        let t_comp = kernel.flops / n / (self.spec.peak_bf16_flops * self.spec.compute_efficiency);
         t_mem.max(t_comp) + self.spec.kernel_launch_s
     }
 
@@ -74,8 +73,7 @@ impl GpuSystem {
         let msg = f64::from(wl.batch)
             * f64::from(wl.model.hidden)
             * wl.precision.activations.bytes_per_value();
-        let collectives =
-            2.0 * f64::from(wl.model.num_layers) * self.allreduce_time(msg);
+        let collectives = 2.0 * f64::from(wl.model.num_layers) * self.allreduce_time(msg);
         kernel_time + collectives
     }
 
@@ -132,7 +130,12 @@ mod tests {
     use rpu_models::{ModelConfig, Precision};
 
     fn wl_70b(batch: u32) -> DecodeWorkload {
-        DecodeWorkload::new(&ModelConfig::llama3_70b(), Precision::gpu_w4a16(), batch, 8192)
+        DecodeWorkload::new(
+            &ModelConfig::llama3_70b(),
+            Precision::gpu_w4a16(),
+            batch,
+            8192,
+        )
     }
 
     #[test]
@@ -144,12 +147,7 @@ mod tests {
 
     #[test]
     fn bs1_405b_on_4xh100_tens_of_ms() {
-        let wl = DecodeWorkload::new(
-            &ModelConfig::llama3_405b(),
-            Precision::gpu_w4a16(),
-            1,
-            8192,
-        );
+        let wl = DecodeWorkload::new(&ModelConfig::llama3_405b(), Precision::gpu_w4a16(), 1, 8192);
         let t = GpuSystem::new(GpuSpec::h100_sxm(), 4).decode_step_latency(&wl);
         assert!(t > 35e-3 && t < 75e-3, "4xH100 405B BS1 latency {t}");
     }
@@ -212,7 +210,10 @@ mod tests {
 
     #[test]
     fn allreduce_zero_for_single_gpu() {
-        assert_eq!(GpuSystem::new(GpuSpec::h100_sxm(), 1).allreduce_time(1e6), 0.0);
+        assert_eq!(
+            GpuSystem::new(GpuSpec::h100_sxm(), 1).allreduce_time(1e6),
+            0.0
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl HbmCoConfig {
     /// 1 bank/group, 1.0× sub-arrays → 192 MB per core (pseudo-channel).
     #[must_use]
     pub fn optimal_405b_64cu() -> Self {
-        Self { ranks: 2, ..Self::candidate() }
+        Self {
+            ranks: 2,
+            ..Self::candidate()
+        }
     }
 
     /// Checks all fields against the manufacturable ranges used in the
@@ -110,7 +113,10 @@ impl HbmCoConfig {
             return err("layers_per_rank", format!("{} != 4", self.layers_per_rank));
         }
         if !(1..=4).contains(&self.channels_per_layer) {
-            return err("channels_per_layer", format!("{} not in 1..=4", self.channels_per_layer));
+            return err(
+                "channels_per_layer",
+                format!("{} not in 1..=4", self.channels_per_layer),
+            );
         }
         if self.pseudo_channels != 2 {
             return err("pseudo_channels", format!("{} != 2", self.pseudo_channels));
@@ -119,10 +125,16 @@ impl HbmCoConfig {
             return err("bank_groups", format!("{} != 4", self.bank_groups));
         }
         if ![1, 2, 4].contains(&self.banks_per_group) {
-            return err("banks_per_group", format!("{} not in {{1,2,4}}", self.banks_per_group));
+            return err(
+                "banks_per_group",
+                format!("{} not in {{1,2,4}}", self.banks_per_group),
+            );
         }
         if ![0.5, 0.75, 1.0].contains(&self.subarray_scale) {
-            return err("subarray_scale", format!("{} not in {{0.5,0.75,1.0}}", self.subarray_scale));
+            return err(
+                "subarray_scale",
+                format!("{} not in {{0.5,0.75,1.0}}", self.subarray_scale),
+            );
         }
         Ok(())
     }
@@ -223,7 +235,12 @@ mod tests {
         c.validate().unwrap();
         // Paper labels this "768 MB"; exactly 1/64 of the 48 GiB stack.
         assert_approx(c.capacity_bytes(), 768.0 * MIB, 1e-9, "candidate capacity");
-        assert_approx(c.bandwidth_bytes_per_s(), 256e9, 1e-9, "candidate bandwidth");
+        assert_approx(
+            c.bandwidth_bytes_per_s(),
+            256e9,
+            1e-9,
+            "candidate bandwidth",
+        );
         // Paper: BW/Cap = 341 in its decimal convention; 318 in strict SI.
         assert_approx(c.bw_per_cap(), 341.3, 0.08, "candidate BW/Cap");
         assert_eq!(c.num_pchs(), 8);
@@ -234,7 +251,12 @@ mod tests {
     fn fig9_optimum_is_192mb_per_core() {
         let c = HbmCoConfig::optimal_405b_64cu();
         c.validate().unwrap();
-        assert_approx(c.capacity_per_pch(), 192.0 * MIB, 1e-9, "Fig.9 optimum MiB/core");
+        assert_approx(
+            c.capacity_per_pch(),
+            192.0 * MIB,
+            1e-9,
+            "Fig.9 optimum MiB/core",
+        );
         // Bandwidth is unchanged by the extra rank.
         assert_approx(c.bandwidth_bytes_per_s(), 256e9, 1e-9, "Fig.9 optimum BW");
     }
@@ -259,21 +281,42 @@ mod tests {
 
     #[test]
     fn channels_preserve_bw_per_cap() {
-        let c1 = HbmCoConfig { channels_per_layer: 1, ..HbmCoConfig::hbm3e_like() };
+        let c1 = HbmCoConfig {
+            channels_per_layer: 1,
+            ..HbmCoConfig::hbm3e_like()
+        };
         let c4 = HbmCoConfig::hbm3e_like();
-        assert_approx(c1.bw_per_cap(), c4.bw_per_cap(), 1e-12, "channels BW/Cap invariance");
+        assert_approx(
+            c1.bw_per_cap(),
+            c4.bw_per_cap(),
+            1e-12,
+            "channels BW/Cap invariance",
+        );
     }
 
     #[test]
     fn validation_errors_name_fields() {
-        let bad = HbmCoConfig { ranks: 7, ..HbmCoConfig::hbm3e_like() };
+        let bad = HbmCoConfig {
+            ranks: 7,
+            ..HbmCoConfig::hbm3e_like()
+        };
         let err = bad.validate().unwrap_err();
         assert!(err.to_string().contains("ranks"));
 
-        let bad = HbmCoConfig { banks_per_group: 3, ..HbmCoConfig::hbm3e_like() };
-        assert!(bad.validate().unwrap_err().to_string().contains("banks_per_group"));
+        let bad = HbmCoConfig {
+            banks_per_group: 3,
+            ..HbmCoConfig::hbm3e_like()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("banks_per_group"));
 
-        let bad = HbmCoConfig { subarray_scale: 0.9, ..HbmCoConfig::hbm3e_like() };
+        let bad = HbmCoConfig {
+            subarray_scale: 0.9,
+            ..HbmCoConfig::hbm3e_like()
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -57,8 +57,18 @@ mod tests {
 
     #[test]
     fn baseline_is_unity() {
-        assert_approx(module_cost(&HbmCoConfig::hbm3e_like()), 1.0, 1e-3, "HBM3e module cost");
-        assert_approx(cost_per_gb(&HbmCoConfig::hbm3e_like()), 1.0, 1e-9, "HBM3e cost/GB");
+        assert_approx(
+            module_cost(&HbmCoConfig::hbm3e_like()),
+            1.0,
+            1e-3,
+            "HBM3e module cost",
+        );
+        assert_approx(
+            cost_per_gb(&HbmCoConfig::hbm3e_like()),
+            1.0,
+            1e-9,
+            "HBM3e cost/GB",
+        );
         assert_approx(
             bandwidth_per_cost(&HbmCoConfig::hbm3e_like()),
             1.0,
@@ -77,7 +87,11 @@ mod tests {
         assert_approx(module_ratio, 35.0, 0.05, "candidate module cost ratio");
         // Paper: ~5x bandwidth per dollar (we land in 5-10x; the paper's
         // exact figure depends on its HBM3e bandwidth convention).
-        assert!(bandwidth_per_cost(&co) > 4.0, "BW/$ = {}", bandwidth_per_cost(&co));
+        assert!(
+            bandwidth_per_cost(&co) > 4.0,
+            "BW/$ = {}",
+            bandwidth_per_cost(&co)
+        );
     }
 
     #[test]
@@ -86,7 +100,10 @@ mod tests {
         // per-die fixed costs (base logic, TSV footprint) do not amortise.
         let mut last = 0.0;
         for banks_per_group in [4, 2, 1] {
-            let c = HbmCoConfig { banks_per_group, ..HbmCoConfig::candidate() };
+            let c = HbmCoConfig {
+                banks_per_group,
+                ..HbmCoConfig::candidate()
+            };
             let per_gb = cost_per_gb(&c);
             assert!(per_gb > last, "cost/GB should rise as banks fall");
             last = per_gb;
@@ -98,18 +115,27 @@ mod tests {
         // Ranks add whole dies: capacity and die count scale together, so
         // the cost per GB is flat along the rank axis.
         let r1 = cost_per_gb(&HbmCoConfig::candidate());
-        let r4 = cost_per_gb(&HbmCoConfig { ranks: 4, ..HbmCoConfig::candidate() });
+        let r4 = cost_per_gb(&HbmCoConfig {
+            ranks: 4,
+            ..HbmCoConfig::candidate()
+        });
         assert_approx(r1, r4, 1e-9, "cost/GB across ranks");
     }
 
     #[test]
     fn module_cost_monotone_in_capacity_knobs() {
         let base = HbmCoConfig::candidate();
-        let more_banks = HbmCoConfig { banks_per_group: 4, ..base };
-        let more_subarrays = HbmCoConfig { subarray_scale: 1.0, ..HbmCoConfig {
-            subarray_scale: 0.5,
+        let more_banks = HbmCoConfig {
+            banks_per_group: 4,
             ..base
-        } };
+        };
+        let more_subarrays = HbmCoConfig {
+            subarray_scale: 1.0,
+            ..HbmCoConfig {
+                subarray_scale: 0.5,
+                ..base
+            }
+        };
         assert!(module_cost(&more_banks) > module_cost(&base));
         assert!(module_cost(&more_subarrays) >= module_cost(&base));
     }

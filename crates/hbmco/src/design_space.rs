@@ -169,7 +169,12 @@ mod tests {
         // the paper picks the 192 MiB/core SKU (2 ranks | 1 bank/group |
         // 1.0x sub-arrays).
         let sku = select_sku(199e6).expect("a SKU must fit");
-        assert_approx(sku.capacity_per_pch(), 192.0 * 1024.0 * 1024.0, 1e-9, "selected SKU MiB/core");
+        assert_approx(
+            sku.capacity_per_pch(),
+            192.0 * 1024.0 * 1024.0,
+            1e-9,
+            "selected SKU MiB/core",
+        );
         assert_eq!(sku.config.ranks, 2);
         assert_eq!(sku.config.banks_per_group, 1);
         assert_approx(sku.config.subarray_scale, 1.0, 1e-12, "sub-arrays");
@@ -186,14 +191,22 @@ mod tests {
     fn sku_selection_smallest_wins() {
         let tiny = select_sku(1.0).expect("smallest SKU");
         // 1 rank x 1 bank x 0.5 sub-arrays = 48 MiB/core.
-        assert_approx(tiny.capacity_per_pch(), 48.0 * 1024.0 * 1024.0, 1e-9, "smallest SKU");
+        assert_approx(
+            tiny.capacity_per_pch(),
+            48.0 * 1024.0 * 1024.0,
+            1e-9,
+            "smallest SKU",
+        );
     }
 
     #[test]
     fn energy_spans_fig5_range() {
         // Fig. 5 (right): energies between ~1.4 and ~3.5 pJ/bit.
         let pts = enumerate_design_space();
-        let min = pts.iter().map(|p| p.energy_pj_per_bit).fold(f64::INFINITY, f64::min);
+        let min = pts
+            .iter()
+            .map(|p| p.energy_pj_per_bit)
+            .fold(f64::INFINITY, f64::min);
         let max = pts.iter().map(|p| p.energy_pj_per_bit).fold(0.0, f64::max);
         assert!(min > 1.2 && min < 1.6, "min energy {min}");
         assert!(max > 3.3 && max < 3.6, "max energy {max}");

@@ -132,7 +132,10 @@ mod tests {
         let e = energy_per_bit(&HbmCoConfig::hbm3e_like());
         let t = e.total();
         let internal = (e.movement + e.tsv) / t;
-        assert!(internal > 0.70 && internal < 0.92, "internal share {internal}");
+        assert!(
+            internal > 0.70 && internal < 0.92,
+            "internal share {internal}"
+        );
         assert!((e.activation / t) > 0.03 && (e.activation / t) < 0.15);
         assert!((e.io / t) > 0.05 && (e.io / t) < 0.15);
     }

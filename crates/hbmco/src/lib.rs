@@ -78,7 +78,12 @@ mod tests {
         // Paper: BW/Cap = 341 -> ~2.9 ms/token. Our binary-capacity
         // convention yields 318/s -> 3.1 ms/token; within 10 %.
         let co = HbmCoConfig::candidate();
-        assert_approx(ideal_token_latency(co.bw_per_cap()), 2.9e-3, 0.10, "candidate ms/token");
+        assert_approx(
+            ideal_token_latency(co.bw_per_cap()),
+            2.9e-3,
+            0.10,
+            "candidate ms/token",
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use rpu_hbmco::{
-    bandwidth_per_cost, cost_per_gb, energy_per_bit, ideal_token_latency, module_cost,
-    DesignPoint, HbmCoConfig,
+    bandwidth_per_cost, cost_per_gb, energy_per_bit, ideal_token_latency, module_cost, DesignPoint,
+    HbmCoConfig,
 };
 
 fn any_cfg() -> impl Strategy<Value = HbmCoConfig> {
@@ -15,13 +15,15 @@ fn any_cfg() -> impl Strategy<Value = HbmCoConfig> {
         prop_oneof![Just(1u32), Just(2), Just(3), Just(4)],
         prop_oneof![Just(0.5f64), Just(0.75), Just(1.0)],
     )
-        .prop_map(|(ranks, banks_per_group, channels_per_layer, subarray_scale)| HbmCoConfig {
-            ranks,
-            banks_per_group,
-            channels_per_layer,
-            subarray_scale,
-            ..HbmCoConfig::candidate()
-        })
+        .prop_map(
+            |(ranks, banks_per_group, channels_per_layer, subarray_scale)| HbmCoConfig {
+                ranks,
+                banks_per_group,
+                channels_per_layer,
+                subarray_scale,
+                ..HbmCoConfig::candidate()
+            },
+        )
 }
 
 proptest! {
@@ -110,5 +112,8 @@ fn headline_bandwidth_per_dollar() {
     // above its quoted 5x.
     let ratio = bandwidth_per_cost(&HbmCoConfig::candidate())
         / bandwidth_per_cost(&HbmCoConfig::hbm3e_like());
-    assert!(ratio > 4.0 && ratio < 11.0, "bandwidth/$ ratio {ratio} (paper: ~5x)");
+    assert!(
+        ratio > 4.0 && ratio < 11.0,
+        "bandwidth/$ ratio {ratio} (paper: ~5x)"
+    );
 }

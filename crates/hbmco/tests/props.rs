@@ -12,13 +12,15 @@ fn arb_config() -> impl Strategy<Value = HbmCoConfig> {
         1u32..=4,
         prop::sample::select(vec![0.5f64, 0.75, 1.0]),
     )
-        .prop_map(|(ranks, banks_per_group, channels_per_layer, subarray_scale)| HbmCoConfig {
-            ranks,
-            banks_per_group,
-            channels_per_layer,
-            subarray_scale,
-            ..HbmCoConfig::hbm3e_like()
-        })
+        .prop_map(
+            |(ranks, banks_per_group, channels_per_layer, subarray_scale)| HbmCoConfig {
+                ranks,
+                banks_per_group,
+                channels_per_layer,
+                subarray_scale,
+                ..HbmCoConfig::hbm3e_like()
+            },
+        )
 }
 
 proptest! {

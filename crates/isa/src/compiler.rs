@@ -26,7 +26,10 @@ impl ShardPlan {
     /// Creates a plan.
     #[must_use]
     pub fn new(num_cus: u32, cores_per_cu: u32) -> Self {
-        Self { num_cus, cores_per_cu }
+        Self {
+            num_cus,
+            cores_per_cu,
+        }
     }
 
     /// Total cores, i.e. the column-shard denominator.
@@ -89,7 +92,15 @@ impl<'a> Lowering<'a> {
         let out = self.tag();
         let wb = (weight_bytes_total * self.weight_frac()).ceil().max(1.0) as u64;
         let fl = (flops_total * self.weight_frac()).ceil() as u64;
-        self.push(kernel, layer, Op::MemLoad { out: w, bytes: wb, valid_count: 1 });
+        self.push(
+            kernel,
+            layer,
+            Op::MemLoad {
+                out: w,
+                bytes: wb,
+                valid_count: 1,
+            },
+        );
         self.push(
             kernel,
             layer,
@@ -135,7 +146,7 @@ impl<'a> Lowering<'a> {
     }
 
     #[allow(clippy::too_many_arguments)] // internal lowering helper; the
-    // argument list mirrors the collective instruction's fields
+                                         // argument list mirrors the collective instruction's fields
     fn collective(
         &mut self,
         kernel: KernelKind,
@@ -373,7 +384,14 @@ impl<'a> Lowering<'a> {
 
         // Pre-attention norm (each core normalises the slice it feeds
         // to its column shard, so the work is sharded too).
-        let xn = self.vops(KernelKind::InputNorm, layer, x_tags, 4.0 * b * h / c, b * h * act, 1);
+        let xn = self.vops(
+            KernelKind::InputNorm,
+            layer,
+            x_tags,
+            4.0 * b * h / c,
+            b * h * act,
+            1,
+        );
 
         // wQKV.
         let qkv = self.vmm(
@@ -495,7 +513,11 @@ impl<'a> Lowering<'a> {
             ffn_consumers,
         );
 
-        let extra = if m.is_moe_layer(layer) { vec![x2n] } else { vec![] };
+        let extra = if m.is_moe_layer(layer) {
+            vec![x2n]
+        } else {
+            vec![]
+        };
         self.lower_ffn(layer, x2n, extra)
     }
 
@@ -509,7 +531,14 @@ impl<'a> Lowering<'a> {
         let c = self.plan.total_cores();
         let layer = u32::MAX;
 
-        let xn = self.vops(KernelKind::InputNorm, layer, x_tags, 4.0 * b * h / c, b * h * act, 1);
+        let xn = self.vops(
+            KernelKind::InputNorm,
+            layer,
+            x_tags,
+            4.0 * b * h / c,
+            b * h * act,
+            1,
+        );
         let logits = self.vmm(
             KernelKind::LmHead,
             layer,
@@ -565,7 +594,11 @@ pub fn compile_decode_step(
         KernelKind::InputNorm,
         0,
         Op::Inject {
-            out: Production { tag: x0, bytes, valid_count: 1 },
+            out: Production {
+                tag: x0,
+                bytes,
+                valid_count: 1,
+            },
         },
     );
 

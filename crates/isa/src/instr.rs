@@ -160,7 +160,11 @@ impl Instr {
     #[must_use]
     pub fn productions(&self) -> Vec<Production> {
         match &self.op {
-            Op::MemLoad { out, bytes, valid_count } => vec![Production {
+            Op::MemLoad {
+                out,
+                bytes,
+                valid_count,
+            } => vec![Production {
                 tag: *out,
                 bytes: *bytes,
                 valid_count: *valid_count,
@@ -195,13 +199,22 @@ mod tests {
     use super::*;
 
     fn mk(op: Op) -> Instr {
-        Instr { kernel: KernelKind::QkvProj, layer: 0, op }
+        Instr {
+            kernel: KernelKind::QkvProj,
+            layer: 0,
+            op,
+        }
     }
 
     #[test]
     fn pipeline_assignment() {
         assert_eq!(
-            mk(Op::MemLoad { out: 1, bytes: 64, valid_count: 1 }).pipeline(),
+            mk(Op::MemLoad {
+                out: 1,
+                bytes: 64,
+                valid_count: 1
+            })
+            .pipeline(),
             Pipeline::Memory
         );
         assert_eq!(
@@ -233,7 +246,11 @@ mod tests {
         let i = mk(Op::Vmm {
             weights: 7,
             acts: vec![3, 4],
-            out: Some(Production { tag: 9, bytes: 128, valid_count: 1 }),
+            out: Some(Production {
+                tag: 9,
+                bytes: 128,
+                valid_count: 1,
+            }),
             weight_bytes: 1024,
             flops: 2048,
         });
@@ -243,7 +260,11 @@ mod tests {
 
     #[test]
     fn memload_produces_its_tag() {
-        let i = mk(Op::MemLoad { out: 5, bytes: 4096, valid_count: 1 });
+        let i = mk(Op::MemLoad {
+            out: 5,
+            bytes: 4096,
+            valid_count: 1,
+        });
         let p = i.productions();
         assert_eq!(p.len(), 1);
         assert_eq!(p[0].bytes, 4096);
@@ -252,7 +273,10 @@ mod tests {
 
     #[test]
     fn memstore_waits_on_input() {
-        let i = mk(Op::MemStore { input: Some(2), bytes: 100 });
+        let i = mk(Op::MemStore {
+            input: Some(2),
+            bytes: 100,
+        });
         assert_eq!(i.consumptions(), vec![2]);
         assert!(i.productions().is_empty());
     }

@@ -1,7 +1,7 @@
 //! Per-core programs: three synchronized instruction streams.
 
-use crate::instr::{Instr, Op, Pipeline};
 use crate::instr::Tag;
+use crate::instr::{Instr, Op, Pipeline};
 use std::collections::HashMap;
 
 /// The compiled program of one representative core: three statically
@@ -48,7 +48,10 @@ impl CoreProgram {
 
     /// All instructions, for analysis.
     pub fn all(&self) -> impl Iterator<Item = &Instr> {
-        self.mem.iter().chain(self.comp.iter()).chain(self.net.iter())
+        self.mem
+            .iter()
+            .chain(self.comp.iter())
+            .chain(self.net.iter())
     }
 
     /// Computes aggregate statistics.
@@ -122,7 +125,11 @@ mod tests {
         Instr {
             kernel: KernelKind::QkvProj,
             layer: 0,
-            op: Op::MemLoad { out: tag, bytes, valid_count: 1 },
+            op: Op::MemLoad {
+                out: tag,
+                bytes,
+                valid_count: 1,
+            },
         }
     }
 
@@ -133,7 +140,11 @@ mod tests {
             op: Op::Vmm {
                 weights,
                 acts: vec![],
-                out: out.map(|t| Production { tag: t, bytes: 64, valid_count: 1 }),
+                out: out.map(|t| Production {
+                    tag: t,
+                    bytes: 64,
+                    valid_count: 1,
+                }),
                 weight_bytes: 128,
                 flops: 256,
             },
@@ -174,14 +185,20 @@ mod tests {
         let mut p = CoreProgram::default();
         p.push(load(1, 128));
         p.push(load(1, 64));
-        assert!(p.validate_dataflow().unwrap_err().contains("produced twice"));
+        assert!(p
+            .validate_dataflow()
+            .unwrap_err()
+            .contains("produced twice"));
     }
 
     #[test]
     fn dataflow_validation_catches_unproduced_consume() {
         let mut p = CoreProgram::default();
         p.push(vmm(42, None));
-        assert!(p.validate_dataflow().unwrap_err().contains("never produced"));
+        assert!(p
+            .validate_dataflow()
+            .unwrap_err()
+            .contains("never produced"));
     }
 
     #[test]
@@ -190,6 +207,9 @@ mod tests {
         p.push(load(1, 128));
         p.push(vmm(1, None));
         p.push(vmm(1, None));
-        assert!(p.validate_dataflow().unwrap_err().contains("consumed twice"));
+        assert!(p
+            .validate_dataflow()
+            .unwrap_err()
+            .contains("consumed twice"));
     }
 }

@@ -168,7 +168,9 @@ impl ModelConfig {
     /// Number of MoE layers in the model.
     #[must_use]
     pub fn num_moe_layers(&self) -> u32 {
-        (0..self.num_layers).filter(|&i| self.is_moe_layer(i)).count() as u32
+        (0..self.num_layers)
+            .filter(|&i| self.is_moe_layer(i))
+            .count() as u32
     }
 
     /// Attention parameters per layer (QKV + output projections).
@@ -205,8 +207,7 @@ impl ModelConfig {
         if self.is_moe_layer(idx) {
             let m = self.moe.expect("moe layer implies moe config");
             let router = h * f64::from(m.num_experts);
-            let experts =
-                f64::from(m.num_experts) * 3.0 * h * f64::from(m.expert_intermediate);
+            let experts = f64::from(m.num_experts) * 3.0 * h * f64::from(m.expert_intermediate);
             let shared = 3.0 * h * f64::from(m.shared_intermediate);
             router + experts + shared
         } else {
@@ -222,10 +223,8 @@ impl ModelConfig {
         if self.is_moe_layer(idx) {
             let m = self.moe.expect("moe layer implies moe config");
             let router = h * f64::from(m.num_experts);
-            let experts = f64::from(m.experts_per_token)
-                * 3.0
-                * h
-                * f64::from(m.expert_intermediate);
+            let experts =
+                f64::from(m.experts_per_token) * 3.0 * h * f64::from(m.expert_intermediate);
             let shared = 3.0 * h * f64::from(m.shared_intermediate);
             router + experts + shared
         } else {
@@ -296,10 +295,30 @@ mod tests {
     #[test]
     fn total_params_match_names() {
         assert_approx(ModelConfig::llama3_8b().total_params(), 8e9, 0.05, "8B");
-        assert_approx(ModelConfig::llama3_70b().total_params(), 70.6e9, 0.02, "70B");
-        assert_approx(ModelConfig::llama3_405b().total_params(), 405e9, 0.01, "405B");
-        assert_approx(ModelConfig::llama4_scout().total_params(), 109e9, 0.06, "Scout");
-        assert_approx(ModelConfig::llama4_maverick().total_params(), 400e9, 0.03, "Maverick");
+        assert_approx(
+            ModelConfig::llama3_70b().total_params(),
+            70.6e9,
+            0.02,
+            "70B",
+        );
+        assert_approx(
+            ModelConfig::llama3_405b().total_params(),
+            405e9,
+            0.01,
+            "405B",
+        );
+        assert_approx(
+            ModelConfig::llama4_scout().total_params(),
+            109e9,
+            0.06,
+            "Scout",
+        );
+        assert_approx(
+            ModelConfig::llama4_maverick().total_params(),
+            400e9,
+            0.03,
+            "Maverick",
+        );
     }
 
     #[test]

@@ -235,8 +235,19 @@ pub fn layer_kernels(
     let mut ks = Vec::with_capacity(16);
 
     // Attention block.
-    ks.push(Kernel::vector_op(KernelKind::InputNorm, bf * hf, 4.0, precision));
-    ks.push(Kernel::vmm(KernelKind::QkvProj, b, h, q_dim + kv_dim, precision));
+    ks.push(Kernel::vector_op(
+        KernelKind::InputNorm,
+        bf * hf,
+        4.0,
+        precision,
+    ));
+    ks.push(Kernel::vmm(
+        KernelKind::QkvProj,
+        b,
+        h,
+        q_dim + kv_dim,
+        precision,
+    ));
     ks.push(Kernel::vector_op(
         KernelKind::Rope,
         bf * (nh + nkv) * hd,
@@ -257,7 +268,12 @@ pub fn layer_kernels(
         act_out_bytes: bf * nh * s * act,
         ..Kernel::zero(KernelKind::AttnScore, KernelClass::Attention)
     });
-    ks.push(Kernel::vector_op(KernelKind::Softmax, bf * nh * s, 5.0, precision));
+    ks.push(Kernel::vector_op(
+        KernelKind::Softmax,
+        bf * nh * s,
+        5.0,
+        precision,
+    ));
     ks.push(Kernel {
         flops: 2.0 * bf * nh * hd * s,
         kv_read_bytes: bf * nkv * hd * s * kvb,
@@ -266,7 +282,12 @@ pub fn layer_kernels(
         ..Kernel::zero(KernelKind::AttnContext, KernelClass::Attention)
     });
     ks.push(Kernel::vmm(KernelKind::OutProj, b, q_dim, h, precision));
-    ks.push(Kernel::vector_op(KernelKind::PostNorm, bf * hf, 4.0, precision));
+    ks.push(Kernel::vector_op(
+        KernelKind::PostNorm,
+        bf * hf,
+        4.0,
+        precision,
+    ));
 
     // FFN block.
     if model.is_moe_layer(layer_idx) {
@@ -315,7 +336,12 @@ pub fn layer_kernels(
                 2 * u64::from(moe.shared_intermediate),
                 precision,
             ));
-            ks.push(Kernel::vector_op(KernelKind::Activation, bf * is, 4.0, precision));
+            ks.push(Kernel::vector_op(
+                KernelKind::Activation,
+                bf * is,
+                4.0,
+                precision,
+            ));
             ks.push(Kernel::vmm(
                 KernelKind::SharedDown,
                 b,
@@ -376,15 +402,26 @@ mod tests {
         let p = Precision::bf16();
         let k = Kernel::vmm(KernelKind::GateUp, 1, 1024, 2048, p);
         assert_approx(k.flops, 2.0 * 1024.0 * 2048.0, 1e-12, "VMM flops");
-        assert_approx(k.weight_bytes, 1024.0 * 2048.0 * 2.0, 1e-12, "VMM weight bytes");
+        assert_approx(
+            k.weight_bytes,
+            1024.0 * 2048.0 * 2.0,
+            1e-12,
+            "VMM weight bytes",
+        );
         assert!(k.arithmetic_intensity() < 1.1); // BS=1 BF16 is ~1 FLOP/B
     }
 
     #[test]
     fn weights_shared_across_batch() {
         let (m, p) = dense_setup();
-        let b1: f64 = layer_kernels(&m, p, 1, 8192, 0).iter().map(|k| k.weight_bytes).sum();
-        let b32: f64 = layer_kernels(&m, p, 32, 8192, 0).iter().map(|k| k.weight_bytes).sum();
+        let b1: f64 = layer_kernels(&m, p, 1, 8192, 0)
+            .iter()
+            .map(|k| k.weight_bytes)
+            .sum();
+        let b32: f64 = layer_kernels(&m, p, 32, 8192, 0)
+            .iter()
+            .map(|k| k.weight_bytes)
+            .sum();
         assert_approx(b1, b32, 1e-12, "dense weight bytes are batch-invariant");
     }
 
@@ -392,7 +429,10 @@ mod tests {
     fn kv_scales_with_batch_and_seq() {
         let (m, p) = dense_setup();
         let kv = |b, s| -> f64 {
-            layer_kernels(&m, p, b, s, 0).iter().map(|k| k.kv_read_bytes).sum()
+            layer_kernels(&m, p, b, s, 0)
+                .iter()
+                .map(|k| k.kv_read_bytes)
+                .sum()
         };
         assert_approx(kv(2, 8192), 2.0 * kv(1, 8192), 1e-12, "KV batch scaling");
         assert_approx(kv(1, 16384), 2.0 * kv(1, 8192), 1e-12, "KV seq scaling");
@@ -406,7 +446,10 @@ mod tests {
             let gu = ks.iter().find(|k| k.kind == KernelKind::GateUp).unwrap();
             gu.arithmetic_intensity()
         };
-        assert!(ai(32) > 8.0 * ai(1) / 2.0, "batching must raise AI substantially");
+        assert!(
+            ai(32) > 8.0 * ai(1) / 2.0,
+            "batching must raise AI substantially"
+        );
         assert!(ai(1) < 4.0);
     }
 
@@ -430,7 +473,12 @@ mod tests {
         let m405 = ModelConfig::llama3_405b();
         let ks = layer_kernels(&m405, p, 1, 8192, 0);
         let a = ks.iter().find(|k| k.kind == KernelKind::AttnScore).unwrap();
-        assert_approx(a.flops / a.kv_read_bytes, 32.0, 1e-9, "405B QK^T FLOPs/KV-byte");
+        assert_approx(
+            a.flops / a.kv_read_bytes,
+            32.0,
+            1e-9,
+            "405B QK^T FLOPs/KV-byte",
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod kernels;
 mod phases;
 mod speculative;
 
-pub use config::{MoeConfig, ModelConfig};
+pub use config::{ModelConfig, MoeConfig};
 pub use dtype::{DType, Precision};
 pub use kernels::{layer_kernels, lm_head_kernel, Kernel, KernelClass, KernelKind};
 pub use phases::{DecodeWorkload, PrefillWorkload};

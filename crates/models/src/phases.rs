@@ -167,7 +167,12 @@ mod tests {
         let p = Precision::mxfp4_inference();
         let wl = DecodeWorkload::new(&m, p, 1, 8192);
         // Streamed weights ~= stored weights for a dense model.
-        assert_approx(wl.weight_bytes(), m.weight_bytes(p), 1e-9, "dense streaming");
+        assert_approx(
+            wl.weight_bytes(),
+            m.weight_bytes(p),
+            1e-9,
+            "dense streaming",
+        );
     }
 
     #[test]

@@ -155,5 +155,9 @@ fn zoo_parameter_counts_match_names() {
     }
     // Maverick: ~400B total, ~17B active per token.
     let mav = ModelConfig::llama4_maverick();
-    assert!(mav.total_params() > 250e9, "Maverick total {}", mav.total_params());
+    assert!(
+        mav.total_params() > 250e9,
+        "Maverick total {}",
+        mav.total_params()
+    );
 }

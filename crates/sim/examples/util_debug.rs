@@ -1,7 +1,7 @@
+use rpu_hbmco::HbmCoConfig;
 use rpu_isa::{compile_decode_step, ShardPlan};
 use rpu_models::{KernelKind, ModelConfig, Precision};
 use rpu_sim::{SimConfig, Simulator};
-use rpu_hbmco::HbmCoConfig;
 
 fn main() {
     let prec = Precision::mxfp4_inference();
@@ -10,11 +10,21 @@ fn main() {
     let prog = compile_decode_step(&model, prec, 1, 16 * 1024, &plan);
     let sim = Simulator::new(HbmCoConfig::candidate(), prec, plan, SimConfig::default());
     let r = sim.run(&prog).unwrap();
-    println!("total {:.1}us mem_busy {:.1}us comp_busy {:.1}us net_busy {:.1}us",
-        r.total_time_s*1e6, r.mem_busy_s*1e6, r.comp_busy_s*1e6, r.net_busy_s*1e6);
+    println!(
+        "total {:.1}us mem_busy {:.1}us comp_busy {:.1}us net_busy {:.1}us",
+        r.total_time_s * 1e6,
+        r.mem_busy_s * 1e6,
+        r.comp_busy_s * 1e6,
+        r.net_busy_s * 1e6
+    );
     let mut ks: Vec<(&KernelKind, &rpu_sim::KernelStat)> = r.kernels.iter().collect();
     ks.sort_by(|a, b| b.1.comp_busy_s.total_cmp(&a.1.comp_busy_s));
     for (k, s) in ks {
-        println!("{k:<14} mem {:>8.2}us comp {:>8.2}us net {:>8.2}us", s.mem_busy_s*1e6, s.comp_busy_s*1e6, s.net_busy_s*1e6);
+        println!(
+            "{k:<14} mem {:>8.2}us comp {:>8.2}us net {:>8.2}us",
+            s.mem_busy_s * 1e6,
+            s.comp_busy_s * 1e6,
+            s.net_busy_s * 1e6
+        );
     }
 }

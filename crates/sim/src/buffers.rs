@@ -48,13 +48,21 @@ impl BufferState {
     /// Creates an empty buffer.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, occupied: 0, elastic: false }
+        Self {
+            capacity,
+            occupied: 0,
+            elastic: false,
+        }
     }
 
     /// Creates an empty elastic buffer (never refuses publications).
     #[must_use]
     pub fn new_elastic(capacity: u64) -> Self {
-        Self { capacity, occupied: 0, elastic: true }
+        Self {
+            capacity,
+            occupied: 0,
+            elastic: true,
+        }
     }
 
     /// `true` when a producer may publish more bytes.
@@ -86,7 +94,10 @@ impl DataflowState {
         buffers.insert(BufferId::Mem, BufferState::new(mem_cap));
         buffers.insert(BufferId::Net, BufferState::new_elastic(net_cap));
         buffers.insert(BufferId::Act, BufferState::new_elastic(act_cap));
-        Self { buffers, tags: HashMap::new() }
+        Self {
+            buffers,
+            tags: HashMap::new(),
+        }
     }
 
     /// Declares a tag before any publish: total size, valid count and
@@ -134,7 +145,9 @@ impl DataflowState {
     /// `true` once the producer has published the tag's full size.
     #[must_use]
     pub fn fully_published(&self, tag: Tag) -> bool {
-        self.tags.get(&tag).is_some_and(|t| t.total > 0 && t.published >= t.total)
+        self.tags
+            .get(&tag)
+            .is_some_and(|t| t.total > 0 && t.published >= t.total)
     }
 
     /// Bytes available to the streaming consumer (published − drained).
@@ -235,7 +248,11 @@ mod tests {
         s.declare(2, 100, 2, BufferId::Act);
         s.publish(2, 100);
         s.consume(2);
-        assert_eq!(s.occupied(BufferId::Act), 100, "space held until last consumer");
+        assert_eq!(
+            s.occupied(BufferId::Act),
+            100,
+            "space held until last consumer"
+        );
         s.consume(2);
         assert_eq!(s.occupied(BufferId::Act), 0);
     }

@@ -247,9 +247,27 @@ impl<'a> Engine<'a> {
             sim,
             state,
             pipes: [
-                PipeRt { stream: &program.mem, pc: 0, progress: 0, free_at: 0, pending: None },
-                PipeRt { stream: &program.comp, pc: 0, progress: 0, free_at: 0, pending: None },
-                PipeRt { stream: &program.net, pc: 0, progress: 0, free_at: 0, pending: None },
+                PipeRt {
+                    stream: &program.mem,
+                    pc: 0,
+                    progress: 0,
+                    free_at: 0,
+                    pending: None,
+                },
+                PipeRt {
+                    stream: &program.comp,
+                    pc: 0,
+                    progress: 0,
+                    free_at: 0,
+                    pending: None,
+                },
+                PipeRt {
+                    stream: &program.net,
+                    pc: 0,
+                    progress: 0,
+                    free_at: 0,
+                    pending: None,
+                },
             ],
             heap,
             now_last: 0,
@@ -304,7 +322,11 @@ impl<'a> Engine<'a> {
         self.energy.net += e.net;
         if let Some(pb) = &mut self.power_bin {
             let cores = f64::from(self.sim.plan.cores_per_cu);
-            pb.add_interval(start as f64 / PS, (end.max(start + 1)) as f64 / PS, e.total() * cores);
+            pb.add_interval(
+                start as f64 / PS,
+                (end.max(start + 1)) as f64 / PS,
+                e.total() * cores,
+            );
         }
     }
 
@@ -317,7 +339,10 @@ impl<'a> Engine<'a> {
     }
 
     fn apply_pending(&mut self, pipe: u8, t: u64) -> bool {
-        let mut pending = self.pipes[pipe as usize].pending.take().expect("pending exists");
+        let mut pending = self.pipes[pipe as usize]
+            .pending
+            .take()
+            .expect("pending exists");
         if !pending.consumes_done {
             for tag in &pending.consumes {
                 self.state.consume(*tag);
@@ -353,7 +378,11 @@ impl<'a> Engine<'a> {
         }
         let instr = &rt.stream[rt.pc];
         let kernel = instr.kernel;
-        let start = t.max(if self.sim.config.global_sync { self.sync_floor } else { 0 });
+        let start = t.max(if self.sim.config.global_sync {
+            self.sync_floor
+        } else {
+            0
+        });
         let chunk = self.sim.config.chunk_bytes;
         let cfg = &self.sim.config;
 
@@ -383,16 +412,26 @@ impl<'a> Engine<'a> {
                 };
                 self.streamed += q;
                 let last = q == remaining;
-                let publish = Some(Production { tag: *out, bytes: q, valid_count: 1 });
+                let publish = Some(Production {
+                    tag: *out,
+                    bytes: q,
+                    valid_count: 1,
+                });
                 // Publication capacity was checked above; the publish in
                 // the pending applies unconditionally via overshoot rule.
-                self.schedule(pipe, kernel, start, dur, Pending {
-                    consumes: vec![],
-                    consumes_done: true,
-                    publish,
-                    advance: (q, last),
-                    energy: e,
-                });
+                self.schedule(
+                    pipe,
+                    kernel,
+                    start,
+                    dur,
+                    Pending {
+                        consumes: vec![],
+                        consumes_done: true,
+                        publish,
+                        advance: (q, last),
+                        energy: e,
+                    },
+                );
                 true
             }
             Op::MemStore { input, bytes } => {
@@ -408,16 +447,28 @@ impl<'a> Engine<'a> {
                     ..EnergyBuckets::default()
                 };
                 self.stored += bytes;
-                self.schedule(pipe, kernel, start, dur.max(1), Pending {
-                    consumes: input.iter().copied().collect(),
-                    consumes_done: false,
-                    publish: None,
-                    advance: (0, true),
-                    energy: e,
-                });
+                self.schedule(
+                    pipe,
+                    kernel,
+                    start,
+                    dur.max(1),
+                    Pending {
+                        consumes: input.iter().copied().collect(),
+                        consumes_done: false,
+                        publish: None,
+                        advance: (0, true),
+                        energy: e,
+                    },
+                );
                 true
             }
-            Op::Vmm { weights, acts, out, weight_bytes, flops } => {
+            Op::Vmm {
+                weights,
+                acts,
+                out,
+                weight_bytes,
+                flops,
+            } => {
                 let remaining = weight_bytes - rt.progress;
                 let q = remaining.min(chunk);
                 let last = q == remaining;
@@ -462,13 +513,19 @@ impl<'a> Engine<'a> {
                 } else {
                     (vec![], None)
                 };
-                self.schedule(pipe, kernel, start, dur.max(1), Pending {
-                    consumes,
-                    consumes_done: false,
-                    publish,
-                    advance: (q, last),
-                    energy: e,
-                });
+                self.schedule(
+                    pipe,
+                    kernel,
+                    start,
+                    dur.max(1),
+                    Pending {
+                        consumes,
+                        consumes_done: false,
+                        publish,
+                        advance: (q, last),
+                        energy: e,
+                    },
+                );
                 true
             }
             Op::VOps { inputs, out, flops } => {
@@ -477,7 +534,9 @@ impl<'a> Engine<'a> {
                         return false;
                     }
                 }
-                let dur = ((*flops as f64 / self.sim.vops_rate()) * PS).ceil().max(1000.0) as u64;
+                let dur = ((*flops as f64 / self.sim.vops_rate()) * PS)
+                    .ceil()
+                    .max(1000.0) as u64;
                 let e = EnergyBuckets {
                     vops: *flops as f64 * self.sim.coeffs.vop_pj * 1e-12,
                     ..EnergyBuckets::default()
@@ -505,7 +564,13 @@ impl<'a> Engine<'a> {
                 self.heap.push(Reverse((end, pipe)));
                 true
             }
-            Op::Collective { kind, input, out, fragment_bytes, participants } => {
+            Op::Collective {
+                kind,
+                input,
+                out,
+                fragment_bytes,
+                participants,
+            } => {
                 if let Some(i) = input {
                     if !self.state.fully_published(*i) {
                         return false;
@@ -572,23 +637,35 @@ impl<'a> Engine<'a> {
                 if self.sim.config.global_sync {
                     self.sync_floor = self.sync_floor.max(end);
                 }
-                self.schedule(pipe, kernel, start, dur, Pending {
-                    consumes: input.iter().copied().collect(),
-                    consumes_done: false,
-                    publish: *out,
-                    advance: (0, true),
-                    energy: e,
-                });
+                self.schedule(
+                    pipe,
+                    kernel,
+                    start,
+                    dur,
+                    Pending {
+                        consumes: input.iter().copied().collect(),
+                        consumes_done: false,
+                        publish: *out,
+                        advance: (0, true),
+                        energy: e,
+                    },
+                );
                 true
             }
             Op::Inject { out } => {
-                self.schedule(pipe, kernel, start, 1, Pending {
-                    consumes: vec![],
-                    consumes_done: true,
-                    publish: Some(*out),
-                    advance: (0, true),
-                    energy: EnergyBuckets::default(),
-                });
+                self.schedule(
+                    pipe,
+                    kernel,
+                    start,
+                    1,
+                    Pending {
+                        consumes: vec![],
+                        consumes_done: true,
+                        publish: Some(*out),
+                        advance: (0, true),
+                        energy: EnergyBuckets::default(),
+                    },
+                );
                 true
             }
         }
@@ -725,9 +802,23 @@ mod tests {
     fn bs1_is_memory_bandwidth_bound() {
         // §VI: "At batch size 1, the RPU saturates memory bandwidth and
         // achieves roofline performance."
-        let r = run_model(&ModelConfig::llama3_8b(), 1, 16 * 1024, 64, SimConfig::default());
-        assert!(r.mem_bw_utilization() > 0.90, "BW util {}", r.mem_bw_utilization());
-        assert!(r.compute_utilization() < 0.25, "comp util {}", r.compute_utilization());
+        let r = run_model(
+            &ModelConfig::llama3_8b(),
+            1,
+            16 * 1024,
+            64,
+            SimConfig::default(),
+        );
+        assert!(
+            r.mem_bw_utilization() > 0.90,
+            "BW util {}",
+            r.mem_bw_utilization()
+        );
+        assert!(
+            r.compute_utilization() < 0.25,
+            "comp util {}",
+            r.compute_utilization()
+        );
     }
 
     #[test]
@@ -745,7 +836,12 @@ mod tests {
             1e-9,
             "streamed bytes conservation",
         );
-        assert_approx(r.stored_bytes as f64, prog.stats().store_bytes, 1e-9, "stored bytes");
+        assert_approx(
+            r.stored_bytes as f64,
+            prog.stats().store_bytes,
+            1e-9,
+            "stored bytes",
+        );
     }
 
     #[test]
@@ -756,9 +852,17 @@ mod tests {
         let wl = DecodeWorkload::new(&model, prec, 1, 8192);
         let plan_cores = 128.0 * 16.0;
         let roofline = wl.streaming_bytes() / plan_cores / 32e9;
-        assert!(r.total_time_s >= roofline * 0.99, "{} < {roofline}", r.total_time_s);
+        assert!(
+            r.total_time_s >= roofline * 0.99,
+            "{} < {roofline}",
+            r.total_time_s
+        );
         // ...and within 40 % of it (decoupling hides most stalls).
-        assert!(r.total_time_s < roofline * 1.4, "{} vs {roofline}", r.total_time_s);
+        assert!(
+            r.total_time_s < roofline * 1.4,
+            "{} vs {roofline}",
+            r.total_time_s
+        );
     }
 
     #[test]
@@ -770,7 +874,10 @@ mod tests {
             1,
             8192,
             64,
-            SimConfig { coupled_pipelines: true, ..SimConfig::default() },
+            SimConfig {
+                coupled_pipelines: true,
+                ..SimConfig::default()
+            },
         );
         assert!(
             slow.total_time_s > 1.05 * fast.total_time_s,
@@ -789,7 +896,10 @@ mod tests {
             1,
             8192,
             64,
-            SimConfig { global_sync: true, ..SimConfig::default() },
+            SimConfig {
+                global_sync: true,
+                ..SimConfig::default()
+            },
         );
         assert!(slow.total_time_s > fast.total_time_s);
     }
@@ -800,7 +910,13 @@ mod tests {
         // compute-bound weight phases; overall compute utilisation rises
         // far above the BS=1 level.
         let r1 = run_model(&ModelConfig::llama3_8b(), 1, 8192, 64, SimConfig::default());
-        let r32 = run_model(&ModelConfig::llama3_8b(), 32, 8192, 64, SimConfig::default());
+        let r32 = run_model(
+            &ModelConfig::llama3_8b(),
+            32,
+            8192,
+            64,
+            SimConfig::default(),
+        );
         assert!(r32.compute_utilization() > 4.0 * r1.compute_utilization());
         assert!(r32.total_time_s > r1.total_time_s);
     }
@@ -811,15 +927,32 @@ mod tests {
         // Peak occupancy stays within the SRAM budget plus one overshoot
         // publication.
         let cap = 512 * 1024 + 256 * 1024 + 64 * 1024 + 64 * 1024;
-        assert!(r.peak_buffer_bytes <= cap, "peak buffer {}", r.peak_buffer_bytes);
-        assert!(r.peak_buffer_bytes > 16 * 1024, "prefetching should fill buffers");
+        assert!(
+            r.peak_buffer_bytes <= cap,
+            "peak buffer {}",
+            r.peak_buffer_bytes
+        );
+        assert!(
+            r.peak_buffer_bytes > 16 * 1024,
+            "prefetching should fill buffers"
+        );
     }
 
     #[test]
     fn memory_dominates_energy() {
         // Fig. 8: "Memory power dominates total system power".
-        let r = run_model(&ModelConfig::llama3_8b(), 1, 16 * 1024, 64, SimConfig::default());
-        assert!(r.energy.memory_fraction() > 0.6, "mem fraction {}", r.energy.memory_fraction());
+        let r = run_model(
+            &ModelConfig::llama3_8b(),
+            1,
+            16 * 1024,
+            64,
+            SimConfig::default(),
+        );
+        assert!(
+            r.energy.memory_fraction() > 0.6,
+            "mem fraction {}",
+            r.energy.memory_fraction()
+        );
     }
 
     #[test]
@@ -837,7 +970,10 @@ mod tests {
             1,
             8192,
             64,
-            SimConfig { trace_bin_s: Some(1e-6), ..SimConfig::default() },
+            SimConfig {
+                trace_bin_s: Some(1e-6),
+                ..SimConfig::default()
+            },
         );
         let t = r.trace.as_ref().expect("trace enabled");
         assert!(!t.mem_util.is_empty());
@@ -860,7 +996,10 @@ mod tests {
             1,
             8192,
             428,
-            SimConfig { two_level_ring: true, ..SimConfig::default() },
+            SimConfig {
+                two_level_ring: true,
+                ..SimConfig::default()
+            },
         );
         assert!(
             two.total_time_s < flat.total_time_s,
@@ -872,9 +1011,19 @@ mod tests {
 
     #[test]
     fn moe_model_simulates() {
-        let r = run_model(&ModelConfig::llama4_maverick(), 1, 8192, 64, SimConfig::default());
+        let r = run_model(
+            &ModelConfig::llama4_maverick(),
+            1,
+            8192,
+            64,
+            SimConfig::default(),
+        );
         assert!(r.total_time_s > 0.0);
-        assert!(r.mem_bw_utilization() > 0.5, "BW util {}", r.mem_bw_utilization());
+        assert!(
+            r.mem_bw_utilization() > 0.5,
+            "BW util {}",
+            r.mem_bw_utilization()
+        );
     }
 
     #[test]

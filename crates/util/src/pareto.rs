@@ -75,7 +75,11 @@ pub fn frontier<T: Clone>(
         kept.retain(|(_, ks)| !dominates(s, *ks, obj));
         kept.push((item.clone(), s));
     }
-    kept.sort_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal));
+    kept.sort_by(|a, b| {
+        a.1 .0
+            .partial_cmp(&b.1 .0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     kept.into_iter().map(|(t, _)| t).collect()
 }
 
@@ -130,7 +134,10 @@ mod tests {
         let f = frontier(&pts, |p| *p, MIN_MIN);
         for a in &f {
             for b in &f {
-                assert!(!dominates(*a, *b, MIN_MIN) || a == b, "{a:?} dominates {b:?}");
+                assert!(
+                    !dominates(*a, *b, MIN_MIN) || a == b,
+                    "{a:?} dominates {b:?}"
+                );
             }
         }
     }

@@ -86,7 +86,10 @@ impl Binner {
     #[must_use]
     pub fn new(width: f64) -> Self {
         assert!(width > 0.0, "bin width must be positive");
-        Self { width, bins: Vec::new() }
+        Self {
+            width,
+            bins: Vec::new(),
+        }
     }
 
     /// Adds `amount` into the bin containing time `t` (negative `t` clamps

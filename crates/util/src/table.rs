@@ -45,7 +45,8 @@ impl Table {
 
     /// Appends a data row built from displayable values.
     pub fn row_display<D: fmt::Display>(&mut self, cells: &[D]) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows currently in the table.

@@ -1,0 +1,217 @@
+//! Edge-case coverage for the helpers every other crate leans on:
+//! Pareto dominance/frontier extraction, unit round-trips, and
+//! `stats::Binner` bin-boundary behaviour.
+
+use proptest::prelude::*;
+use rpu_util::pareto::{dominates, frontier, Objective};
+use rpu_util::stats::Binner;
+use rpu_util::units;
+
+const MIN_MIN: (Objective, Objective) = (Objective::Minimize, Objective::Minimize);
+const MAX_MAX: (Objective, Objective) = (Objective::Maximize, Objective::Maximize);
+
+#[test]
+fn dominance_requires_a_strict_axis() {
+    // Equal points never dominate each other, in either orientation.
+    assert!(!dominates((1.0, 2.0), (1.0, 2.0), MIN_MIN));
+    assert!(!dominates((1.0, 2.0), (1.0, 2.0), MAX_MAX));
+    // One strictly-better axis with the other tied is enough.
+    assert!(dominates((1.0, 2.0), (1.0, 3.0), MIN_MIN));
+    assert!(dominates((1.0, 3.0), (1.0, 2.0), MAX_MAX));
+}
+
+#[test]
+fn dominance_is_antisymmetric() {
+    let (a, b) = ((1.0, 4.0), (2.0, 5.0));
+    assert!(dominates(a, b, MIN_MIN));
+    assert!(!dominates(b, a, MIN_MIN));
+}
+
+#[test]
+fn mixed_objectives_flip_the_winner() {
+    // Maximise x, minimise y: (2, 1) beats (1, 2); pure-minimise has
+    // neither dominating.
+    let obj = (Objective::Maximize, Objective::Minimize);
+    assert!(dominates((2.0, 1.0), (1.0, 2.0), obj));
+    assert!(!dominates((2.0, 1.0), (1.0, 2.0), MIN_MIN));
+}
+
+#[test]
+fn frontier_of_empty_and_singleton() {
+    let empty: Vec<(f64, f64)> = Vec::new();
+    assert!(frontier(&empty, |p| *p, MIN_MIN).is_empty());
+    let one = vec![(3.0, 7.0)];
+    assert_eq!(frontier(&one, |p| *p, MIN_MIN), one);
+}
+
+#[test]
+fn frontier_drops_all_non_finite_points() {
+    let pts = vec![
+        (f64::NAN, 0.0),
+        (f64::INFINITY, 1.0),
+        (0.0, f64::NEG_INFINITY),
+    ];
+    assert!(frontier(&pts, |p| *p, MIN_MIN).is_empty());
+}
+
+#[test]
+fn frontier_is_sorted_by_x() {
+    let pts = vec![(5.0, 1.0), (1.0, 5.0), (3.0, 3.0)];
+    let f = frontier(&pts, |p| *p, MIN_MIN);
+    assert_eq!(f, vec![(1.0, 5.0), (3.0, 3.0), (5.0, 1.0)]);
+}
+
+#[test]
+fn frontier_collinear_chain_keeps_only_the_best_end() {
+    // Along y = x under minimise/minimise, the smallest point dominates
+    // the rest of the diagonal.
+    let pts: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), f64::from(i))).collect();
+    assert_eq!(frontier(&pts, |p| *p, MIN_MIN), vec![(0.0, 0.0)]);
+    assert_eq!(frontier(&pts, |p| *p, MAX_MAX), vec![(9.0, 9.0)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every input point is either on the frontier or dominated by a
+    /// frontier member, and no two frontier members dominate each other.
+    #[test]
+    fn frontier_is_complete_and_minimal(
+        seeds in (0u32..1000, 2usize..40),
+    ) {
+        let (seed, n) = seeds;
+        // Small deterministic pseudo-random point cloud with ties.
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let h = (u64::from(seed) + 1).wrapping_mul(i as u64 + 1).wrapping_mul(0x9E37_79B9);
+                (f64::from((h % 8) as u32), f64::from(((h >> 8) % 8) as u32))
+            })
+            .collect();
+        let f = frontier(&pts, |p| *p, MIN_MIN);
+        prop_assert!(!f.is_empty());
+        for p in &pts {
+            let on_frontier = f.contains(p);
+            let dominated = f.iter().any(|m| dominates(*m, *p, MIN_MIN));
+            prop_assert!(on_frontier || dominated, "{p:?} neither kept nor dominated");
+        }
+        for a in &f {
+            for b in &f {
+                prop_assert!(!dominates(*a, *b, MIN_MIN), "frontier member {a:?} dominates {b:?}");
+            }
+        }
+    }
+
+    /// Seconds→picoseconds→seconds round-trips to sub-tick precision for
+    /// the whole range the simulator uses (ns to minutes).
+    #[test]
+    fn time_round_trip(exp in -9.0f64..2.0, mantissa in 1.0f64..10.0) {
+        let s = mantissa * 10f64.powf(exp);
+        let back = units::ps_to_secs(units::secs_to_ps(s));
+        prop_assert!((back - s).abs() <= 0.5 / units::PS_PER_S * 1.0001, "{s} -> {back}");
+    }
+
+    /// Energy is linear in both the per-bit coefficient and the byte count.
+    #[test]
+    fn energy_is_bilinear(pj in 0.1f64..10.0, bytes in 1.0f64..1e12) {
+        let e = units::energy_j(pj, bytes);
+        prop_assert!((units::energy_j(2.0 * pj, bytes) - 2.0 * e).abs() <= 1e-12 * e);
+        prop_assert!((units::energy_j(pj, 2.0 * bytes) - 2.0 * e).abs() <= 1e-12 * e);
+        // 8 bits per byte at 1e-12 J/pJ.
+        prop_assert!((e - pj * bytes * 8.0e-12).abs() <= 1e-12 * e);
+    }
+}
+
+#[test]
+fn negative_times_clamp_to_zero_ticks() {
+    assert_eq!(units::secs_to_ps(-1.0), 0);
+    assert_eq!(units::secs_to_ps(0.0), 0);
+}
+
+#[test]
+fn fmt_bytes_unit_boundaries() {
+    // Exactly at each binary threshold the larger unit wins.
+    assert_eq!(units::fmt_bytes(units::KIB), "1.0 KiB");
+    assert_eq!(units::fmt_bytes(units::MIB), "1.0 MiB");
+    assert_eq!(units::fmt_bytes(units::GIB), "1.0 GiB");
+    assert_eq!(units::fmt_bytes(units::KIB - 1.0), "1023 B");
+    // Sign is preserved; the unit is chosen on magnitude.
+    assert_eq!(units::fmt_bytes(-2048.0), "-2.0 KiB");
+}
+
+#[test]
+fn fmt_time_unit_boundaries() {
+    assert_eq!(units::fmt_time(1.0), "1.00 s");
+    assert_eq!(units::fmt_time(1e-3), "1.00 ms");
+    assert_eq!(units::fmt_time(1e-6), "1.00 µs");
+    assert_eq!(units::fmt_time(0.999e-6), "999.00 ns");
+}
+
+#[test]
+fn decimal_and_binary_constants_are_consistent() {
+    assert_eq!(units::MB / units::KB, 1e3);
+    assert_eq!(units::GB / units::MB, 1e3);
+    assert_eq!(units::TB / units::GB, 1e3);
+    assert_eq!(units::MIB / units::KIB, 1024.0);
+    assert_eq!(units::GIB / units::MIB, 1024.0);
+}
+
+#[test]
+fn binner_add_on_exact_boundary_goes_to_upper_bin() {
+    // t = k * width belongs to bin k (half-open bins [k*w, (k+1)*w)).
+    let mut b = Binner::new(1.0);
+    b.add(0.0, 1.0);
+    b.add(1.0, 2.0);
+    b.add(2.0, 4.0);
+    assert_eq!(b.bins(), &[1.0, 2.0, 4.0]);
+}
+
+#[test]
+fn binner_negative_time_clamps_to_first_bin() {
+    let mut b = Binner::new(0.5);
+    b.add(-3.0, 7.0);
+    assert_eq!(b.bins(), &[7.0]);
+}
+
+#[test]
+fn binner_interval_splits_across_boundary_proportionally() {
+    // [0.5, 1.5) over width-1 bins: half the mass in each bin.
+    let mut b = Binner::new(1.0);
+    b.add_interval(0.5, 1.5, 8.0);
+    assert_eq!(b.bins().len(), 2);
+    assert!((b.bins()[0] - 4.0).abs() < 1e-12);
+    assert!((b.bins()[1] - 4.0).abs() < 1e-12);
+}
+
+#[test]
+fn binner_interval_aligned_to_bins_fills_them_exactly() {
+    let mut b = Binner::new(1.0);
+    b.add_interval(0.0, 3.0, 9.0);
+    assert_eq!(b.bins().len(), 3);
+    for bin in b.bins() {
+        assert!((bin - 3.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn binner_reversed_interval_is_a_no_op() {
+    let mut b = Binner::new(1.0);
+    b.add_interval(2.0, 1.0, 5.0);
+    assert!(b.bins().is_empty());
+}
+
+#[test]
+fn binner_tiny_interval_lands_in_one_bin() {
+    // An interval much narrower than the width must not leak into
+    // neighbouring bins.
+    let mut b = Binner::new(1.0);
+    b.add_interval(2.4, 2.4 + 1e-9, 3.0);
+    assert_eq!(b.bins().len(), 3);
+    assert!((b.bins()[2] - 3.0).abs() < 1e-9);
+    assert_eq!(b.bins()[0], 0.0);
+    assert_eq!(b.bins()[1], 0.0);
+}
+
+#[test]
+fn binner_width_accessor_round_trips() {
+    assert_eq!(Binner::new(0.125).width(), 0.125);
+}

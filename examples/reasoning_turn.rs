@@ -15,8 +15,13 @@ use rpu::RpuSystem;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let num_cus: u32 = std::env::args().nth(1).map_or(Ok(128), |s| s.parse())?;
     let model = ModelConfig::llama3_70b();
-    let decode =
-        RpuSystem::with_optimal_memory(&model, Precision::mxfp4_inference(), 1, 32 * 1024, num_cus)?;
+    let decode = RpuSystem::with_optimal_memory(
+        &model,
+        Precision::mxfp4_inference(),
+        1,
+        32 * 1024,
+        num_cus,
+    )?;
     let d = Deployment::new(GpuSystem::new(GpuSpec::h100_sxm(), 4), decode);
 
     println!(
@@ -26,7 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "{:<10} {:>8} {:>8} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "task", "prompt", "decode", "prefill s", "KV xfer s", "decode s", "RPU turn s", "GPU turn s"
+        "task",
+        "prompt",
+        "decode",
+        "prefill s",
+        "KV xfer s",
+        "decode s",
+        "RPU turn s",
+        "GPU turn s"
     );
 
     for (name, task) in [

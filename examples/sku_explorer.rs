@@ -7,7 +7,7 @@
 //! ```
 
 use rpu::core::{required_bytes_per_core, system_cost, CostModel};
-use rpu::hbmco::{pareto_frontier, ideal_token_latency};
+use rpu::hbmco::{ideal_token_latency, pareto_frontier};
 use rpu::models::{ModelConfig, Precision};
 use rpu::RpuSystem;
 
@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.bw_per_cap,
             p.energy_pj_per_bit,
             ideal_token_latency(p.bw_per_cap) * 1e3,
-            if p.capacity_per_pch() >= need { "yes" } else { "-" },
+            if p.capacity_per_pch() >= need {
+                "yes"
+            } else {
+                "-"
+            },
         );
     }
 

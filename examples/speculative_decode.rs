@@ -20,8 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sys = RpuSystem::with_optimal_memory(&target, prec, 1, seq, num_cus)?;
     let target_step = sys.token_latency(&target, 1, seq)?;
-    let draft_step = RpuSystem::build(num_cus, sys.arch.memory, prec)?
-        .token_latency(&draft, 1, seq)?;
+    let draft_step =
+        RpuSystem::build(num_cus, sys.arch.memory, prec)?.token_latency(&draft, 1, seq)?;
 
     println!(
         "RPU-{num_cus}CU: target {} {:.3} ms/step, draft {} {:.3} ms/step",
@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for lookahead in [2u32, 4, 8, 16] {
         // Acceptance saturates with depth (diminishing returns past the
         // model's natural agreement length; [41] reports 4.6 at depth 8).
-        let accepted = (0.575 * f64::from(lookahead)).min(f64::from(lookahead)).min(6.5);
-        let cfg = SpeculativeConfig { lookahead, accepted_per_window: accepted, ..base };
+        let accepted = (0.575 * f64::from(lookahead))
+            .min(f64::from(lookahead))
+            .min(6.5);
+        let cfg = SpeculativeConfig {
+            lookahead,
+            accepted_per_window: accepted,
+            ..base
+        };
         let verify = sys.token_latency(&target, lookahead + 1, seq)?;
         println!(
             "{:>10} {:>12.1} {:>12.3} {:>9.2}x {:>12.0}",

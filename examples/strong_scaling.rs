@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq = 8192;
 
     println!("strong scaling: {} BS=1 seq={}", model.name, seq);
-    println!("{:>6} {:>12} {:>10} {:>12} {:>10}", "CUs", "ms/token", "speedup", "mem TB/s", "TDP (W)");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>10}",
+        "CUs", "ms/token", "speedup", "mem TB/s", "TDP (W)"
+    );
 
     let mut base: Option<f64> = None;
     for cus in [8u32, 16, 32, 64, 96, 128, 192, 256, 384, 512] {

@@ -1,0 +1,34 @@
+//! Smoke test: every example binary must build and run to completion.
+//!
+//! Examples are documentation that executes; this suite keeps them from
+//! silently rotting. Each example is driven through `cargo run --example`
+//! using the same cargo that launched the test harness.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "pipeline_trace",
+    "quickstart",
+    "reasoning_turn",
+    "sku_explorer",
+    "speculative_decode",
+    "strong_scaling",
+];
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = env!("CARGO");
+    for name in EXAMPLES {
+        let output = Command::new(cargo)
+            .args(["run", "--quiet", "--example", name])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {name} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

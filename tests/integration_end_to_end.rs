@@ -29,7 +29,10 @@ fn headline_405b_iso_tdp_speedup() {
         }
     }
     let sys = sys.expect("an ISO-TDP configuration exists");
-    assert!(cus >= 100, "ISO-TDP with 2800 W should afford 100+ CUs, got {cus}");
+    assert!(
+        cus >= 100,
+        "ISO-TDP with 2800 W should afford 100+ CUs, got {cus}"
+    );
 
     let rpu_latency = sys.token_latency(&model, 1, 8192).expect("simulates");
     let wl = DecodeWorkload::new(&model, Precision::gpu_w4a16(), 1, 8192);
@@ -56,7 +59,11 @@ fn decode_latency_tracks_roofline_across_models() {
         let wl = DecodeWorkload::new(&model, prec, 1, 8192);
         let bound = wl.streaming_bytes() / sys.arch.mem_bandwidth();
         assert!(t >= bound * 0.98, "{}: {t} below bound {bound}", model.name);
-        assert!(t <= bound * 1.5, "{}: {t} too far above bound {bound}", model.name);
+        assert!(
+            t <= bound * 1.5,
+            "{}: {t} too far above bound {bound}",
+            model.name
+        );
     }
 }
 
@@ -67,7 +74,10 @@ fn fastest_thinking_speed_sub_millisecond_70b() {
     let prec = Precision::mxfp4_inference();
     let sys = RpuSystem::with_optimal_memory(&model, prec, 1, 8192, 204).expect("fits");
     let t = sys.token_latency(&model, 1, 8192).expect("simulates");
-    assert!(t < 1.0e-3, "70B at 204 CUs must be sub-millisecond, got {t}");
+    assert!(
+        t < 1.0e-3,
+        "70B at 204 CUs must be sub-millisecond, got {t}"
+    );
     assert!(t > 0.1e-3, "sub-0.1ms would beat the paper by >4x: {t}");
 }
 
@@ -99,19 +109,19 @@ fn energy_per_token_scales_with_model_size() {
             .decode_step(&model, 1, 8192)
             .expect("simulates")
             .system_energy_j();
-        assert!(e > last, "{}: energy {e} must exceed smaller model {last}", model.name);
+        assert!(
+            e > last,
+            "{}: energy {e} must exceed smaller model {last}",
+            model.name
+        );
         last = e;
     }
 }
 
 #[test]
 fn explicit_sku_build_matches_candidate_spec() {
-    let sys = RpuSystem::build(
-        64,
-        HbmCoConfig::candidate(),
-        Precision::mxfp4_inference(),
-    )
-    .expect("builds");
+    let sys = RpuSystem::build(64, HbmCoConfig::candidate(), Precision::mxfp4_inference())
+        .expect("builds");
     // 64 CUs x 2 stacks x 768 MiB.
     let expect = 64.0 * 2.0 * 768.0 * 1024.0 * 1024.0;
     assert!((sys.arch.mem_capacity() - expect).abs() / expect < 1e-9);
@@ -124,9 +134,20 @@ fn gpu_baseline_matches_paper_characterisation() {
     // The substitution contract (DESIGN.md §3): the analytical GPU must
     // reproduce the paper's measured H100 behaviour.
     let gpus = GpuSystem::new(GpuSpec::h100_sxm(), 4);
-    let wl = DecodeWorkload::new(&ModelConfig::llama3_70b(), Precision::fp8_weights(), 32, 17 * 1024);
+    let wl = DecodeWorkload::new(
+        &ModelConfig::llama3_70b(),
+        Precision::fp8_weights(),
+        32,
+        17 * 1024,
+    );
     let bw_util = gpus.effective_bw_utilization(&wl);
-    assert!(bw_util > 0.15 && bw_util < 0.45, "decode BW util {bw_util} (paper: 32%)");
+    assert!(
+        bw_util > 0.15 && bw_util < 0.45,
+        "decode BW util {bw_util} (paper: 32%)"
+    );
     let power = gpus.decode_power_w(&wl) / 4.0;
-    assert!(power < 0.55 * 700.0, "decode power {power} far below TDP (paper: 34%)");
+    assert!(
+        power < 0.55 * 700.0,
+        "decode power {power} far below TDP (paper: 34%)"
+    );
 }

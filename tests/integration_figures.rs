@@ -76,7 +76,12 @@ fn fig10_sku_map_spans_multiple_skus() {
 fn fig11_rpu_wins_at_iso_tdp_everywhere() {
     let f = exp::fig11_scaling::run();
     for m in &f.markers {
-        assert!(m.speedup() > 5.0, "{}: ISO-TDP speedup {}", m.model, m.speedup());
+        assert!(
+            m.speedup() > 5.0,
+            "{}: ISO-TDP speedup {}",
+            m.model,
+            m.speedup()
+        );
     }
 }
 
@@ -84,8 +89,16 @@ fn fig11_rpu_wins_at_iso_tdp_everywhere() {
 fn fig12_adaptive_memory_beats_fixed_hbm3e() {
     let f = exp::fig12_energy_cost::run();
     for s in &f.samples {
-        assert!(s.epi_hbm3e_j > s.epi_j(), "CUs {}: HBM-CO must win on energy", s.num_cus);
-        assert!(s.cost_hbm3e > s.cost.total(), "CUs {}: HBM-CO must win on cost", s.num_cus);
+        assert!(
+            s.epi_hbm3e_j > s.epi_j(),
+            "CUs {}: HBM-CO must win on energy",
+            s.num_cus
+        );
+        assert!(
+            s.cost_hbm3e > s.cost.total(),
+            "CUs {}: HBM-CO must win on cost",
+            s.num_cus
+        );
     }
 }
 

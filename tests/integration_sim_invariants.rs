@@ -17,7 +17,11 @@ fn any_model() -> impl Strategy<Value = ModelConfig> {
 }
 
 fn any_hbmco() -> impl Strategy<Value = HbmCoConfig> {
-    (1u32..=4, prop_oneof![Just(1u32), Just(2), Just(4)], prop_oneof![Just(0.5), Just(0.75), Just(1.0)])
+    (
+        1u32..=4,
+        prop_oneof![Just(1u32), Just(2), Just(4)],
+        prop_oneof![Just(0.5), Just(0.75), Just(1.0)],
+    )
         .prop_map(|(ranks, banks_per_group, subarray_scale)| HbmCoConfig {
             ranks,
             banks_per_group,
@@ -158,8 +162,8 @@ fn pareto_frontier_has_no_dominated_points() {
     assert!(frontier.len() >= 4, "frontier should offer several SKUs");
     for a in &frontier {
         for b in &frontier {
-            let strictly_better = b.capacity_bytes >= a.capacity_bytes
-                && b.energy_pj_per_bit < a.energy_pj_per_bit;
+            let strictly_better =
+                b.capacity_bytes >= a.capacity_bytes && b.energy_pj_per_bit < a.energy_pj_per_bit;
             assert!(
                 !strictly_better,
                 "{} dominates {}",

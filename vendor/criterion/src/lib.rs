@@ -1,0 +1,255 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this crate implements the subset of the criterion API the
+//! `rpu-bench` targets use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a small,
+//! dependency-free measurement loop (fixed warm-up, wall-clock timing,
+//! mean/min/max over a configurable sample count).
+//!
+//! Timing numbers from this harness are indicative, not
+//! statistically rigorous; swap the real criterion back in via
+//! `[workspace.dependencies]` when network access is available. The
+//! bench *code* is unchanged either way.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for drop-in compatibility with
+/// `criterion::black_box` imports.
+pub use std::hint::black_box;
+
+/// Entry point handed to each bench function; configures and runs
+/// benchmarks.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement: Duration,
+    default_warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // Far smaller than real criterion's defaults: this harness is
+            // for smoke-timing and `--no-run` compile checks, not stats.
+            default_sample_size: 10,
+            default_measurement: Duration::from_millis(300),
+            default_warm_up: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            id,
+            f,
+            self.default_sample_size,
+            self.default_measurement,
+            self.default_warm_up,
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks with shared settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            measurement: self.default_measurement,
+            warm_up: self.default_warm_up,
+            _parent: self,
+        }
+    }
+
+    /// Parses CLI arguments. The stub recognises (and ignores) the
+    /// arguments cargo-bench forwards, so `cargo bench` works end to end.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final hook invoked by [`criterion_main!`]; a no-op in the stub.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing sample-size and timing budgets.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        // Cap the group budgets: the stub is a smoke harness, and the
+        // seed benches request up to 15 s per target.
+        let measurement = self.measurement.min(Duration::from_secs(1));
+        let warm_up = self.warm_up.min(Duration::from_millis(100));
+        run_bench(&full, f, self.sample_size, measurement, warm_up);
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` against this bencher's budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, mut f: F, sample_size: usize, measurement: Duration, warm_up: Duration)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and iteration-count calibration: run single iterations
+    // until the warm-up budget is spent.
+    let mut calib_iters: u64 = 0;
+    let mut calib_elapsed = Duration::ZERO;
+    while calib_elapsed < warm_up || calib_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        calib_elapsed += b.elapsed.max(Duration::from_nanos(1));
+        calib_iters += 1;
+        if calib_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter = calib_elapsed.as_secs_f64() / calib_iters as f64;
+    let budget_per_sample = measurement.as_secs_f64() / sample_size.max(1) as f64;
+    let iters = ((budget_per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples x {iters} iters)",
+        format_time(samples[0]),
+        format_time(mean),
+        format_time(*samples.last().expect("at least one sample")),
+        samples.len(),
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group: a function running each listed bench
+/// against a default-configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench forwards harness flags like --bench; accept and
+            // ignore them for drop-in compatibility.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            default_sample_size: 2,
+            default_measurement: Duration::from_millis(1),
+            default_warm_up: Duration::from_micros(10),
+        };
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_micros(10));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,522 @@
+//! Offline stand-in for the [proptest](https://docs.rs/proptest)
+//! property-testing framework.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this crate implements the subset of the proptest API the
+//! workspace's property suites use:
+//!
+//! - the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::boxed`], implemented for integer/float ranges, tuples
+//!   of strategies, [`strategy::Just`], [`strategy::Union`]
+//!   (via [`prop_oneof!`]) and [`sample::select`];
+//! - the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! - [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Generation is a deterministic splitmix64 stream seeded from the test
+//! path, so failures reproduce exactly across runs. There is no
+//! shrinking: a failing case reports the seed and iteration instead.
+
+#![warn(missing_docs)]
+
+/// Deterministic random generation and test-case plumbing.
+pub mod test_runner {
+    /// Deterministic splitmix64 generator driving value generation.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn new(seed: u64) -> Self {
+            Self(seed)
+        }
+
+        /// Returns the next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a uniform f64 in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Returns a uniform integer in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    /// Maximum consecutive `prop_assume!` rejections before a case is
+    /// skipped.
+    pub const MAX_REJECTS: u64 = 16;
+
+    /// Derives the seed for one generation attempt of one case.
+    ///
+    /// The case and attempt indices are mixed in with multipliers
+    /// distinct from [`TestRng`]'s internal splitmix64 increment, so
+    /// per-case streams are decorrelated rather than sliding windows
+    /// over a single underlying sequence.
+    pub fn case_seed(base: u64, case: u64, attempt: u64) -> u64 {
+        base ^ case.wrapping_add(1).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ attempt.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7)
+    }
+
+    /// FNV-1a hash used to derive a per-test base seed from its path.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Failure raised by a property body: an assertion failure or an
+    /// input rejection from [`prop_assume!`](crate::prop_assume).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        reject: bool,
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// An assertion failure carrying a rendered message.
+        pub fn fail(message: String) -> Self {
+            Self {
+                reject: false,
+                message,
+            }
+        }
+
+        /// An input rejection (the case is skipped, not failed).
+        pub fn reject() -> Self {
+            Self {
+                reject: true,
+                message: String::from("input rejected by prop_assume!"),
+            }
+        }
+
+        /// Whether this error is a rejection rather than a failure.
+        pub fn is_reject(&self) -> bool {
+            self.reject
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Result type property bodies are rewritten into by [`proptest!`](crate::proptest).
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only `cases` is honoured by the stub.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value from the deterministic stream.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type (used by [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives; the expansion of
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives; panics if empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.below(span) as $t)
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    );
+}
+
+/// Strategies drawing from explicit collections.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy yielding uniformly-chosen clones from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Chooses uniformly from `items`; panics if `items` is empty.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select needs at least one item");
+        Select(items)
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Mirror of the `prop` module re-export in proptest's prelude
+    /// (`prop::sample::select` etc.).
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("prop_assert failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("prop_assert_eq failed: {left:?} != {right:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Skips the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, re-running each body over a deterministic stream of
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let base = $crate::test_runner::fnv1a(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..u64::from(config.cases) {
+                // A prop_assume! rejection resamples with a fresh seed
+                // instead of consuming the case budget; a case whose
+                // inputs are rejected MAX_REJECTS times in a row is
+                // skipped (mirroring real proptest's rejection limit).
+                'attempts: for attempt in 0..$crate::test_runner::MAX_REJECTS {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        $crate::test_runner::case_seed(base, case, attempt),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    let outcome: $crate::test_runner::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => break 'attempts,
+                        ::core::result::Result::Err(e) if e.is_reject() => {}
+                        ::core::result::Result::Err(e) => panic!(
+                            "property {} failed at case {case} (seed {base:#x}): {e}",
+                            stringify!($name),
+                        ),
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, f64)> {
+        (1u32..=8, prop_oneof![Just(0.5f64), Just(1.0)]).prop_map(|(n, s)| (n * 2, s))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 1.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1.0..2.0).contains(&y), "y out of range: {y}");
+        }
+
+        #[test]
+        fn mapped_tuples_compose(pair in arb_pair()) {
+            let (n, s) = pair;
+            prop_assert!(n % 2 == 0);
+            prop_assert!(s == 0.5 || s == 1.0);
+            prop_assert_eq!(n / 2 * 2, n);
+        }
+
+        #[test]
+        fn select_draws_from_list(v in prop::sample::select(vec![1u8, 3, 5])) {
+            prop_assume!(v != 3);
+            prop_assert!(v == 1 || v == 5);
+        }
+    }
+
+    #[test]
+    fn per_case_streams_do_not_slide() {
+        // Regression: when the per-case seed stride equalled the
+        // splitmix64 increment, case N+1's stream was case N's stream
+        // shifted by one draw. Distinct cases must not overlap.
+        use crate::test_runner::{case_seed, fnv1a, TestRng};
+        let base = fnv1a("slide-detector");
+        for case in 0..100u64 {
+            let mut a = TestRng::new(case_seed(base, case, 0));
+            let mut b = TestRng::new(case_seed(base, case + 1, 0));
+            let _ = a.next_u64();
+            assert_ne!(
+                a.next_u64(),
+                b.next_u64(),
+                "case {case} slides into case {}",
+                case + 1
+            );
+        }
+        // Rejection retries must also draw fresh values.
+        let mut first = TestRng::new(case_seed(base, 0, 0));
+        let mut retry = TestRng::new(case_seed(base, 0, 1));
+        assert_ne!(first.next_u64(), retry.next_u64());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = 0u32..1000;
+        let a: Vec<u32> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}
