@@ -99,6 +99,11 @@ const TARGETS: &[Target] = &[
         about: "extension: two-level ring vs flat-ring plateau",
         run: || println!("{}\n", exp::ext_scaleout::run().table()),
     },
+    Target {
+        name: "serving",
+        about: "request-level SLO sweep over offered load (rpu-serve)",
+        run: || println!("{}\n", exp::serving_sweep::run().table()),
+    },
 ];
 
 fn main() -> ExitCode {

@@ -3,8 +3,8 @@
 //! SambaNova SN40L, Groq LPU and Cerebras WSE-3 versus the RPU-200CU
 //! configuration computed by this reproduction.
 //!
-//! Vendor rows are constants from the paper's citations ([2], [52],
-//! [57], [64]); only the RPU row is computed (DESIGN.md §3,
+//! Vendor rows are constants from the paper's citations (refs 2, 52,
+//! 57 and 64); only the RPU row is computed (DESIGN.md §3,
 //! substitution 5).
 
 use crate::RpuSystem;

@@ -21,3 +21,4 @@ pub mod fig11_scaling;
 pub mod fig12_energy_cost;
 pub mod fig13_batch_sweep;
 pub mod fig14_platforms;
+pub mod serving_sweep;

@@ -28,9 +28,11 @@ mod cost;
 pub mod deployment;
 mod dse;
 pub mod experiments;
+pub mod serving;
 mod system;
 
 pub use cost::{system_cost, CostBreakdown, CostModel};
 pub use deployment::{Deployment, ReasoningTask, TurnLatency, INTERACTION_THRESHOLD_S};
 pub use dse::{optimal_memory, required_bytes_per_core};
+pub use serving::{PrefillBackend, RpuCostModel};
 pub use system::{BuildError, RpuSystem};

@@ -21,10 +21,10 @@ pub enum DType {
     Mxfp6,
     /// Microscaling FP8.
     Mxfp8,
-    /// Nanoscaling FP4 (NxFP [39]): adaptive micro-exponents, slightly
+    /// Nanoscaling FP4 (NxFP, ref 39): adaptive micro-exponents, slightly
     /// denser than MXFP4.
     Nxfp4,
-    /// Block floating point with 8-bit mantissas (BFP [53]).
+    /// Block floating point with 8-bit mantissas (BFP, ref 53).
     Bfp8,
 }
 
@@ -108,7 +108,7 @@ impl Precision {
     }
 
     /// The GPU-baseline deployment of §VIII: 4-bit weights with 16-bit
-    /// activations (MARLIN-style [18]) and FP8 KV cache.
+    /// activations (MARLIN-style, ref 18) and FP8 KV cache.
     #[must_use]
     pub fn gpu_w4a16() -> Self {
         Self::mxfp4_inference()

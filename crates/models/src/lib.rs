@@ -25,11 +25,13 @@
 mod config;
 mod dtype;
 mod kernels;
+mod lengths;
 mod phases;
 mod speculative;
 
 pub use config::{ModelConfig, MoeConfig};
 pub use dtype::{DType, Precision};
 pub use kernels::{layer_kernels, lm_head_kernel, Kernel, KernelClass, KernelKind};
+pub use lengths::LengthDistribution;
 pub use phases::{DecodeWorkload, PrefillWorkload};
 pub use speculative::SpeculativeConfig;

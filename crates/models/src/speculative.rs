@@ -17,7 +17,7 @@ pub struct SpeculativeConfig {
     pub target: ModelConfig,
     /// Tokens proposed per speculative window.
     pub lookahead: u32,
-    /// Average tokens accepted per window (from [41]).
+    /// Average tokens accepted per window (from ref 41).
     pub accepted_per_window: f64,
 }
 

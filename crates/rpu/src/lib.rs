@@ -20,7 +20,8 @@
 //! The [`core`] module composes these into deployable systems and
 //! regenerates every figure of the paper's evaluation; [`gpu`] provides
 //! the calibrated H100/H200 baseline; [`models`] the Llama 3/4 workload
-//! zoo.
+//! zoo; [`serve`] lifts the per-token cost models to request-level
+//! serving (continuous batching, arrival processes, TTFT/TPOT SLOs).
 //!
 //! # Quickstart
 //!
@@ -83,6 +84,11 @@ pub mod sim {
 /// System composition, SKU selection, and the paper's experiments.
 pub mod core {
     pub use rpu_core::*;
+}
+
+/// Request-level serving: arrivals, continuous batching, SLO metrics.
+pub mod serve {
+    pub use rpu_serve::*;
 }
 
 pub use rpu_core::{optimal_memory, BuildError, RpuSystem};

@@ -1,0 +1,271 @@
+//! Arrival processes and workload generation.
+//!
+//! A [`Workload`] pairs an [`ArrivalProcess`] with prompt/output
+//! [`LengthDistribution`]s and a seed. Open-loop processes (Poisson,
+//! trace replay) pre-generate their whole request tape; the closed loop
+//! issues a client's next request only after its previous one finishes,
+//! so its arrivals are produced during simulation via
+//! [`RequestSource::on_completion`].
+
+use crate::request::Request;
+use crate::rng::ServeRng;
+use rpu_models::LengthDistribution;
+use std::collections::VecDeque;
+
+/// When requests arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open loop: exponential inter-arrival times at the given offered
+    /// load (requests per second), seeded from the workload seed.
+    Poisson {
+        /// Offered load, requests/second.
+        rate_rps: f64,
+    },
+    /// Open loop: replay explicit arrival timestamps (seconds). The
+    /// tape is sorted internally; `num_requests` caps how many are used.
+    Trace {
+        /// Recorded arrival times, seconds.
+        arrivals_s: Vec<f64>,
+    },
+    /// Closed loop: `clients` concurrent users, each issuing its next
+    /// request `think_s` after its previous one completes.
+    ClosedLoop {
+        /// Concurrent clients (initial requests all arrive at t = 0).
+        clients: u32,
+        /// Think time between a completion and the next request.
+        think_s: f64,
+    },
+}
+
+/// A complete serving workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Prompt-length distribution.
+    pub prompt_lens: LengthDistribution,
+    /// Output-length distribution.
+    pub output_lens: LengthDistribution,
+    /// Total requests to issue.
+    pub num_requests: u32,
+    /// Seed for every random draw (arrivals and lengths).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A Poisson workload with fixed prompt/output lengths — the basic
+    /// load-sweep configuration.
+    #[must_use]
+    pub fn poisson(rate_rps: f64, prompt_len: u32, output_len: u32, num_requests: u32) -> Self {
+        Self {
+            arrivals: ArrivalProcess::Poisson { rate_rps },
+            prompt_lens: LengthDistribution::Fixed(prompt_len),
+            output_lens: LengthDistribution::Fixed(output_len),
+            num_requests,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The stream of requests feeding the scheduler.
+///
+/// Open-loop tapes are fully materialised up front; the closed loop
+/// issues lazily on completions. Either way, lengths are drawn from one
+/// deterministic stream in issue order, so a fixed seed fixes the tape.
+#[derive(Debug)]
+pub struct RequestSource {
+    pending: VecDeque<Request>,
+    rng: ServeRng,
+    prompt_lens: LengthDistribution,
+    output_lens: LengthDistribution,
+    issued: u32,
+    budget: u32,
+    think_s: Option<f64>,
+}
+
+impl RequestSource {
+    /// Builds the source for a workload.
+    #[must_use]
+    pub fn new(workload: &Workload) -> Self {
+        let mut src = Self {
+            pending: VecDeque::new(),
+            rng: ServeRng::new(workload.seed),
+            prompt_lens: workload.prompt_lens.clone(),
+            output_lens: workload.output_lens.clone(),
+            issued: 0,
+            budget: workload.num_requests,
+            think_s: None,
+        };
+        match &workload.arrivals {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(*rate_rps > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                for _ in 0..workload.num_requests {
+                    t += src.rng.next_exp(1.0 / rate_rps);
+                    src.issue(t);
+                }
+            }
+            ArrivalProcess::Trace { arrivals_s } => {
+                let mut tape: Vec<f64> = arrivals_s
+                    .iter()
+                    .copied()
+                    .take(workload.num_requests as usize)
+                    .collect();
+                tape.sort_by(f64::total_cmp);
+                for t in tape {
+                    src.issue(t);
+                }
+                src.budget = src.issued;
+            }
+            ArrivalProcess::ClosedLoop { clients, think_s } => {
+                assert!(*clients > 0, "closed loop needs at least one client");
+                src.think_s = Some(*think_s);
+                for _ in 0..(*clients).min(workload.num_requests) {
+                    src.issue(0.0);
+                }
+            }
+        }
+        src
+    }
+
+    fn issue(&mut self, arrival_s: f64) {
+        let prompt_len = self.prompt_lens.sample(self.rng.next_f64());
+        let output_len = self.output_lens.sample(self.rng.next_f64());
+        self.pending.push_back(Request {
+            id: self.issued,
+            arrival_s,
+            prompt_len,
+            output_len,
+        });
+        self.issued += 1;
+    }
+
+    /// The next arrival time not yet handed out, if any.
+    #[must_use]
+    pub fn next_arrival_s(&self) -> Option<f64> {
+        self.pending.front().map(|r| r.arrival_s)
+    }
+
+    /// Pops the next request if it has arrived by `now`.
+    pub fn pop_ready(&mut self, now: f64) -> Option<Request> {
+        if self.pending.front()?.arrival_s <= now {
+            self.pending.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Notifies the source that a request finished at `finish_s`; in
+    /// closed-loop mode the owning client issues its next request after
+    /// its think time.
+    pub fn on_completion(&mut self, finish_s: f64) {
+        if let Some(think) = self.think_s {
+            if self.issued < self.budget {
+                // Completions advance with the global clock, so pushes
+                // stay time-ordered.
+                self.issue(finish_s + think);
+            }
+        }
+    }
+
+    /// `true` once every request of the workload has been handed out.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.pending.is_empty() && self.issued >= self.budget
+    }
+
+    /// Requests issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u32 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut RequestSource) -> Vec<Request> {
+        let mut v = Vec::new();
+        while let Some(r) = src.pop_ready(f64::INFINITY) {
+            v.push(r);
+        }
+        v
+    }
+
+    #[test]
+    fn poisson_tape_is_reproducible_and_sorted() {
+        let w = Workload::poisson(100.0, 512, 64, 50);
+        let a = drain(&mut RequestSource::new(&w));
+        let b = drain(&mut RequestSource::new(&w));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert_eq!(a.len(), 50);
+        // Mean inter-arrival ~ 1/rate.
+        let span = a.last().unwrap().arrival_s;
+        assert!((span / 50.0 - 0.01).abs() < 0.005, "span {span}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_tapes() {
+        let w = Workload::poisson(100.0, 512, 64, 10);
+        let w2 = Workload {
+            seed: 7,
+            ..w.clone()
+        };
+        assert_ne!(
+            drain(&mut RequestSource::new(&w))[0].arrival_s,
+            drain(&mut RequestSource::new(&w2))[0].arrival_s
+        );
+    }
+
+    #[test]
+    fn trace_replay_sorts_and_caps() {
+        let w = Workload {
+            arrivals: ArrivalProcess::Trace {
+                arrivals_s: vec![3.0, 1.0, 2.0, 4.0],
+            },
+            num_requests: 3,
+            ..Workload::poisson(1.0, 128, 16, 3)
+        };
+        let tape = drain(&mut RequestSource::new(&w));
+        let times: Vec<f64> = tape.iter().map(|r| r.arrival_s).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn closed_loop_issues_on_completion() {
+        let w = Workload {
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 2,
+                think_s: 0.5,
+            },
+            ..Workload::poisson(1.0, 128, 16, 4)
+        };
+        let mut src = RequestSource::new(&w);
+        assert_eq!(src.issued(), 2);
+        assert!(!src.exhausted());
+        src.pop_ready(0.0).unwrap();
+        src.pop_ready(0.0).unwrap();
+        src.on_completion(1.0);
+        let r = src.pop_ready(10.0).unwrap();
+        assert!((r.arrival_s - 1.5).abs() < 1e-12);
+        src.on_completion(2.0);
+        assert_eq!(src.issued(), 4);
+        src.on_completion(3.0); // budget reached: no further issue
+        assert_eq!(src.issued(), 4);
+    }
+
+    #[test]
+    fn lengths_follow_the_distributions() {
+        let w = Workload {
+            prompt_lens: LengthDistribution::Uniform { lo: 10, hi: 20 },
+            output_lens: LengthDistribution::Fixed(5),
+            ..Workload::poisson(10.0, 1, 1, 100)
+        };
+        for r in drain(&mut RequestSource::new(&w)) {
+            assert!((10..=20).contains(&r.prompt_len));
+            assert_eq!(r.output_len, 5);
+        }
+    }
+}

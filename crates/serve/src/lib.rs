@@ -1,0 +1,51 @@
+//! Request-level serving simulation for the RPU reproduction.
+//!
+//! The per-token figures answer "how fast is one decode step"; this
+//! crate answers the production question above it: **what latency do
+//! users see at a given offered load?** It simulates a stream of
+//! requests — seeded Poisson arrivals, trace replay, or a closed loop
+//! of clients — flowing through a continuous-batching scheduler
+//! ([`serve`]) that admits FIFO under batch-size and KV-capacity
+//! back-pressure, interleaves prefill with decode, and emits one token
+//! per resident request per iteration. The result is an SLO report:
+//! TTFT/TPOT/end-to-end latency at p50/p95/p99, goodput against
+//! [`SloTargets`], and decode-machine utilisation.
+//!
+//! Machine costs enter through the [`CostModel`] trait, so this crate
+//! stays independent of the simulator stack: `rpu-core` adapts
+//! `RpuSystem` (event-driven simulation with memoised decode steps)
+//! behind it, while [`AnalyticCostModel`] provides a closed-form
+//! machine for tests. Everything is deterministic — a fixed workload
+//! seed reproduces the schedule bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use rpu_serve::{serve, AnalyticCostModel, ServeConfig, SloReport, SloTargets, Workload};
+//!
+//! let workload = Workload::poisson(100.0, 512, 64, 32);
+//! let report = serve(
+//!     &workload,
+//!     &mut AnalyticCostModel::small(),
+//!     &ServeConfig::default(),
+//! );
+//! let slo = SloReport::new(&report, &SloTargets::interactive());
+//! assert_eq!(slo.completed, 32);
+//! assert!(slo.ttft.p50 > 0.0 && slo.ttft.p50 <= slo.ttft.p99);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod cost;
+mod metrics;
+mod request;
+mod rng;
+mod scheduler;
+
+pub use arrivals::{ArrivalProcess, RequestSource, Workload};
+pub use cost::{AnalyticCostModel, CostModel};
+pub use metrics::{SloReport, SloTargets};
+pub use request::{Request, RequestRecord};
+pub use rng::ServeRng;
+pub use scheduler::{serve, ServeConfig, ServeReport};

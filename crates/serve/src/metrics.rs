@@ -1,0 +1,213 @@
+//! SLO reporting: latency percentiles, goodput and utilisation.
+
+use crate::request::RequestRecord;
+use crate::scheduler::ServeReport;
+use rpu_util::stats::Percentiles;
+use rpu_util::table::{num, Table};
+
+/// Service-level objectives for one request class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTargets {
+    /// Maximum acceptable time to first token, seconds.
+    pub ttft_s: f64,
+    /// Maximum acceptable time per output token, seconds.
+    pub tpot_s: f64,
+}
+
+impl SloTargets {
+    /// Interactive chat targets: first token within 500 ms, then faster
+    /// than human reading speed (50 ms/token ≈ 20 tokens/s).
+    #[must_use]
+    pub fn interactive() -> Self {
+        Self {
+            ttft_s: 0.5,
+            tpot_s: 0.05,
+        }
+    }
+}
+
+/// Aggregated serving metrics for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Time-to-first-token summary, seconds.
+    pub ttft: Percentiles,
+    /// Time-per-output-token summary, seconds.
+    pub tpot: Percentiles,
+    /// End-to-end latency summary, seconds.
+    pub e2e: Percentiles,
+    /// Completed requests.
+    pub completed: u32,
+    /// Rejected (over-capacity) requests.
+    pub rejected: u32,
+    /// Completed requests per second over the makespan.
+    pub throughput_rps: f64,
+    /// Output tokens per second over the makespan.
+    pub throughput_tok_s: f64,
+    /// Requests per second that met *both* SLO targets.
+    pub goodput_rps: f64,
+    /// Fraction of completed requests meeting both SLO targets.
+    pub slo_attainment: f64,
+    /// Decode-machine utilisation over the makespan.
+    pub utilization: f64,
+    /// Largest concurrent batch observed.
+    pub peak_batch: u32,
+    /// Largest conservative KV reservation observed, tokens.
+    pub peak_reserved_tokens: u64,
+}
+
+impl SloReport {
+    /// Summarises a serve run against SLO targets.
+    #[must_use]
+    pub fn new(report: &ServeReport, slo: &SloTargets) -> Self {
+        let ttfts: Vec<f64> = report.records.iter().map(RequestRecord::ttft_s).collect();
+        let tpots: Vec<f64> = report.records.iter().map(RequestRecord::tpot_s).collect();
+        let e2es: Vec<f64> = report.records.iter().map(RequestRecord::e2e_s).collect();
+        let good = report
+            .records
+            .iter()
+            .filter(|r| r.ttft_s() <= slo.ttft_s && r.tpot_s() <= slo.tpot_s)
+            .count();
+        let completed = report.records.len();
+        let span = report.makespan_s.max(f64::MIN_POSITIVE);
+        Self {
+            ttft: Percentiles::from_samples(&ttfts),
+            tpot: Percentiles::from_samples(&tpots),
+            e2e: Percentiles::from_samples(&e2es),
+            completed: completed as u32,
+            rejected: report.rejected,
+            throughput_rps: completed as f64 / span,
+            throughput_tok_s: report.output_tokens() as f64 / span,
+            goodput_rps: good as f64 / span,
+            slo_attainment: if completed > 0 {
+                good as f64 / completed as f64
+            } else {
+                0.0
+            },
+            utilization: report.utilization(),
+            peak_batch: report.peak_batch,
+            peak_reserved_tokens: report.peak_reserved_tokens,
+        }
+    }
+
+    /// Renders the report as an aligned text table (milliseconds for
+    /// latencies), matching the repo's figure-table style.
+    #[must_use]
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["metric", "p50", "p95", "p99", "mean", "max"]);
+        let ms = |p: &Percentiles| -> Vec<String> {
+            [p.p50, p.p95, p.p99, p.mean, p.max]
+                .iter()
+                .map(|v| num(v * 1e3, 2))
+                .collect()
+        };
+        let mut row = vec!["TTFT (ms)".to_owned()];
+        row.extend(ms(&self.ttft));
+        t.row(&row);
+        let mut row = vec!["TPOT (ms)".to_owned()];
+        row.extend(ms(&self.tpot));
+        t.row(&row);
+        let mut row = vec!["E2E (ms)".to_owned()];
+        row.extend(ms(&self.e2e));
+        t.row(&row);
+        t.row(&[
+            "completed / rejected".into(),
+            format!("{} / {}", self.completed, self.rejected),
+        ]);
+        t.row(&[
+            "throughput".into(),
+            format!(
+                "{} req/s, {} tok/s",
+                num(self.throughput_rps, 1),
+                num(self.throughput_tok_s, 0)
+            ),
+        ]);
+        t.row(&[
+            "goodput".into(),
+            format!(
+                "{} req/s ({}% in SLO)",
+                num(self.goodput_rps, 1),
+                num(self.slo_attainment * 100.0, 1)
+            ),
+        ]);
+        t.row(&[
+            "decode utilisation".into(),
+            format!("{}%", num(self.utilization * 100.0, 1)),
+        ]);
+        t.row(&[
+            "peak batch / KV tokens".into(),
+            format!("{} / {}", self.peak_batch, self.peak_reserved_tokens),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AnalyticCostModel;
+    use crate::scheduler::{serve, ServeConfig};
+    use crate::Workload;
+
+    fn report() -> ServeReport {
+        serve(
+            &Workload::poisson(200.0, 256, 32, 48),
+            &mut AnalyticCostModel::small(),
+            &ServeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let s = SloReport::new(&report(), &SloTargets::interactive());
+        assert!(s.ttft.p50 <= s.ttft.p95 && s.ttft.p95 <= s.ttft.p99);
+        assert!(s.e2e.p99 <= s.e2e.max);
+        assert!(s.ttft.p50 > 0.0);
+        assert_eq!(s.completed, 48);
+    }
+
+    #[test]
+    fn goodput_never_exceeds_throughput() {
+        let s = SloReport::new(&report(), &SloTargets::interactive());
+        assert!(s.goodput_rps <= s.throughput_rps + 1e-12);
+        assert!((0.0..=1.0).contains(&s.slo_attainment));
+        assert!((0.0..=1.0 + 1e-9).contains(&s.utilization));
+    }
+
+    #[test]
+    fn impossible_slo_zeroes_goodput() {
+        let slo = SloTargets {
+            ttft_s: 0.0,
+            tpot_s: 0.0,
+        };
+        let s = SloReport::new(&report(), &slo);
+        assert_eq!(s.goodput_rps, 0.0);
+        assert_eq!(s.slo_attainment, 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_metrics() {
+        let s = SloReport::new(&report(), &SloTargets::interactive());
+        let rendered = s.table("serve").to_string();
+        for needle in ["TTFT", "TPOT", "E2E", "goodput", "utilisation"] {
+            assert!(rendered.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let r = ServeReport {
+            records: vec![],
+            rejected: 0,
+            makespan_s: 0.0,
+            decode_busy_s: 0.0,
+            prefill_busy_s: 0.0,
+            decode_iterations: 0,
+            peak_batch: 0,
+            peak_reserved_tokens: 0,
+        };
+        let s = SloReport::new(&r, &SloTargets::interactive());
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.slo_attainment, 0.0);
+        assert!(s.throughput_rps.is_finite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property suite for the continuous-batching scheduler.
+//!
+//! Three invariant families over randomly generated workloads and
+//! scheduler configurations:
+//!
+//! 1. **Token conservation** — every admitted request completes and
+//!    emits exactly its sampled output length; nothing is lost or
+//!    duplicated.
+//! 2. **No starvation under FIFO** — admission order equals arrival
+//!    (issue) order, so no request is overtaken while it waits.
+//! 3. **Batch-size / KV-capacity invariants** — the batch never
+//!    exceeds `max_batch`, the conservative KV reservation never
+//!    exceeds the machine's capacity, and per-request timestamps are
+//!    causally ordered.
+
+use proptest::prelude::*;
+use rpu_models::LengthDistribution;
+use rpu_serve::{
+    serve, AnalyticCostModel, ArrivalProcess, RequestSource, ServeConfig, ServeReport, Workload,
+};
+
+const KV_CAPACITY: u64 = 4096;
+
+fn machine() -> AnalyticCostModel {
+    AnalyticCostModel {
+        weight_stream_s: 1e-3,
+        kv_token_s: 1e-7,
+        prefill_token_s: 2e-6,
+        kv_capacity_tokens: KV_CAPACITY,
+    }
+}
+
+fn arb_lengths() -> impl Strategy<Value = LengthDistribution> {
+    prop_oneof![
+        (1u32..=512).prop_map(LengthDistribution::Fixed),
+        (1u32..=64, 256u32..=512).prop_map(|(lo, hi)| LengthDistribution::Uniform { lo, hi }),
+        (4.0f64..128.0).prop_map(|mean| LengthDistribution::Exponential { mean, cap: 512 }),
+    ]
+}
+
+fn arb_arrivals() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (10.0f64..5000.0).prop_map(|rate_rps| ArrivalProcess::Poisson { rate_rps }),
+        (1u32..=12, 0.0f64..0.05)
+            .prop_map(|(clients, think_s)| ArrivalProcess::ClosedLoop { clients, think_s }),
+    ]
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        arb_arrivals(),
+        arb_lengths(),
+        arb_lengths(),
+        1u32..48,
+        0u64..1 << 48,
+    )
+        .prop_map(
+            |(arrivals, prompt_lens, output_lens, num_requests, seed)| Workload {
+                arrivals,
+                prompt_lens,
+                output_lens,
+                num_requests,
+                seed,
+            },
+        )
+}
+
+fn arb_config() -> impl Strategy<Value = ServeConfig> {
+    (
+        1u32..=16,
+        prop::sample::select(vec![1u32, 64, 256, 1024]),
+        prop_oneof![Just(false), Just(true)],
+    )
+        .prop_map(|(max_batch, seq_bucket, collocated_prefill)| ServeConfig {
+            max_batch,
+            seq_bucket,
+            collocated_prefill,
+        })
+}
+
+/// Replays the workload's request tape (arrivals and sampled lengths
+/// are deterministic in the seed) without running the scheduler.
+fn issued_lengths(workload: &Workload, completions: &ServeReport) -> Vec<(u32, u32, u32)> {
+    let mut src = RequestSource::new(workload);
+    let mut out = Vec::new();
+    let drain = |src: &mut RequestSource, out: &mut Vec<(u32, u32, u32)>| {
+        while let Some(r) = src.pop_ready(f64::INFINITY) {
+            out.push((r.id, r.prompt_len, r.output_len));
+        }
+    };
+    drain(&mut src, &mut out);
+    // Closed-loop tapes extend on completions; replay them in
+    // completion order (a no-op for open-loop workloads).
+    for rec in &completions.records {
+        src.on_completion(rec.finish_s);
+        drain(&mut src, &mut out);
+    }
+    out.sort_by_key(|&(id, ..)| id);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tokens_are_conserved(wl in arb_workload(), cfg in arb_config()) {
+        // Lengths are capped at 512 + 512 < KV_CAPACITY, so every
+        // request fits alone and none may be rejected.
+        let report = serve(&wl, &mut machine(), &cfg);
+        prop_assert_eq!(report.rejected, 0);
+        prop_assert_eq!(report.records.len() as u32, wl.num_requests);
+
+        // Each request emitted exactly the output length it was issued
+        // with, and its prompt survived unmodified.
+        let tape = issued_lengths(&wl, &report);
+        prop_assert_eq!(tape.len(), report.records.len());
+        let mut records = report.records.clone();
+        records.sort_by_key(|r| r.id);
+        for (rec, &(id, prompt, output)) in records.iter().zip(&tape) {
+            prop_assert_eq!(rec.id, id);
+            prop_assert_eq!(rec.prompt_len, prompt);
+            prop_assert_eq!(rec.output_len, output);
+        }
+        let emitted: u64 = records.iter().map(|r| u64::from(r.output_len)).sum();
+        let issued: u64 = tape.iter().map(|&(_, _, o)| u64::from(o)).sum();
+        prop_assert_eq!(emitted, issued);
+        // Enough iterations ran to mint every token.
+        prop_assert!(report.decode_iterations >= u64::from(records.iter()
+            .map(|r| r.output_len).max().unwrap_or(0)));
+    }
+
+    #[test]
+    fn fifo_admission_never_starves(wl in arb_workload(), cfg in arb_config()) {
+        let report = serve(&wl, &mut machine(), &cfg);
+        // Everyone gets served...
+        prop_assert_eq!(report.records.len() as u32, wl.num_requests);
+        // ...and in arrival order: admission times are non-decreasing
+        // in issue order (ids are issued in arrival order).
+        let mut records = report.records.clone();
+        records.sort_by_key(|r| r.id);
+        for w in records.windows(2) {
+            prop_assert!(
+                w[1].admit_s >= w[0].admit_s - 1e-12,
+                "request {} admitted at {} before earlier request {} at {}",
+                w[1].id, w[1].admit_s, w[0].id, w[0].admit_s
+            );
+        }
+    }
+
+    #[test]
+    fn batch_and_kv_invariants_hold(wl in arb_workload(), cfg in arb_config()) {
+        let report = serve(&wl, &mut machine(), &cfg);
+        prop_assert!(report.peak_batch <= cfg.max_batch,
+            "peak batch {} > cap {}", report.peak_batch, cfg.max_batch);
+        prop_assert!(report.peak_reserved_tokens <= KV_CAPACITY,
+            "reserved {} > capacity {KV_CAPACITY}", report.peak_reserved_tokens);
+        if let ArrivalProcess::ClosedLoop { clients, .. } = wl.arrivals {
+            prop_assert!(report.peak_batch <= clients);
+        }
+        let first_arrival = report
+            .records
+            .iter()
+            .map(|r| r.arrival_s)
+            .fold(f64::INFINITY, f64::min);
+        for r in &report.records {
+            prop_assert!(r.arrival_s >= 0.0);
+            prop_assert!(r.admit_s >= r.arrival_s - 1e-12);
+            prop_assert!(r.first_token_s > r.admit_s);
+            prop_assert!(r.finish_s >= r.first_token_s);
+            // The makespan is anchored at the first arrival and covers
+            // every completion.
+            prop_assert!(report.makespan_s >= r.finish_s - first_arrival - 1e-12);
+        }
+    }
+
+    #[test]
+    fn schedules_are_bit_reproducible(wl in arb_workload(), cfg in arb_config()) {
+        let a = serve(&wl, &mut machine(), &cfg);
+        let b = serve(&wl, &mut machine(), &cfg);
+        prop_assert_eq!(a, b);
+    }
+}

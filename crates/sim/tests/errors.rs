@@ -1,0 +1,161 @@
+//! Error-path tests for the simulator: deadlock detection and the
+//! event-budget safety limit, exercised with minimal hand-built
+//! [`CoreProgram`]s rather than compiler output.
+
+use rpu_hbmco::HbmCoConfig;
+use rpu_isa::{CoreProgram, Instr, Op, Production, ShardPlan, Tag};
+use rpu_models::{KernelKind, Precision};
+use rpu_sim::{SimConfig, SimError, Simulator};
+
+fn load(out: Tag, bytes: u64) -> Instr {
+    Instr {
+        kernel: KernelKind::QkvProj,
+        layer: 0,
+        op: Op::MemLoad {
+            out,
+            bytes,
+            valid_count: 1,
+        },
+    }
+}
+
+fn store_waiting_on(input: Tag) -> Instr {
+    Instr {
+        kernel: KernelKind::QkvProj,
+        layer: 0,
+        op: Op::MemStore {
+            input: Some(input),
+            bytes: 64,
+        },
+    }
+}
+
+fn vmm(weights: Tag, out: Option<Tag>, weight_bytes: u64) -> Instr {
+    Instr {
+        kernel: KernelKind::QkvProj,
+        layer: 0,
+        op: Op::Vmm {
+            weights,
+            acts: vec![],
+            out: out.map(|tag| Production {
+                tag,
+                bytes: 64,
+                valid_count: 1,
+            }),
+            weight_bytes,
+            flops: 8 * weight_bytes,
+        },
+    }
+}
+
+fn simulator(config: SimConfig) -> Simulator {
+    Simulator::new(
+        HbmCoConfig::candidate(),
+        Precision::mxfp4_inference(),
+        ShardPlan::new(1, 16),
+        config,
+    )
+}
+
+#[test]
+fn circular_wait_deadlocks_with_pc_report() {
+    // mem:  [ MemStore(waits tag 2), MemLoad(produces tag 1) ]
+    // comp: [ Vmm(drains tag 1, produces tag 2) ]
+    //
+    // The store heads the in-order memory stream and waits for the VMM
+    // output; the VMM waits for weights the blocked stream never loads.
+    // Nothing can progress and all program counters sit at 0.
+    let mut p = CoreProgram::default();
+    p.push(store_waiting_on(2));
+    p.push(load(1, 4096));
+    p.push(vmm(1, Some(2), 4096));
+    p.validate_dataflow().expect("tags are well-formed");
+
+    let err = simulator(SimConfig::default())
+        .run(&p)
+        .expect_err("circular wait must deadlock");
+    match err {
+        SimError::Deadlock { pcs } => assert_eq!(pcs, [0, 0, 0]),
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_mid_program_reports_stalled_pcs() {
+    // A healthy first chain, then the same cycle: the reported program
+    // counters must point at the stalled instructions, not at zero.
+    let mut p = CoreProgram::default();
+    p.push(load(10, 4096));
+    p.push(vmm(10, None, 4096));
+    p.push(store_waiting_on(2));
+    p.push(load(1, 4096));
+    p.push(vmm(1, Some(2), 4096));
+
+    let err = simulator(SimConfig::default())
+        .run(&p)
+        .expect_err("cycle after healthy prefix must deadlock");
+    let SimError::Deadlock { pcs } = err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    // mem stalls on its second instruction (the store), comp on its
+    // second (the blocked VMM); the empty net stream is done.
+    assert_eq!(pcs, [1, 1, 0]);
+}
+
+#[test]
+fn deadlock_display_names_the_pipelines() {
+    let err = SimError::Deadlock { pcs: [3, 1, 4] };
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(
+        msg.contains("mem=3") && msg.contains("comp=1") && msg.contains("net=4"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn event_budget_exhaustion_is_reported() {
+    // A megabyte streamed in 16 KiB chunks needs far more than eight
+    // events; the safety limit must trip rather than spin.
+    let mut p = CoreProgram::default();
+    p.push(load(1, 1 << 20));
+    p.push(vmm(1, None, 1 << 20));
+
+    let err = simulator(SimConfig {
+        max_events: 8,
+        ..SimConfig::default()
+    })
+    .run(&p)
+    .expect_err("event budget of 8 must be exhausted");
+    assert_eq!(err, SimError::EventLimit);
+    assert!(err.to_string().contains("event limit"), "{err}");
+}
+
+#[test]
+fn default_budget_completes_the_same_program() {
+    // The same program under the default budget runs to completion —
+    // the limit in the previous test was the only failure cause.
+    let mut p = CoreProgram::default();
+    p.push(load(1, 1 << 20));
+    p.push(vmm(1, None, 1 << 20));
+
+    let report = simulator(SimConfig::default())
+        .run(&p)
+        .expect("default budget suffices");
+    assert_eq!(report.streamed_bytes, 1 << 20);
+    assert!(report.total_time_s > 0.0);
+}
+
+#[test]
+fn errors_are_values_not_panics() {
+    // SimError implements std::error::Error, so callers can propagate
+    // failures with `?` instead of unwinding.
+    fn run_checked(p: &CoreProgram) -> Result<f64, Box<dyn std::error::Error>> {
+        Ok(simulator(SimConfig::default()).run(p)?.total_time_s)
+    }
+    let mut p = CoreProgram::default();
+    p.push(store_waiting_on(2));
+    p.push(load(1, 64));
+    p.push(vmm(1, Some(2), 64));
+    assert!(run_checked(&p).is_err());
+}

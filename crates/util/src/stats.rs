@@ -30,6 +30,71 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// The `p`-th percentile (`0.0 ..= 100.0`) of a sample set, by linear
+/// interpolation between closest ranks; `0.0` for an empty slice.
+///
+/// The input need not be sorted; a sorted copy is taken internally.
+/// NaN samples are rejected by debug assertion (they have no rank).
+///
+/// # Examples
+///
+/// ```
+/// use rpu_util::stats::percentile;
+///
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 50.0), 2.5);
+/// assert_eq!(percentile(&xs, 100.0), 4.0);
+/// ```
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    debug_assert!(xs.iter().all(|x| !x.is_nan()), "NaN sample has no rank");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// The p50/p95/p99 latency summary used by SLO reporting, with the mean
+/// and maximum alongside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Summarises a sample set (all fields `0.0` for an empty slice).
+    #[must_use]
+    pub fn from_samples(xs: &[f64]) -> Self {
+        Self {
+            p50: percentile(xs, 50.0),
+            p95: percentile(xs, 95.0),
+            p99: percentile(xs, 99.0),
+            mean: mean(xs),
+            max: if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            },
+        }
+    }
+}
+
 /// Linear interpolation of `y` at `x` over sorted `(x, y)` samples.
 ///
 /// Clamps to the first/last sample outside the range. Returns `None` for an
@@ -177,6 +242,37 @@ mod tests {
     fn geo_mean_basics() {
         assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geo_mean(&[1.0, -1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&xs, 50.0) - 50.5).abs() < 1e-12);
+        assert!((percentile(&xs, 99.0) - 99.01).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        // Out-of-range p clamps, single sample is every percentile.
+        assert_eq!(percentile(&[7.0], 250.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_summary() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let s = Percentiles::from_samples(&xs);
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.max, 4.0);
+        assert!(s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn percentiles_of_negative_samples_keep_ordering() {
+        let s = Percentiles::from_samples(&[-3.0, -1.0]);
+        assert_eq!(s.max, -1.0);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.max);
+        let empty = Percentiles::from_samples(&[]);
+        assert_eq!(empty.max, 0.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ const EXAMPLES: &[&str] = &[
     "pipeline_trace",
     "quickstart",
     "reasoning_turn",
+    "serving",
     "sku_explorer",
     "speculative_decode",
     "strong_scaling",

@@ -1,0 +1,170 @@
+//! Golden regression tests for the figure suites' headline numbers.
+//!
+//! The figure experiments are analytical models plus a deterministic
+//! simulator, so their outputs are exactly reproducible. These tests
+//! snapshot the headline numbers of Fig. 9, Fig. 11 and Fig. 12 into
+//! `tests/golden/*.txt` and compare against them with a tight relative
+//! tolerance, so a refactor of the analytical models cannot silently
+//! drift the published numbers. Shape tests elsewhere assert *bands*;
+//! these assert *values*.
+//!
+//! To re-bless after an intentional model change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p rpu --test golden_figures
+//! git diff tests/golden/   # review the drift before committing
+//! ```
+
+use rpu::core::experiments::{fig09_pareto, fig11_scaling, fig12_energy_cost};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+/// Relative tolerance: tight enough to catch any real model change,
+/// loose enough to ignore libm/codegen noise across toolchains.
+const REL_TOL: f64 = 1e-6;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, values: &[(&str, f64)]) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        let mut s = String::from(
+            "# Golden headline numbers. Regenerate after an intentional model\n\
+             # change with: GOLDEN_BLESS=1 cargo test -p rpu --test golden_figures\n",
+        );
+        for (k, v) in values {
+            s.push_str(&format!("{k} {v:.17e}\n"));
+        }
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, s).expect("write golden file");
+        return;
+    }
+    let content = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\nbless it with \
+             `GOLDEN_BLESS=1 cargo test -p rpu --test golden_figures`",
+            path.display()
+        )
+    });
+    let mut golden: BTreeMap<&str, f64> = BTreeMap::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let k = it.next().expect("key");
+        let v: f64 = it
+            .next()
+            .unwrap_or_else(|| panic!("{name}: key {k} has no value"))
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: bad value for {k}: {e}"));
+        golden.insert(k, v);
+    }
+    let current: Vec<&str> = values.iter().map(|(k, _)| *k).collect();
+    let snapshot: Vec<&str> = golden.keys().copied().collect();
+    let mut sorted = current.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted, snapshot,
+        "{name}: key set changed; re-bless the golden file"
+    );
+    for (k, v) in values {
+        let g = golden[k];
+        let scale = g.abs().max(v.abs()).max(1e-300);
+        assert!(
+            (g - v).abs() / scale <= REL_TOL,
+            "{name}: `{k}` drifted beyond {REL_TOL:e}: golden {g:.12e}, current {v:.12e} \
+             (rel {:.3e}); if intentional, re-bless with GOLDEN_BLESS=1",
+            (g - v).abs() / scale
+        );
+    }
+}
+
+#[test]
+fn fig09_pareto_headlines() {
+    let f = fig09_pareto::run();
+    let opt = f.optimal_entry();
+    check(
+        "fig09_pareto.txt",
+        &[
+            ("entries", f.entries.len() as f64),
+            ("model_capacity_bytes", f.model_capacity),
+            ("optimal_index", f.optimal as f64),
+            ("optimal_capacity_per_core", opt.point.capacity_per_pch()),
+            ("optimal_norm_energy", opt.norm_energy),
+            ("optimal_system_capacity", opt.system_capacity),
+            ("frontier_min_norm_energy", {
+                f.entries
+                    .iter()
+                    .map(|e| e.norm_energy)
+                    .fold(f64::INFINITY, f64::min)
+            }),
+        ],
+    );
+}
+
+#[test]
+fn fig11_scaling_headlines() {
+    let f = fig11_scaling::run();
+    let mut values: Vec<(&str, f64)> = Vec::new();
+    let m70 = f.marker("Llama3-70B").expect("70B marker");
+    let m405 = f.marker("Llama3-405B").expect("405B marker");
+    values.push(("iso_tdp_speedup_70b", m70.speedup()));
+    values.push(("iso_tdp_speedup_405b", m405.speedup()));
+    values.push(("iso_cus_70b", f64::from(m70.iso_cus)));
+    values.push(("iso_cus_405b", f64::from(m405.iso_cus)));
+    let latency_at = |model: &str, cus: u32| {
+        f.model_scaling(model)
+            .and_then(|s| s.points.iter().find(|p| p.num_cus == cus))
+            .map(|p| p.latency_s)
+            .unwrap_or_else(|| panic!("no {model} point at {cus} CUs"))
+    };
+    values.push(("latency_70b_192cu_s", latency_at("Llama3-70B", 192)));
+    values.push(("latency_405b_428cu_s", latency_at("Llama3-405B", 428)));
+    values.push(("latency_8b_64cu_s", latency_at("Llama3-8B", 64)));
+    let mav128 = f
+        .batched
+        .iter()
+        .find(|b| b.model == "Llama4-Maverick" && b.batch == 128)
+        .expect("Maverick batch-128 point");
+    values.push(("maverick_bs128_otps_per_query", mav128.rpu_otps_per_query));
+    values.push(("batched_points", f.batched.len() as f64));
+    check("fig11_scaling.txt", &values);
+}
+
+#[test]
+fn fig12_energy_cost_headlines() {
+    let f = fig12_energy_cost::run();
+    let first = f.samples.first().expect("samples");
+    let last = f.samples.last().expect("samples");
+    let best_epi = f
+        .samples
+        .iter()
+        .map(fig12_energy_cost::ScaleSample::epi_j)
+        .fold(f64::INFINITY, f64::min);
+    let max_cost_ratio = f
+        .samples
+        .iter()
+        .map(|s| s.cost_hbm3e / s.cost.total())
+        .fold(0.0, f64::max);
+    check(
+        "fig12_energy_cost.txt",
+        &[
+            ("samples", f.samples.len() as f64),
+            ("first_epi_j", first.epi_j()),
+            ("last_epi_j", last.epi_j()),
+            ("best_epi_j", best_epi),
+            ("h100_epi_j", f.h100_epi_j),
+            ("dgx_cost", f.dgx_cost),
+            ("cost_norm", f.cost_norm()),
+            ("last_cost_total", last.cost.total()),
+            ("max_cost_ratio_vs_hbm3e", max_cost_ratio),
+        ],
+    );
+}

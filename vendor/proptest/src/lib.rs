@@ -5,10 +5,11 @@
 //! so this crate implements the subset of the proptest API the
 //! workspace's property suites use:
 //!
-//! - the [`Strategy`] trait with [`Strategy::prop_map`] and
-//!   [`Strategy::boxed`], implemented for integer/float ranges, tuples
-//!   of strategies, [`strategy::Just`], [`strategy::Union`]
-//!   (via [`prop_oneof!`]) and [`sample::select`];
+//! - the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`boxed`](strategy::Strategy::boxed), implemented for
+//!   integer/float ranges, tuples of strategies, [`strategy::Just`],
+//!   [`strategy::Union`] (via [`prop_oneof!`]) and [`sample::select`];
 //! - the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
 //! - [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
