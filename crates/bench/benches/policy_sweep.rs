@@ -1,0 +1,64 @@
+//! Policy bench: scheduling-policy overhead on the pure scheduler and
+//! the simulator-backed multi-class sweep's headline shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::policy_sweep::{self, PolicyKind};
+use rpu_serve::{serve_with, AnalyticCostModel, DeadlineEdf, PriorityAging, ServeConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Headline shape: priority scheduling sustains the interactive-class
+    // p99 TTFT target strictly past the load where FIFO collapses.
+    let s = policy_sweep::run();
+    let fifo = s.sustained_load_rps(PolicyKind::Fifo);
+    let prio = s.sustained_load_rps(PolicyKind::Priority);
+    expect_band("fifo sustained load is finite", fifo, 1.0, 1e6);
+    expect_band(
+        "priority sustains at least 2x past fifo",
+        prio / fifo,
+        2.0,
+        1e6,
+    );
+    let edf_preemptions: u32 = s
+        .points
+        .iter()
+        .map(|p| p.run(PolicyKind::Edf).preemptions)
+        .sum();
+    expect_band(
+        "edf exercises preemption",
+        f64::from(edf_preemptions),
+        1.0,
+        1e9,
+    );
+
+    // Pure scheduler throughput under the aging priority policy
+    // (analytic cost model, no simulator).
+    let wl = policy_sweep::workload(400.0);
+    let cfg = ServeConfig::default();
+    c.bench_function("policy_priority_analytic", |b| {
+        b.iter(|| {
+            let mut cost = AnalyticCostModel {
+                kv_capacity_tokens: 64 * 1024,
+                ..AnalyticCostModel::small()
+            };
+            let mut policy = PriorityAging::new(policy_sweep::AGING_HORIZON_S);
+            serve_with(black_box(&wl), &mut cost, &cfg, &mut policy)
+        });
+    });
+
+    // Preemptive EDF pays for eviction bookkeeping and re-prefills;
+    // measure it on the same workload.
+    c.bench_function("policy_edf_analytic", |b| {
+        b.iter(|| {
+            let mut cost = AnalyticCostModel {
+                kv_capacity_tokens: 64 * 1024,
+                ..AnalyticCostModel::small()
+            };
+            serve_with(black_box(&wl), &mut cost, &cfg, &mut DeadlineEdf)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

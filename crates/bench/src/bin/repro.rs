@@ -104,6 +104,11 @@ const TARGETS: &[Target] = &[
         about: "request-level SLO sweep over offered load (rpu-serve)",
         run: || println!("{}\n", exp::serving_sweep::run().table()),
     },
+    Target {
+        name: "policy",
+        about: "scheduling policies vs offered load, two SLO classes",
+        run: || println!("{}\n", exp::policy_sweep::run().table()),
+    },
 ];
 
 fn main() -> ExitCode {

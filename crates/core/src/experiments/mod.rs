@@ -21,4 +21,5 @@ pub mod fig11_scaling;
 pub mod fig12_energy_cost;
 pub mod fig13_batch_sweep;
 pub mod fig14_platforms;
+pub mod policy_sweep;
 pub mod serving_sweep;

@@ -61,6 +61,7 @@ pub fn workload(rate_rps: f64) -> Workload {
         output_lens: LengthDistribution::Fixed(OUTPUT_LEN),
         num_requests: NUM_REQUESTS,
         seed: 0x5E21,
+        ..Workload::default()
     }
 }
 

@@ -1,12 +1,18 @@
 //! Arrival processes and workload generation.
 //!
 //! A [`Workload`] pairs an [`ArrivalProcess`] with prompt/output
-//! [`LengthDistribution`]s and a seed. Open-loop processes (Poisson,
-//! trace replay) pre-generate their whole request tape; the closed loop
-//! issues a client's next request only after its previous one finishes,
-//! so its arrivals are produced during simulation via
-//! [`RequestSource::on_completion`].
+//! [`LengthDistribution`]s, a set of SLO [`ClassSpec`]s and a seed.
+//! Open-loop processes (Poisson, trace replay) pre-generate their whole
+//! request tape; the closed loop issues a client's next request only
+//! after its previous one finishes, so its arrivals are produced during
+//! simulation via [`RequestSource::on_completion`].
+//!
+//! Each request is stamped with an SLO class (sampled from the class
+//! shares when more than one class is configured), a tenant id
+//! (round-robin within its class) and the priority/deadline derived
+//! from its class spec — the fields scheduling policies order by.
 
+use crate::class::ClassSpec;
 use crate::request::Request;
 use crate::rng::ServeRng;
 use rpu_models::LengthDistribution;
@@ -42,19 +48,32 @@ pub enum ArrivalProcess {
 pub struct Workload {
     /// The arrival process.
     pub arrivals: ArrivalProcess,
-    /// Prompt-length distribution.
+    /// Prompt-length distribution (per-class overrides win).
     pub prompt_lens: LengthDistribution,
-    /// Output-length distribution.
+    /// Output-length distribution (per-class overrides win).
     pub output_lens: LengthDistribution,
     /// Total requests to issue.
     pub num_requests: u32,
-    /// Seed for every random draw (arrivals and lengths).
+    /// Seed for every random draw (arrivals, classes and lengths).
     pub seed: u64,
+    /// The SLO classes multiplexed over this workload. A single class
+    /// consumes no random draws, so single-class tapes are identical to
+    /// the classless ones of earlier revisions.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl Default for Workload {
+    /// A placeholder for struct-update syntax (`..Workload::default()`):
+    /// a single interactive class, trivial lengths and *zero* requests —
+    /// override what you mean, it serves nothing on its own.
+    fn default() -> Self {
+        Self::poisson(1.0, 1, 1, 0)
+    }
 }
 
 impl Workload {
-    /// A Poisson workload with fixed prompt/output lengths — the basic
-    /// load-sweep configuration.
+    /// A Poisson workload with fixed prompt/output lengths and a single
+    /// interactive class — the basic load-sweep configuration.
     #[must_use]
     pub fn poisson(rate_rps: f64, prompt_len: u32, output_len: u32, num_requests: u32) -> Self {
         Self {
@@ -63,21 +82,42 @@ impl Workload {
             output_lens: LengthDistribution::Fixed(output_len),
             num_requests,
             seed: 0xC0FFEE,
+            classes: vec![ClassSpec::interactive()],
         }
+    }
+
+    /// Replaces the SLO classes (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or no class has positive share.
+    #[must_use]
+    pub fn with_classes(mut self, classes: Vec<ClassSpec>) -> Self {
+        assert!(!classes.is_empty(), "a workload needs at least one class");
+        assert!(
+            classes.iter().any(|c| c.share > 0.0),
+            "at least one class needs positive share"
+        );
+        self.classes = classes;
+        self
     }
 }
 
 /// The stream of requests feeding the scheduler.
 ///
 /// Open-loop tapes are fully materialised up front; the closed loop
-/// issues lazily on completions. Either way, lengths are drawn from one
-/// deterministic stream in issue order, so a fixed seed fixes the tape.
+/// issues lazily on completions. Either way, classes and lengths are
+/// drawn from one deterministic stream in issue order, so a fixed seed
+/// fixes the tape.
 #[derive(Debug)]
 pub struct RequestSource {
     pending: VecDeque<Request>,
     rng: ServeRng,
     prompt_lens: LengthDistribution,
     output_lens: LengthDistribution,
+    classes: Vec<ClassSpec>,
+    /// Requests issued so far per class, for round-robin tenant ids.
+    class_issued: Vec<u32>,
     issued: u32,
     budget: u32,
     think_s: Option<f64>,
@@ -85,13 +125,32 @@ pub struct RequestSource {
 
 impl RequestSource {
     /// Builds the source for a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no classes, none with positive share,
+    /// a non-positive Poisson rate, or a clientless closed loop.
     #[must_use]
     pub fn new(workload: &Workload) -> Self {
+        assert!(
+            !workload.classes.is_empty(),
+            "a workload needs at least one class"
+        );
+        assert!(
+            workload.classes.iter().any(|c| c.share > 0.0),
+            "at least one class needs positive share"
+        );
+        assert!(
+            workload.classes.len() <= usize::from(u8::MAX) + 1,
+            "at most 256 SLO classes (class ids are u8)"
+        );
         let mut src = Self {
             pending: VecDeque::new(),
             rng: ServeRng::new(workload.seed),
             prompt_lens: workload.prompt_lens.clone(),
             output_lens: workload.output_lens.clone(),
+            classes: workload.classes.clone(),
+            class_issued: vec![0; workload.classes.len()],
             issued: 0,
             budget: workload.num_requests,
             think_s: None,
@@ -128,14 +187,47 @@ impl RequestSource {
         src
     }
 
+    /// Samples a class index by cumulative share. Single-class
+    /// workloads take the fast path and consume no random draw, keeping
+    /// their tapes identical to pre-multi-tenant revisions.
+    fn sample_class(&mut self) -> usize {
+        if self.classes.len() <= 1 {
+            return 0;
+        }
+        let total: f64 = self.classes.iter().map(|c| c.share.max(0.0)).sum();
+        let u = self.rng.next_f64() * total;
+        let mut acc = 0.0;
+        for (i, c) in self.classes.iter().enumerate() {
+            acc += c.share.max(0.0);
+            if u < acc {
+                return i;
+            }
+        }
+        self.classes.len() - 1
+    }
+
     fn issue(&mut self, arrival_s: f64) {
-        let prompt_len = self.prompt_lens.sample(self.rng.next_f64());
-        let output_len = self.output_lens.sample(self.rng.next_f64());
+        let class = self.sample_class();
+        let spec = &self.classes[class];
+        let prompt_dist = spec.prompt_lens.as_ref().unwrap_or(&self.prompt_lens);
+        let output_dist = spec.output_lens.as_ref().unwrap_or(&self.output_lens);
+        let prompt_len = prompt_dist.sample(self.rng.next_f64());
+        let output_len = output_dist.sample(self.rng.next_f64());
+        // Tenant ids are globally unique: each class owns a contiguous
+        // id range and round-robins its own requests over it.
+        let base: u32 = self.classes[..class].iter().map(|c| c.tenants.max(1)).sum();
+        let tenant = base + self.class_issued[class] % self.classes[class].tenants.max(1);
+        self.class_issued[class] += 1;
+        let spec = &self.classes[class];
         self.pending.push_back(Request {
             id: self.issued,
             arrival_s,
             prompt_len,
             output_len,
+            tenant,
+            class: u8::try_from(class).expect("class count checked at construction"),
+            priority: spec.priority,
+            deadline_s: arrival_s + spec.slo.ttft_s,
         });
         self.issued += 1;
     }
@@ -184,6 +276,7 @@ impl RequestSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::class::SloTargets;
 
     fn drain(src: &mut RequestSource) -> Vec<Request> {
         let mut v = Vec::new();
@@ -267,5 +360,98 @@ mod tests {
             assert!((10..=20).contains(&r.prompt_len));
             assert_eq!(r.output_len, 5);
         }
+    }
+
+    #[test]
+    fn single_class_stamps_defaults() {
+        let w = Workload::poisson(100.0, 128, 16, 20);
+        for r in drain(&mut RequestSource::new(&w)) {
+            assert_eq!(r.class, 0);
+            assert_eq!(r.tenant, 0);
+            assert_eq!(r.priority, 0);
+            assert!((r.deadline_s - r.arrival_s - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_mix_follows_shares_and_overrides_lengths() {
+        let classes = vec![
+            ClassSpec {
+                share: 3.0,
+                output_lens: Some(LengthDistribution::Fixed(7)),
+                tenants: 2,
+                ..ClassSpec::interactive()
+            },
+            ClassSpec {
+                share: 1.0,
+                prompt_lens: Some(LengthDistribution::Fixed(999)),
+                ..ClassSpec::batch()
+            },
+        ];
+        let w = Workload::poisson(100.0, 128, 16, 400).with_classes(classes);
+        let tape = drain(&mut RequestSource::new(&w));
+        let interactive: Vec<&Request> = tape.iter().filter(|r| r.class == 0).collect();
+        let batch: Vec<&Request> = tape.iter().filter(|r| r.class == 1).collect();
+        // 3:1 share split, within sampling noise.
+        let frac = interactive.len() as f64 / tape.len() as f64;
+        assert!((0.65..0.85).contains(&frac), "interactive share {frac}");
+        for r in &interactive {
+            assert_eq!(r.output_len, 7); // class override
+            assert_eq!(r.prompt_len, 128); // workload default
+            assert!(r.tenant < 2);
+            assert_eq!(r.priority, 0);
+        }
+        for r in &batch {
+            assert_eq!(r.prompt_len, 999); // class override
+            assert_eq!(r.output_len, 16); // workload default
+            assert_eq!(r.tenant, 2); // offset past class 0's tenants
+            assert_eq!(r.priority, 2);
+            assert!((r.deadline_s - r.arrival_s - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tenants_round_robin_within_class() {
+        let classes = vec![ClassSpec {
+            tenants: 3,
+            ..ClassSpec::interactive()
+        }];
+        let w = Workload::poisson(100.0, 64, 8, 9).with_classes(classes);
+        let tenants: Vec<u32> = drain(&mut RequestSource::new(&w))
+            .iter()
+            .map(|r| r.tenant)
+            .collect();
+        assert_eq!(tenants, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_class_tape_matches_classless_draw_order() {
+        // The class draw is skipped for single-class workloads, so the
+        // prompt/output streams are exactly the pre-multi-tenant ones.
+        let w = Workload {
+            prompt_lens: LengthDistribution::Uniform { lo: 1, hi: 1000 },
+            ..Workload::poisson(100.0, 1, 1, 10)
+        };
+        let with_explicit_class = Workload {
+            classes: vec![ClassSpec {
+                slo: SloTargets::interactive(),
+                ..ClassSpec::interactive()
+            }],
+            ..w.clone()
+        };
+        assert_eq!(
+            drain(&mut RequestSource::new(&w)),
+            drain(&mut RequestSource::new(&with_explicit_class))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn classless_workload_is_rejected() {
+        let w = Workload {
+            classes: vec![],
+            ..Workload::poisson(1.0, 1, 1, 1)
+        };
+        let _ = RequestSource::new(&w);
     }
 }

@@ -1,0 +1,118 @@
+//! Multi-tenant SLO classes: per-class latency targets, priorities and
+//! traffic shares.
+//!
+//! A production fleet rarely serves one homogeneous stream: interactive
+//! chat, agentic tool-use and offline batch jobs share the same
+//! machines under different latency contracts. A [`ClassSpec`] captures
+//! one such contract — its [`SloTargets`], its scheduling priority, its
+//! share of the arrival stream and (optionally) its own prompt/output
+//! length mix — and a [`crate::Workload`] carries a list of them.
+//! Scheduling policies read the class fields stamped onto each
+//! [`crate::Request`]; per-class metrics come from
+//! [`crate::MultiClassReport`].
+
+use rpu_models::LengthDistribution;
+
+/// Service-level objectives for one request class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTargets {
+    /// Maximum acceptable time to first token, seconds.
+    pub ttft_s: f64,
+    /// Maximum acceptable time per output token, seconds.
+    pub tpot_s: f64,
+}
+
+impl SloTargets {
+    /// Interactive chat targets: first token within 500 ms, then faster
+    /// than human reading speed (50 ms/token ≈ 20 tokens/s).
+    #[must_use]
+    pub fn interactive() -> Self {
+        Self {
+            ttft_s: 0.5,
+            tpot_s: 0.05,
+        }
+    }
+
+    /// Relaxed batch/offline targets: first token within 10 s, tokens
+    /// at a leisurely 4 tokens/s.
+    #[must_use]
+    pub fn batch() -> Self {
+        Self {
+            ttft_s: 10.0,
+            tpot_s: 0.25,
+        }
+    }
+}
+
+/// One tenant class sharing the serving fleet: a latency contract plus
+/// the knobs schedulers and the workload generator need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Class name for reports ("interactive", "batch", ...).
+    pub name: &'static str,
+    /// Relative share of the arrival stream (normalised over the sum of
+    /// all class shares; need not sum to one).
+    pub share: f64,
+    /// Scheduling priority: 0 is the most urgent. Policies that ignore
+    /// priorities (FIFO, SJF) never read this.
+    pub priority: u8,
+    /// The class's latency targets; also the source of each request's
+    /// TTFT deadline for deadline-aware policies.
+    pub slo: SloTargets,
+    /// Number of tenants multiplexed within this class; requests are
+    /// assigned tenant ids round-robin. Clamped to at least one.
+    pub tenants: u32,
+    /// Prompt-length mix overriding the workload default, if any.
+    pub prompt_lens: Option<LengthDistribution>,
+    /// Output-length mix overriding the workload default, if any.
+    pub output_lens: Option<LengthDistribution>,
+}
+
+impl ClassSpec {
+    /// An interactive class: priority 0, interactive SLOs, full share.
+    #[must_use]
+    pub fn interactive() -> Self {
+        Self {
+            name: "interactive",
+            share: 1.0,
+            priority: 0,
+            slo: SloTargets::interactive(),
+            tenants: 1,
+            prompt_lens: None,
+            output_lens: None,
+        }
+    }
+
+    /// A batch/offline class: low priority, relaxed SLOs.
+    #[must_use]
+    pub fn batch() -> Self {
+        Self {
+            name: "batch",
+            share: 1.0,
+            priority: 2,
+            slo: SloTargets::batch(),
+            tenants: 1,
+            prompt_lens: None,
+            output_lens: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_is_tighter_than_batch() {
+        let i = SloTargets::interactive();
+        let b = SloTargets::batch();
+        assert!(i.ttft_s < b.ttft_s);
+        assert!(i.tpot_s < b.tpot_s);
+    }
+
+    #[test]
+    fn class_presets_are_ordered_by_priority() {
+        assert!(ClassSpec::interactive().priority < ClassSpec::batch().priority);
+        assert_eq!(ClassSpec::interactive().tenants, 1);
+    }
+}

@@ -43,7 +43,7 @@ impl AnalyticCostModel {
     /// A small, fast machine for tests: 1 ms weight stream, light KV
     /// traffic, 4k-token KV capacity.
     #[must_use]
-    pub fn small() -> Self {
+    pub const fn small() -> Self {
         Self {
             weight_stream_s: 1e-3,
             kv_token_s: 1e-7,

@@ -4,48 +4,66 @@
 //! crate answers the production question above it: **what latency do
 //! users see at a given offered load?** It simulates a stream of
 //! requests — seeded Poisson arrivals, trace replay, or a closed loop
-//! of clients — flowing through a continuous-batching scheduler
-//! ([`serve`]) that admits FIFO under batch-size and KV-capacity
-//! back-pressure, interleaves prefill with decode, and emits one token
-//! per resident request per iteration. The result is an SLO report:
-//! TTFT/TPOT/end-to-end latency at p50/p95/p99, goodput against
-//! [`SloTargets`], and decode-machine utilisation.
+//! of clients, multiplexing multiple tenant [`ClassSpec`]s with their
+//! own SLOs — flowing through a continuous-batching scheduler
+//! ([`serve_with`]) whose admission/eviction order is a pluggable
+//! [`SchedulingPolicy`]: FIFO ([`Fifo`]), predicted-length
+//! shortest-job-first ([`ShortestJobFirst`]), priority classes with
+//! bounded-starvation aging ([`PriorityAging`]) or preemptive
+//! deadline-aware admission ([`DeadlineEdf`]). Policies change who
+//! waits, never how much work is done. The result is an SLO report:
+//! TTFT/TPOT/end-to-end latency at p50/p95/p99 and goodput against
+//! [`SloTargets`] — aggregate ([`SloReport`]) and per class
+//! ([`MultiClassReport`]).
 //!
 //! Machine costs enter through the [`CostModel`] trait, so this crate
 //! stays independent of the simulator stack: `rpu-core` adapts
 //! `RpuSystem` (event-driven simulation with memoised decode steps)
 //! behind it, while [`AnalyticCostModel`] provides a closed-form
 //! machine for tests. Everything is deterministic — a fixed workload
-//! seed reproduces the schedule bit-for-bit.
+//! seed reproduces the schedule bit-for-bit, for every policy.
 //!
 //! # Examples
 //!
 //! ```
-//! use rpu_serve::{serve, AnalyticCostModel, ServeConfig, SloReport, SloTargets, Workload};
+//! use rpu_serve::{
+//!     serve_with, AnalyticCostModel, ClassSpec, MultiClassReport, PriorityAging,
+//!     ServeConfig, Workload,
+//! };
 //!
-//! let workload = Workload::poisson(100.0, 512, 64, 32);
-//! let report = serve(
+//! // Interactive chat sharing the machine with offline batch traffic.
+//! let workload = Workload::poisson(100.0, 512, 64, 32)
+//!     .with_classes(vec![ClassSpec::interactive(), ClassSpec::batch()]);
+//! let report = serve_with(
 //!     &workload,
 //!     &mut AnalyticCostModel::small(),
 //!     &ServeConfig::default(),
+//!     &mut PriorityAging::new(2.0),
 //! );
-//! let slo = SloReport::new(&report, &SloTargets::interactive());
-//! assert_eq!(slo.completed, 32);
-//! assert!(slo.ttft.p50 > 0.0 && slo.ttft.p50 <= slo.ttft.p99);
+//! let slo = MultiClassReport::new(&report, &workload.classes);
+//! assert_eq!(slo.aggregate.completed, 32);
+//! assert_eq!(slo.classes.len(), 2);
 //! ```
 
 #![warn(missing_docs)]
 
 mod arrivals;
+mod class;
 mod cost;
 mod metrics;
+mod policy;
 mod request;
 mod rng;
 mod scheduler;
 
 pub use arrivals::{ArrivalProcess, RequestSource, Workload};
+pub use class::{ClassSpec, SloTargets};
 pub use cost::{AnalyticCostModel, CostModel};
-pub use metrics::{SloReport, SloTargets};
+pub use metrics::{ClassSlo, MultiClassReport, SloReport};
+pub use policy::{
+    ActiveRequest, DeadlineEdf, Fifo, PriorityAging, QueuedRequest, SchedulingPolicy,
+    ShortestJobFirst,
+};
 pub use request::{Request, RequestRecord};
 pub use rng::ServeRng;
-pub use scheduler::{serve, ServeConfig, ServeReport};
+pub use scheduler::{serve, serve_with, ServeConfig, ServeReport};

@@ -1,7 +1,7 @@
 //! Requests and per-request completion records.
 
 /// One inference request: a prompt to prefill and a number of output
-/// tokens to decode.
+/// tokens to decode, stamped with its tenant and SLO class.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Issue-order id (also the FIFO admission order for ties).
@@ -12,6 +12,15 @@ pub struct Request {
     pub prompt_len: u32,
     /// Output tokens to decode.
     pub output_len: u32,
+    /// Owning tenant id (round-robin within the request's class).
+    pub tenant: u32,
+    /// Index into the workload's SLO classes.
+    pub class: u8,
+    /// Scheduling priority copied from the class spec (0 = most urgent).
+    pub priority: u8,
+    /// First-token deadline, seconds: arrival plus the class TTFT
+    /// target. Deadline-aware policies order admission by this.
+    pub deadline_s: f64,
 }
 
 impl Request {
@@ -30,7 +39,8 @@ pub struct RequestRecord {
     pub id: u32,
     /// Arrival time, seconds.
     pub arrival_s: f64,
-    /// Admission into the serving batch, seconds.
+    /// First admission into the serving batch, seconds (preemptions do
+    /// not reset it).
     pub admit_s: f64,
     /// Completion of the first output token, seconds.
     pub first_token_s: f64,
@@ -40,6 +50,12 @@ pub struct RequestRecord {
     pub prompt_len: u32,
     /// Output tokens emitted.
     pub output_len: u32,
+    /// Owning tenant id.
+    pub tenant: u32,
+    /// Index into the workload's SLO classes.
+    pub class: u8,
+    /// Times this request was preempted and later resumed.
+    pub preemptions: u32,
 }
 
 impl RequestRecord {
@@ -80,6 +96,9 @@ mod tests {
             finish_s: 4.0,
             prompt_len: 100,
             output_len: 5,
+            tenant: 0,
+            class: 0,
+            preemptions: 0,
         }
     }
 
@@ -107,6 +126,10 @@ mod tests {
             arrival_s: 0.0,
             prompt_len: 100,
             output_len: 28,
+            tenant: 0,
+            class: 0,
+            priority: 0,
+            deadline_s: 0.5,
         };
         assert_eq!(q.reserved_tokens(), 128);
     }

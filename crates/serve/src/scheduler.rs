@@ -2,24 +2,28 @@
 //!
 //! # State machine
 //!
-//! Every request moves through four states:
+//! Every request moves through four states (five with a preemptive
+//! policy):
 //!
 //! ```text
-//!             admission (FIFO,                prefill done          last token
-//!             batch + KV gates)               (ready_at <= clock)   (generated == output_len)
+//!             admission (policy pick,        prefill done          last token
+//!             batch + KV gates)              (ready_at <= clock)   (generated == output_len)
 //!   Queued ─────────────────────> Prefilling ────────────────────> Decoding ────> Done
-//!      │
+//!      │  ^                                                           │
+//!      │  └───────────────── preemption (policy victim) ─────────────┘
 //!      └──> Rejected  (reserved tokens exceed machine capacity even alone)
 //! ```
 //!
 //! The loop alternates three phases on one global clock:
 //!
-//! 1. **Admit** — pop arrived requests from the FIFO queue head while
-//!    the batch has a free slot and the *conservative KV reservation*
-//!    (prompt + full output for every admitted request, via
-//!    [`CostModel::fits`]) still fits. Only the queue head is ever
-//!    considered, so admission order equals arrival order and nothing
-//!    starves. Each admitted request starts its prefill: with
+//! 1. **Admit** — ask the [`SchedulingPolicy`] which queued request to
+//!    admit next, while the batch has a free slot and the *conservative
+//!    KV reservation* (prompt + full output for every admitted request,
+//!    via [`CostModel::fits`]) still fits. When the gates refuse, a
+//!    preemptive policy may evict a resident request instead: the
+//!    victim returns to the queue keeping its generated tokens and
+//!    resumes later with a fresh prefill of prompt + generated tokens
+//!    (recompute-style). Each admitted request starts its prefill: with
 //!    collocated prefill the clock (and every decoding request) stalls
 //!    for it; with disaggregated prefill (the paper's Splitwise-style
 //!    split) it runs on the prefill tier and the request joins the
@@ -34,6 +38,11 @@
 //! produced their last token, immediately freeing their slot and KV
 //! reservation; in closed-loop workloads the completion also triggers
 //! the owning client's next arrival.
+//!
+//! Policies change *ordering only*: every policy completes the same
+//! request set and emits the same tokens (the differential suite
+//! asserts this), differing in who waits — and therefore in TTFT/TPOT
+//! tails per SLO class.
 //!
 //! # Example
 //!
@@ -62,8 +71,8 @@
 
 use crate::arrivals::{RequestSource, Workload};
 use crate::cost::CostModel;
+use crate::policy::{ActiveRequest, Fifo, QueuedRequest, SchedulingPolicy};
 use crate::request::{Request, RequestRecord};
-use std::collections::VecDeque;
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,14 +115,13 @@ impl ServeConfig {
 /// An admitted request and its progress through prefill and decode.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
-    req: Request,
-    admit_s: f64,
-    /// When the prefill completes and decoding may start.
+    /// The request plus its cross-preemption progress (generated
+    /// tokens, first admit/token timestamps, preemption count).
+    q: QueuedRequest,
+    /// When the (re-)prefill completes and decoding may start.
     ready_at: f64,
     /// Current context length (prompt + generated tokens).
     context: u32,
-    generated: u32,
-    first_token_s: Option<f64>,
 }
 
 /// The outcome of serving one workload.
@@ -124,12 +132,17 @@ pub struct ServeReport {
     /// Requests dropped because they exceed machine capacity even as
     /// the only resident request.
     pub rejected: u32,
+    /// The dropped requests themselves (for per-class accounting).
+    pub rejected_requests: Vec<Request>,
+    /// Preemptions performed (0 under non-preemptive policies).
+    pub preemptions: u32,
     /// Wall-clock time from the first arrival to the last completion.
     pub makespan_s: f64,
     /// Time the decode machine spent in decode iterations.
     pub decode_busy_s: f64,
     /// Total prefill time (on the decode machine when collocated, on
-    /// the prefill tier otherwise).
+    /// the prefill tier otherwise), re-prefills after preemption
+    /// included.
     pub prefill_busy_s: f64,
     /// Decode iterations executed.
     pub decode_iterations: u64,
@@ -159,10 +172,12 @@ impl ServeReport {
     }
 }
 
-/// Serves a workload against a cost model under continuous batching.
-///
-/// Deterministic: the schedule depends only on the workload (seed
-/// included), the cost model's returned latencies and the config.
+/// Serves a workload under the baseline FIFO policy — shorthand for
+/// [`serve_with`] + [`Fifo`]. Matches the admission behaviour of the
+/// revisions before policies became pluggable, with one deliberate
+/// exception: a request too large to ever fit is rejected as soon as
+/// it is selected, instead of head-of-line-blocking the queue until
+/// the batch drains around it.
 ///
 /// # Panics
 ///
@@ -170,9 +185,30 @@ impl ServeReport {
 /// admitted).
 #[must_use]
 pub fn serve(workload: &Workload, cost: &mut dyn CostModel, config: &ServeConfig) -> ServeReport {
+    serve_with(workload, cost, config, &mut Fifo)
+}
+
+/// Serves a workload against a cost model under continuous batching,
+/// with admission/eviction ordered by `policy`.
+///
+/// Deterministic: the schedule depends only on the workload (seed
+/// included), the cost model's returned latencies, the config and the
+/// policy.
+///
+/// # Panics
+///
+/// Panics if `config.max_batch` is zero (no request could ever be
+/// admitted), or if the policy returns an out-of-range index.
+#[must_use]
+pub fn serve_with(
+    workload: &Workload,
+    cost: &mut dyn CostModel,
+    config: &ServeConfig,
+    policy: &mut dyn SchedulingPolicy,
+) -> ServeReport {
     assert!(config.max_batch >= 1, "max_batch must admit at least one");
     let mut source = RequestSource::new(workload);
-    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut queue: Vec<QueuedRequest> = Vec::new();
     let mut active: Vec<Slot> = Vec::new();
     let mut clock = 0.0f64;
     // Trace tapes may start long after t = 0; the makespan (and every
@@ -182,6 +218,8 @@ pub fn serve(workload: &Workload, cost: &mut dyn CostModel, config: &ServeConfig
     let mut report = ServeReport {
         records: Vec::new(),
         rejected: 0,
+        rejected_requests: Vec::new(),
+        preemptions: 0,
         makespan_s: 0.0,
         decode_busy_s: 0.0,
         prefill_busy_s: 0.0,
@@ -194,26 +232,70 @@ pub fn serve(workload: &Workload, cost: &mut dyn CostModel, config: &ServeConfig
         // Pull every request that has arrived by now into the queue.
         while let Some(r) = source.pop_ready(clock) {
             first_arrival_s = first_arrival_s.min(r.arrival_s);
-            queue.push_back(r);
+            queue.push(QueuedRequest::fresh(r));
         }
 
-        // Admit from the queue head only: FIFO, no overtaking.
-        while let Some(front) = queue.front() {
-            if active.len() >= config.max_batch as usize {
+        // Admission: the policy picks, the scheduler gates. Evictions
+        // per phase are capped so a pathological policy cannot spin the
+        // admission loop without the clock advancing in between.
+        let mut evictions_this_phase = 0u32;
+        'admit: while !queue.is_empty() {
+            let Some(pick) = policy.select(&queue, clock) else {
                 break;
+            };
+            assert!(pick < queue.len(), "policy selected out of range");
+            let cand = queue[pick];
+            if !cost.fits(cand.req.reserved_tokens()) {
+                // Too large even alone: drop it or the queue wedges.
+                queue.remove(pick);
+                report.rejected += 1;
+                report.rejected_requests.push(cand.req);
+                // A rejection terminates the request's lifecycle: the
+                // closed-loop client behind it moves on to its next
+                // request after its think time, exactly as if it had
+                // completed (otherwise the source never exhausts).
+                source.on_completion(clock);
+                continue;
             }
-            let reserved: u64 = active.iter().map(|s| s.req.reserved_tokens()).sum();
-            if !cost.fits(reserved + front.reserved_tokens()) {
-                if active.is_empty() {
-                    // Too large even alone: drop it or the queue wedges.
-                    queue.pop_front();
-                    report.rejected += 1;
-                    continue;
+            // Make room, preempting if the policy allows.
+            loop {
+                let reserved: u64 = active.iter().map(|s| s.q.req.reserved_tokens()).sum();
+                if active.len() < config.max_batch as usize
+                    && cost.fits(reserved + cand.req.reserved_tokens())
+                {
+                    break;
                 }
-                break;
+                if evictions_this_phase >= config.max_batch {
+                    break 'admit;
+                }
+                let views: Vec<ActiveRequest> = active
+                    .iter()
+                    .map(|s| ActiveRequest {
+                        req: s.q.req,
+                        generated: s.q.generated,
+                        ready: s.ready_at <= clock,
+                    })
+                    .collect();
+                let Some(victim) = policy.preempt_victim(&views, &cand, clock) else {
+                    break 'admit;
+                };
+                assert!(victim < active.len(), "policy evicted out of range");
+                let evicted = active.remove(victim);
+                evictions_this_phase += 1;
+                report.preemptions += 1;
+                queue.push(QueuedRequest {
+                    preemptions: evicted.q.preemptions + 1,
+                    ..evicted.q
+                });
             }
-            let req = queue.pop_front().expect("front exists");
-            let prefill = cost.prefill_s(req.prompt_len);
+            // Preemption only appends to the queue, so `pick` still
+            // names the same request.
+            let mut q = queue.remove(pick);
+            debug_assert_eq!(q.req.id, cand.req.id);
+            // Resumed requests rebuild their KV with a fresh prefill of
+            // everything they had (prompt + generated), vLLM
+            // recompute-style.
+            let prefill = cost.prefill_s(q.req.prompt_len.saturating_add(q.generated));
             report.prefill_busy_s += prefill;
             let ready_at = if config.collocated_prefill {
                 clock += prefill;
@@ -221,16 +303,17 @@ pub fn serve(workload: &Workload, cost: &mut dyn CostModel, config: &ServeConfig
             } else {
                 clock + prefill
             };
+            if q.first_admit_s.is_none() {
+                q.first_admit_s = Some(clock);
+            }
+            let context = q.req.prompt_len.saturating_add(q.generated);
             active.push(Slot {
-                req,
-                admit_s: clock,
+                q,
                 ready_at,
-                context: req.prompt_len,
-                generated: 0,
-                first_token_s: None,
+                context,
             });
-            let now_reserved = reserved + req.reserved_tokens();
-            report.peak_reserved_tokens = report.peak_reserved_tokens.max(now_reserved);
+            let reserved: u64 = active.iter().map(|s| s.q.req.reserved_tokens()).sum();
+            report.peak_reserved_tokens = report.peak_reserved_tokens.max(reserved);
             report.peak_batch = report.peak_batch.max(active.len() as u32);
         }
 
@@ -280,21 +363,24 @@ pub fn serve(workload: &Workload, cost: &mut dyn CostModel, config: &ServeConfig
                 continue;
             }
             let slot = &mut active[i];
-            slot.generated += 1;
+            slot.q.generated += 1;
             slot.context += 1;
-            if slot.first_token_s.is_none() {
-                slot.first_token_s = Some(clock);
+            if slot.q.first_token_s.is_none() {
+                slot.q.first_token_s = Some(clock);
             }
-            if slot.generated >= slot.req.output_len {
+            if slot.q.generated >= slot.q.req.output_len {
                 let done = active.swap_remove(i);
                 report.records.push(RequestRecord {
-                    id: done.req.id,
-                    arrival_s: done.req.arrival_s,
-                    admit_s: done.admit_s,
-                    first_token_s: done.first_token_s.expect("at least one token"),
+                    id: done.q.req.id,
+                    arrival_s: done.q.req.arrival_s,
+                    admit_s: done.q.first_admit_s.expect("admitted at least once"),
+                    first_token_s: done.q.first_token_s.expect("at least one token"),
                     finish_s: clock,
-                    prompt_len: done.req.prompt_len,
-                    output_len: done.req.output_len,
+                    prompt_len: done.q.req.prompt_len,
+                    output_len: done.q.req.output_len,
+                    tenant: done.q.req.tenant,
+                    class: done.q.req.class,
+                    preemptions: done.q.preemptions,
                 });
                 source.on_completion(clock);
             } else {
@@ -314,7 +400,9 @@ pub fn serve(workload: &Workload, cost: &mut dyn CostModel, config: &ServeConfig
 mod tests {
     use super::*;
     use crate::arrivals::ArrivalProcess;
+    use crate::class::ClassSpec;
     use crate::cost::AnalyticCostModel;
+    use crate::policy::{DeadlineEdf, PriorityAging, ShortestJobFirst};
     use rpu_models::LengthDistribution;
 
     fn run(wl: &Workload, cfg: &ServeConfig) -> ServeReport {
@@ -402,7 +490,45 @@ mod tests {
         };
         let r = run(&wl, &ServeConfig::default());
         assert_eq!(r.rejected, 5);
+        assert_eq!(r.rejected_requests.len(), 5);
         assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_survives_rejections() {
+        // Regression: a rejected request must still advance its
+        // closed-loop client, or the source never exhausts and the
+        // scheduler wedges on its termination check.
+        let wl = Workload {
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 2,
+                think_s: 0.01,
+            },
+            prompt_lens: LengthDistribution::Fixed(8192), // > 4096 capacity
+            ..Workload::poisson(1.0, 1, 8, 10)
+        };
+        let r = run(&wl, &ServeConfig::default());
+        assert_eq!(r.rejected, 10);
+        assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_with_mixed_rejections_completes_the_rest() {
+        // Every other request oversized: rejected ones advance the
+        // client, fitting ones complete normally.
+        let wl = Workload {
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 1,
+                think_s: 0.0,
+            },
+            prompt_lens: LengthDistribution::Empirical(vec![(64, 1.0), (8192, 1.0)]),
+            output_lens: LengthDistribution::Fixed(4),
+            ..Workload::poisson(1.0, 1, 1, 20)
+        };
+        let r = run(&wl, &ServeConfig::default());
+        assert_eq!(r.records.len() as u32 + r.rejected, 20);
+        assert!(r.rejected > 0, "harness must exercise the rejection path");
+        assert!(!r.records.is_empty());
     }
 
     #[test]
@@ -479,5 +605,99 @@ mod tests {
         assert_eq!(cfg.bucket(1), 256);
         assert_eq!(cfg.bucket(256), 256);
         assert_eq!(cfg.bucket(257), 512);
+    }
+
+    /// A two-class workload with a long-job batch class, for the
+    /// policy-facing tests below.
+    fn two_class_workload(rate_rps: f64, n: u32) -> Workload {
+        Workload::poisson(rate_rps, 1, 1, n).with_classes(vec![
+            ClassSpec {
+                share: 0.6,
+                prompt_lens: Some(LengthDistribution::Fixed(128)),
+                output_lens: Some(LengthDistribution::Fixed(16)),
+                ..ClassSpec::interactive()
+            },
+            ClassSpec {
+                share: 0.4,
+                prompt_lens: Some(LengthDistribution::Fixed(1024)),
+                output_lens: Some(LengthDistribution::Fixed(192)),
+                ..ClassSpec::batch()
+            },
+        ])
+    }
+
+    #[test]
+    fn every_policy_completes_the_same_request_set() {
+        let wl = two_class_workload(2000.0, 48);
+        let cfg = ServeConfig::default();
+        let fifo = run(&wl, &cfg);
+        let mut sjf = ShortestJobFirst::for_workload(&wl);
+        let mut prio = PriorityAging::new(0.5);
+        let mut edf = DeadlineEdf;
+        let policies: [&mut dyn SchedulingPolicy; 3] = [&mut sjf, &mut prio, &mut edf];
+        for p in policies {
+            let r = serve_with(&wl, &mut AnalyticCostModel::small(), &cfg, p);
+            assert_eq!(r.records.len(), fifo.records.len(), "{}", p.name());
+            assert_eq!(r.output_tokens(), fifo.output_tokens(), "{}", p.name());
+            assert!(r.peak_batch <= cfg.max_batch);
+            assert!(r.peak_reserved_tokens <= 4096);
+        }
+    }
+
+    #[test]
+    fn priority_beats_fifo_on_interactive_ttft_under_saturation() {
+        let wl = two_class_workload(3000.0, 64);
+        let cfg = ServeConfig::default();
+        let fifo = run(&wl, &cfg);
+        let prio = serve_with(
+            &wl,
+            &mut AnalyticCostModel::small(),
+            &cfg,
+            &mut PriorityAging::new(30.0),
+        );
+        let mean_interactive_ttft = |r: &ServeReport| {
+            let recs: Vec<f64> = r
+                .records
+                .iter()
+                .filter(|rec| rec.class == 0)
+                .map(RequestRecord::ttft_s)
+                .collect();
+            recs.iter().sum::<f64>() / recs.len() as f64
+        };
+        assert!(
+            mean_interactive_ttft(&prio) < mean_interactive_ttft(&fifo),
+            "priority {} vs fifo {}",
+            mean_interactive_ttft(&prio),
+            mean_interactive_ttft(&fifo)
+        );
+    }
+
+    #[test]
+    fn edf_preempts_under_pressure_and_still_finishes_everyone() {
+        // One slot forces every urgent arrival to preempt the resident
+        // batch job.
+        let wl = two_class_workload(5000.0, 32);
+        let cfg = ServeConfig {
+            max_batch: 2,
+            ..ServeConfig::default()
+        };
+        let r = serve_with(&wl, &mut AnalyticCostModel::small(), &cfg, &mut DeadlineEdf);
+        assert_eq!(r.records.len(), 32);
+        assert!(r.preemptions > 0, "expected preemptions under pressure");
+        // Preempted requests resumed: records with preemptions > 0
+        // still emitted their full output.
+        let preempted: Vec<_> = r.records.iter().filter(|rec| rec.preemptions > 0).collect();
+        assert!(!preempted.is_empty());
+        for rec in preempted {
+            assert!(rec.finish_s >= rec.first_token_s);
+        }
+    }
+
+    #[test]
+    fn fifo_reports_no_preemptions() {
+        let wl = two_class_workload(3000.0, 32);
+        let r = run(&wl, &ServeConfig::default());
+        assert_eq!(r.preemptions, 0);
+        assert!(r.records.iter().all(|rec| rec.preemptions == 0));
     }
 }

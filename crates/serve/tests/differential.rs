@@ -1,0 +1,237 @@
+//! Differential test harness: every scheduling policy, same work.
+//!
+//! Scheduling policies are *ordering* decisions — which queued request
+//! gets the next slot, who gets evicted under pressure. None of them
+//! may change the work itself. This suite runs every policy over a
+//! family of seeded random workloads (open loop, closed loop, single-
+//! and multi-class, with and without preemption pressure) and asserts,
+//! per workload:
+//!
+//! 1. **Token conservation** — every policy completes exactly the
+//!    issued request set, and each request emits exactly its sampled
+//!    output length.
+//! 2. **Identical completion sets** — the (id, prompt, output, class)
+//!    tuples match across all policies; only timestamps may differ.
+//! 3. **Capacity invariants** — no policy ever exceeds the batch cap
+//!    or the machine's KV capacity, preemption notwithstanding.
+//! 4. **Determinism** — re-running any policy reproduces its schedule
+//!    bit-for-bit.
+
+use rpu_models::LengthDistribution;
+use rpu_serve::{
+    serve_with, AnalyticCostModel, ArrivalProcess, ClassSpec, DeadlineEdf, Fifo, PriorityAging,
+    RequestSource, SchedulingPolicy, ServeConfig, ServeReport, ServeRng, ShortestJobFirst,
+    Workload,
+};
+
+/// The test machine's KV capacity (from [`AnalyticCostModel::small`]):
+/// workload lengths are capped against it so nothing is ever rejected.
+const KV_CAPACITY: u64 = AnalyticCostModel::small().kv_capacity_tokens;
+const NUM_WORKLOADS: u64 = 120;
+
+fn machine() -> AnalyticCostModel {
+    AnalyticCostModel::small()
+}
+
+/// Builds the `i`-th differential workload: lengths are capped so every
+/// request fits the machine alone (no rejections to reconcile), but
+/// workloads still mix arrival processes, class structures and length
+/// distributions. Variety comes from a [`ServeRng`] seeded per index,
+/// a separate stream from the simulator's own draws.
+fn workload(i: u64) -> (Workload, ServeConfig) {
+    let mut s = ServeRng::new(i.wrapping_mul(0x6C62_272E_07BB_0142).wrapping_add(1));
+    let arrivals = match s.next_u64() % 3 {
+        0 => ArrivalProcess::Poisson {
+            rate_rps: 10.0 + (s.next_u64() % 4000) as f64,
+        },
+        1 => ArrivalProcess::ClosedLoop {
+            clients: 1 + (s.next_u64() % 12) as u32,
+            think_s: (s.next_u64() % 50) as f64 * 1e-3,
+        },
+        _ => {
+            let n = 4 + s.next_u64() % 40;
+            let mut t = 0.0;
+            let arrivals_s = (0..n)
+                .map(|_| {
+                    t += (s.next_u64() % 1000) as f64 * 1e-4;
+                    t
+                })
+                .collect();
+            ArrivalProcess::Trace { arrivals_s }
+        }
+    };
+    let length = |s: &mut ServeRng, cap: u32| match s.next_u64() % 3 {
+        0 => LengthDistribution::Fixed(1 + (s.next_u64() as u32) % cap),
+        1 => {
+            let lo = 1 + (s.next_u64() as u32) % (cap / 2);
+            LengthDistribution::Uniform {
+                lo,
+                hi: lo + cap / 2,
+            }
+        }
+        _ => LengthDistribution::Exponential {
+            mean: 4.0 + (s.next_u64() % 96) as f64,
+            cap,
+        },
+    };
+    let classes = if s.next_u64().is_multiple_of(2) {
+        vec![ClassSpec::interactive()]
+    } else {
+        vec![
+            ClassSpec {
+                share: 1.0 + (s.next_u64() % 4) as f64,
+                prompt_lens: Some(length(&mut s, 256)),
+                output_lens: Some(length(&mut s, 128)),
+                tenants: 1 + (s.next_u64() as u32) % 4,
+                ..ClassSpec::interactive()
+            },
+            ClassSpec {
+                share: 1.0,
+                priority: 1 + (s.next_u64() as u8) % 3,
+                prompt_lens: Some(length(&mut s, 512)),
+                output_lens: Some(length(&mut s, 256)),
+                ..ClassSpec::batch()
+            },
+        ]
+    };
+    let num_requests = match &arrivals {
+        ArrivalProcess::Trace { arrivals_s } => arrivals_s.len() as u32,
+        _ => 8 + (s.next_u64() as u32) % 40,
+    };
+    let wl = Workload {
+        arrivals,
+        // Capped at 512 + 512 <= KV_CAPACITY: every request fits alone.
+        prompt_lens: length(&mut s, 512),
+        output_lens: length(&mut s, 256),
+        num_requests,
+        seed: s.next_u64(),
+        classes: vec![],
+    }
+    .with_classes(classes);
+    let config = ServeConfig {
+        max_batch: 1 + (s.next_u64() as u32) % 12,
+        seq_bucket: [1u32, 64, 256][(s.next_u64() % 3) as usize],
+        collocated_prefill: s.next_u64().is_multiple_of(2),
+    };
+    (wl, config)
+}
+
+/// Replays the workload's issued tape in completion order (closed-loop
+/// tapes extend on completions).
+fn issued_tape(workload: &Workload, completions: &ServeReport) -> Vec<(u32, u32, u32, u8)> {
+    let mut src = RequestSource::new(workload);
+    let mut out = Vec::new();
+    let drain = |src: &mut RequestSource, out: &mut Vec<(u32, u32, u32, u8)>| {
+        while let Some(r) = src.pop_ready(f64::INFINITY) {
+            out.push((r.id, r.prompt_len, r.output_len, r.class));
+        }
+    };
+    drain(&mut src, &mut out);
+    for rec in &completions.records {
+        src.on_completion(rec.finish_s);
+        drain(&mut src, &mut out);
+    }
+    out.sort_unstable();
+    out
+}
+
+fn completion_set(r: &ServeReport) -> Vec<(u32, u32, u32, u8)> {
+    let mut v: Vec<(u32, u32, u32, u8)> = r
+        .records
+        .iter()
+        .map(|rec| (rec.id, rec.prompt_len, rec.output_len, rec.class))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn policies(wl: &Workload) -> Vec<Box<dyn SchedulingPolicy>> {
+    vec![
+        Box::new(Fifo),
+        Box::new(ShortestJobFirst::for_workload(wl)),
+        Box::new(PriorityAging::new(0.25)),
+        Box::new(DeadlineEdf),
+    ]
+}
+
+#[test]
+fn all_policies_conserve_tokens_and_complete_the_same_set() {
+    let mut preempting_workloads = 0u32;
+    for i in 0..NUM_WORKLOADS {
+        let (wl, cfg) = workload(i);
+        let mut baseline: Option<Vec<(u32, u32, u32, u8)>> = None;
+        for mut policy in policies(&wl) {
+            let r = serve_with(&wl, &mut machine(), &cfg, policy.as_mut());
+            let ctx = |msg: &str| format!("workload {i}, policy {}: {msg}", policy.name());
+
+            // 1. Conservation against the issued tape.
+            assert_eq!(r.rejected, 0, "{}", ctx("rejected"));
+            let tape = issued_tape(&wl, &r);
+            let completed = completion_set(&r);
+            assert_eq!(completed, tape, "{}", ctx("completion set != issued tape"));
+            let emitted: u64 = r.records.iter().map(|rec| u64::from(rec.output_len)).sum();
+            assert_eq!(emitted, r.output_tokens(), "{}", ctx("token accounting"));
+
+            // 2. Identical completion sets across policies.
+            match &baseline {
+                None => baseline = Some(completed),
+                Some(b) => assert_eq!(&completed, b, "{}", ctx("differs from FIFO set")),
+            }
+
+            // 3. Capacity invariants, preemption notwithstanding.
+            assert!(r.peak_batch <= cfg.max_batch, "{}", ctx("batch cap"));
+            assert!(
+                r.peak_reserved_tokens <= KV_CAPACITY,
+                "{}",
+                ctx("KV capacity")
+            );
+            if r.preemptions > 0 {
+                preempting_workloads += 1;
+            }
+
+            // 4. Bit-reproducible schedules.
+            let mut again = policies(&wl)
+                .into_iter()
+                .find(|p| p.name() == policy.name())
+                .expect("policy roster is stable");
+            let r2 = serve_with(&wl, &mut machine(), &cfg, again.as_mut());
+            assert_eq!(r, r2, "{}", ctx("not deterministic"));
+        }
+    }
+    // The harness must actually exercise the preemption path, not just
+    // quiet workloads.
+    assert!(
+        preempting_workloads > 0,
+        "no workload triggered preemption; the differential family is too easy"
+    );
+}
+
+#[test]
+fn policies_differ_only_in_ordering_never_in_total_work() {
+    for i in 0..NUM_WORKLOADS {
+        let (wl, cfg) = workload(i);
+        let reports: Vec<(String, ServeReport)> = policies(&wl)
+            .into_iter()
+            .map(|mut p| {
+                let name = p.name().to_owned();
+                (name, serve_with(&wl, &mut machine(), &cfg, p.as_mut()))
+            })
+            .collect();
+        let (_, fifo) = &reports[0];
+        for (name, r) in &reports[1..] {
+            assert_eq!(
+                r.output_tokens(),
+                fifo.output_tokens(),
+                "workload {i}: {name} emitted different total tokens"
+            );
+            assert_eq!(
+                r.records.len(),
+                fifo.records.len(),
+                "workload {i}: {name} completed a different number of requests"
+            );
+        }
+        // ...and at least sometimes they really do reorder: different
+        // completion orders are expected for contended workloads, so
+        // this is a sanity check on the harness, not an invariant.
+    }
+}

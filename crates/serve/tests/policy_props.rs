@@ -1,0 +1,196 @@
+//! Property suite for the pluggable scheduling policies.
+//!
+//! Three invariant families over randomly generated multi-class
+//! workloads:
+//!
+//! 1. **Aging bounds starvation** — under [`PriorityAging`], once a
+//!    request has waited past the aging horizon it is only ever
+//!    overtaken by *earlier arrivals*: for any pair of records, if `r`
+//!    was admitted while `q` was still queued and `q` had already
+//!    waited out the horizon, then `r` arrived before `q`.
+//! 2. **Preemption always resumes** — under [`DeadlineEdf`] with real
+//!    batch/KV pressure, every request still completes exactly once
+//!    with its full output, preempted or not, and preempted requests'
+//!    records stay causally ordered.
+//! 3. **Per-class metrics sum to the aggregate** — `MultiClassReport`
+//!    partitions the run: completed/rejected counts and
+//!    throughput/goodput rates are additive across classes.
+
+use proptest::prelude::*;
+use rpu_models::LengthDistribution;
+use rpu_serve::{
+    serve_with, AnalyticCostModel, ArrivalProcess, ClassSpec, DeadlineEdf, MultiClassReport,
+    PriorityAging, ServeConfig, SloTargets, Workload,
+};
+
+const KV_CAPACITY: u64 = AnalyticCostModel::small().kv_capacity_tokens;
+
+fn machine() -> AnalyticCostModel {
+    AnalyticCostModel::small()
+}
+
+fn arb_lengths(cap: u32) -> impl Strategy<Value = LengthDistribution> {
+    prop_oneof![
+        (1u32..=cap).prop_map(LengthDistribution::Fixed),
+        (1u32..=64, 128u32..=256).prop_map(|(lo, hi)| LengthDistribution::Uniform { lo, hi }),
+        (4.0f64..96.0).prop_map(move |mean| LengthDistribution::Exponential { mean, cap }),
+    ]
+}
+
+fn arb_class(priority: u8) -> impl Strategy<Value = ClassSpec> {
+    (
+        0.2f64..4.0,
+        arb_lengths(256),
+        arb_lengths(128),
+        1u32..=3,
+        0.05f64..2.0,
+    )
+        .prop_map(
+            move |(share, prompt_lens, output_lens, tenants, ttft_s)| ClassSpec {
+                name: match priority {
+                    0 => "interactive",
+                    1 => "standard",
+                    _ => "batch",
+                },
+                share,
+                priority,
+                slo: SloTargets {
+                    ttft_s,
+                    tpot_s: 0.05 * f64::from(priority + 1),
+                },
+                tenants,
+                prompt_lens: Some(prompt_lens),
+                output_lens: Some(output_lens),
+            },
+        )
+}
+
+/// 2–3 classes with distinct priorities 0, 1(, 2).
+fn arb_classes() -> impl Strategy<Value = Vec<ClassSpec>> {
+    (arb_class(0), arb_class(1), arb_class(2), 2usize..=3)
+        .prop_map(|(a, b, c, n)| [a, b, c].into_iter().take(n).collect())
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        prop_oneof![
+            (50.0f64..5000.0).prop_map(|rate_rps| ArrivalProcess::Poisson { rate_rps }),
+            (1u32..=10, 0.0f64..0.02)
+                .prop_map(|(clients, think_s)| ArrivalProcess::ClosedLoop { clients, think_s }),
+        ],
+        arb_classes(),
+        4u32..48,
+        0u64..1 << 48,
+    )
+        .prop_map(|(arrivals, classes, num_requests, seed)| {
+            Workload {
+                arrivals,
+                prompt_lens: LengthDistribution::Fixed(64),
+                output_lens: LengthDistribution::Fixed(16),
+                num_requests,
+                seed,
+                classes: vec![],
+            }
+            .with_classes(classes)
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = ServeConfig> {
+    (1u32..=8, prop::sample::select(vec![1u32, 64, 256])).prop_map(|(max_batch, seq_bucket)| {
+        ServeConfig {
+            max_batch,
+            seq_bucket,
+            // Disaggregated prefill keeps the admission clock equal to
+            // the policy-selection clock, which the aging bound below
+            // reasons about exactly.
+            collocated_prefill: false,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn aging_bounds_starvation(wl in arb_workload(), cfg in arb_config(), horizon in 0.05f64..1.0) {
+        let mut policy = PriorityAging::new(horizon);
+        let report = serve_with(&wl, &mut machine(), &cfg, &mut policy);
+        prop_assert_eq!(report.records.len() as u32, wl.num_requests);
+        // For every admission r while q was still queued: if q had
+        // already aged past the horizon at r's admission, q was boosted
+        // to top priority, so r can only have won the FIFO tie-break —
+        // r arrived first. A later-arriving request can therefore delay
+        // an aged one by at most the work already in flight, never
+        // overtake it: waiting behind later arrivals is bounded by the
+        // horizon.
+        let eps = 1e-9;
+        for q in &report.records {
+            for r in &report.records {
+                let r_admitted_while_q_waited = r.admit_s < q.admit_s - eps;
+                let q_was_past_horizon = r.admit_s - q.arrival_s > horizon + eps;
+                if r_admitted_while_q_waited && q_was_past_horizon {
+                    prop_assert!(
+                        r.arrival_s <= q.arrival_s + eps,
+                        "request {} (arrived {:.6}) overtook aged request {} \
+                         (arrived {:.6}, waiting since {:.6}) at admit {:.6}, horizon {:.3}",
+                        r.id, r.arrival_s, q.id, q.arrival_s, q.arrival_s, r.admit_s, horizon
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preempted_requests_always_resume_and_finish(wl in arb_workload(), cfg in arb_config()) {
+        let report = serve_with(&wl, &mut machine(), &cfg, &mut DeadlineEdf);
+        // Everyone completes exactly once, preempted or not.
+        prop_assert_eq!(report.records.len() as u32, wl.num_requests);
+        let mut ids: Vec<u32> = report.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u32, wl.num_requests);
+        for rec in &report.records {
+            prop_assert!(rec.admit_s >= rec.arrival_s - 1e-9);
+            prop_assert!(rec.first_token_s > rec.admit_s);
+            prop_assert!(rec.finish_s >= rec.first_token_s);
+        }
+        // The report's preemption counter matches the records' view.
+        let recorded: u32 = report.records.iter().map(|r| r.preemptions).sum();
+        prop_assert_eq!(recorded, report.preemptions);
+        prop_assert!(report.peak_batch <= cfg.max_batch);
+        prop_assert!(report.peak_reserved_tokens <= KV_CAPACITY);
+    }
+
+    #[test]
+    fn per_class_metrics_sum_to_aggregate(wl in arb_workload(), cfg in arb_config()) {
+        let mut policy = PriorityAging::new(0.25);
+        let report = serve_with(&wl, &mut machine(), &cfg, &mut policy);
+        let m = MultiClassReport::new(&report, &wl.classes);
+        prop_assert_eq!(m.classes.len(), wl.classes.len());
+        let sum =
+            |f: &dyn Fn(&rpu_serve::SloReport) -> f64| m.classes.iter().map(|c| f(&c.report)).sum::<f64>();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        prop_assert_eq!(
+            m.classes.iter().map(|c| c.report.completed).sum::<u32>(),
+            m.aggregate.completed
+        );
+        prop_assert_eq!(
+            m.classes.iter().map(|c| c.report.rejected).sum::<u32>(),
+            m.aggregate.rejected
+        );
+        prop_assert!(close(sum(&|r| r.throughput_rps), m.aggregate.throughput_rps));
+        prop_assert!(close(sum(&|r| r.throughput_tok_s), m.aggregate.throughput_tok_s));
+        prop_assert!(close(sum(&|r| r.goodput_rps), m.aggregate.goodput_rps));
+        // Attainment is a ratio, not additive — but it must be the
+        // completion-weighted mean of the class attainments.
+        if m.aggregate.completed > 0 {
+            let weighted: f64 = m
+                .classes
+                .iter()
+                .map(|c| c.report.slo_attainment * f64::from(c.report.completed))
+                .sum::<f64>()
+                / f64::from(m.aggregate.completed);
+            prop_assert!(close(weighted, m.aggregate.slo_attainment));
+        }
+    }
+}

@@ -61,6 +61,7 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
                 output_lens,
                 num_requests,
                 seed,
+                ..Workload::default()
             },
         )
 }

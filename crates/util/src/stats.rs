@@ -34,7 +34,9 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
 /// interpolation between closest ranks; `0.0` for an empty slice.
 ///
 /// The input need not be sorted; a sorted copy is taken internally.
-/// NaN samples are rejected by debug assertion (they have no rank).
+/// NaN samples have no rank and are ignored (a slice of only NaNs
+/// behaves like an empty one); a NaN `p` yields `0.0`; `p` outside
+/// `0 ..= 100` clamps. A single sample is every percentile.
 ///
 /// # Examples
 ///
@@ -45,14 +47,17 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
 /// assert_eq!(percentile(&xs, 0.0), 1.0);
 /// assert_eq!(percentile(&xs, 50.0), 2.5);
 /// assert_eq!(percentile(&xs, 100.0), 4.0);
+/// assert_eq!(percentile(&[2.0, f64::NAN], 50.0), 2.0);
 /// ```
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    debug_assert!(xs.iter().all(|x| !x.is_nan()), "NaN sample has no rank");
-    if xs.is_empty() {
+    if p.is_nan() {
         return 0.0;
     }
-    let mut sorted = xs.to_vec();
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
     sorted.sort_by(f64::total_cmp);
     let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -79,17 +84,20 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// Summarises a sample set (all fields `0.0` for an empty slice).
+    /// NaN samples are dropped before summarising, consistently with
+    /// [`percentile`], so the mean and maximum stay well-defined.
     #[must_use]
     pub fn from_samples(xs: &[f64]) -> Self {
+        let clean: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
         Self {
-            p50: percentile(xs, 50.0),
-            p95: percentile(xs, 95.0),
-            p99: percentile(xs, 99.0),
-            mean: mean(xs),
-            max: if xs.is_empty() {
+            p50: percentile(&clean, 50.0),
+            p95: percentile(&clean, 95.0),
+            p99: percentile(&clean, 99.0),
+            mean: mean(&clean),
+            max: if clean.is_empty() {
                 0.0
             } else {
-                xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                clean.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             },
         }
     }
@@ -254,6 +262,38 @@ mod tests {
         // Out-of-range p clamps, single sample is every percentile.
         assert_eq!(percentile(&[7.0], 250.0), 7.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_total() {
+        // Empty slice: every percentile is 0.
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+        // Single sample: every percentile is that sample.
+        for p in [0.0, 37.5, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
+        // NaN samples are rank-less and ignored.
+        assert_eq!(percentile(&[f64::NAN, 1.0, 3.0], 50.0), 2.0);
+        assert_eq!(percentile(&[f64::NAN], 50.0), 0.0);
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 99.0), 0.0);
+        // NaN p has no defined rank either.
+        assert_eq!(percentile(&[1.0, 2.0], f64::NAN), 0.0);
+        // Infinite p clamps like any out-of-range p.
+        assert_eq!(percentile(&[1.0, 2.0], f64::INFINITY), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], f64::NEG_INFINITY), 1.0);
+    }
+
+    #[test]
+    fn percentiles_summary_drops_nan_samples() {
+        let s = Percentiles::from_samples(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.max, 3.0);
+        let all_nan = Percentiles::from_samples(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_nan.max, 0.0);
+        assert_eq!(all_nan.p50, 0.0);
+        assert_eq!(all_nan.mean, 0.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             num_requests: 96,
             seed: 7,
+            ..Workload::default()
         };
         let mut cost = RpuCostModel::new(sys, model);
         let report = serve(&wl, &mut cost, &config);
@@ -64,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         output_lens: LengthDistribution::Fixed(64),
         num_requests: 64,
         seed: 7,
+        ..Workload::default()
     };
     let mut cost = RpuCostModel::new(sys, model);
     let report = serve(&wl, &mut cost, &config);

@@ -8,6 +8,7 @@ use std::process::Command;
 
 const EXAMPLES: &[&str] = &[
     "pipeline_trace",
+    "policy_compare",
     "quickstart",
     "reasoning_turn",
     "serving",

@@ -15,6 +15,7 @@
 //! git diff tests/golden/   # review the drift before committing
 //! ```
 
+use rpu::core::experiments::policy_sweep::{self, PolicyKind};
 use rpu::core::experiments::{fig09_pareto, fig11_scaling, fig12_energy_cost};
 use std::collections::BTreeMap;
 use std::fs;
@@ -136,6 +137,51 @@ fn fig11_scaling_headlines() {
     values.push(("maverick_bs128_otps_per_query", mav128.rpu_otps_per_query));
     values.push(("batched_points", f.batched.len() as f64));
     check("fig11_scaling.txt", &values);
+}
+
+#[test]
+fn policy_sweep_headlines() {
+    // Pins the FIFO-vs-priority crossover: the loads each policy
+    // sustains the interactive p99 TTFT target to, the tail latencies
+    // at the rung where FIFO has collapsed, and EDF's preemption count
+    // (an integer fingerprint of the preemptive schedule).
+    let s = policy_sweep::run();
+    let top = *policy_sweep::RATE_SWEEP.last().expect("non-empty sweep");
+    let crossover = policy_sweep::RATE_SWEEP
+        .iter()
+        .copied()
+        .find(|&r| {
+            s.interactive_p99_ttft(PolicyKind::Fifo, r)
+                > s.interactive_p99_ttft(PolicyKind::Priority, r)
+        })
+        .expect("priority beats FIFO somewhere in the sweep");
+    let edf_preemptions: u32 = s
+        .points
+        .iter()
+        .map(|p| p.run(PolicyKind::Edf).preemptions)
+        .sum();
+    check(
+        "policy_sweep.txt",
+        &[
+            ("fifo_sustained_rps", s.sustained_load_rps(PolicyKind::Fifo)),
+            ("sjf_sustained_rps", s.sustained_load_rps(PolicyKind::Sjf)),
+            (
+                "priority_sustained_rps",
+                s.sustained_load_rps(PolicyKind::Priority),
+            ),
+            ("edf_sustained_rps", s.sustained_load_rps(PolicyKind::Edf)),
+            ("first_rate_priority_beats_fifo", crossover),
+            (
+                "fifo_top_rung_p99_ttft_s",
+                s.interactive_p99_ttft(PolicyKind::Fifo, top),
+            ),
+            (
+                "priority_top_rung_p99_ttft_s",
+                s.interactive_p99_ttft(PolicyKind::Priority, top),
+            ),
+            ("edf_total_preemptions", f64::from(edf_preemptions)),
+        ],
+    );
 }
 
 #[test]
