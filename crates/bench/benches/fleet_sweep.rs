@@ -1,0 +1,70 @@
+//! Fleet bench: router overhead on the pure fleet driver and the
+//! simulator-backed capacity sweep's headline shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::checks::expect_band;
+use rpu_core::experiments::fleet_sweep::{self, RouterKind};
+use rpu_serve::{AnalyticCostModel, Fifo, Fleet, JoinShortestQueue, ServeConfig, SessionAffinity};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Headline shape: at the top rung, informed routing holds the
+    // interactive p99 TTFT target with strictly fewer replicas than
+    // round-robin.
+    let s = fleet_sweep::run();
+    let top = *fleet_sweep::RATE_SWEEP.last().expect("non-empty sweep");
+    let rr = f64::from(s.replicas_needed(RouterKind::RoundRobin, top));
+    let jsq = f64::from(s.replicas_needed(RouterKind::Jsq, top));
+    expect_band("rr needs a real fleet at the top rung", rr, 2.0, 64.0);
+    expect_band("jsq saves replicas over rr", rr - jsq, 1.0, 64.0);
+    expect_band(
+        "informed routing saves at least one replica",
+        s.top_rung_savings() as f64,
+        1.0,
+        64.0,
+    );
+
+    // Pure fleet-driver throughput: four analytic replicas behind JSQ
+    // (no simulator in the loop).
+    let wl = fleet_sweep::workload(400.0);
+    let cfg = ServeConfig::default();
+    c.bench_function("fleet_jsq_analytic", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::homogeneous(
+                4,
+                &cfg,
+                || {
+                    Box::new(AnalyticCostModel {
+                        kv_capacity_tokens: 16 * 1024,
+                        ..AnalyticCostModel::small()
+                    })
+                },
+                || Box::new(Fifo),
+            );
+            fleet.serve(black_box(&wl), &mut JoinShortestQueue)
+        });
+    });
+
+    // Session affinity pays for ring hashing; measure it on the same
+    // workload.
+    c.bench_function("fleet_affinity_analytic", |b| {
+        b.iter(|| {
+            let mut fleet = Fleet::homogeneous(
+                4,
+                &cfg,
+                || {
+                    Box::new(AnalyticCostModel {
+                        kv_capacity_tokens: 16 * 1024,
+                        ..AnalyticCostModel::small()
+                    })
+                },
+                || Box::new(Fifo),
+            );
+            let mut router = SessionAffinity::new();
+            fleet.serve(black_box(&wl), &mut router)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -109,6 +109,11 @@ const TARGETS: &[Target] = &[
         about: "scheduling policies vs offered load, two SLO classes",
         run: || println!("{}\n", exp::policy_sweep::run().table()),
     },
+    Target {
+        name: "fleet",
+        about: "capacity planning: replicas to hold the SLO, per router",
+        run: || println!("{}\n", exp::fleet_sweep::run().table()),
+    },
 ];
 
 fn main() -> ExitCode {

@@ -21,5 +21,6 @@ pub mod fig11_scaling;
 pub mod fig12_energy_cost;
 pub mod fig13_batch_sweep;
 pub mod fig14_platforms;
+pub mod fleet_sweep;
 pub mod policy_sweep;
 pub mod serving_sweep;

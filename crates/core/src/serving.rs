@@ -21,7 +21,9 @@ use crate::RpuSystem;
 use rpu_gpu::{GpuSpec, GpuSystem};
 use rpu_models::{ModelConfig, Precision, PrefillWorkload};
 use rpu_serve::CostModel;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Where prefill runs and how it is priced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +42,9 @@ pub struct RpuCostModel {
     prefill: PrefillBackend,
     /// Precision used to price GPU-side prefill.
     gpu_precision: Precision,
+    /// Largest KV residency `sys.fits` accepts, precomputed once for
+    /// fleet telemetry.
+    kv_capacity_tokens: u64,
     decode_cache: HashMap<(u32, u32), f64>,
     prefill_cache: HashMap<u32, f64>,
 }
@@ -59,11 +64,29 @@ impl RpuCostModel {
     /// Builds a cost model with an explicit prefill backend.
     #[must_use]
     pub fn with_prefill(sys: RpuSystem, model: ModelConfig, prefill: PrefillBackend) -> Self {
+        // Binary search the capacity boundary once: `fits` is monotone
+        // in tokens (KV bytes only grow), so the largest accepted
+        // residency is well-defined. Published in fleet telemetry.
+        let kv_capacity_tokens = if sys.fits(&model, 1, 0) {
+            let (mut lo, mut hi) = (0u32, u32::MAX);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2 + (hi - lo) % 2;
+                if sys.fits(&model, 1, mid) {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            u64::from(lo)
+        } else {
+            0
+        };
         Self {
             sys,
             model,
             prefill,
             gpu_precision: Precision::gpu_w4a16(),
+            kv_capacity_tokens,
             decode_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
         }
@@ -112,6 +135,55 @@ impl CostModel for RpuCostModel {
         // (batch = 1, seq = tokens) footprint.
         let tokens = u32::try_from(context_tokens).unwrap_or(u32::MAX);
         self.sys.fits(&self.model, 1, tokens)
+    }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.kv_capacity_tokens
+    }
+}
+
+/// One memoised [`RpuCostModel`] shared by every replica of a fleet
+/// SKU.
+///
+/// A homogeneous `rpu_serve::Fleet` wants N cost models for N replicas,
+/// but each distinct (batch, bucketed-context) decode step prices
+/// identically on identical machines — simulating it once per replica
+/// would multiply the slowest part of a fleet sweep by N for bit-equal
+/// results. Handles clone cheaply and share one cache; the cache only
+/// ever stores deterministic simulator outputs, so sharing changes
+/// nothing but wall-clock time.
+#[derive(Debug, Clone)]
+pub struct SharedRpuCostModel(Rc<RefCell<RpuCostModel>>);
+
+impl SharedRpuCostModel {
+    /// Wraps a cost model for sharing.
+    #[must_use]
+    pub fn new(inner: RpuCostModel) -> Self {
+        Self(Rc::new(RefCell::new(inner)))
+    }
+
+    /// Number of distinct decode-step simulations across *all* handles.
+    #[must_use]
+    pub fn distinct_decode_sims(&self) -> usize {
+        self.0.borrow().distinct_decode_sims()
+    }
+}
+
+impl CostModel for SharedRpuCostModel {
+    fn decode_step_s(&mut self, batch: u32, max_context: u32) -> f64 {
+        self.0.borrow_mut().decode_step_s(batch, max_context)
+    }
+
+    fn prefill_s(&mut self, prompt_len: u32) -> f64 {
+        self.0.borrow_mut().prefill_s(prompt_len)
+    }
+
+    fn fits(&self, context_tokens: u64) -> bool {
+        self.0.borrow().fits(context_tokens)
+    }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.0.borrow().kv_capacity_tokens()
     }
 }
 
@@ -168,6 +240,30 @@ mod tests {
         let cm = RpuCostModel::new(sys, model);
         assert!(cm.fits(8 * 4096));
         assert!(!cm.fits(u64::from(u32::MAX)));
+    }
+
+    #[test]
+    fn published_capacity_is_the_fits_boundary() {
+        let (sys, model) = system();
+        let cm = RpuCostModel::new(sys, model);
+        let cap = cm.kv_capacity_tokens();
+        assert!(cap >= 8 * 4096, "provisioned for batch 8 x 4096: {cap}");
+        assert!(cm.fits(cap));
+        assert!(!cm.fits(cap + 1));
+    }
+
+    #[test]
+    fn shared_handles_share_one_memo_cache() {
+        let (sys, model) = system();
+        let shared = SharedRpuCostModel::new(RpuCostModel::new(sys, model));
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        let x = a.decode_step_s(2, 1024);
+        let y = b.decode_step_s(2, 1024);
+        assert_eq!(x, y);
+        assert_eq!(shared.distinct_decode_sims(), 1);
+        assert_eq!(a.kv_capacity_tokens(), b.kv_capacity_tokens());
+        assert!(a.fits(1024) && b.fits(1024));
     }
 
     #[test]

@@ -219,16 +219,29 @@ impl RequestSource {
         let tenant = base + self.class_issued[class] % self.classes[class].tenants.max(1);
         self.class_issued[class] += 1;
         let spec = &self.classes[class];
-        self.pending.push_back(Request {
+        let req = Request {
             id: self.issued,
             arrival_s,
             prompt_len,
             output_len,
             tenant,
+            // One ongoing conversation per tenant: successive requests
+            // from a tenant share the session key affinity routers hash.
+            session: u64::from(tenant),
             class: u8::try_from(class).expect("class count checked at construction"),
             priority: spec.priority,
             deadline_s: arrival_s + spec.slo.ttft_s,
-        });
+        };
+        // Open-loop tapes are generated in time order (O(1) append);
+        // closed-loop completions can land out of order when several
+        // fleet replicas finish interleaved, so keep the pending queue
+        // sorted by arrival (stable: equal times stay in issue order).
+        let pos = if self.pending.back().is_none_or(|b| b.arrival_s <= arrival_s) {
+            self.pending.len()
+        } else {
+            self.pending.partition_point(|r| r.arrival_s <= arrival_s)
+        };
+        self.pending.insert(pos, req);
         self.issued += 1;
     }
 

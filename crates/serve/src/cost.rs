@@ -21,6 +21,12 @@ pub trait CostModel {
     /// over all admitted requests, at their conservative maximum) fits
     /// the machine's memory alongside the weights.
     fn fits(&self, context_tokens: u64) -> bool;
+
+    /// The largest KV residency (tokens) that [`CostModel::fits`]
+    /// accepts — the capacity a replica publishes in its fleet
+    /// telemetry so routers can reason about relative KV headroom
+    /// across heterogeneous machines.
+    fn kv_capacity_tokens(&self) -> u64;
 }
 
 /// A closed-form memory-bandwidth cost model: one decode iteration
@@ -65,6 +71,10 @@ impl CostModel for AnalyticCostModel {
     fn fits(&self, context_tokens: u64) -> bool {
         context_tokens <= self.kv_capacity_tokens
     }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.kv_capacity_tokens
+    }
 }
 
 #[cfg(test)]
@@ -84,5 +94,12 @@ mod tests {
         let m = AnalyticCostModel::small();
         assert!(m.fits(4096));
         assert!(!m.fits(4097));
+    }
+
+    #[test]
+    fn published_capacity_is_the_fits_boundary() {
+        let m = AnalyticCostModel::small();
+        assert!(m.fits(m.kv_capacity_tokens()));
+        assert!(!m.fits(m.kv_capacity_tokens() + 1));
     }
 }

@@ -1,0 +1,482 @@
+//! Fleet-scale serving: N scheduler replicas behind one router.
+//!
+//! A single [`crate::serve_with`] run answers "what does one machine do
+//! under load?"; a [`Fleet`] answers the question above it: **how many
+//! machines, and how do you route to them?** Each replica is an
+//! independent deterministic scheduler instance with its own
+//! [`SchedulingPolicy`], its own [`CostModel`] (and therefore its own
+//! KV capacity — heterogeneous SKUs are just different cost models) and
+//! its own clock. A [`Router`] dispatches every arriving request to one
+//! replica, seeing nothing but the replicas' published
+//! [`crate::ReplicaTelemetry`].
+//!
+//! # Simulation order
+//!
+//! The fleet driver interleaves the replicas in **global event order**:
+//! a request is routed exactly at its arrival time, once every
+//! replica's next scheduling event lies at or beyond it, so the
+//! telemetry the router sees is what real replicas would publish at
+//! that instant — not a stale snapshot and not the future. Replica
+//! completions feed the shared arrival source, so closed-loop
+//! workloads work across the fleet (a client's next request may be
+//! routed to a *different* replica than its last). With one replica
+//! the driver degenerates to exactly the single-machine scheduler; the
+//! differential suite asserts record-for-record equality.
+//!
+//! # Example
+//!
+//! A four-replica fleet shortens the interactive tail a single machine
+//! of the same total capacity cannot, and the run is bit-reproducible:
+//!
+//! ```
+//! use rpu_serve::{
+//!     AnalyticCostModel, Fifo, Fleet, JoinShortestQueue, ServeConfig, Workload,
+//! };
+//!
+//! let wl = Workload::poisson(1500.0, 256, 32, 64);
+//! let mut fleet = Fleet::homogeneous(
+//!     4,
+//!     &ServeConfig::default(),
+//!     || Box::new(AnalyticCostModel::small()),
+//!     || Box::new(Fifo),
+//! );
+//! let a = fleet.serve(&wl, &mut JoinShortestQueue);
+//! let b = fleet.serve(&wl, &mut JoinShortestQueue);
+//! assert_eq!(a.aggregate.records.len(), 64);
+//! assert_eq!(a.aggregate, b.aggregate);
+//! assert_eq!(a.assigned.iter().sum::<u32>(), 64);
+//! ```
+
+use crate::arrivals::{RequestSource, Workload};
+use crate::class::ClassSpec;
+use crate::cost::CostModel;
+use crate::metrics::MultiClassReport;
+use crate::policy::SchedulingPolicy;
+use crate::request::RequestRecord;
+use crate::router::Router;
+use crate::scheduler::{Core, ServeConfig, ServeReport};
+
+/// One replica of a serving fleet: a machine (cost model), a scheduling
+/// policy and the scheduler knobs it runs under.
+pub struct FleetReplica {
+    /// The replica's machine model — its KV capacity and decode/prefill
+    /// latencies. Replicas may differ (heterogeneous SKUs).
+    pub cost: Box<dyn CostModel>,
+    /// The replica's local admission/eviction policy.
+    pub policy: Box<dyn SchedulingPolicy>,
+    /// The replica's scheduler configuration.
+    pub config: ServeConfig,
+}
+
+/// A fleet of scheduler replicas fronted by a [`Router`].
+pub struct Fleet {
+    replicas: Vec<FleetReplica>,
+}
+
+impl Fleet {
+    /// Builds a fleet from explicit (possibly heterogeneous) replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty (a fleet must route somewhere) or
+    /// if any replica's `max_batch` is zero.
+    #[must_use]
+    pub fn new(replicas: Vec<FleetReplica>) -> Self {
+        assert!(!replicas.is_empty(), "a fleet needs at least one replica");
+        for r in &replicas {
+            assert!(r.config.max_batch >= 1, "max_batch must admit at least one");
+        }
+        Self { replicas }
+    }
+
+    /// Builds `n` identical replicas from factory closures (one fresh
+    /// cost model and policy per replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `config.max_batch` is zero.
+    #[must_use]
+    pub fn homogeneous(
+        n: usize,
+        config: &ServeConfig,
+        mut cost: impl FnMut() -> Box<dyn CostModel>,
+        mut policy: impl FnMut() -> Box<dyn SchedulingPolicy>,
+    ) -> Self {
+        Self::new(
+            (0..n)
+                .map(|_| FleetReplica {
+                    cost: cost(),
+                    policy: policy(),
+                    config: *config,
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Always `false` in practice — construction rejects empty fleets —
+    /// but answered from the data, not the invariant.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Serves a workload across the fleet under `router`.
+    ///
+    /// Deterministic: the schedule depends only on the workload (seed
+    /// included), the replicas' cost models/policies/configs and the
+    /// router. Reusing a fleet is fine — cost-model memoisation carries
+    /// over, scheduler state does not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router returns an out-of-range replica index.
+    #[must_use]
+    pub fn serve(&mut self, workload: &Workload, router: &mut dyn Router) -> FleetReport {
+        let mut source = RequestSource::new(workload);
+        let mut cores: Vec<Core> = self.replicas.iter().map(|r| Core::new(r.config)).collect();
+        let mut assigned = vec![0u32; self.replicas.len()];
+        loop {
+            let next_arrival = source.next_arrival_s().unwrap_or(f64::INFINITY);
+            let (which, next_event) = cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.next_event_s()))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("fleets are non-empty");
+            if !next_arrival.is_finite() && !next_event.is_finite() {
+                break;
+            }
+            // Arrivals win ties: a request is routed at its arrival
+            // time, before any replica runs a scheduling event at or
+            // after it — every replica's telemetry is current as of the
+            // arrival.
+            if next_arrival <= next_event {
+                let req = source.pop_ready(next_arrival).expect("arrival is due");
+                let telemetry: Vec<_> = cores
+                    .iter()
+                    .zip(&self.replicas)
+                    .map(|(c, r)| c.telemetry(r.cost.kv_capacity_tokens()))
+                    .collect();
+                let pick = router.route(&req, &telemetry);
+                assert!(pick < cores.len(), "router picked out of range");
+                assigned[pick] += 1;
+                cores[pick].enqueue(req);
+            } else {
+                let replica = &mut self.replicas[which];
+                cores[which].step(replica.cost.as_mut(), replica.policy.as_mut(), &mut source);
+            }
+        }
+        debug_assert!(source.exhausted());
+        let replicas: Vec<ServeReport> = cores.into_iter().map(Core::into_report).collect();
+        let aggregate = merge(&replicas);
+        FleetReport {
+            replicas,
+            assigned,
+            aggregate,
+        }
+    }
+}
+
+/// Folds per-replica reports into one fleet-wide [`ServeReport`].
+///
+/// Counts, busy times and iterations are sums over replicas (in replica
+/// order, so the fold is deterministic); the makespan spans the
+/// earliest arrival to the latest completion anywhere in the fleet;
+/// `peak_batch`/`peak_reserved_tokens` are the largest any single
+/// replica saw (per-replica peaks do not add across machines). Note
+/// [`ServeReport::utilization`] on the merged report is therefore
+/// *machine-seconds per wall-second* — up to N for an N-replica fleet;
+/// [`FleetReport::fleet_utilization`] normalises it.
+fn merge(replicas: &[ServeReport]) -> ServeReport {
+    let mut records: Vec<RequestRecord> = replicas
+        .iter()
+        .flat_map(|r| r.records.iter().copied())
+        .collect();
+    // Fleet-wide completion order; ids break exact finish-time ties.
+    records.sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s).then(a.id.cmp(&b.id)));
+    let mut rejected_requests: Vec<_> = replicas
+        .iter()
+        .flat_map(|r| r.rejected_requests.iter().copied())
+        .collect();
+    rejected_requests.sort_by_key(|r| r.id);
+    let first_arrival = records
+        .iter()
+        .map(|r| r.arrival_s)
+        .chain(rejected_requests.iter().map(|r| r.arrival_s))
+        .fold(f64::INFINITY, f64::min);
+    let last_finish = records
+        .iter()
+        .map(|r| r.finish_s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    ServeReport {
+        makespan_s: if last_finish.is_finite() && first_arrival.is_finite() {
+            (last_finish - first_arrival).max(0.0)
+        } else {
+            0.0
+        },
+        records,
+        rejected: replicas.iter().map(|r| r.rejected).sum(),
+        rejected_requests,
+        preemptions: replicas.iter().map(|r| r.preemptions).sum(),
+        decode_busy_s: replicas.iter().map(|r| r.decode_busy_s).sum(),
+        prefill_busy_s: replicas.iter().map(|r| r.prefill_busy_s).sum(),
+        decode_iterations: replicas.iter().map(|r| r.decode_iterations).sum(),
+        peak_batch: replicas.iter().map(|r| r.peak_batch).max().unwrap_or(0),
+        peak_reserved_tokens: replicas
+            .iter()
+            .map(|r| r.peak_reserved_tokens)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+/// The outcome of serving one workload across a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// One [`ServeReport`] per replica, in replica order. Each is
+    /// anchored at the first arrival *routed to that replica*.
+    pub replicas: Vec<ServeReport>,
+    /// Requests the router sent to each replica (completions plus
+    /// rejections), index-aligned with `replicas`.
+    pub assigned: Vec<u32>,
+    /// The fleet-wide merged report: records in completion order,
+    /// counts and busy-times summed, makespan spanning the whole run.
+    pub aggregate: ServeReport,
+}
+
+impl FleetReport {
+    /// Number of replicas.
+    #[must_use]
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Each replica's decode-busy time as a fraction of the *fleet*
+    /// makespan — comparable across replicas, unlike the per-replica
+    /// [`ServeReport::utilization`] which is anchored at each replica's
+    /// own first arrival.
+    #[must_use]
+    pub fn per_replica_utilization(&self) -> Vec<f64> {
+        let span = self.aggregate.makespan_s;
+        self.replicas
+            .iter()
+            .map(|r| {
+                if span > 0.0 {
+                    r.decode_busy_s / span
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Fleet decode utilisation: total decode-busy machine-seconds over
+    /// `N x` makespan, in `[0, 1]`.
+    #[must_use]
+    pub fn fleet_utilization(&self) -> f64 {
+        let span = self.aggregate.makespan_s * self.replicas.len() as f64;
+        if span > 0.0 {
+            self.aggregate.decode_busy_s / span
+        } else {
+            0.0
+        }
+    }
+
+    /// Load imbalance across replicas: max over mean of per-replica
+    /// decode-busy time. 1.0 is perfectly balanced; `N` means one
+    /// replica did all the work. An idle fleet reports 1.0.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .replicas
+            .iter()
+            .map(|r| r.decode_busy_s)
+            .fold(0.0, f64::max);
+        let mean = self.aggregate.decode_busy_s / self.replicas.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Per-class and aggregate SLO metrics over the merged fleet
+    /// report. Rates are fleet-wide (over the fleet makespan); the
+    /// `utilization` field inside is the merged machine-seconds ratio —
+    /// see [`FleetReport::fleet_utilization`] for the normalised one.
+    #[must_use]
+    pub fn multi_class(&self, classes: &[ClassSpec]) -> MultiClassReport {
+        MultiClassReport::new(&self.aggregate, classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+    use crate::cost::AnalyticCostModel;
+    use crate::policy::Fifo;
+    use crate::router::{JoinShortestQueue, RoundRobin, SessionAffinity};
+    use rpu_models::LengthDistribution;
+
+    fn fleet(n: usize) -> Fleet {
+        Fleet::homogeneous(
+            n,
+            &ServeConfig::default(),
+            || Box::new(AnalyticCostModel::small()),
+            || Box::new(Fifo),
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_fleet_is_rejected() {
+        let _ = Fleet::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_replica_is_rejected() {
+        let _ = Fleet::homogeneous(
+            2,
+            &ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            || Box::new(AnalyticCostModel::small()),
+            || Box::new(Fifo),
+        );
+    }
+
+    #[test]
+    fn fleet_completes_everything_and_accounts_assignments() {
+        let wl = Workload::poisson(2000.0, 256, 32, 96);
+        let r = fleet(3).serve(&wl, &mut RoundRobin::new());
+        assert_eq!(r.aggregate.records.len(), 96);
+        assert_eq!(r.aggregate.rejected, 0);
+        assert_eq!(r.assigned, vec![32, 32, 32]);
+        assert_eq!(
+            r.replicas.iter().map(|p| p.records.len()).sum::<usize>(),
+            96
+        );
+        // Merged records are in completion order.
+        assert!(r
+            .aggregate
+            .records
+            .windows(2)
+            .all(|w| w[0].finish_s <= w[1].finish_s));
+    }
+
+    #[test]
+    fn more_replicas_shorten_the_interactive_tail() {
+        let wl = Workload::poisson(3000.0, 512, 32, 96);
+        let p99 = |n: usize| {
+            let r = fleet(n).serve(&wl, &mut JoinShortestQueue);
+            let mut ttfts: Vec<f64> = r
+                .aggregate
+                .records
+                .iter()
+                .map(RequestRecord::ttft_s)
+                .collect();
+            ttfts.sort_by(f64::total_cmp);
+            ttfts[ttfts.len() * 99 / 100]
+        };
+        assert!(p99(4) < p99(1), "4 replicas {} vs 1 {}", p99(4), p99(1));
+    }
+
+    #[test]
+    fn closed_loop_works_across_the_fleet() {
+        let wl = Workload {
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 6,
+                think_s: 0.002,
+            },
+            ..Workload::poisson(1.0, 128, 16, 48)
+        };
+        let a = fleet(3).serve(&wl, &mut JoinShortestQueue);
+        let b = fleet(3).serve(&wl, &mut JoinShortestQueue);
+        assert_eq!(a.aggregate.records.len(), 48);
+        assert_eq!(a, b, "closed-loop fleet runs must be bit-reproducible");
+    }
+
+    #[test]
+    fn affinity_keeps_sessions_on_one_replica() {
+        let wl = Workload {
+            classes: vec![crate::class::ClassSpec {
+                tenants: 8,
+                ..crate::class::ClassSpec::interactive()
+            }],
+            ..Workload::poisson(500.0, 128, 8, 64)
+        };
+        let r = fleet(4).serve(&wl, &mut SessionAffinity::new());
+        // Every session's requests completed on exactly one replica.
+        for rep in &r.replicas {
+            for rec in &rep.records {
+                for other in r.replicas.iter().filter(|o| !std::ptr::eq(*o, rep)) {
+                    assert!(
+                        !other.records.iter().any(|x| x.tenant == rec.tenant),
+                        "tenant {} split across replicas",
+                        rec.tenant
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_capacity_is_published_honestly() {
+        // One big replica, one tiny one: least-KV routing must see the
+        // different capacities, and oversized requests only fit the big
+        // machine.
+        let wl = Workload {
+            prompt_lens: LengthDistribution::Fixed(2000),
+            output_lens: LengthDistribution::Fixed(8),
+            ..Workload::poisson(100.0, 1, 1, 10)
+        };
+        let mut f = Fleet::new(vec![
+            FleetReplica {
+                cost: Box::new(AnalyticCostModel {
+                    kv_capacity_tokens: 64 * 1024,
+                    ..AnalyticCostModel::small()
+                }),
+                policy: Box::new(Fifo),
+                config: ServeConfig::default(),
+            },
+            FleetReplica {
+                cost: Box::new(AnalyticCostModel {
+                    kv_capacity_tokens: 1024,
+                    ..AnalyticCostModel::small()
+                }),
+                policy: Box::new(Fifo),
+                config: ServeConfig::default(),
+            },
+        ]);
+        let r = f.serve(&wl, &mut JoinShortestQueue);
+        // 2008-token reservations never fit the 1024-token replica, and
+        // JSQ respects published capacity, so nothing is rejected.
+        assert_eq!(r.aggregate.records.len(), 10);
+        assert_eq!(r.aggregate.rejected, 0);
+        assert_eq!(r.assigned[1], 0, "JSQ routed over the small replica's KV");
+    }
+
+    #[test]
+    fn fleet_metrics_are_well_formed() {
+        let wl = Workload::poisson(2000.0, 256, 32, 64);
+        let r = fleet(4).serve(&wl, &mut JoinShortestQueue);
+        assert_eq!(r.num_replicas(), 4);
+        let util = r.per_replica_utilization();
+        assert_eq!(util.len(), 4);
+        assert!(util.iter().all(|u| (0.0..=1.0 + 1e-9).contains(u)));
+        assert!((0.0..=1.0 + 1e-9).contains(&r.fleet_utilization()));
+        assert!(r.imbalance() >= 1.0 - 1e-9);
+        assert!(r.imbalance() <= 4.0 + 1e-9);
+        let m = r.multi_class(&[ClassSpec::interactive()]);
+        assert_eq!(m.aggregate.completed, 64);
+    }
+}

@@ -16,12 +16,22 @@
 //! [`SloTargets`] — aggregate ([`SloReport`]) and per class
 //! ([`MultiClassReport`]).
 //!
+//! Above the single machine sits the fleet layer: a [`Fleet`] of N
+//! replica schedulers (each with its own policy, cost model and KV
+//! capacity — heterogeneous SKUs welcome) fronted by a pluggable
+//! [`Router`] that sees only replica-published [`ReplicaTelemetry`]:
+//! blind [`RoundRobin`], backlog-driven [`JoinShortestQueue`],
+//! occupancy-driven [`LeastKvLoad`] or consistent-hashing
+//! [`SessionAffinity`]. [`FleetReport`] adds per-replica utilisation
+//! and load imbalance on top of the same SLO metrics.
+//!
 //! Machine costs enter through the [`CostModel`] trait, so this crate
 //! stays independent of the simulator stack: `rpu-core` adapts
 //! `RpuSystem` (event-driven simulation with memoised decode steps)
 //! behind it, while [`AnalyticCostModel`] provides a closed-form
 //! machine for tests. Everything is deterministic — a fixed workload
-//! seed reproduces the schedule bit-for-bit, for every policy.
+//! seed reproduces the schedule bit-for-bit, for every policy, router
+//! and fleet size.
 //!
 //! # Examples
 //!
@@ -50,15 +60,18 @@
 mod arrivals;
 mod class;
 mod cost;
+mod fleet;
 mod metrics;
 mod policy;
 mod request;
 mod rng;
+mod router;
 mod scheduler;
 
 pub use arrivals::{ArrivalProcess, RequestSource, Workload};
 pub use class::{ClassSpec, SloTargets};
 pub use cost::{AnalyticCostModel, CostModel};
+pub use fleet::{Fleet, FleetReplica, FleetReport};
 pub use metrics::{ClassSlo, MultiClassReport, SloReport};
 pub use policy::{
     ActiveRequest, DeadlineEdf, Fifo, PriorityAging, QueuedRequest, SchedulingPolicy,
@@ -66,4 +79,7 @@ pub use policy::{
 };
 pub use request::{Request, RequestRecord};
 pub use rng::ServeRng;
+pub use router::{
+    JoinShortestQueue, LeastKvLoad, ReplicaTelemetry, RoundRobin, Router, SessionAffinity,
+};
 pub use scheduler::{serve, serve_with, ServeConfig, ServeReport};

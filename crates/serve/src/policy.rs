@@ -341,6 +341,7 @@ mod tests {
             prompt_len: 100,
             output_len: 10,
             tenant: 0,
+            session: 0,
             class: 0,
             priority: 0,
             deadline_s: arrival_s + 0.5,

@@ -14,6 +14,12 @@ pub struct Request {
     pub output_len: u32,
     /// Owning tenant id (round-robin within the request's class).
     pub tenant: u32,
+    /// Session key: stable across a user's successive turns, so
+    /// affinity routers can keep a conversation on the replica that
+    /// already holds its KV. Workload tapes stamp it from the tenant id
+    /// (one ongoing conversation per tenant); trace-driven callers may
+    /// carry richer keys.
+    pub session: u64,
     /// Index into the workload's SLO classes.
     pub class: u8,
     /// Scheduling priority copied from the class spec (0 = most urgent).
@@ -127,6 +133,7 @@ mod tests {
             prompt_len: 100,
             output_len: 28,
             tenant: 0,
+            session: 0,
             class: 0,
             priority: 0,
             deadline_s: 0.5,

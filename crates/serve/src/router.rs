@@ -1,0 +1,394 @@
+//! Fleet routing: which replica gets the next request.
+//!
+//! A [`crate::Fleet`] fronts N independent scheduler replicas with one
+//! [`Router`]. The router is deliberately blind to everything except
+//! [`ReplicaTelemetry`] — the counters a real replica would publish
+//! (queue depth, KV occupancy, outstanding tokens) — so routing
+//! policies stay honest: no peeking at another replica's clock, its
+//! policy internals or the sampled lengths of its resident requests.
+//!
+//! | Router | Picks | Uses telemetry | Stateful |
+//! |---|---|---|---|
+//! | [`RoundRobin`] | next replica in turn | no | cursor |
+//! | [`JoinShortestQueue`] | fewest queued + resident requests | yes | no |
+//! | [`LeastKvLoad`] | lowest committed-KV fraction | yes | no |
+//! | [`SessionAffinity`] | consistent hash of the session key | no | ring cache |
+
+use crate::request::Request;
+
+/// The load counters one replica publishes to the router.
+///
+/// Everything here is a running total the replica already tracks for
+/// its own report; none of it requires oracle knowledge of request
+/// contents beyond the conservative reservations admission itself uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaTelemetry {
+    /// Requests routed to this replica but not yet admitted.
+    pub queue_depth: u32,
+    /// Requests resident in the serving batch (prefilling or decoding).
+    pub active_requests: u32,
+    /// Conservative KV reservation (prompt + full output) of the
+    /// resident requests, tokens.
+    pub reserved_tokens: u64,
+    /// Conservative KV reservation of the queued requests, tokens.
+    pub queued_tokens: u64,
+    /// The replica's KV capacity as published by its cost model.
+    pub kv_capacity_tokens: u64,
+    /// Output tokens still to be emitted across queued and resident
+    /// requests.
+    pub in_flight_tokens: u64,
+}
+
+impl ReplicaTelemetry {
+    /// Requests on this replica in any state: queued plus resident.
+    #[must_use]
+    pub fn backlog(&self) -> u32 {
+        self.queue_depth + self.active_requests
+    }
+
+    /// KV tokens already committed to this replica: resident
+    /// reservations plus everything waiting in its queue.
+    #[must_use]
+    pub fn committed_tokens(&self) -> u64 {
+        self.reserved_tokens + self.queued_tokens
+    }
+
+    /// Committed KV tokens as a fraction of capacity (may exceed 1 when
+    /// the queue holds more work than the machine fits at once).
+    #[must_use]
+    pub fn kv_load(&self) -> f64 {
+        self.committed_tokens() as f64 / self.kv_capacity_tokens.max(1) as f64
+    }
+
+    /// `true` when `tokens` more KV tokens fit alongside everything
+    /// already committed to this replica.
+    #[must_use]
+    pub fn has_kv_headroom(&self, tokens: u64) -> bool {
+        self.committed_tokens().saturating_add(tokens) <= self.kv_capacity_tokens
+    }
+}
+
+/// A dispatch policy for a [`crate::Fleet`].
+///
+/// [`Router::route`] is called once per request, at its arrival time,
+/// with one [`ReplicaTelemetry`] per replica (index-aligned with the
+/// fleet). The returned index must be in range; the fleet panics
+/// otherwise. Decisions must be deterministic functions of the
+/// arguments plus the router's own state — fleet runs are
+/// bit-reproducible for a fixed workload seed.
+///
+/// # Worked example
+///
+/// A custom router is one `impl`. Fewest-outstanding-tokens, sending
+/// each request to the replica with the least decode work in flight:
+///
+/// ```
+/// use rpu_serve::{
+///     AnalyticCostModel, Fifo, Fleet, ReplicaTelemetry, Request, Router, ServeConfig, Workload,
+/// };
+///
+/// struct FewestTokens;
+///
+/// impl Router for FewestTokens {
+///     fn name(&self) -> &'static str {
+///         "fewest-tokens"
+///     }
+///
+///     fn route(&mut self, _req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
+///         // Ties broken by index to stay deterministic.
+///         (0..fleet.len())
+///             .min_by_key(|&i| (fleet[i].in_flight_tokens, i))
+///             .expect("fleets are non-empty")
+///     }
+/// }
+///
+/// let mut fleet = Fleet::homogeneous(
+///     3,
+///     &ServeConfig::default(),
+///     || Box::new(AnalyticCostModel::small()),
+///     || Box::new(Fifo),
+/// );
+/// let report = fleet.serve(&Workload::poisson(800.0, 256, 16, 30), &mut FewestTokens);
+/// // Routing spreads the work; the fleet completes all of it.
+/// assert_eq!(report.aggregate.records.len(), 30);
+/// assert!(report.assigned.iter().all(|&n| n > 0));
+/// ```
+pub trait Router {
+    /// Router name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Picks the replica index for one arriving request.
+    fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize;
+}
+
+/// Blind rotation: requests go to replicas in turn, ignoring telemetry.
+/// The baseline every informed router is measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A cursor starting at replica 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
+        let pick = self.next % fleet.len();
+        self.next = (pick + 1) % fleet.len();
+        pick
+    }
+}
+
+/// Join-shortest-queue: the replica with the fewest requests on it
+/// (queued plus resident), restricted to replicas whose published KV
+/// capacity still has room for this request's conservative reservation.
+/// Only when *no* replica has KV headroom does it fall back to the
+/// shortest queue outright (the replica's own admission back-pressure
+/// then queues the request until space frees).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinShortestQueue;
+
+impl Router for JoinShortestQueue {
+    fn name(&self) -> &'static str {
+        "jsq"
+    }
+
+    fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
+        let need = req.reserved_tokens();
+        let shortest = |candidates: &mut dyn Iterator<Item = usize>| {
+            candidates.min_by_key(|&i| (fleet[i].backlog(), i))
+        };
+        shortest(&mut (0..fleet.len()).filter(|&i| fleet[i].has_kv_headroom(need)))
+            .or_else(|| shortest(&mut (0..fleet.len())))
+            .expect("fleets are non-empty")
+    }
+}
+
+/// Least-KV-load: the replica with the lowest committed-KV fraction of
+/// its own capacity. On heterogeneous fleets this is the natural
+/// weighting — a half-full large replica beats a half-full small one
+/// only when its *fraction* is lower — with backlog and index breaking
+/// ties.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastKvLoad;
+
+impl Router for LeastKvLoad {
+    fn name(&self) -> &'static str {
+        "least-kv"
+    }
+
+    fn route(&mut self, _req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
+        (0..fleet.len())
+            .min_by(|&a, &b| {
+                fleet[a]
+                    .kv_load()
+                    .total_cmp(&fleet[b].kv_load())
+                    .then(fleet[a].backlog().cmp(&fleet[b].backlog()))
+                    .then(a.cmp(&b))
+            })
+            .expect("fleets are non-empty")
+    }
+}
+
+/// Session affinity by consistent hashing: every session key maps to a
+/// fixed point on a hash ring of replica virtual nodes, so a session's
+/// repeated turns always land on the replica that served — and whose
+/// KV cache warmed on — its earlier ones. Resizing the fleet moves only
+/// the sessions whose ring successor is a new replica's virtual node;
+/// everyone else keeps their placement (the property tests pin this).
+#[derive(Debug, Clone)]
+pub struct SessionAffinity {
+    vnodes: u32,
+    /// Ring for the last-seen fleet size: (point hash, replica),
+    /// sorted by hash.
+    ring: Vec<(u64, usize)>,
+    ring_replicas: usize,
+}
+
+impl Default for SessionAffinity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionAffinity {
+    /// Affinity with the default 64 virtual nodes per replica (a
+    /// max/mean key imbalance of a few percent at small fleet sizes).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_vnodes(64)
+    }
+
+    /// Affinity with an explicit virtual-node count per replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero (an empty ring routes nothing).
+    #[must_use]
+    pub fn with_vnodes(vnodes: u32) -> Self {
+        assert!(vnodes >= 1, "affinity needs at least one vnode per replica");
+        Self {
+            vnodes,
+            ring: Vec::new(),
+            ring_replicas: 0,
+        }
+    }
+
+    fn rebuild(&mut self, replicas: usize) {
+        self.ring.clear();
+        for r in 0..replicas {
+            for k in 0..self.vnodes {
+                // One word per (replica, vnode): mix() is a bijection,
+                // so distinct virtual nodes never collide on the ring.
+                let point = mix(((r as u64) << 32) | u64::from(k));
+                self.ring.push((point, r));
+            }
+        }
+        self.ring.sort_unstable();
+        self.ring_replicas = replicas;
+    }
+}
+
+impl Router for SessionAffinity {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
+        if self.ring_replicas != fleet.len() {
+            self.rebuild(fleet.len());
+        }
+        // A salted key hash keeps session points decoupled from ring
+        // points (mix is a bijection, so an unsalted key equal to a
+        // vnode word would always collide with it).
+        let key = mix(req.session ^ 0xA5A5_5A5A_D1D1_1D1D);
+        let i = self.ring.partition_point(|&(point, _)| point < key);
+        self.ring[i % self.ring.len()].1
+    }
+}
+
+/// SplitMix64 finalisation: a fast, deterministic bijection on `u64`
+/// used for ring points and session keys.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle(kv_capacity_tokens: u64) -> ReplicaTelemetry {
+        ReplicaTelemetry {
+            queue_depth: 0,
+            active_requests: 0,
+            reserved_tokens: 0,
+            queued_tokens: 0,
+            kv_capacity_tokens,
+            in_flight_tokens: 0,
+        }
+    }
+
+    fn req(session: u64) -> Request {
+        Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_len: 128,
+            output_len: 16,
+            tenant: 0,
+            session,
+            class: 0,
+            priority: 0,
+            deadline_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let fleet = vec![idle(4096); 3];
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..7).map(|_| rr.route(&req(0), &fleet)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn jsq_prefers_fewest_requests_with_headroom() {
+        let mut fleet = vec![idle(4096); 3];
+        fleet[0].queue_depth = 2;
+        fleet[1].active_requests = 1;
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 2);
+        // Fill replica 2's KV: the next-shortest with headroom wins.
+        fleet[2].reserved_tokens = 4096;
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn jsq_falls_back_to_shortest_when_nothing_fits() {
+        let mut fleet = vec![idle(100); 2];
+        fleet[0].queue_depth = 3;
+        fleet[1].queue_depth = 1;
+        // Request reserves 144 tokens: over both capacities.
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn least_kv_compares_fractions_not_absolutes() {
+        let mut fleet = vec![idle(8192), idle(1024)];
+        fleet[0].reserved_tokens = 4096; // 50 % of a big replica
+        fleet[1].reserved_tokens = 256; // 25 % of a small one
+        assert_eq!(LeastKvLoad.route(&req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn affinity_is_sticky_per_session_and_spreads_sessions() {
+        let fleet = vec![idle(4096); 4];
+        let mut aff = SessionAffinity::new();
+        let mut hits = vec![0u32; 4];
+        for session in 0..256u64 {
+            let first = aff.route(&req(session), &fleet);
+            for _ in 0..3 {
+                assert_eq!(aff.route(&req(session), &fleet), first);
+            }
+            hits[first] += 1;
+        }
+        assert!(
+            hits.iter().all(|&h| h > 0),
+            "some replica never chosen: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn affinity_resize_moves_keys_only_to_the_new_replica() {
+        let small = vec![idle(4096); 3];
+        let grown = vec![idle(4096); 4];
+        let mut aff = SessionAffinity::new();
+        let mut moved = 0u32;
+        for session in 0..512u64 {
+            let before = aff.route(&req(session), &small);
+            let after = aff.route(&req(session), &grown);
+            if before != after {
+                assert_eq!(after, 3, "session {session} moved to an old replica");
+                moved += 1;
+            }
+        }
+        // Roughly 1/4 of the keyspace belongs to the new replica.
+        assert!((32..=224).contains(&moved), "moved {moved} of 512");
+    }
+
+    #[test]
+    #[should_panic(expected = "vnode")]
+    fn zero_vnodes_rejected() {
+        let _ = SessionAffinity::with_vnodes(0);
+    }
+}

@@ -73,6 +73,7 @@ use crate::arrivals::{RequestSource, Workload};
 use crate::cost::CostModel;
 use crate::policy::{ActiveRequest, Fifo, QueuedRequest, SchedulingPolicy};
 use crate::request::{Request, RequestRecord};
+use crate::router::ReplicaTelemetry;
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,194 +207,325 @@ pub fn serve_with(
     config: &ServeConfig,
     policy: &mut dyn SchedulingPolicy,
 ) -> ServeReport {
-    assert!(config.max_batch >= 1, "max_batch must admit at least one");
     let mut source = RequestSource::new(workload);
-    let mut queue: Vec<QueuedRequest> = Vec::new();
-    let mut active: Vec<Slot> = Vec::new();
-    let mut clock = 0.0f64;
+    let mut core = Core::new(*config);
+    loop {
+        let next_arrival = source.next_arrival_s().unwrap_or(f64::INFINITY);
+        let next_event = core.next_event_s();
+        if !next_arrival.is_finite() && !next_event.is_finite() {
+            break;
+        }
+        // Arrivals win ties so the admission phase at any clock value
+        // sees every request that has arrived by then.
+        if next_arrival <= next_event {
+            let req = source.pop_ready(next_arrival).expect("arrival is due");
+            core.enqueue(req);
+        } else {
+            core.step(cost, policy, &mut source);
+        }
+    }
+    debug_assert!(source.exhausted());
+    core.into_report()
+}
+
+/// The resumable scheduler state machine behind [`serve_with`] and the
+/// fleet layer ([`crate::Fleet`]).
+///
+/// One `Core` is one replica: it owns the queue, the serving batch and
+/// its own clock, but *not* the request stream — arrivals are pushed in
+/// from outside via [`Core::enqueue`], which is what lets a fleet
+/// driver interleave N cores in global event order and route each
+/// arrival on live telemetry. [`Core::step`] performs exactly one
+/// scheduling event (one admission phase followed by one decode
+/// iteration or one clock jump), so a single-core event loop replays
+/// the pre-fleet scheduler bit-for-bit: the golden policy-sweep
+/// snapshots pin that equivalence.
+pub(crate) struct Core {
+    config: ServeConfig,
+    queue: Vec<QueuedRequest>,
+    active: Vec<Slot>,
+    clock: f64,
     // Trace tapes may start long after t = 0; the makespan (and every
     // rate derived from it) is anchored at the first arrival.
-    let mut first_arrival_s = f64::INFINITY;
-    let mut last_finish_s = f64::NEG_INFINITY;
-    let mut report = ServeReport {
-        records: Vec::new(),
-        rejected: 0,
-        rejected_requests: Vec::new(),
-        preemptions: 0,
-        makespan_s: 0.0,
-        decode_busy_s: 0.0,
-        prefill_busy_s: 0.0,
-        decode_iterations: 0,
-        peak_batch: 0,
-        peak_reserved_tokens: 0,
-    };
+    first_arrival_s: f64,
+    last_finish_s: f64,
+    /// Set when a step made no progress (a policy refusing to select
+    /// from a non-empty queue — a contract violation). A stalled core
+    /// reports no further events rather than spinning the driver.
+    stalled: bool,
+    report: ServeReport,
+}
 
-    loop {
-        // Pull every request that has arrived by now into the queue.
-        while let Some(r) = source.pop_ready(clock) {
-            first_arrival_s = first_arrival_s.min(r.arrival_s);
-            queue.push(QueuedRequest::fresh(r));
+impl Core {
+    /// A fresh, idle core at clock zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` is zero.
+    pub(crate) fn new(config: ServeConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must admit at least one");
+        Self {
+            config,
+            queue: Vec::new(),
+            active: Vec::new(),
+            clock: 0.0,
+            first_arrival_s: f64::INFINITY,
+            last_finish_s: f64::NEG_INFINITY,
+            stalled: false,
+            report: ServeReport {
+                records: Vec::new(),
+                rejected: 0,
+                rejected_requests: Vec::new(),
+                preemptions: 0,
+                makespan_s: 0.0,
+                decode_busy_s: 0.0,
+                prefill_busy_s: 0.0,
+                decode_iterations: 0,
+                peak_batch: 0,
+                peak_reserved_tokens: 0,
+            },
         }
+    }
 
+    /// Hands an arrived request to this core. The clock advances to the
+    /// arrival time if the core was idle before it (mirroring the
+    /// pre-fleet scheduler's jump-to-next-arrival).
+    pub(crate) fn enqueue(&mut self, req: Request) {
+        self.first_arrival_s = self.first_arrival_s.min(req.arrival_s);
+        self.clock = self.clock.max(req.arrival_s);
+        self.stalled = false;
+        self.queue.push(QueuedRequest::fresh(req));
+    }
+
+    /// When this core next wants to run: now (its clock) while it has
+    /// queued or decodable work, the earliest prefill completion while
+    /// everything admitted is still prefilling, infinity when idle.
+    pub(crate) fn next_event_s(&self) -> f64 {
+        if self.stalled {
+            return f64::INFINITY;
+        }
+        if self.active.iter().any(|s| s.ready_at <= self.clock) || !self.queue.is_empty() {
+            return self.clock;
+        }
+        self.active
+            .iter()
+            .map(|s| s.ready_at)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// What the core publishes to a fleet router: queue depth, KV
+    /// occupancy and outstanding work — never the sampled lengths of
+    /// individual requests or the machine's internals.
+    pub(crate) fn telemetry(&self, kv_capacity_tokens: u64) -> ReplicaTelemetry {
+        let in_flight = |q: &QueuedRequest| u64::from(q.req.output_len.saturating_sub(q.generated));
+        ReplicaTelemetry {
+            queue_depth: self.queue.len() as u32,
+            active_requests: self.active.len() as u32,
+            reserved_tokens: self.active.iter().map(|s| s.q.req.reserved_tokens()).sum(),
+            queued_tokens: self.queue.iter().map(|q| q.req.reserved_tokens()).sum(),
+            kv_capacity_tokens,
+            in_flight_tokens: self.active.iter().map(|s| in_flight(&s.q)).sum::<u64>()
+                + self.queue.iter().map(in_flight).sum::<u64>(),
+        }
+    }
+
+    /// Runs one scheduling event: one admission phase, then either one
+    /// decode iteration or a clock jump to the next prefill completion.
+    /// An empty-queue core never jumps past the source's next arrival —
+    /// read *after* the admission phase, because a rejection's
+    /// closed-loop follow-up may arrive sooner than anything that
+    /// existed when the step began — so admission happens *at* arrival
+    /// times, exactly as in the pre-fleet loop (a queued core jumps
+    /// unconditionally — its admissions wait on the machine, not on
+    /// arrivals). The source is also notified once per request whose
+    /// lifecycle ends here (completion or rejection), with the event
+    /// time — closed-loop clients hang off that.
+    pub(crate) fn step(
+        &mut self,
+        cost: &mut dyn CostModel,
+        policy: &mut dyn SchedulingPolicy,
+        source: &mut RequestSource,
+    ) {
+        let mut progressed = false;
         // Admission: the policy picks, the scheduler gates. Evictions
         // per phase are capped so a pathological policy cannot spin the
         // admission loop without the clock advancing in between.
         let mut evictions_this_phase = 0u32;
-        'admit: while !queue.is_empty() {
-            let Some(pick) = policy.select(&queue, clock) else {
+        'admit: while !self.queue.is_empty() {
+            let Some(pick) = policy.select(&self.queue, self.clock) else {
                 break;
             };
-            assert!(pick < queue.len(), "policy selected out of range");
-            let cand = queue[pick];
+            assert!(pick < self.queue.len(), "policy selected out of range");
+            let cand = self.queue[pick];
             if !cost.fits(cand.req.reserved_tokens()) {
                 // Too large even alone: drop it or the queue wedges.
-                queue.remove(pick);
-                report.rejected += 1;
-                report.rejected_requests.push(cand.req);
+                self.queue.remove(pick);
+                self.report.rejected += 1;
+                self.report.rejected_requests.push(cand.req);
+                progressed = true;
                 // A rejection terminates the request's lifecycle: the
                 // closed-loop client behind it moves on to its next
                 // request after its think time, exactly as if it had
                 // completed (otherwise the source never exhausts).
-                source.on_completion(clock);
+                source.on_completion(self.clock);
                 continue;
             }
             // Make room, preempting if the policy allows.
             loop {
-                let reserved: u64 = active.iter().map(|s| s.q.req.reserved_tokens()).sum();
-                if active.len() < config.max_batch as usize
+                let reserved: u64 = self.active.iter().map(|s| s.q.req.reserved_tokens()).sum();
+                if self.active.len() < self.config.max_batch as usize
                     && cost.fits(reserved + cand.req.reserved_tokens())
                 {
                     break;
                 }
-                if evictions_this_phase >= config.max_batch {
+                if evictions_this_phase >= self.config.max_batch {
                     break 'admit;
                 }
-                let views: Vec<ActiveRequest> = active
+                let views: Vec<ActiveRequest> = self
+                    .active
                     .iter()
                     .map(|s| ActiveRequest {
                         req: s.q.req,
                         generated: s.q.generated,
-                        ready: s.ready_at <= clock,
+                        ready: s.ready_at <= self.clock,
                     })
                     .collect();
-                let Some(victim) = policy.preempt_victim(&views, &cand, clock) else {
+                let Some(victim) = policy.preempt_victim(&views, &cand, self.clock) else {
                     break 'admit;
                 };
-                assert!(victim < active.len(), "policy evicted out of range");
-                let evicted = active.remove(victim);
+                assert!(victim < self.active.len(), "policy evicted out of range");
+                let evicted = self.active.remove(victim);
                 evictions_this_phase += 1;
-                report.preemptions += 1;
-                queue.push(QueuedRequest {
+                self.report.preemptions += 1;
+                progressed = true;
+                self.queue.push(QueuedRequest {
                     preemptions: evicted.q.preemptions + 1,
                     ..evicted.q
                 });
             }
             // Preemption only appends to the queue, so `pick` still
             // names the same request.
-            let mut q = queue.remove(pick);
+            let mut q = self.queue.remove(pick);
             debug_assert_eq!(q.req.id, cand.req.id);
+            progressed = true;
             // Resumed requests rebuild their KV with a fresh prefill of
             // everything they had (prompt + generated), vLLM
             // recompute-style.
             let prefill = cost.prefill_s(q.req.prompt_len.saturating_add(q.generated));
-            report.prefill_busy_s += prefill;
-            let ready_at = if config.collocated_prefill {
-                clock += prefill;
-                clock
+            self.report.prefill_busy_s += prefill;
+            let ready_at = if self.config.collocated_prefill {
+                self.clock += prefill;
+                self.clock
             } else {
-                clock + prefill
+                self.clock + prefill
             };
             if q.first_admit_s.is_none() {
-                q.first_admit_s = Some(clock);
+                q.first_admit_s = Some(self.clock);
             }
             let context = q.req.prompt_len.saturating_add(q.generated);
-            active.push(Slot {
+            self.active.push(Slot {
                 q,
                 ready_at,
                 context,
             });
-            let reserved: u64 = active.iter().map(|s| s.q.req.reserved_tokens()).sum();
-            report.peak_reserved_tokens = report.peak_reserved_tokens.max(reserved);
-            report.peak_batch = report.peak_batch.max(active.len() as u32);
+            let reserved: u64 = self.active.iter().map(|s| s.q.req.reserved_tokens()).sum();
+            self.report.peak_reserved_tokens = self.report.peak_reserved_tokens.max(reserved);
+            self.report.peak_batch = self.report.peak_batch.max(self.active.len() as u32);
         }
 
-        let decodable = active.iter().filter(|s| s.ready_at <= clock).count();
+        let decodable = self
+            .active
+            .iter()
+            .filter(|s| s.ready_at <= self.clock)
+            .count();
         if decodable == 0 {
-            // Nothing to decode: jump to the next prefill completion or
-            // arrival; if neither exists the workload is done.
-            let next_ready = active
+            // Nothing to decode: jump to the next prefill completion —
+            // unless the queue is empty and an arrival comes first, in
+            // which case the driver pushes it in and the clock advances
+            // to the arrival instead (via `enqueue`).
+            let next_ready = self
+                .active
                 .iter()
                 .map(|s| s.ready_at)
                 .fold(f64::INFINITY, f64::min);
-            let next_arrival = if queue.is_empty() {
-                source.next_arrival_s().unwrap_or(f64::INFINITY)
-            } else {
-                // Queued requests are waiting on batch/KV space held by
-                // prefilling slots; their turn comes at next_ready.
-                f64::INFINITY
-            };
-            let next = next_ready.min(next_arrival);
-            if next.is_finite() {
-                clock = clock.max(next);
-                continue;
+            // The cap is read here, not at step entry: a rejection
+            // above may have prompted a closed-loop client to issue a
+            // request sooner than any arrival that existed before.
+            let arrival_cap = source.next_arrival_s().unwrap_or(f64::INFINITY);
+            if next_ready.is_finite() && (!self.queue.is_empty() || next_ready <= arrival_cap) {
+                debug_assert!(next_ready > self.clock, "unready slot at or before clock");
+                self.clock = self.clock.max(next_ready);
+            } else if !progressed && next_ready.is_infinite() {
+                debug_assert!(
+                    self.queue.is_empty(),
+                    "policy stranded a non-empty queue (select returned None)"
+                );
+                self.stalled = !self.queue.is_empty();
             }
-            debug_assert!(active.is_empty() && queue.is_empty() && source.exhausted());
-            break;
+            return;
         }
 
         // One decode iteration: one token for every ready request.
         let batch = decodable as u32;
-        let max_context = active
+        let max_context = self
+            .active
             .iter()
-            .filter(|s| s.ready_at <= clock)
+            .filter(|s| s.ready_at <= self.clock)
             .map(|s| s.context)
             .max()
             .expect("decodable > 0");
-        let dt = cost.decode_step_s(batch, config.bucket(max_context));
+        let dt = cost.decode_step_s(batch, self.config.bucket(max_context));
         debug_assert!(dt > 0.0, "decode iterations must take time");
-        let iter_start = clock;
-        clock += dt;
-        report.decode_busy_s += dt;
-        report.decode_iterations += 1;
+        let iter_start = self.clock;
+        self.clock += dt;
+        self.report.decode_busy_s += dt;
+        self.report.decode_iterations += 1;
 
         let mut i = 0;
-        while i < active.len() {
-            if active[i].ready_at > iter_start {
+        while i < self.active.len() {
+            if self.active[i].ready_at > iter_start {
                 i += 1;
                 continue;
             }
-            let slot = &mut active[i];
+            let slot = &mut self.active[i];
             slot.q.generated += 1;
             slot.context += 1;
             if slot.q.first_token_s.is_none() {
-                slot.q.first_token_s = Some(clock);
+                slot.q.first_token_s = Some(self.clock);
             }
             if slot.q.generated >= slot.q.req.output_len {
-                let done = active.swap_remove(i);
-                report.records.push(RequestRecord {
+                let done = self.active.swap_remove(i);
+                self.report.records.push(RequestRecord {
                     id: done.q.req.id,
                     arrival_s: done.q.req.arrival_s,
                     admit_s: done.q.first_admit_s.expect("admitted at least once"),
                     first_token_s: done.q.first_token_s.expect("at least one token"),
-                    finish_s: clock,
+                    finish_s: self.clock,
                     prompt_len: done.q.req.prompt_len,
                     output_len: done.q.req.output_len,
                     tenant: done.q.req.tenant,
                     class: done.q.req.class,
                     preemptions: done.q.preemptions,
                 });
-                source.on_completion(clock);
+                source.on_completion(self.clock);
             } else {
                 i += 1;
             }
         }
-        last_finish_s = last_finish_s.max(clock);
+        self.last_finish_s = self.last_finish_s.max(self.clock);
     }
 
-    if last_finish_s.is_finite() && first_arrival_s.is_finite() {
-        report.makespan_s = (last_finish_s - first_arrival_s).max(0.0);
+    /// Finalises the run: computes the makespan and yields the report.
+    pub(crate) fn into_report(mut self) -> ServeReport {
+        debug_assert!(
+            self.stalled || (self.queue.is_empty() && self.active.is_empty()),
+            "report taken with work still in flight"
+        );
+        if self.last_finish_s.is_finite() && self.first_arrival_s.is_finite() {
+            self.report.makespan_s = (self.last_finish_s - self.first_arrival_s).max(0.0);
+        }
+        self.report
     }
-    report
 }
 
 #[cfg(test)]

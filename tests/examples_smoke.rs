@@ -7,6 +7,7 @@
 use std::process::Command;
 
 const EXAMPLES: &[&str] = &[
+    "fleet_capacity",
     "pipeline_trace",
     "policy_compare",
     "quickstart",

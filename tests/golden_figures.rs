@@ -15,6 +15,7 @@
 //! git diff tests/golden/   # review the drift before committing
 //! ```
 
+use rpu::core::experiments::fleet_sweep::{self, RouterKind};
 use rpu::core::experiments::policy_sweep::{self, PolicyKind};
 use rpu::core::experiments::{fig09_pareto, fig11_scaling, fig12_energy_cost};
 use std::collections::BTreeMap;
@@ -180,6 +181,73 @@ fn policy_sweep_headlines() {
                 s.interactive_p99_ttft(PolicyKind::Priority, top),
             ),
             ("edf_total_preemptions", f64::from(edf_preemptions)),
+        ],
+    );
+}
+
+#[test]
+fn fleet_sweep_headlines() {
+    // Pins the capacity-planning curve: the minimum replica count each
+    // router needs per offered load (summed across rungs as a compact
+    // curve fingerprint, plus the top rung explicitly), the top-rung
+    // tail latencies and the headline replica savings of informed
+    // routing over round-robin.
+    let s = fleet_sweep::run();
+    let top = *fleet_sweep::RATE_SWEEP.last().expect("non-empty sweep");
+    let curve_sum = |k: RouterKind| {
+        fleet_sweep::RATE_SWEEP
+            .iter()
+            .map(|&r| f64::from(s.replicas_needed(k, r)))
+            .sum::<f64>()
+    };
+    check(
+        "fleet_sweep.txt",
+        &[
+            (
+                "rr_replicas_top",
+                f64::from(s.replicas_needed(RouterKind::RoundRobin, top)),
+            ),
+            (
+                "jsq_replicas_top",
+                f64::from(s.replicas_needed(RouterKind::Jsq, top)),
+            ),
+            (
+                "least_kv_replicas_top",
+                f64::from(s.replicas_needed(RouterKind::LeastKv, top)),
+            ),
+            (
+                "affinity_replicas_top",
+                f64::from(s.replicas_needed(RouterKind::Affinity, top)),
+            ),
+            ("rr_curve_sum", curve_sum(RouterKind::RoundRobin)),
+            ("jsq_curve_sum", curve_sum(RouterKind::Jsq)),
+            ("least_kv_curve_sum", curve_sum(RouterKind::LeastKv)),
+            ("affinity_curve_sum", curve_sum(RouterKind::Affinity)),
+            ("top_rung_savings", s.top_rung_savings() as f64),
+            (
+                "rr_p99_ttft_top_s",
+                s.points
+                    .last()
+                    .expect("points")
+                    .router(RouterKind::RoundRobin)
+                    .p99_ttft_s,
+            ),
+            (
+                "jsq_p99_ttft_top_s",
+                s.points
+                    .last()
+                    .expect("points")
+                    .router(RouterKind::Jsq)
+                    .p99_ttft_s,
+            ),
+            (
+                "jsq_imbalance_top",
+                s.points
+                    .last()
+                    .expect("points")
+                    .router(RouterKind::Jsq)
+                    .imbalance,
+            ),
         ],
     );
 }
