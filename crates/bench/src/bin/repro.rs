@@ -1,153 +1,150 @@
 //! `repro` — regenerates every table and figure of the paper's
-//! evaluation as text tables.
+//! evaluation as a thin driver over the `rpu_core::experiments`
+//! registry.
 //!
 //! ```text
-//! repro              # run everything
-//! repro fig1 fig9    # run selected figures
-//! repro --list       # list available targets
+//! repro                       # run everything, aligned text to stdout
+//! repro fig1 fig9             # run selected targets
+//! repro --jobs 8              # experiments AND grid points in parallel
+//! repro --format json         # one JSON array of experiment objects
+//! repro --format csv          # #-titled CSV blocks
+//! repro --out results/        # one file per target instead of stdout
+//! repro --list                # list available targets
 //! ```
+//!
+//! Output is deterministic at every `--jobs` count: the engine
+//! index-stamps grid results, so `--jobs 8` emits bytes identical to
+//! `--jobs 1` (pinned by the goldens under `tests/golden/repro/`).
 
-use rpu_core::experiments as exp;
+use rpu_core::engine::Engine;
+use rpu_core::experiments::{self as exp, Experiment, Format};
 use std::process::ExitCode;
 
-struct Target {
-    name: &'static str,
-    about: &'static str,
-    run: fn(),
+struct Options {
+    jobs: usize,
+    format: Format,
+    out: Option<std::path::PathBuf>,
+    targets: Vec<&'static dyn Experiment>,
 }
 
-fn print_tables(tables: &[rpu_util::table::Table]) {
-    for t in tables {
-        println!("{t}");
-        println!();
+fn usage() {
+    println!(
+        "usage: repro [--list] [--jobs N] [--format text|json|csv] [--out DIR] [target ...]\n"
+    );
+    println!("Regenerates the paper's tables and figures. With no targets,");
+    println!("runs every target in order. --jobs runs experiments and their");
+    println!("grid points in parallel without changing a byte of output;");
+    println!("--out writes one file per target instead of stdout.");
+}
+
+fn parse(args: &[String]) -> Result<Option<Options>, String> {
+    let mut jobs = 1usize;
+    let mut format = Format::Text;
+    let mut out = None;
+    let mut targets = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" | "-l" => {
+                for t in exp::registry() {
+                    println!("{:14} {}", t.name(), t.about());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("bad --jobs value `{v}` (want a positive integer)"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                format = v.parse()?;
+            }
+            "--out" | "-o" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                out = Some(std::path::PathBuf::from(v));
+            }
+            name => {
+                let t = exp::find(name).ok_or(format!("unknown target `{name}` (try --list)"))?;
+                targets.push(t);
+            }
+        }
     }
+    if targets.is_empty() {
+        targets = exp::registry();
+    }
+    Ok(Some(Options {
+        jobs,
+        format,
+        out,
+        targets,
+    }))
 }
-
-const TARGETS: &[Target] = &[
-    Target {
-        name: "fig1",
-        about: "rooflines: H100 vs RPU at ISO-TDP; AI vs batch",
-        run: || print_tables(&exp::fig01_roofline::run().tables()),
-    },
-    Target {
-        name: "fig2",
-        about: "H100 power trace and VMM bandwidth utilisation",
-        run: || print_tables(&exp::fig02_h100_profile::run().tables()),
-    },
-    Target {
-        name: "fig3",
-        about: "H100 kernel power and energy per FLOP vs batch",
-        run: || println!("{}\n", exp::fig03_kernel_power::run().table()),
-    },
-    Target {
-        name: "fig4",
-        about: "memory technology landscape (Goldilocks gap)",
-        run: || println!("{}\n", exp::fig04_landscape::run().table()),
-    },
-    Target {
-        name: "fig5",
-        about: "HBM-CO design space: cost/GB and energy/bit",
-        run: || print_tables(&exp::fig05_hbmco_tradeoffs::run().tables()),
-    },
-    Target {
-        name: "fig8",
-        about: "one-CU pipeline timelines, BS=1 vs BS=32",
-        run: || print_tables(&exp::fig08_pipeline_trace::run().tables()),
-    },
-    Target {
-        name: "fig9",
-        about: "HBM-CO Pareto frontier for Llama3-405B, 64 CUs",
-        run: || println!("{}\n", exp::fig09_pareto::run().table()),
-    },
-    Target {
-        name: "fig10",
-        about: "SKU selection map and slowdown matrix (Maverick)",
-        run: || print_tables(&exp::fig10_sku_map::run().tables()),
-    },
-    Target {
-        name: "fig11",
-        about: "strong scaling vs H100 ISO-TDP; batched throughput",
-        run: || print_tables(&exp::fig11_scaling::run().tables()),
-    },
-    Target {
-        name: "fig12",
-        about: "energy per inference and system cost vs CU count",
-        run: || print_tables(&exp::fig12_energy_cost::run().tables()),
-    },
-    Target {
-        name: "fig13",
-        about: "speedup and energy vs H100 across batch sizes",
-        run: || println!("{}\n", exp::fig13_batch_sweep::run().table()),
-    },
-    Target {
-        name: "fig14",
-        about: "platform comparison under speculative decoding",
-        run: || println!("{}\n", exp::fig14_platforms::run().table()),
-    },
-    Target {
-        name: "ablations",
-        about: "section IX decomposed contributions",
-        run: || println!("{}\n", exp::ablations::run().table()),
-    },
-    Target {
-        name: "design-points",
-        about: "section VIII edge/datacenter/peak design points",
-        run: || println!("{}\n", exp::design_points::run().table()),
-    },
-    Target {
-        name: "ext-scaleout",
-        about: "extension: two-level ring vs flat-ring plateau",
-        run: || println!("{}\n", exp::ext_scaleout::run().table()),
-    },
-    Target {
-        name: "serving",
-        about: "request-level SLO sweep over offered load (rpu-serve)",
-        run: || println!("{}\n", exp::serving_sweep::run().table()),
-    },
-    Target {
-        name: "policy",
-        about: "scheduling policies vs offered load, two SLO classes",
-        run: || println!("{}\n", exp::policy_sweep::run().table()),
-    },
-    Target {
-        name: "fleet",
-        about: "capacity planning: replicas to hold the SLO, per router",
-        run: || println!("{}\n", exp::fleet_sweep::run().table()),
-    },
-];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list" || a == "-l") {
-        for t in TARGETS {
-            println!("{:14} {}", t.name, t.about);
+    let opts = match parse(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-        return ExitCode::SUCCESS;
-    }
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: repro [--list] [target ...]\n");
-        println!("Regenerates the paper's tables and figures. With no arguments,");
-        println!("runs every target in order.");
-        return ExitCode::SUCCESS;
-    }
-    let selected: Vec<&Target> = if args.is_empty() {
-        TARGETS.iter().collect()
-    } else {
-        let mut sel = Vec::new();
-        for a in &args {
-            match TARGETS.iter().find(|t| t.name == a.as_str()) {
-                Some(t) => sel.push(t),
-                None => {
-                    eprintln!("unknown target `{a}` (try --list)");
-                    return ExitCode::FAILURE;
-                }
+    };
+
+    // The job budget is split across the two levels so the worker
+    // count never exceeds --jobs: the outer engine fans experiments
+    // out, and each experiment's inner engine gets the remaining
+    // budget (all of it when a single target is selected). Rendering
+    // happens after the runs, in registry order, so parallelism never
+    // reorders output — and the output bytes are engine-independent
+    // anyway.
+    let outer = Engine::new(opts.jobs.min(opts.targets.len()));
+    let inner = Engine::new(opts.jobs / outer.jobs().max(1));
+    let rendered: Vec<String> = outer.par_map(&opts.targets, |_, t| {
+        exp::render(*t, &t.run(&inner), opts.format)
+    });
+
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (t, body) in opts.targets.iter().zip(&rendered) {
+            let path = dir.join(format!("{}.{}", t.name(), opts.format.extension()));
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
             }
         }
-        sel
-    };
-    for t in selected {
-        println!("==== {} — {}\n", t.name, t.about);
-        (t.run)();
+        eprintln!(
+            "wrote {} target{} to {}",
+            rendered.len(),
+            if rendered.len() == 1 { "" } else { "s" },
+            dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match opts.format {
+        Format::Text | Format::Csv => {
+            for body in &rendered {
+                print!("{body}");
+            }
+        }
+        // One valid JSON document per invocation: an array of
+        // experiment objects.
+        Format::Json => {
+            println!("[{}]", rendered.join(","));
+        }
     }
     ExitCode::SUCCESS
 }

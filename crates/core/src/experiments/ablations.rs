@@ -11,12 +11,13 @@
 //!    stream-decode off (SRAM-interface energy).
 
 use crate::dse::optimal_memory;
+use crate::engine::Engine;
 use crate::{system_cost, CostModel, RpuSystem};
 use rpu_arch::{cu_mem_power, cu_tdp, iso_tdp_cus, EnergyCoeffs, RpuConfig};
 use rpu_hbmco::HbmCoConfig;
 use rpu_models::{ModelConfig, Precision};
 use rpu_sim::SimConfig;
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// Contribution-1 ablation results (HBM-CO vs HBM3e-class memory).
 #[derive(Debug, Clone, Copy)]
@@ -149,17 +150,10 @@ fn provisioning_ablation() -> ProvisioningAblation {
     }
 }
 
-fn decoupling_ablation() -> DecouplingAblation {
+fn decoupling_ablation(engine: &Engine) -> DecouplingAblation {
     let model = ModelConfig::llama3_8b();
     let prec = Precision::mxfp4_inference();
     let cus = 64;
-
-    let run = |batch: u32, seq: u32, cfg: SimConfig| {
-        let mut sys =
-            RpuSystem::with_optimal_memory(&model, prec, batch, seq, cus).expect("8B fits");
-        sys.sim_config = cfg;
-        sys.decode_step(&model, batch, seq).expect("sim")
-    };
 
     let base = SimConfig::default();
     let coupled = SimConfig {
@@ -175,12 +169,25 @@ fn decoupling_ablation() -> DecouplingAblation {
         ..base
     };
 
-    let bs1 = run(1, 16 * 1024, base);
-    let bs1_coupled = run(1, 16 * 1024, coupled);
-    let bs1_global = run(1, 16 * 1024, global);
-    let bs32 = run(32, 8 * 1024, base);
-    let bs32_coupled = run(32, 8 * 1024, coupled);
-    let bs1_nodecode = run(1, 16 * 1024, no_decode);
+    // The six simulator runs are independent: one engine grid point
+    // each.
+    let runs = [
+        (1u32, 16 * 1024u32, base),
+        (1, 16 * 1024, coupled),
+        (1, 16 * 1024, global),
+        (32, 8 * 1024, base),
+        (32, 8 * 1024, coupled),
+        (1, 16 * 1024, no_decode),
+    ];
+    let reports = engine.par_map(&runs, |_, &(batch, seq, cfg)| {
+        let mut sys =
+            RpuSystem::with_optimal_memory(&model, prec, batch, seq, cus).expect("8B fits");
+        sys.sim_config = cfg;
+        sys.decode_step(&model, batch, seq).expect("sim")
+    });
+    let [bs1, bs1_coupled, bs1_global, bs32, bs32_coupled, bs1_nodecode] = &reports[..] else {
+        unreachable!("par_map returns one report per run");
+    };
 
     DecouplingAblation {
         coupled_bs1_slowdown: bs1_coupled.total_time_s / bs1.total_time_s,
@@ -190,13 +197,41 @@ fn decoupling_ablation() -> DecouplingAblation {
     }
 }
 
-/// Runs all §IX ablations.
+/// One ablation pillar's result, for fanning the three out as engine
+/// grid points.
+enum Pillar {
+    Memory(MemoryAblation),
+    Provisioning(ProvisioningAblation),
+    Decoupling(DecouplingAblation),
+}
+
+/// Runs all §IX ablations sequentially.
 #[must_use]
 pub fn run() -> Ablations {
+    run_with(&Engine::sequential())
+}
+
+/// Runs all §IX ablations, the three pillars (and the decoupling
+/// pillar's six simulator runs) as engine grid points.
+#[must_use]
+pub fn run_with(engine: &Engine) -> Ablations {
+    let pillars = engine.par_map(&[0usize, 1, 2], |_, &i| match i {
+        0 => Pillar::Memory(memory_ablation()),
+        1 => Pillar::Provisioning(provisioning_ablation()),
+        _ => Pillar::Decoupling(decoupling_ablation(engine)),
+    });
+    let (mut memory, mut provisioning, mut decoupling) = (None, None, None);
+    for p in pillars {
+        match p {
+            Pillar::Memory(m) => memory = Some(m),
+            Pillar::Provisioning(p) => provisioning = Some(p),
+            Pillar::Decoupling(d) => decoupling = Some(d),
+        }
+    }
     Ablations {
-        memory: memory_ablation(),
-        provisioning: provisioning_ablation(),
-        decoupling: decoupling_ablation(),
+        memory: memory.expect("memory pillar ran"),
+        provisioning: provisioning.expect("provisioning pillar ran"),
+        decoupling: decoupling.expect("decoupling pillar ran"),
     }
 }
 
@@ -209,67 +244,67 @@ impl Ablations {
             &["ablation", "metric", "measured", "paper"],
         );
         let m = &self.memory;
-        t.row(&[
-            "HBM-CO vs HBM3e".into(),
-            "energy/inf".into(),
-            num(m.energy_ratio, 2),
-            "2.2x".into(),
+        t.push_row(vec![
+            Cell::str("HBM-CO vs HBM3e"),
+            Cell::str("energy/inf"),
+            Cell::num(m.energy_ratio, 2),
+            Cell::str("2.2x"),
         ]);
-        t.row(&[
-            "HBM-CO vs HBM3e".into(),
-            "system cost".into(),
-            num(m.cost_ratio, 2),
-            "12.4x".into(),
+        t.push_row(vec![
+            Cell::str("HBM-CO vs HBM3e"),
+            Cell::str("system cost"),
+            Cell::num(m.cost_ratio, 2),
+            Cell::str("12.4x"),
         ]);
-        t.row(&[
-            "HBM-CO vs HBM3e".into(),
-            "ISO-TDP latency".into(),
-            num(m.iso_tdp_latency_ratio, 2),
-            "2.1x".into(),
+        t.push_row(vec![
+            Cell::str("HBM-CO vs HBM3e"),
+            Cell::str("ISO-TDP latency"),
+            Cell::num(m.iso_tdp_latency_ratio, 2),
+            Cell::str("2.1x"),
         ]);
         let p = &self.provisioning;
-        t.row(&[
-            "provisioning".into(),
-            "die cost".into(),
-            num(p.die_cost_ratio, 2),
-            "3.3x".into(),
+        t.push_row(vec![
+            Cell::str("provisioning"),
+            Cell::str("die cost"),
+            Cell::num(p.die_cost_ratio, 2),
+            Cell::str("3.3x"),
         ]);
-        t.row(&[
-            "provisioning".into(),
-            "TDP util".into(),
-            num(p.tdp_util_ratio, 2),
-            "2.6x".into(),
+        t.push_row(vec![
+            Cell::str("provisioning"),
+            Cell::str("TDP util"),
+            Cell::num(p.tdp_util_ratio, 2),
+            Cell::str("2.6x"),
         ]);
-        t.row(&[
-            "provisioning".into(),
-            "ISO-TDP latency".into(),
-            num(p.iso_tdp_latency_ratio, 2),
-            "2.2x".into(),
+        t.push_row(vec![
+            Cell::str("provisioning"),
+            Cell::str("ISO-TDP latency"),
+            Cell::num(p.iso_tdp_latency_ratio, 2),
+            Cell::str("2.2x"),
         ]);
         let d = &self.decoupling;
-        t.row(&[
-            "decoupling".into(),
-            "BS=1 coupled".into(),
-            num(d.coupled_bs1_slowdown, 2),
-            "1.2x".into(),
+        t.push_row(vec![
+            Cell::str("decoupling"),
+            Cell::str("BS=1 coupled"),
+            Cell::num(d.coupled_bs1_slowdown, 2),
+            Cell::str("1.2x"),
         ]);
-        t.row(&[
-            "decoupling".into(),
-            "BS=32 coupled".into(),
-            num(d.coupled_bs32_slowdown, 2),
-            "1.6x".into(),
+        t.push_row(vec![
+            Cell::str("decoupling"),
+            Cell::str("BS=32 coupled"),
+            Cell::num(d.coupled_bs32_slowdown, 2),
+            Cell::str("1.6x"),
         ]);
-        t.row(&[
-            "decoupling".into(),
-            "global sync".into(),
-            num(d.global_sync_slowdown, 2),
-            "2.0x".into(),
+        t.push_row(vec![
+            Cell::str("decoupling"),
+            Cell::str("global sync"),
+            Cell::num(d.global_sync_slowdown, 2),
+            Cell::str("2.0x"),
         ]);
-        t.row(&[
-            "decoupling".into(),
-            "SRAM energy".into(),
-            num(d.sram_energy_ratio, 2),
-            "1.7x".into(),
+        t.push_row(vec![
+            Cell::str("decoupling"),
+            Cell::str("SRAM energy"),
+            Cell::num(d.sram_energy_ratio, 2),
+            Cell::str("1.7x"),
         ]);
         t
     }
@@ -322,7 +357,7 @@ mod tests {
 
     #[test]
     fn coupling_pipelines_hurts() {
-        let d = decoupling_ablation();
+        let d = decoupling_ablation(&Engine::sequential());
         assert!(
             d.coupled_bs1_slowdown > 1.02 && d.coupled_bs1_slowdown < 1.6,
             "BS=1 {}",
@@ -337,7 +372,7 @@ mod tests {
 
     #[test]
     fn global_sync_hurts_more_than_coupling_at_bs1() {
-        let d = decoupling_ablation();
+        let d = decoupling_ablation(&Engine::sequential());
         assert!(
             d.global_sync_slowdown > 1.1 && d.global_sync_slowdown < 2.5,
             "global {}",
@@ -348,7 +383,7 @@ mod tests {
 
     #[test]
     fn stream_decode_saves_sram_energy() {
-        let d = decoupling_ablation();
+        let d = decoupling_ablation(&Engine::sequential());
         // Paper reports 1.7x; our MXFP4 expansion factor (16-bit decoded
         // vs ~4.25-bit stored) lands slightly higher once memory-buffer
         // writes are included.

@@ -6,7 +6,7 @@ use crate::dse::optimal_memory;
 use crate::RpuSystem;
 use rpu_gpu::{GpuSpec, GpuSystem};
 use rpu_models::{DecodeWorkload, ModelConfig, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One named deployment.
 #[derive(Debug, Clone)]
@@ -146,24 +146,24 @@ impl DesignPoints {
             ],
         );
         for p in &self.points {
-            t.row(&[
-                p.label.clone(),
-                p.model.to_string(),
-                p.num_cus.to_string(),
-                num(p.tdp_w, 0),
-                num(p.bw_per_cap, 0),
-                num(p.ms_per_token, 2),
-                num(p.mem_bw_tb_s, 1),
+            t.push_row(vec![
+                Cell::str(p.label.clone()),
+                Cell::str(p.model),
+                Cell::int(i64::from(p.num_cus)),
+                Cell::num(p.tdp_w, 0),
+                Cell::num(p.bw_per_cap, 0),
+                Cell::num(p.ms_per_token, 2),
+                Cell::num(p.mem_bw_tb_s, 1),
             ]);
         }
-        t.row(&[
-            "EDP vs 4xH100 (405B)".into(),
-            format!("{:.0}x", self.edp_improvement_405b),
-            String::new(),
-            String::new(),
-            String::new(),
-            String::new(),
-            String::new(),
+        t.push_row(vec![
+            Cell::str("EDP vs 4xH100 (405B)"),
+            Cell::str(format!("{:.0}x", self.edp_improvement_405b)),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
         ]);
         t
     }

@@ -10,7 +10,7 @@
 use crate::RpuSystem;
 use rpu_models::{ModelConfig, Precision};
 use rpu_sim::SimConfig;
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One scale point comparing flat and hierarchical rings.
 #[derive(Debug, Clone, Copy)]
@@ -83,11 +83,11 @@ impl ExtScaleout {
             &["CUs", "flat ms/tok", "two-level ms/tok", "gain"],
         );
         for p in &self.points {
-            t.row(&[
-                p.num_cus.to_string(),
-                num(p.flat_s * 1e3, 3),
-                num(p.two_level_s * 1e3, 3),
-                format!("{:.2}x", p.gain()),
+            t.push_row(vec![
+                Cell::int(i64::from(p.num_cus)),
+                Cell::num(p.flat_s * 1e3, 3),
+                Cell::num(p.two_level_s * 1e3, 3),
+                Cell::str(format!("{:.2}x", p.gain())),
             ]);
         }
         t

@@ -6,7 +6,7 @@ use rpu_arch::{Roofline, RpuConfig};
 use rpu_gpu::GpuSpec;
 use rpu_hbmco::HbmCoConfig;
 use rpu_models::{DecodeWorkload, Kernel, KernelClass, KernelKind, ModelConfig, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// A kernel point on the roofline: intensity and attainable throughput.
 #[derive(Debug, Clone)]
@@ -126,24 +126,24 @@ impl Fig01 {
                 "H100 (TFLOP/s)",
             ],
         );
-        t1.row(&[
-            "RPU ridge".into(),
-            num(self.rpu.ridge_ai(), 1),
-            num(self.rpu.peak_flops / 1e12, 1),
-            String::new(),
+        t1.push_row(vec![
+            Cell::str("RPU ridge"),
+            Cell::num(self.rpu.ridge_ai(), 1),
+            Cell::num(self.rpu.peak_flops / 1e12, 1),
+            Cell::str(""),
         ]);
-        t1.row(&[
-            "H100 ridge".into(),
-            num(self.h100.ridge_ai(), 1),
-            String::new(),
-            num(self.h100.peak_flops / 1e12, 1),
+        t1.push_row(vec![
+            Cell::str("H100 ridge"),
+            Cell::num(self.h100.ridge_ai(), 1),
+            Cell::str(""),
+            Cell::num(self.h100.peak_flops / 1e12, 1),
         ]);
         for p in &self.points {
-            t1.row(&[
-                p.label.clone(),
-                num(p.ai, 2),
-                num(p.rpu_flops / 1e12, 2),
-                num(p.h100_flops / 1e12, 2),
+            t1.push_row(vec![
+                Cell::str(p.label.clone()),
+                Cell::num(p.ai, 2),
+                Cell::num(p.rpu_flops / 1e12, 2),
+                Cell::num(p.h100_flops / 1e12, 2),
             ]);
         }
         let mut t2 = Table::new(
@@ -151,7 +151,11 @@ impl Fig01 {
             &["batch", "Dense Llama3-70B AI", "MoE Llama4-Maverick AI"],
         );
         for (b, d, m) in &self.ai_vs_batch {
-            t2.row(&[b.to_string(), num(*d, 2), num(*m, 2)]);
+            t2.push_row(vec![
+                Cell::int(i64::from(*b)),
+                Cell::num(*d, 2),
+                Cell::num(*m, 2),
+            ]);
         }
         vec![t1, t2]
     }

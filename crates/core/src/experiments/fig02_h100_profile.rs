@@ -8,7 +8,7 @@
 
 use rpu_gpu::{bw_utilization, GpuSpec, GpuSystem};
 use rpu_models::{DecodeWorkload, Kernel, KernelKind, ModelConfig, Precision, PrefillWorkload};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 use rpu_util::units::KIB;
 
 /// One VMM bandwidth-utilisation sample (right panel).
@@ -116,27 +116,27 @@ impl Fig02 {
             "Fig. 2 (left): H100 power trace, Llama3-70B FP8 BS=32 16k/2k (4xH100)",
             &["phase", "duration (s)", "avg power (W)", "utilisation"],
         );
-        t1.row(&[
-            "prefill".into(),
-            num(self.prefill_time_s, 2),
-            num(self.prefill_power_w, 1),
-            format!("{:.1}% comp", self.prefill_comp_util * 100.0),
+        t1.push_row(vec![
+            Cell::str("prefill"),
+            Cell::num(self.prefill_time_s, 2),
+            Cell::num(self.prefill_power_w, 1),
+            Cell::str(format!("{:.1}% comp", self.prefill_comp_util * 100.0)),
         ]);
-        t1.row(&[
-            "decode".into(),
-            num(self.decode_time_s, 2),
-            num(self.decode_power_w, 1),
-            format!("{:.1}% mem BW", self.decode_bw_util * 100.0),
+        t1.push_row(vec![
+            Cell::str("decode"),
+            Cell::num(self.decode_time_s, 2),
+            Cell::num(self.decode_power_w, 1),
+            Cell::str(format!("{:.1}% mem BW", self.decode_bw_util * 100.0)),
         ]);
         let mut t2 = Table::new(
             "Fig. 2 (right): H100 VMM memory-BW utilisation vs layer capacity",
             &["matrix", "capacity (KB)", "BW util"],
         );
         for p in &self.bw_points {
-            t2.row(&[
-                p.label.clone(),
-                num(p.capacity_bytes / KIB, 0),
-                num(p.bw_util, 3),
+            t2.push_row(vec![
+                Cell::str(p.label.clone()),
+                Cell::num(p.capacity_bytes / KIB, 0),
+                Cell::num(p.bw_util, 3),
             ]);
         }
         vec![t1, t2]

@@ -4,7 +4,7 @@
 
 use rpu_gpu::{gpu_power_w, GpuSpec, GpuSystem};
 use rpu_models::{Kernel, KernelKind, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One `(batch, N)` profile sample.
 #[derive(Debug, Clone, Copy)]
@@ -80,12 +80,12 @@ impl Fig03 {
             &["N", "batch", "time (us)", "power (W)", "pJ/FLOP"],
         );
         for s in &self.samples {
-            t.row(&[
-                s.n.to_string(),
-                s.batch.to_string(),
-                num(s.time_s * 1e6, 2),
-                num(s.power_w, 1),
-                num(s.pj_per_flop, 2),
+            t.push_row(vec![
+                Cell::int(i64::from(s.n)),
+                Cell::int(i64::from(s.batch)),
+                Cell::num(s.time_s * 1e6, 2),
+                Cell::num(s.power_w, 1),
+                Cell::num(s.pj_per_flop, 2),
             ]);
         }
         t

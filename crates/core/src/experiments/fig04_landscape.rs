@@ -4,7 +4,7 @@
 
 use rpu_hbmco::landscape::{commercial_landscape, in_goldilocks, MemoryTech};
 use rpu_hbmco::{pareto_frontier, HbmCoConfig};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One technology point on the landscape.
 #[derive(Debug, Clone)]
@@ -82,22 +82,21 @@ impl Fig04 {
             .iter()
             .chain(std::iter::once(&self.candidate))
         {
-            t.row(&[
-                p.name.clone(),
-                num(p.bw_per_cap, 1),
-                num(p.latency_per_token * 1e3, 3),
-                if p.goldilocks {
-                    "yes".into()
-                } else {
-                    "-".into()
-                },
+            t.push_row(vec![
+                Cell::str(p.name.clone()),
+                Cell::num(p.bw_per_cap, 1),
+                Cell::num(p.latency_per_token * 1e3, 3),
+                Cell::str(if p.goldilocks { "yes" } else { "-" }),
             ]);
         }
-        t.row(&[
-            "HBM-CO design space".into(),
-            format!("{:.0} - {:.0}", self.hbmco_span.0, self.hbmco_span.1),
-            String::new(),
-            "spans".into(),
+        t.push_row(vec![
+            Cell::str("HBM-CO design space"),
+            Cell::str(format!(
+                "{:.0} - {:.0}",
+                self.hbmco_span.0, self.hbmco_span.1
+            )),
+            Cell::str(""),
+            Cell::str("spans"),
         ]);
         t
     }

@@ -2,7 +2,7 @@
 //! and energy per bit versus BW/Cap across the full design space.
 
 use rpu_hbmco::{enumerate_design_space, DesignPoint, HbmCoConfig};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 use rpu_util::units::GIB;
 
 /// Results for Fig. 5.
@@ -50,30 +50,30 @@ impl Fig05 {
         // Subsample so the table stays readable while spanning the space.
         let step = (show.len() / 16).max(1);
         for p in show.iter().step_by(step) {
-            t1.row(&[
-                p.config.label(),
-                num(p.capacity_bytes / GIB, 2),
-                num(self.norm_cost_per_gb(p), 2),
+            t1.push_row(vec![
+                Cell::str(p.config.label()),
+                Cell::num(p.capacity_bytes / GIB, 2),
+                Cell::num(self.norm_cost_per_gb(p), 2),
             ]);
-            t2.row(&[
-                p.config.label(),
-                num(p.bw_per_cap, 0),
-                num(p.energy_pj_per_bit, 2),
+            t2.push_row(vec![
+                Cell::str(p.config.label()),
+                Cell::num(p.bw_per_cap, 0),
+                Cell::num(p.energy_pj_per_bit, 2),
             ]);
         }
         for (name, p) in [
             ("HBM3e anchor", &self.hbm3e),
             ("Candidate HBM-CO", &self.candidate),
         ] {
-            t1.row(&[
-                format!("{name} ({})", p.config.label()),
-                num(p.capacity_bytes / GIB, 2),
-                num(self.norm_cost_per_gb(p), 2),
+            t1.push_row(vec![
+                Cell::str(format!("{name} ({})", p.config.label())),
+                Cell::num(p.capacity_bytes / GIB, 2),
+                Cell::num(self.norm_cost_per_gb(p), 2),
             ]);
-            t2.row(&[
-                name.to_string(),
-                num(p.bw_per_cap, 0),
-                num(p.energy_pj_per_bit, 2),
+            t2.push_row(vec![
+                Cell::str(name),
+                Cell::num(p.bw_per_cap, 0),
+                Cell::num(p.energy_pj_per_bit, 2),
             ]);
         }
         vec![t1, t2]

@@ -5,7 +5,7 @@
 use crate::RpuSystem;
 use rpu_models::{ModelConfig, Precision};
 use rpu_sim::{SimConfig, SimReport};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One simulated scenario (a batch/seq-len pairing).
 #[derive(Debug, Clone)]
@@ -102,14 +102,14 @@ impl Fig08 {
         );
         for s in [&self.bs1, &self.bs32] {
             let (label, us, m, c, n, buf, p) = s.summary();
-            t.row(&[
-                label,
-                num(us, 1),
-                num(m, 2),
-                num(c, 2),
-                num(n, 2),
-                num(buf, 0),
-                num(p, 1),
+            t.push_row(vec![
+                Cell::str(label),
+                Cell::num(us, 1),
+                Cell::num(m, 2),
+                Cell::num(c, 2),
+                Cell::num(n, 2),
+                Cell::num(buf, 0),
+                Cell::num(p, 1),
             ]);
         }
         let mut tr = Table::new(
@@ -119,12 +119,12 @@ impl Fig08 {
         if let Some(trace) = &self.bs1.report.trace {
             let cores = 16.0;
             for i in (0..trace.mem_util.len().min(400)).step_by(40) {
-                tr.row(&[
-                    i.to_string(),
-                    num(trace.mem_util[i], 2),
-                    num(trace.comp_util[i], 2),
-                    num(trace.net_util[i], 2),
-                    num(trace.power_w[i] * cores, 1),
+                tr.push_row(vec![
+                    Cell::int(i as i64),
+                    Cell::num(trace.mem_util[i], 2),
+                    Cell::num(trace.comp_util[i], 2),
+                    Cell::num(trace.net_util[i], 2),
+                    Cell::num(trace.power_w[i] * cores, 1),
                 ]);
             }
         }

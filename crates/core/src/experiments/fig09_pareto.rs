@@ -6,7 +6,7 @@
 use crate::dse::required_bytes_per_core;
 use rpu_hbmco::{energy_per_bit, pareto_frontier, DesignPoint, HbmCoConfig};
 use rpu_models::{DecodeWorkload, ModelConfig, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 use rpu_util::units::GB;
 
 /// Fraction of inference energy that is *not* memory-device energy when
@@ -142,24 +142,24 @@ impl Fig09 {
             if i == self.optimal {
                 tag = " <- optimal".into();
             }
-            t.row(&[
-                e.point.config.label() + &tag,
-                num(e.system_capacity / GB, 0),
-                num(e.norm_energy, 3),
-                e.step.clone(),
-                if e.feasible {
-                    "yes".into()
+            t.push_row(vec![
+                Cell::str(e.point.config.label() + &tag),
+                Cell::num(e.system_capacity / GB, 0),
+                Cell::num(e.norm_energy, 3),
+                Cell::str(e.step.clone()),
+                Cell::str(if e.feasible {
+                    "yes"
                 } else {
-                    "capacity-limited".into()
-                },
+                    "capacity-limited"
+                }),
             ]);
         }
-        t.row(&[
-            "model capacity".into(),
-            num(self.model_capacity / GB, 0),
-            String::new(),
-            String::new(),
-            String::new(),
+        t.push_row(vec![
+            Cell::str("model capacity"),
+            Cell::num(self.model_capacity / GB, 0),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
         ]);
         t
     }

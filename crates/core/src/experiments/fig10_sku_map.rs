@@ -6,7 +6,7 @@
 use crate::dse::optimal_memory;
 use crate::RpuSystem;
 use rpu_models::{DecodeWorkload, ModelConfig, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 use rpu_util::units::GB;
 
 /// One (batch, seq-len) cell of the map.
@@ -133,19 +133,19 @@ impl Fig10 {
         );
         for c in &self.cells {
             let seq = format!("{}K", c.seq_len / 1024);
-            t1.row(&[
-                seq.clone(),
-                c.batch.to_string(),
-                c.bw_per_cap.map_or("-".into(), |v| num(v, 0)),
+            t1.push_row(vec![
+                Cell::str(seq.clone()),
+                Cell::int(i64::from(c.batch)),
+                c.bw_per_cap.map_or(Cell::str("-"), |v| Cell::num(v, 0)),
                 c.system_capacity
-                    .map_or("over capacity".into(), |v| num(v / GB, 0)),
+                    .map_or(Cell::str("over capacity"), |v| Cell::num(v / GB, 0)),
             ]);
-            t2.row(&[
-                seq,
-                c.batch.to_string(),
-                format!("{:.1}x", self.slowdown(c)),
-                format!("{:.0}%", c.kv_share * 100.0),
-                format!("{:.0}%", c.kv_capacity_share * 100.0),
+            t2.push_row(vec![
+                Cell::str(seq),
+                Cell::int(i64::from(c.batch)),
+                Cell::str(format!("{:.1}x", self.slowdown(c))),
+                Cell::str(format!("{:.0}%", c.kv_share * 100.0)),
+                Cell::str(format!("{:.0}%", c.kv_capacity_share * 100.0)),
             ]);
         }
         vec![t1, t2]

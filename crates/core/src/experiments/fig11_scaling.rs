@@ -3,11 +3,12 @@
 //! 8×H200 (bottom left), and memory-bandwidth utilisation versus batch
 //! size (bottom right).
 
+use crate::engine::{grid, Engine};
 use crate::RpuSystem;
 use rpu_arch::{iso_tdp_cus, EnergyCoeffs};
 use rpu_gpu::{GpuSpec, GpuSystem};
 use rpu_models::{DecodeWorkload, ModelConfig, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One point of the strong-scaling curve.
 #[derive(Debug, Clone)]
@@ -95,24 +96,43 @@ fn rpu_latency(
     sys.token_latency(model, batch, seq).ok()
 }
 
-/// Runs the full Fig. 11 study.
+/// Runs the full Fig. 11 study sequentially.
 #[must_use]
 pub fn run() -> Fig11 {
+    run_with(&Engine::sequential())
+}
+
+/// Runs the full Fig. 11 study, fanning the strong-scaling,
+/// ISO-TDP-marker and batched-throughput grids out through the engine.
+/// Every grid point deploys and simulates its own system, so the
+/// panels are embarrassingly parallel and bit-identical at any job
+/// count.
+#[must_use]
+pub fn run_with(engine: &Engine) -> Fig11 {
     let prec = Precision::mxfp4_inference();
     let seq = 8192;
 
+    // Top panel: one grid point per (model, CU count); the per-model
+    // speedup normalisation needs the whole curve, so it stays on the
+    // assembling thread.
+    let zoo = ModelConfig::zoo();
+    let scale_grid = grid(&zoo, &CU_SWEEP);
+    let latencies = engine.par_map(&scale_grid, |_, (model, cus)| {
+        rpu_latency(model, prec, *cus, 1, seq)
+    });
     let mut scaling = Vec::new();
-    for model in ModelConfig::zoo() {
-        let mut points = Vec::new();
-        for &cus in &CU_SWEEP {
-            if let Some(latency_s) = rpu_latency(&model, prec, cus, 1, seq) {
-                points.push(ScalePoint {
+    for (model, chunk) in zoo.iter().zip(latencies.chunks(CU_SWEEP.len())) {
+        let mut points: Vec<ScalePoint> = CU_SWEEP
+            .iter()
+            .zip(chunk)
+            .filter_map(|(&cus, latency)| {
+                latency.map(|latency_s| ScalePoint {
                     num_cus: cus,
                     latency_s,
                     speedup: 0.0,
-                });
-            }
-        }
+                })
+            })
+            .collect();
         if let Some(base) = points.first().map(|p| p.latency_s) {
             for p in &mut points {
                 p.speedup = base / p.latency_s;
@@ -125,15 +145,16 @@ pub fn run() -> Fig11 {
     }
 
     // ISO-TDP markers: the paper pairs (70B, 2xH100) and (405B, 4xH100),
-    // plus (8B, 1xH100).
+    // plus (8B, 1xH100). Each marker's grow-until-fit search is
+    // sequential inside its grid point.
     let gpu_prec = Precision::gpu_w4a16();
-    let coeffs = EnergyCoeffs::paper();
-    let mut markers = Vec::new();
-    for (model, num_gpus) in [
+    let pairs = [
         (ModelConfig::llama3_8b(), 1u32),
         (ModelConfig::llama3_70b(), 2),
         (ModelConfig::llama3_405b(), 4),
-    ] {
+    ];
+    let markers = engine.par_map(&pairs, |_, &(model, num_gpus)| {
+        let coeffs = EnergyCoeffs::paper();
         let gpus = GpuSystem::new(GpuSpec::h100_sxm(), num_gpus);
         let wl = DecodeWorkload::new(&model, gpu_prec, 1, seq);
         let gpu_latency_s = gpus.decode_step_latency(&wl);
@@ -147,41 +168,42 @@ pub fn run() -> Fig11 {
             iso_cus += 4;
             rpu_latency_s = rpu_latency(&model, prec, iso_cus, 1, seq);
         }
-        markers.push(GpuMarker {
+        GpuMarker {
             model: model.name,
             num_gpus,
             gpu_latency_s,
             iso_cus,
             rpu_latency_s: rpu_latency_s.expect("marker config fits"),
-        });
-    }
+        }
+    });
 
-    // Bottom panels: 128-CU RPU vs 8xH200.
-    let h200 = GpuSystem::new(GpuSpec::h200(), 8);
-    let mut batched = Vec::new();
-    for model in [
+    // Bottom panels: 128-CU RPU vs 8xH200, one grid point per
+    // (model, batch); non-deploying points drop out in order.
+    let batch_models = [
         ModelConfig::llama3_70b(),
         ModelConfig::llama3_405b(),
         ModelConfig::llama4_scout(),
         ModelConfig::llama4_maverick(),
-    ] {
-        for &batch in &BATCH_SWEEP {
-            let Ok(sys) = RpuSystem::with_optimal_memory(&model, prec, batch, seq, 128) else {
-                continue;
-            };
-            let Ok(report) = sys.decode_step(&model, batch, seq) else {
-                continue;
-            };
-            let wl = DecodeWorkload::new(&model, gpu_prec, batch, seq);
-            batched.push(BatchPoint {
+    ];
+    let batch_grid = grid(&batch_models, &BATCH_SWEEP);
+    let batched = engine
+        .par_map(&batch_grid, |_, (model, batch)| {
+            let batch = *batch;
+            let sys = RpuSystem::with_optimal_memory(model, prec, batch, seq, 128).ok()?;
+            let report = sys.decode_step(model, batch, seq).ok()?;
+            let h200 = GpuSystem::new(GpuSpec::h200(), 8);
+            let wl = DecodeWorkload::new(model, gpu_prec, batch, seq);
+            Some(BatchPoint {
                 model: model.name,
                 batch,
                 rpu_otps_per_query: 1.0 / report.total_time_s,
                 h200_otps_per_query: 1.0 / h200.decode_step_latency(&wl),
                 rpu_bw_util: report.mem_bw_utilization(),
-            });
-        }
-    }
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     Fig11 {
         scaling,
@@ -212,11 +234,11 @@ impl Fig11 {
         );
         for m in &self.scaling {
             for p in &m.points {
-                t1.row(&[
-                    m.model.to_string(),
-                    p.num_cus.to_string(),
-                    num(p.latency_s * 1e3, 3),
-                    format!("{:.1}x", p.speedup),
+                t1.push_row(vec![
+                    Cell::str(m.model),
+                    Cell::int(i64::from(p.num_cus)),
+                    Cell::num(p.latency_s * 1e3, 3),
+                    Cell::str(format!("{:.1}x", p.speedup)),
                 ]);
             }
         }
@@ -232,13 +254,13 @@ impl Fig11 {
             ],
         );
         for mk in &self.markers {
-            tm.row(&[
-                mk.model.to_string(),
-                format!("{}xH100", mk.num_gpus),
-                num(mk.gpu_latency_s * 1e3, 2),
-                mk.iso_cus.to_string(),
-                num(mk.rpu_latency_s * 1e3, 2),
-                format!("{:.1}x", mk.speedup()),
+            tm.push_row(vec![
+                Cell::str(mk.model),
+                Cell::str(format!("{}xH100", mk.num_gpus)),
+                Cell::num(mk.gpu_latency_s * 1e3, 2),
+                Cell::int(i64::from(mk.iso_cus)),
+                Cell::num(mk.rpu_latency_s * 1e3, 2),
+                Cell::str(format!("{:.1}x", mk.speedup())),
             ]);
         }
         let mut t2 = Table::new(
@@ -252,12 +274,12 @@ impl Fig11 {
             ],
         );
         for b in &self.batched {
-            t2.row(&[
-                b.model.to_string(),
-                b.batch.to_string(),
-                num(b.rpu_otps_per_query, 0),
-                num(b.h200_otps_per_query, 0),
-                num(b.rpu_bw_util, 2),
+            t2.push_row(vec![
+                Cell::str(b.model),
+                Cell::int(i64::from(b.batch)),
+                Cell::num(b.rpu_otps_per_query, 0),
+                Cell::num(b.h200_otps_per_query, 0),
+                Cell::num(b.rpu_bw_util, 2),
             ]);
         }
         vec![t1, tm, t2]
@@ -410,5 +432,17 @@ mod tests {
         let t = run().tables();
         assert_eq!(t.len(), 3);
         assert!(t[1].to_string().contains("xH100"));
+    }
+
+    #[test]
+    fn parallel_runs_render_identically() {
+        // Acceptance: the engine's index stamping makes jobs = 8
+        // byte-identical to the sequential reference.
+        let seq = run().tables();
+        let par = run_with(&Engine::new(8)).tables();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_string(), b.to_string());
+        }
     }
 }

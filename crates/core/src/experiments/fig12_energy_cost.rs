@@ -9,7 +9,7 @@ use rpu_arch::RpuConfig;
 use rpu_gpu::{GpuSpec, GpuSystem};
 use rpu_hbmco::HbmCoConfig;
 use rpu_models::{DecodeWorkload, ModelConfig, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One CU-count sample.
 #[derive(Debug, Clone)]
@@ -147,24 +147,24 @@ impl Fig12 {
             ],
         );
         for s in &self.samples {
-            t1.row(&[
-                s.num_cus.to_string(),
-                num(s.bw_per_cap, 0),
-                num(s.epi_mem_j, 2),
-                num(s.epi_comp_j, 2),
-                num(s.epi_net_j, 2),
-                num(s.epi_j(), 2),
-                num(s.epi_hbm3e_j, 2),
+            t1.push_row(vec![
+                Cell::int(i64::from(s.num_cus)),
+                Cell::num(s.bw_per_cap, 0),
+                Cell::num(s.epi_mem_j, 2),
+                Cell::num(s.epi_comp_j, 2),
+                Cell::num(s.epi_net_j, 2),
+                Cell::num(s.epi_j(), 2),
+                Cell::num(s.epi_hbm3e_j, 2),
             ]);
         }
-        t1.row(&[
-            "4xH100".into(),
-            String::new(),
-            String::new(),
-            String::new(),
-            String::new(),
-            num(self.h100_epi_j, 2),
-            String::new(),
+        t1.push_row(vec![
+            Cell::str("4xH100"),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::num(self.h100_epi_j, 2),
+            Cell::str(""),
         ]);
         let norm = self.cost_norm();
         let mut t2 = Table::new(
@@ -180,24 +180,24 @@ impl Fig12 {
             ],
         );
         for s in &self.samples {
-            t2.row(&[
-                s.num_cus.to_string(),
-                num(s.cost.silicon / norm, 2),
-                num(s.cost.memory / norm, 2),
-                num(s.cost.substrate / norm, 2),
-                num(s.cost.pcb / norm, 2),
-                num(s.cost.total() / norm, 2),
-                num(s.cost_hbm3e / norm, 2),
+            t2.push_row(vec![
+                Cell::int(i64::from(s.num_cus)),
+                Cell::num(s.cost.silicon / norm, 2),
+                Cell::num(s.cost.memory / norm, 2),
+                Cell::num(s.cost.substrate / norm, 2),
+                Cell::num(s.cost.pcb / norm, 2),
+                Cell::num(s.cost.total() / norm, 2),
+                Cell::num(s.cost_hbm3e / norm, 2),
             ]);
         }
-        t2.row(&[
-            "8xH100".into(),
-            String::new(),
-            String::new(),
-            String::new(),
-            String::new(),
-            num(self.dgx_cost / norm, 2),
-            String::new(),
+        t2.push_row(vec![
+            Cell::str("8xH100"),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::str(""),
+            Cell::num(self.dgx_cost / norm, 2),
+            Cell::str(""),
         ]);
         vec![t1, t2]
     }

@@ -2,10 +2,11 @@
 //! H100 swept across batch sizes, for Llama3-8B (vs 64 CUs) and
 //! Llama3-70B (vs 128 CUs), 8k prefill / 2k decode.
 
+use crate::engine::{grid, Engine};
 use crate::RpuSystem;
 use rpu_gpu::{GpuSpec, GpuSystem};
 use rpu_models::{DecodeWorkload, ModelConfig, Precision};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One batch-size sample for one pairing.
 #[derive(Debug, Clone)]
@@ -57,35 +58,41 @@ pub fn pairings() -> Vec<(ModelConfig, u32, u32)> {
     ]
 }
 
-/// Runs the Fig. 13 sweep at mid-generation context (8k prefill + ~1k of
-/// the 2k decode tokens).
+/// Runs the Fig. 13 sweep sequentially.
 #[must_use]
 pub fn run() -> Fig13 {
+    run_with(&Engine::sequential())
+}
+
+/// Runs the Fig. 13 sweep at mid-generation context (8k prefill + ~1k
+/// of the 2k decode tokens), one engine grid point per
+/// (pairing, batch); non-deploying points drop out in order.
+#[must_use]
+pub fn run_with(engine: &Engine) -> Fig13 {
     let seq = 9 * 1024;
     let prec = Precision::mxfp4_inference();
     let gpu_prec = Precision::gpu_w4a16();
-    let mut points = Vec::new();
-    for (model, cus, gpus) in pairings() {
-        let gpu = GpuSystem::new(GpuSpec::h100_sxm(), gpus);
-        for &batch in &BATCHES {
-            let Ok(sys) = RpuSystem::with_optimal_memory(&model, prec, batch, seq, cus) else {
-                continue;
-            };
-            let Ok(report) = sys.decode_step(&model, batch, seq) else {
-                continue;
-            };
-            let wl = DecodeWorkload::new(&model, gpu_prec, batch, seq);
+    let sweep_grid = grid(&pairings(), &BATCHES);
+    let points = engine
+        .par_map(&sweep_grid, |_, ((model, cus, gpus), batch)| {
+            let batch = *batch;
+            let gpu = GpuSystem::new(GpuSpec::h100_sxm(), *gpus);
+            let sys = RpuSystem::with_optimal_memory(model, prec, batch, seq, *cus).ok()?;
+            let report = sys.decode_step(model, batch, seq).ok()?;
+            let wl = DecodeWorkload::new(model, gpu_prec, batch, seq);
             let b = f64::from(batch);
-            points.push(SweepPoint {
+            Some(SweepPoint {
                 model: model.name,
                 batch,
                 rpu_latency_s: report.total_time_s,
                 gpu_latency_s: gpu.decode_step_latency(&wl),
                 rpu_energy_j: report.system_energy_j() / b,
                 gpu_energy_j: gpu.decode_step_energy_j(&wl) / b,
-            });
-        }
-    }
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     Fig13 { points }
 }
 
@@ -113,13 +120,13 @@ impl Fig13 {
             ],
         );
         for p in &self.points {
-            t.row(&[
-                p.model.to_string(),
-                p.batch.to_string(),
-                num(p.rpu_latency_s * 1e3, 3),
-                num(p.gpu_latency_s * 1e3, 2),
-                format!("{:.1}x", p.speedup()),
-                format!("{:.1}x", p.epi_improvement()),
+            t.push_row(vec![
+                Cell::str(p.model),
+                Cell::int(i64::from(p.batch)),
+                Cell::num(p.rpu_latency_s * 1e3, 3),
+                Cell::num(p.gpu_latency_s * 1e3, 2),
+                Cell::str(format!("{:.1}x", p.speedup())),
+                Cell::str(format!("{:.1}x", p.epi_improvement())),
             ]);
         }
         t
@@ -198,5 +205,12 @@ mod tests {
     fn table_covers_both_models() {
         let s = run().table().to_string();
         assert!(s.contains("Llama3-8B") && s.contains("Llama3-70B"));
+    }
+
+    #[test]
+    fn parallel_runs_render_identically() {
+        let seq = run().table().to_string();
+        let par = run_with(&Engine::new(8)).table().to_string();
+        assert_eq!(seq, par);
     }
 }

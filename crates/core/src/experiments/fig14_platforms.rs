@@ -9,7 +9,7 @@
 
 use crate::RpuSystem;
 use rpu_models::{Precision, SpeculativeConfig};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{Cell, Table};
 
 /// One platform row.
 #[derive(Debug, Clone)]
@@ -167,19 +167,15 @@ impl Fig14 {
             ],
         );
         for r in &self.rows {
-            t.row(&[
-                r.system.to_string(),
-                r.memory.to_string(),
-                num(r.bw_per_cap, 0),
-                num(r.tdp_w, 0),
-                num(r.comp_per_bw, 1),
-                num(r.devices, 0),
-                num(r.tokens_per_s, 0),
-                if r.computed {
-                    "simulated".into()
-                } else {
-                    "published".into()
-                },
+            t.push_row(vec![
+                Cell::str(r.system),
+                Cell::str(r.memory),
+                Cell::num(r.bw_per_cap, 0),
+                Cell::num(r.tdp_w, 0),
+                Cell::num(r.comp_per_bw, 1),
+                Cell::num(r.devices, 0),
+                Cell::num(r.tokens_per_s, 0),
+                Cell::str(if r.computed { "simulated" } else { "published" }),
             ]);
         }
         t

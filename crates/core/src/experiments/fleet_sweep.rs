@@ -16,14 +16,14 @@
 //! least-KV-load) to hold the same tail — telemetry-driven routing is
 //! worth real machines.
 
-use crate::serving::{RpuCostModel, SharedRpuCostModel};
-use crate::RpuSystem;
-use rpu_models::{LengthDistribution, ModelConfig, Precision};
+use crate::engine::{grid, Engine};
+use crate::serving::{sweep_cost_model, SharedRpuCostModel};
+use rpu_models::{LengthDistribution, ModelConfig};
 use rpu_serve::{
     ArrivalProcess, ClassSpec, Fifo, Fleet, FleetReport, JoinShortestQueue, LeastKvLoad,
     RoundRobin, Router, ServeConfig, SessionAffinity, Workload,
 };
-use rpu_util::table::{num, Table};
+use rpu_util::table::{num, Cell, Table};
 
 /// Decode CUs per replica (a quarter of the policy sweep's machine:
 /// capacity planning is about counting small boxes, not sizing one big
@@ -195,62 +195,70 @@ fn run_fleet(
     fleet.serve(wl, router.build().as_mut())
 }
 
-/// Runs the sweep: Llama3-8B decode on 16-CU replicas, GPU prefill
-/// tier, every router at every load, fleets grown until the
-/// interactive p99 TTFT target holds.
+/// Runs the sweep sequentially: Llama3-8B decode on 16-CU replicas,
+/// GPU prefill tier, every router at every load, fleets grown until
+/// the interactive p99 TTFT target holds.
+#[must_use]
+pub fn run() -> FleetSweep {
+    run_with(&Engine::sequential())
+}
+
+/// Runs the sweep with every (load, router) pair as one engine grid
+/// point — the grow-the-fleet loop inside a point is inherently
+/// sequential (each size decides whether to try the next), but the
+/// 16 points are independent.
+///
+/// Every replica of every fleet size — across all worker threads —
+/// shares one memoised cost model: identical machines price identical
+/// decode steps, so the slow part (event-driven simulation) runs once
+/// per distinct (batch, context) across the whole sweep, and the cache
+/// holds the same deterministic values no matter which thread fills it.
 ///
 /// # Panics
 ///
 /// Panics if the model cannot be deployed at [`NUM_CUS`] (it can).
 #[must_use]
-pub fn run() -> FleetSweep {
+pub fn run_with(engine: &Engine) -> FleetSweep {
     let model = ModelConfig::llama3_8b();
-    let prec = Precision::mxfp4_inference();
-    let config = ServeConfig {
-        max_batch: MAX_BATCH,
-        ..ServeConfig::default()
-    };
     // Provision each replica for the longest class's bucketed context
     // (the batch class: 1536 prompt + 384 output tokens).
-    let max_context = config.bucket(1536 + 384);
-    let sys = RpuSystem::with_optimal_memory(&model, prec, MAX_BATCH, max_context, NUM_CUS)
-        .expect("8B deploys on 16 CUs");
+    let (config, cost) = sweep_cost_model(NUM_CUS, MAX_BATCH, 1536 + 384);
     let specs = classes();
     let target = specs[0].slo.ttft_s;
 
-    // Every replica of every fleet size shares one memoised cost model:
-    // identical machines price identical decode steps, so the slow part
-    // (event-driven simulation) runs once per distinct (batch, context)
-    // across the whole sweep.
-    let cost = SharedRpuCostModel::new(RpuCostModel::new(sys, model));
-    let mut points = Vec::new();
-    for &rate_rps in &RATE_SWEEP {
+    let points_grid = grid(&RATE_SWEEP, &RouterKind::ALL);
+    let capacities = engine.par_map(&points_grid, |_, &(rate_rps, kind)| {
         let wl = workload(rate_rps);
-        let mut routers = Vec::new();
-        for kind in RouterKind::ALL {
-            // Grow the fleet until the target holds; when even
-            // MAX_REPLICAS does not, the last-tried state is reported
-            // with `replicas_needed: None`.
-            let mut capacity: Option<RouterCapacity> = None;
-            for n in 1..=MAX_REPLICAS {
-                let report = run_fleet(n, &cost, &config, &wl, kind);
-                let p99 = report.multi_class(&specs).classes[0].report.ttft.p99;
-                let met = p99 <= target;
-                capacity = Some(RouterCapacity {
-                    router: kind,
-                    replicas_needed: met.then_some(n),
-                    p99_ttft_s: p99,
-                    imbalance: report.imbalance(),
-                    fleet_utilization: report.fleet_utilization(),
-                });
-                if met {
-                    break;
-                }
+        // Grow the fleet until the target holds; when even
+        // MAX_REPLICAS does not, the last-tried state is reported
+        // with `replicas_needed: None`.
+        let mut capacity: Option<RouterCapacity> = None;
+        for n in 1..=MAX_REPLICAS {
+            let report = run_fleet(n, &cost, &config, &wl, kind);
+            let p99 = report.multi_class(&specs).classes[0].report.ttft.p99;
+            let met = p99 <= target;
+            capacity = Some(RouterCapacity {
+                router: kind,
+                replicas_needed: met.then_some(n),
+                p99_ttft_s: p99,
+                imbalance: report.imbalance(),
+                fleet_utilization: report.fleet_utilization(),
+            });
+            if met {
+                break;
             }
-            routers.push(capacity.expect("at least one fleet size is tried"));
         }
-        points.push(CapacityPoint { rate_rps, routers });
-    }
+        capacity.expect("at least one fleet size is tried")
+    });
+    // Reassemble the row-major grid into one CapacityPoint per rate.
+    let mut capacities = capacities.into_iter();
+    let points = RATE_SWEEP
+        .iter()
+        .map(|&rate_rps| CapacityPoint {
+            rate_rps,
+            routers: capacities.by_ref().take(RouterKind::ALL.len()).collect(),
+        })
+        .collect();
     FleetSweep {
         model: model.name,
         num_cus: NUM_CUS,
@@ -320,18 +328,18 @@ impl FleetSweep {
             &header_refs,
         );
         for p in &self.points {
-            let mut row = vec![num(p.rate_rps, 0)];
+            let mut row = vec![Cell::num(p.rate_rps, 0)];
             for kind in RouterKind::ALL {
                 row.push(match p.router(kind).replicas_needed {
-                    Some(n) => format!("{n}"),
-                    None => format!(">{MAX_REPLICAS}"),
+                    Some(n) => Cell::int(i64::from(n)),
+                    None => Cell::str(format!(">{MAX_REPLICAS}")),
                 });
             }
             for kind in RouterKind::ALL {
-                row.push(num(p.router(kind).p99_ttft_s * 1e3, 2));
+                row.push(Cell::num(p.router(kind).p99_ttft_s * 1e3, 2));
             }
-            row.push(num(p.router(RouterKind::Jsq).imbalance, 2));
-            t.row(&row);
+            row.push(Cell::num(p.router(RouterKind::Jsq).imbalance, 2));
+            t.push_row(row);
         }
         t
     }
@@ -415,12 +423,13 @@ mod tests {
     }
 
     #[test]
-    fn bit_reproducible_across_invocations() {
+    fn bit_reproducible_across_invocations_and_job_counts() {
         // Acceptance: the whole sweep (every router, load and fleet
-        // size) is bit-reproducible for the fixed seed.
+        // size) is bit-reproducible for the fixed seed — sequentially
+        // and through the parallel engine.
         let a = sweep();
-        let b = run();
-        assert_eq!(a, &b);
+        assert_eq!(a, &run());
+        assert_eq!(a, &run_with(&Engine::new(8)));
     }
 
     #[test]

@@ -12,14 +12,14 @@
 //! scheduling with aging (and preemptive EDF) hold the interactive SLO
 //! all the way past the load where FIFO has already failed.
 
-use crate::serving::RpuCostModel;
-use crate::RpuSystem;
-use rpu_models::{LengthDistribution, ModelConfig, Precision};
+use crate::engine::{grid, Engine};
+use crate::serving::sweep_cost_model;
+use rpu_models::{LengthDistribution, ModelConfig};
 use rpu_serve::{
     serve_with, ArrivalProcess, ClassSpec, DeadlineEdf, Fifo, MultiClassReport, PriorityAging,
-    SchedulingPolicy, ServeConfig, ShortestJobFirst, Workload,
+    SchedulingPolicy, ShortestJobFirst, Workload,
 };
-use rpu_util::table::{num, Table};
+use rpu_util::table::{num, Cell, Table};
 
 /// Decode system scale.
 pub const NUM_CUS: u32 = 64;
@@ -166,46 +166,50 @@ pub struct PolicySweep {
     pub points: Vec<LoadPoint>,
 }
 
-/// Runs the sweep: Llama3-8B decode on a 64-CU RPU, GPU prefill tier,
-/// every policy at every load.
+/// Runs the sweep sequentially: Llama3-8B decode on a 64-CU RPU, GPU
+/// prefill tier, every policy at every load.
+#[must_use]
+pub fn run() -> PolicySweep {
+    run_with(&Engine::sequential())
+}
+
+/// Runs the sweep with every (load, policy) pair as one engine grid
+/// point. One memoised cost model is shared across all worker threads:
+/// the cache only stores deterministic simulator results, so sharing it
+/// changes nothing but wall-clock time.
 ///
 /// # Panics
 ///
 /// Panics if the model cannot be deployed at [`NUM_CUS`] (it can).
 #[must_use]
-pub fn run() -> PolicySweep {
+pub fn run_with(engine: &Engine) -> PolicySweep {
     let model = ModelConfig::llama3_8b();
-    let prec = Precision::mxfp4_inference();
-    let config = ServeConfig {
-        max_batch: MAX_BATCH,
-        ..ServeConfig::default()
-    };
     // Provision for the longest class's bucketed context (the batch
     // class: 2048 prompt + 1024 output tokens).
-    let max_context = config.bucket(2048 + 1024);
-    let sys = RpuSystem::with_optimal_memory(&model, prec, MAX_BATCH, max_context, NUM_CUS)
-        .expect("8B deploys on 64 CUs");
+    let (config, cost) = sweep_cost_model(NUM_CUS, MAX_BATCH, 2048 + 1024);
     let specs = classes();
 
-    // One memoised cost model threads through every run: the cache only
-    // stores deterministic simulator results, so sharing it changes
-    // nothing but wall-clock time.
-    let mut cost = RpuCostModel::new(sys, model);
-    let mut points = Vec::new();
-    for &rate_rps in &RATE_SWEEP {
+    let points_grid = grid(&RATE_SWEEP, &PolicyKind::ALL);
+    let runs = engine.par_map(&points_grid, |_, &(rate_rps, kind)| {
         let wl = workload(rate_rps);
-        let mut runs = Vec::new();
-        for kind in PolicyKind::ALL {
-            let mut policy = kind.build(&wl);
-            let report = serve_with(&wl, &mut cost, &config, policy.as_mut());
-            runs.push(PolicyRun {
-                policy: kind,
-                slo: MultiClassReport::new(&report, &specs),
-                preemptions: report.preemptions,
-            });
+        let mut cost = cost.clone();
+        let mut policy = kind.build(&wl);
+        let report = serve_with(&wl, &mut cost, &config, policy.as_mut());
+        PolicyRun {
+            policy: kind,
+            slo: MultiClassReport::new(&report, &specs),
+            preemptions: report.preemptions,
         }
-        points.push(LoadPoint { rate_rps, runs });
-    }
+    });
+    // Reassemble the row-major grid into one LoadPoint per rate.
+    let mut runs = runs.into_iter();
+    let points = RATE_SWEEP
+        .iter()
+        .map(|&rate_rps| LoadPoint {
+            rate_rps,
+            runs: runs.by_ref().take(PolicyKind::ALL.len()).collect(),
+        })
+        .collect();
     PolicySweep {
         model: model.name,
         num_cus: NUM_CUS,
@@ -268,20 +272,20 @@ impl PolicySweep {
             &header_refs,
         );
         for p in &self.points {
-            let mut row = vec![num(p.rate_rps, 0)];
+            let mut row = vec![Cell::num(p.rate_rps, 0)];
             for kind in PolicyKind::ALL {
                 let ttft = p.run(kind).slo.classes[0].report.ttft.p99;
                 let mark = if ttft <= target { "" } else { " !" };
-                row.push(format!("{}{mark}", num(ttft * 1e3, 2)));
+                row.push(Cell::str(format!("{}{mark}", num(ttft * 1e3, 2))));
             }
             for kind in PolicyKind::ALL {
-                row.push(num(
+                row.push(Cell::num(
                     p.run(kind).slo.classes[0].report.slo_attainment * 100.0,
                     1,
                 ));
             }
-            row.push(format!("{}", p.run(PolicyKind::Edf).preemptions));
-            t.row(&row);
+            row.push(Cell::int(i64::from(p.run(PolicyKind::Edf).preemptions)));
+            t.push_row(row);
         }
         t
     }
@@ -363,12 +367,13 @@ mod tests {
     }
 
     #[test]
-    fn bit_reproducible_across_invocations() {
+    fn bit_reproducible_across_invocations_and_job_counts() {
         // Acceptance: the whole sweep (every policy, every load) is
-        // bit-reproducible for the fixed seed.
+        // bit-reproducible for the fixed seed — sequentially and
+        // through the parallel engine.
         let a = sweep();
-        let b = run();
-        assert_eq!(a, &b);
+        assert_eq!(a, &run());
+        assert_eq!(a, &run_with(&Engine::new(8)));
     }
 
     #[test]

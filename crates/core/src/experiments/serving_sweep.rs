@@ -1,23 +1,30 @@
 //! Serving sweep: request-level SLO metrics versus offered load.
 //!
 //! Drives the `rpu-serve` continuous-batching scheduler with the real
-//! simulator-backed cost model ([`RpuCostModel`]) over a ladder of
-//! Poisson arrival rates, from light load to past saturation. The
+//! simulator-backed cost model ([`crate::serving::RpuCostModel`]) over
+//! a ladder of Poisson arrival rates, from light load to past
+//! saturation, plus one bursty on/off rung at a matched mean load. The
 //! headline behaviour is the classic queueing hockey-stick: TTFT and
 //! end-to-end tail latency degrade monotonically as offered load
 //! approaches the machine's token throughput, while decode utilisation
-//! climbs toward 1.
+//! climbs toward 1 — and at the *same* mean load, bursty arrivals pay
+//! a far heavier tail than smooth ones.
+//!
+//! Every rung of the ladder is independent, so [`run_with`] fans the
+//! grid out through [`Engine::par_map`]; the memoised cost model is
+//! shared across worker threads and only ever caches deterministic
+//! simulator outputs, so any job count produces identical bytes.
 
-use crate::serving::RpuCostModel;
-use crate::RpuSystem;
-use rpu_models::{LengthDistribution, ModelConfig, Precision};
+use crate::engine::Engine;
+use crate::serving::sweep_cost_model;
+use rpu_models::{LengthDistribution, ModelConfig};
 use rpu_serve::{serve, ArrivalProcess, ServeConfig, SloReport, SloTargets, Workload};
-use rpu_util::table::{num, Table};
+use rpu_util::table::{num, Cell, Table};
 
 /// One offered-load sample.
 #[derive(Debug, Clone)]
 pub struct LoadPoint {
-    /// Offered load, requests/second.
+    /// Offered load (long-run mean), requests/second.
     pub rate_rps: f64,
     /// SLO metrics at this load.
     pub slo: SloReport,
@@ -30,8 +37,10 @@ pub struct ServingSweep {
     pub model: &'static str,
     /// Decode CUs.
     pub num_cus: u32,
-    /// Samples, ascending offered load.
+    /// Poisson samples, ascending offered load.
     pub points: Vec<LoadPoint>,
+    /// The bursty on/off rung at [`BURSTY_MEAN_RPS`] mean load.
+    pub bursty: LoadPoint,
 }
 
 /// Decode system scale.
@@ -52,6 +61,17 @@ pub const NUM_REQUESTS: u32 = 160;
 /// Offered loads, requests/second (the top rungs sit past saturation).
 pub const RATE_SWEEP: [f64; 5] = [60.0, 120.0, 240.0, 480.0, 960.0];
 
+/// Mean offered load of the bursty rung — matched to the middle Poisson
+/// rung so the two rows isolate the cost of burstiness alone.
+pub const BURSTY_MEAN_RPS: f64 = 240.0;
+
+/// ON-state arrival rate of the bursty rung (50 % duty cycle doubles
+/// the instantaneous rate).
+pub const BURSTY_ON_RPS: f64 = 480.0;
+
+/// Mean ON and OFF sojourn of the bursty rung, seconds.
+pub const BURSTY_SOJOURN_S: f64 = 0.05;
+
 /// The swept workload at one offered load.
 #[must_use]
 pub fn workload(rate_rps: f64) -> Workload {
@@ -65,47 +85,88 @@ pub fn workload(rate_rps: f64) -> Workload {
     }
 }
 
-/// Runs the sweep: Llama3-8B decode on a 64-CU RPU, GPU prefill tier.
+/// The bursty on/off workload at [`BURSTY_MEAN_RPS`] mean offered load.
+#[must_use]
+pub fn bursty_workload() -> Workload {
+    let arrivals = ArrivalProcess::OnOff {
+        rate_rps: BURSTY_ON_RPS,
+        mean_on_s: BURSTY_SOJOURN_S,
+        mean_off_s: BURSTY_SOJOURN_S,
+    };
+    debug_assert!(
+        (arrivals.mean_rate_rps().expect("open loop") - BURSTY_MEAN_RPS).abs() < 1e-9,
+        "bursty rung must match its Poisson twin's mean load"
+    );
+    Workload {
+        arrivals,
+        ..workload(BURSTY_MEAN_RPS)
+    }
+}
+
+/// Runs one rung: the workload against a handle of the shared memoised
+/// cost model.
+fn run_point(
+    rate_rps: f64,
+    wl: &Workload,
+    cost: &crate::serving::SharedRpuCostModel,
+    config: &ServeConfig,
+) -> LoadPoint {
+    let mut cost = cost.clone();
+    let report = serve(wl, &mut cost, config);
+    LoadPoint {
+        rate_rps,
+        slo: SloReport::new(&report, &SloTargets::interactive()),
+    }
+}
+
+/// Runs the sweep sequentially: Llama3-8B decode on a 64-CU RPU, GPU
+/// prefill tier.
+#[must_use]
+pub fn run() -> ServingSweep {
+    run_with(&Engine::sequential())
+}
+
+/// Runs the sweep with every load rung as one engine grid point.
 ///
 /// # Panics
 ///
 /// Panics if the model cannot be deployed at [`NUM_CUS`] (it can).
 #[must_use]
-pub fn run() -> ServingSweep {
+pub fn run_with(engine: &Engine) -> ServingSweep {
     let model = ModelConfig::llama3_8b();
-    let prec = Precision::mxfp4_inference();
-    let config = ServeConfig {
-        max_batch: MAX_BATCH,
-        ..ServeConfig::default()
-    };
-    // Provision for the *bucketed* maximum context: decode iterations
-    // are priced at bucketed contexts, so that is the KV footprint the
-    // machine must actually hold.
-    let max_context = config.bucket(PROMPT_LEN + OUTPUT_LEN);
-    let sys = RpuSystem::with_optimal_memory(&model, prec, MAX_BATCH, max_context, NUM_CUS)
-        .expect("8B deploys on 64 CUs");
-    let slo = SloTargets::interactive();
+    let (config, cost) = sweep_cost_model(NUM_CUS, MAX_BATCH, PROMPT_LEN + OUTPUT_LEN);
 
-    let mut points = Vec::new();
-    for &rate_rps in &RATE_SWEEP {
-        // A fresh cost model per point keeps points independent; the
-        // memoised decode steps repeat across points anyway.
-        let mut cost = RpuCostModel::new(sys, model);
-        let report = serve(&workload(rate_rps), &mut cost, &config);
-        points.push(LoadPoint {
-            rate_rps,
-            slo: SloReport::new(&report, &slo),
-        });
-    }
+    let mut rungs: Vec<(f64, Workload)> = RATE_SWEEP.iter().map(|&r| (r, workload(r))).collect();
+    rungs.push((BURSTY_MEAN_RPS, bursty_workload()));
+    let mut points = engine.par_map(&rungs, |_, (rate_rps, wl)| {
+        run_point(*rate_rps, wl, &cost, &config)
+    });
+    let bursty = points.pop().expect("the bursty rung is always swept");
     ServingSweep {
         model: model.name,
         num_cus: NUM_CUS,
         points,
+        bursty,
     }
 }
 
 impl ServingSweep {
-    /// Renders the sweep as one table, one row per offered load.
+    /// The Poisson rung at the bursty rung's mean load — the smooth
+    /// twin the bursty row is compared against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`BURSTY_MEAN_RPS`] is not a sweep rung (it is).
+    #[must_use]
+    pub fn bursty_twin(&self) -> &LoadPoint {
+        self.points
+            .iter()
+            .find(|p| p.rate_rps == BURSTY_MEAN_RPS)
+            .expect("the bursty rung mirrors a Poisson rung")
+    }
+
+    /// Renders the sweep as one table, one row per offered load, with
+    /// the bursty rung last.
     #[must_use]
     pub fn table(&self) -> Table {
         let mut t = Table::new(
@@ -122,19 +183,28 @@ impl ServingSweep {
                 "goodput (req/s)",
                 "util",
             ],
-        );
+        )
+        .with_units(&["req/s", "ms", "ms", "ms", "ms", "req/s", ""]);
         for p in &self.points {
-            t.row(&[
-                num(p.rate_rps, 0),
-                num(p.slo.ttft.p50 * 1e3, 2),
-                num(p.slo.ttft.p99 * 1e3, 2),
-                num(p.slo.tpot.p99 * 1e3, 2),
-                num(p.slo.e2e.p99 * 1e3, 2),
-                num(p.slo.goodput_rps, 1),
-                num(p.slo.utilization, 2),
-            ]);
+            t.push_row(Self::cells(num(p.rate_rps, 0), p));
         }
+        t.push_row(Self::cells(
+            format!("{} (bursty)", num(BURSTY_MEAN_RPS, 0)),
+            &self.bursty,
+        ));
         t
+    }
+
+    fn cells(label: String, p: &LoadPoint) -> Vec<Cell> {
+        vec![
+            Cell::Str(label),
+            Cell::num(p.slo.ttft.p50 * 1e3, 2),
+            Cell::num(p.slo.ttft.p99 * 1e3, 2),
+            Cell::num(p.slo.tpot.p99 * 1e3, 2),
+            Cell::num(p.slo.e2e.p99 * 1e3, 2),
+            Cell::num(p.slo.goodput_rps, 1),
+            Cell::num(p.slo.utilization, 2),
+        ]
     }
 }
 
@@ -230,7 +300,7 @@ mod tests {
     #[test]
     fn every_point_completes_the_workload() {
         let s = sweep();
-        for p in &s.points {
+        for p in s.points.iter().chain(std::iter::once(&s.bursty)) {
             assert_eq!(p.slo.completed, NUM_REQUESTS);
             assert_eq!(p.slo.rejected, 0);
             assert!(p.slo.peak_batch <= MAX_BATCH);
@@ -238,19 +308,38 @@ mod tests {
     }
 
     #[test]
-    fn bit_reproducible_across_invocations() {
-        // Acceptance: a seeded Poisson run is bit-reproducible
-        // (one fresh run compared against the shared one).
+    fn bursts_cost_tail_latency_at_matched_mean_load() {
+        // The bursty rung offers the same long-run load as its Poisson
+        // twin but concentrates it into on-periods at twice the rate,
+        // so its TTFT tail must be at least as bad.
+        let s = sweep();
+        let twin = s.bursty_twin();
+        assert_eq!(s.bursty.rate_rps, twin.rate_rps);
+        assert!(
+            s.bursty.slo.ttft.p99 >= twin.slo.ttft.p99,
+            "bursty p99 TTFT {} vs Poisson twin {}",
+            s.bursty.slo.ttft.p99,
+            twin.slo.ttft.p99
+        );
+    }
+
+    #[test]
+    fn bit_reproducible_across_invocations_and_job_counts() {
+        // Acceptance: a seeded run is bit-reproducible, sequentially
+        // and through the parallel engine.
         let a = sweep();
-        let b = run();
-        for (x, y) in a.points.iter().zip(&b.points) {
-            assert_eq!(x.slo, y.slo);
+        for b in [run(), run_with(&Engine::new(8))] {
+            for (x, y) in a.points.iter().zip(&b.points) {
+                assert_eq!(x.slo, y.slo);
+            }
+            assert_eq!(a.bursty.slo, b.bursty.slo);
         }
     }
 
     #[test]
-    fn table_has_one_row_per_rate() {
+    fn table_has_one_row_per_rate_plus_the_bursty_rung() {
         let t = sweep().table();
-        assert_eq!(t.len(), RATE_SWEEP.len());
+        assert_eq!(t.len(), RATE_SWEEP.len() + 1);
+        assert!(t.to_string().contains("(bursty)"));
     }
 }

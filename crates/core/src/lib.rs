@@ -27,6 +27,7 @@
 mod cost;
 pub mod deployment;
 mod dse;
+pub mod engine;
 pub mod experiments;
 pub mod serving;
 mod system;

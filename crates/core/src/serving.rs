@@ -20,10 +20,9 @@
 use crate::RpuSystem;
 use rpu_gpu::{GpuSpec, GpuSystem};
 use rpu_models::{ModelConfig, Precision, PrefillWorkload};
-use rpu_serve::CostModel;
-use std::cell::RefCell;
+use rpu_serve::{CostModel, ServeConfig};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Where prefill runs and how it is priced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,34 +99,57 @@ impl RpuCostModel {
     }
 }
 
+/// Simulates one decode iteration — the expensive, deterministic call
+/// both the exclusive and the shared cost model memoise.
+fn simulate_decode(sys: &RpuSystem, model: &ModelConfig, batch: u32, max_context: u32) -> f64 {
+    sys.token_latency(model, batch, max_context)
+        .expect("decode step simulates")
+}
+
+/// Prices one prompt's prefill on the configured backend.
+fn price_prefill(
+    sys: &RpuSystem,
+    model: &ModelConfig,
+    gpu_precision: Precision,
+    prefill: &PrefillBackend,
+    prompt_len: u32,
+) -> f64 {
+    match prefill {
+        PrefillBackend::Gpu(gpus) => {
+            let wl = PrefillWorkload::new(model, gpu_precision, 1, prompt_len);
+            gpus.prefill_latency(&wl)
+        }
+        PrefillBackend::OnRpu => {
+            // Deployment precision on the RPU's own roofline.
+            let wl = PrefillWorkload::new(model, sys.precision, 1, prompt_len);
+            (wl.bytes() / sys.arch.mem_bandwidth()).max(wl.flops() / sys.arch.peak_flops())
+        }
+    }
+}
+
 impl CostModel for RpuCostModel {
     fn decode_step_s(&mut self, batch: u32, max_context: u32) -> f64 {
-        *self
-            .decode_cache
-            .entry((batch, max_context))
-            .or_insert_with(|| {
-                self.sys
-                    .token_latency(&self.model, batch, max_context)
-                    .expect("decode step simulates")
-            })
+        if let Some(v) = self.decode_cache.get(&(batch, max_context)) {
+            return *v;
+        }
+        let v = simulate_decode(&self.sys, &self.model, batch, max_context);
+        self.decode_cache.insert((batch, max_context), v);
+        v
     }
 
     fn prefill_s(&mut self, prompt_len: u32) -> f64 {
-        let (sys, model, gpu_precision, prefill) =
-            (&self.sys, &self.model, self.gpu_precision, &self.prefill);
-        *self.prefill_cache.entry(prompt_len).or_insert_with(|| {
-            match prefill {
-                PrefillBackend::Gpu(gpus) => {
-                    let wl = PrefillWorkload::new(model, gpu_precision, 1, prompt_len);
-                    gpus.prefill_latency(&wl)
-                }
-                PrefillBackend::OnRpu => {
-                    // Deployment precision on the RPU's own roofline.
-                    let wl = PrefillWorkload::new(model, sys.precision, 1, prompt_len);
-                    (wl.bytes() / sys.arch.mem_bandwidth()).max(wl.flops() / sys.arch.peak_flops())
-                }
-            }
-        })
+        if let Some(v) = self.prefill_cache.get(&prompt_len) {
+            return *v;
+        }
+        let v = price_prefill(
+            &self.sys,
+            &self.model,
+            self.gpu_precision,
+            &self.prefill,
+            prompt_len,
+        );
+        self.prefill_cache.insert(prompt_len, v);
+        v
     }
 
     fn fits(&self, context_tokens: u64) -> bool {
@@ -143,48 +165,120 @@ impl CostModel for RpuCostModel {
 }
 
 /// One memoised [`RpuCostModel`] shared by every replica of a fleet
-/// SKU.
+/// SKU — and, because it is `Send + Sync`, by every worker thread of a
+/// parallel sweep.
 ///
 /// A homogeneous `rpu_serve::Fleet` wants N cost models for N replicas,
 /// but each distinct (batch, bucketed-context) decode step prices
 /// identically on identical machines — simulating it once per replica
 /// would multiply the slowest part of a fleet sweep by N for bit-equal
-/// results. Handles clone cheaply and share one cache; the cache only
-/// ever stores deterministic simulator outputs, so sharing changes
-/// nothing but wall-clock time.
+/// results. Handles clone cheaply and share one mutex-guarded cache;
+/// the cache only ever stores deterministic simulator outputs, so
+/// sharing changes nothing but wall-clock time — no matter which
+/// thread populates an entry first, it holds the same value.
 #[derive(Debug, Clone)]
-pub struct SharedRpuCostModel(Rc<RefCell<RpuCostModel>>);
+pub struct SharedRpuCostModel(Arc<Mutex<RpuCostModel>>);
 
 impl SharedRpuCostModel {
     /// Wraps a cost model for sharing.
     #[must_use]
     pub fn new(inner: RpuCostModel) -> Self {
-        Self(Rc::new(RefCell::new(inner)))
+        Self(Arc::new(Mutex::new(inner)))
     }
 
     /// Number of distinct decode-step simulations across *all* handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sweep worker panicked while holding the memo lock.
     #[must_use]
     pub fn distinct_decode_sims(&self) -> usize {
-        self.0.borrow().distinct_decode_sims()
+        self.lock().distinct_decode_sims()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RpuCostModel> {
+        self.0.lock().expect("cost-model cache poisoned")
     }
 }
 
 impl CostModel for SharedRpuCostModel {
+    /// Double-checked memoisation: the lock is held only for the cache
+    /// lookup and the insert, never across the event-driven simulation
+    /// — so a cache miss on one worker never blocks the other workers'
+    /// cache hits. Two workers racing on the same miss both simulate,
+    /// but the simulator is deterministic, so whichever insert lands
+    /// first holds the identical value.
     fn decode_step_s(&mut self, batch: u32, max_context: u32) -> f64 {
-        self.0.borrow_mut().decode_step_s(batch, max_context)
+        let (sys, model) = {
+            let guard = self.lock();
+            if let Some(v) = guard.decode_cache.get(&(batch, max_context)) {
+                return *v;
+            }
+            (guard.sys, guard.model)
+        };
+        let v = simulate_decode(&sys, &model, batch, max_context);
+        *self
+            .lock()
+            .decode_cache
+            .entry((batch, max_context))
+            .or_insert(v)
     }
 
     fn prefill_s(&mut self, prompt_len: u32) -> f64 {
-        self.0.borrow_mut().prefill_s(prompt_len)
+        let (sys, model, gpu_precision, prefill) = {
+            let guard = self.lock();
+            if let Some(v) = guard.prefill_cache.get(&prompt_len) {
+                return *v;
+            }
+            (guard.sys, guard.model, guard.gpu_precision, guard.prefill)
+        };
+        let v = price_prefill(&sys, &model, gpu_precision, &prefill, prompt_len);
+        *self.lock().prefill_cache.entry(prompt_len).or_insert(v)
     }
 
     fn fits(&self, context_tokens: u64) -> bool {
-        self.0.borrow().fits(context_tokens)
+        self.lock().fits(context_tokens)
     }
 
     fn kv_capacity_tokens(&self) -> u64 {
-        self.0.borrow().kv_capacity_tokens()
+        self.lock().kv_capacity_tokens()
     }
+}
+
+/// Builds the shared serving test-bed every request-level sweep starts
+/// from: Llama3-8B decode at MXFP4 on `num_cus` CUs with a GPU prefill
+/// tier, provisioned for `longest_context` (prompt + output tokens of
+/// the longest class, bucketed), and one memoised [`SharedRpuCostModel`]
+/// that all runs — across policies, routers, fleet sizes and sweep
+/// worker threads — price decode steps through.
+///
+/// Returns the [`ServeConfig`] (batch capped at `max_batch`) alongside
+/// the cost model so callers sweep the exact machine the model prices.
+///
+/// # Panics
+///
+/// Panics if Llama3-8B cannot be deployed at `num_cus` (it can at every
+/// scale the sweeps use).
+#[must_use]
+pub fn sweep_cost_model(
+    num_cus: u32,
+    max_batch: u32,
+    longest_context: u32,
+) -> (ServeConfig, SharedRpuCostModel) {
+    let model = ModelConfig::llama3_8b();
+    let prec = Precision::mxfp4_inference();
+    let config = ServeConfig {
+        max_batch,
+        ..ServeConfig::default()
+    };
+    // Provision for the *bucketed* maximum context: decode iterations
+    // are priced at bucketed contexts, so that is the KV footprint the
+    // machine must actually hold.
+    let max_context = config.bucket(longest_context);
+    let sys = RpuSystem::with_optimal_memory(&model, prec, max_batch, max_context, num_cus)
+        .expect("Llama3-8B deploys at every sweep scale");
+    let cost = SharedRpuCostModel::new(RpuCostModel::new(sys, model));
+    (config, cost)
 }
 
 #[cfg(test)]
@@ -250,6 +344,41 @@ mod tests {
         assert!(cap >= 8 * 4096, "provisioned for batch 8 x 4096: {cap}");
         assert!(cm.fits(cap));
         assert!(!cm.fits(cap + 1));
+    }
+
+    #[test]
+    fn shared_cost_model_crosses_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedRpuCostModel>();
+        // Concurrent lookups through clones of one handle agree and
+        // share the memo cache.
+        let (sys, model) = system();
+        let shared = SharedRpuCostModel::new(RpuCostModel::new(sys, model));
+        let priced: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut cm = shared.clone();
+                    s.spawn(move || cm.decode_step_s(2, 1024))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(priced.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(shared.distinct_decode_sims(), 1);
+    }
+
+    #[test]
+    fn sweep_cost_model_prices_like_the_handwritten_setup() {
+        let (config, mut cost) = sweep_cost_model(64, 8, 1024 + 128);
+        assert_eq!(config.max_batch, 8);
+        let model = ModelConfig::llama3_8b();
+        let prec = Precision::mxfp4_inference();
+        let sys = RpuSystem::with_optimal_memory(&model, prec, 8, config.bucket(1024 + 128), 64)
+            .expect("8B deploys on 64 CUs");
+        let mut by_hand = RpuCostModel::new(sys, model);
+        assert_eq!(cost.decode_step_s(4, 1024), by_hand.decode_step_s(4, 1024));
+        assert_eq!(cost.prefill_s(1024), by_hand.prefill_s(1024));
+        assert_eq!(cost.kv_capacity_tokens(), by_hand.kv_capacity_tokens());
     }
 
     #[test]

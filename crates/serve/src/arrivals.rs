@@ -33,6 +33,21 @@ pub enum ArrivalProcess {
         /// Recorded arrival times, seconds.
         arrivals_s: Vec<f64>,
     },
+    /// Open loop: a two-state on/off burst process — an MMPP with rates
+    /// `{rate_rps, 0}`. Arrivals are Poisson at `rate_rps` during ON
+    /// periods and silent during OFF periods; the state sojourns are
+    /// exponential with the given means, so the long-run mean offered
+    /// load is `rate_rps * mean_on_s / (mean_on_s + mean_off_s)` — the
+    /// homogeneous-Poisson equivalent a burst sweep is matched against.
+    /// The tape starts at the beginning of an ON period.
+    OnOff {
+        /// Arrival rate while ON, requests/second.
+        rate_rps: f64,
+        /// Mean ON-period duration, seconds.
+        mean_on_s: f64,
+        /// Mean OFF-period duration, seconds.
+        mean_off_s: f64,
+    },
     /// Closed loop: `clients` concurrent users, each issuing its next
     /// request `think_s` after its previous one completes.
     ClosedLoop {
@@ -41,6 +56,26 @@ pub enum ArrivalProcess {
         /// Think time between a completion and the next request.
         think_s: f64,
     },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean offered load of an open-loop random process,
+    /// requests/second: the Poisson rate itself, or the duty-cycle
+    /// scaled ON rate of [`ArrivalProcess::OnOff`]. `None` for trace
+    /// replay and closed loops, whose rate is data- or
+    /// completion-driven.
+    #[must_use]
+    pub fn mean_rate_rps(&self) -> Option<f64> {
+        match self {
+            Self::Poisson { rate_rps } => Some(*rate_rps),
+            Self::OnOff {
+                rate_rps,
+                mean_on_s,
+                mean_off_s,
+            } => Some(rate_rps * mean_on_s / (mean_on_s + mean_off_s)),
+            Self::Trace { .. } | Self::ClosedLoop { .. } => None,
+        }
+    }
 }
 
 /// A complete serving workload description.
@@ -161,6 +196,34 @@ impl RequestSource {
                 let mut t = 0.0;
                 for _ in 0..workload.num_requests {
                     t += src.rng.next_exp(1.0 / rate_rps);
+                    src.issue(t);
+                }
+            }
+            ArrivalProcess::OnOff {
+                rate_rps,
+                mean_on_s,
+                mean_off_s,
+            } => {
+                assert!(*rate_rps > 0.0, "on/off burst rate must be positive");
+                assert!(
+                    *mean_on_s > 0.0 && *mean_off_s > 0.0,
+                    "on/off sojourn means must be positive"
+                );
+                let mut t = 0.0;
+                let mut on_left = src.rng.next_exp(*mean_on_s);
+                for _ in 0..workload.num_requests {
+                    let mut gap = src.rng.next_exp(1.0 / rate_rps);
+                    // Burn whole ON windows the gap jumps over; the
+                    // exponential is memoryless, so the residual gap
+                    // stays exponential and the thinned process is
+                    // exactly Poisson-on/silent-off.
+                    while gap > on_left {
+                        gap -= on_left;
+                        t += on_left + src.rng.next_exp(*mean_off_s);
+                        on_left = src.rng.next_exp(*mean_on_s);
+                    }
+                    t += gap;
+                    on_left -= gap;
                     src.issue(t);
                 }
             }
@@ -322,6 +385,87 @@ mod tests {
         assert_ne!(
             drain(&mut RequestSource::new(&w))[0].arrival_s,
             drain(&mut RequestSource::new(&w2))[0].arrival_s
+        );
+    }
+
+    #[test]
+    fn onoff_tape_is_reproducible_sorted_and_near_its_mean_rate() {
+        let arrivals = ArrivalProcess::OnOff {
+            rate_rps: 400.0,
+            mean_on_s: 0.02,
+            mean_off_s: 0.02,
+        };
+        assert!((arrivals.mean_rate_rps().unwrap() - 200.0).abs() < 1e-12);
+        let w = Workload {
+            arrivals,
+            num_requests: 4000,
+            ..Workload::poisson(1.0, 128, 16, 4000)
+        };
+        let a = drain(&mut RequestSource::new(&w));
+        let b = drain(&mut RequestSource::new(&w));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        // ~200 req/s long-run mean over ~100 on/off cycles.
+        let measured = a.len() as f64 / a.last().unwrap().arrival_s;
+        assert!(
+            (measured / 200.0 - 1.0).abs() < 0.2,
+            "measured mean rate {measured}"
+        );
+    }
+
+    #[test]
+    fn onoff_is_burstier_than_the_matched_poisson() {
+        // Same mean load, but the inter-arrival coefficient of
+        // variation must exceed the Poisson's CV of 1: that burstiness
+        // is the whole point of the process.
+        let onoff = Workload {
+            arrivals: ArrivalProcess::OnOff {
+                rate_rps: 800.0,
+                mean_on_s: 0.01,
+                mean_off_s: 0.03,
+            },
+            num_requests: 4000,
+            ..Workload::poisson(1.0, 128, 16, 4000)
+        };
+        let cv = |tape: &[Request]| {
+            let gaps: Vec<f64> = tape
+                .windows(2)
+                .map(|w| w[1].arrival_s - w[0].arrival_s)
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        let bursty_cv = cv(&drain(&mut RequestSource::new(&onoff)));
+        let poisson = Workload {
+            arrivals: ArrivalProcess::Poisson { rate_rps: 200.0 },
+            num_requests: 4000,
+            ..Workload::poisson(1.0, 128, 16, 4000)
+        };
+        let poisson_cv = cv(&drain(&mut RequestSource::new(&poisson)));
+        assert!(
+            bursty_cv > 1.5 && bursty_cv > poisson_cv,
+            "bursty CV {bursty_cv} vs Poisson CV {poisson_cv}"
+        );
+    }
+
+    #[test]
+    fn mean_rate_is_only_defined_for_random_open_loops() {
+        assert_eq!(
+            ArrivalProcess::Poisson { rate_rps: 50.0 }.mean_rate_rps(),
+            Some(50.0)
+        );
+        assert_eq!(
+            ArrivalProcess::Trace { arrivals_s: vec![] }.mean_rate_rps(),
+            None
+        );
+        assert_eq!(
+            ArrivalProcess::ClosedLoop {
+                clients: 1,
+                think_s: 0.0
+            }
+            .mean_rate_rps(),
+            None
         );
     }
 

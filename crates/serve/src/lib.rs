@@ -3,9 +3,10 @@
 //! The per-token figures answer "how fast is one decode step"; this
 //! crate answers the production question above it: **what latency do
 //! users see at a given offered load?** It simulates a stream of
-//! requests — seeded Poisson arrivals, trace replay, or a closed loop
-//! of clients, multiplexing multiple tenant [`ClassSpec`]s with their
-//! own SLOs — flowing through a continuous-batching scheduler
+//! requests — seeded Poisson arrivals, bursty on/off (MMPP-style)
+//! arrivals, trace replay, or a closed loop of clients, multiplexing
+//! multiple tenant [`ClassSpec`]s with their own SLOs — flowing
+//! through a continuous-batching scheduler
 //! ([`serve_with`]) whose admission/eviction order is a pluggable
 //! [`SchedulingPolicy`]: FIFO ([`Fifo`]), predicted-length
 //! shortest-job-first ([`ShortestJobFirst`]), priority classes with

@@ -180,4 +180,46 @@ proptest! {
         let b = serve(&wl, &mut machine(), &cfg);
         prop_assert_eq!(a, b);
     }
+
+    #[test]
+    fn onoff_mean_rate_matches_the_homogeneous_poisson_equivalent(
+        rate_rps in 100.0f64..800.0,
+        mean_on_s in 0.01f64..0.06,
+        mean_off_s in 0.01f64..0.06,
+        seed in 0u64..1 << 48,
+    ) {
+        // The on/off process thins a Poisson stream by its duty cycle,
+        // so over many on/off cycles the measured arrival rate must
+        // converge to `rate * on / (on + off)` — the rate of the
+        // homogeneous Poisson workload it is matched against in the
+        // serving sweep. Parameter ranges keep expected requests per
+        // cycle <= ~50, so 8000 requests span >= ~160 cycles and the
+        // cycle-level noise stays within the asserted band.
+        let arrivals = ArrivalProcess::OnOff { rate_rps, mean_on_s, mean_off_s };
+        let expected = arrivals.mean_rate_rps().expect("open loop");
+        prop_assert!((expected - rate_rps * mean_on_s / (mean_on_s + mean_off_s)).abs() < 1e-12);
+        let wl = Workload {
+            arrivals,
+            num_requests: 8000,
+            seed,
+            ..Workload::poisson(1.0, 16, 4, 8000)
+        };
+        let mut src = RequestSource::new(&wl);
+        let mut last = 0.0f64;
+        let mut count = 0u32;
+        let mut prev = f64::NEG_INFINITY;
+        while let Some(r) = src.pop_ready(f64::INFINITY) {
+            prop_assert!(r.arrival_s >= prev, "tape must be time-ordered");
+            prev = r.arrival_s;
+            last = r.arrival_s;
+            count += 1;
+        }
+        prop_assert_eq!(count, 8000);
+        let measured = f64::from(count) / last;
+        prop_assert!(
+            (measured / expected - 1.0).abs() < 0.25,
+            "measured {} vs expected {} (rate {}, on {}, off {})",
+            measured, expected, rate_rps, mean_on_s, mean_off_s
+        );
+    }
 }

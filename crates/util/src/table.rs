@@ -1,29 +1,138 @@
 //! Aligned text-table rendering for the figure/table reproduction harness.
 //!
-//! Every experiment in `rpu-core` prints its rows through [`Table`], so the
-//! `repro` binary emits the same series the paper plots, in a diff-friendly
-//! plain-text form.
+//! Every experiment in `rpu-core` returns its rows through [`Table`] so
+//! the `repro` binary emits the same series the paper plots. Rows hold
+//! typed [`Cell`]s (strings, integers, fixed-precision floats) and each
+//! column may carry a unit, so one structured table renders to aligned
+//! text (diff-friendly, byte-stable), CSV or JSON without the
+//! experiments knowing about output formats.
 
 use std::fmt;
 
-/// A simple aligned text table with a title, a header row and data rows.
+/// One typed table cell.
+///
+/// The text rendering of a [`Cell::Num`] is exactly [`num`]`(value,
+/// digits)`, so converting a table from pre-rendered strings to typed
+/// cells never changes its bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free-form text (labels, annotated values).
+    Str(String),
+    /// An integer count (batch sizes, CU counts, replica counts).
+    Int(i64),
+    /// A float rendered with a fixed number of decimals.
+    Num {
+        /// The value.
+        value: f64,
+        /// Decimals in the text/CSV rendering.
+        digits: usize,
+    },
+}
+
+impl Cell {
+    /// A text cell.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Self::Str(s.into())
+    }
+
+    /// An integer cell.
+    #[must_use]
+    pub fn int(v: impl Into<i64>) -> Self {
+        Self::Int(v.into())
+    }
+
+    /// A fixed-precision float cell (rendered via [`num`]).
+    #[must_use]
+    pub fn num(value: f64, digits: usize) -> Self {
+        Self::Num { value, digits }
+    }
+
+    /// The text/CSV rendering of the cell.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Self::Str(s) => s.clone(),
+            Self::Int(v) => v.to_string(),
+            Self::Num { value, digits } => num(*value, *digits),
+        }
+    }
+
+    /// The JSON rendering of the cell: strings are quoted and escaped,
+    /// integers and finite floats are emitted as JSON numbers (floats at
+    /// their table precision, so JSON and text agree), non-finite floats
+    /// become `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::Str(s) => json_string(s),
+            Self::Int(v) => v.to_string(),
+            Self::Num { value, digits } => {
+                if value.is_finite() {
+                    num(*value, *digits)
+                } else {
+                    "null".to_owned()
+                }
+            }
+        }
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Self::Str(s)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Self::Str(s.to_owned())
+    }
+}
+
+/// Escapes a string as a quoted JSON string literal — shared by
+/// [`Table::to_json`] and any caller assembling JSON envelopes around
+/// tables.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A simple aligned table with a title, a header row, optional
+/// per-column units and typed data rows.
 ///
 /// # Examples
 ///
 /// ```
-/// use rpu_util::table::Table;
+/// use rpu_util::table::{Cell, Table};
 ///
-/// let mut t = Table::new("Demo", &["x", "y"]);
-/// t.row(&["1".into(), "2.5".into()]);
+/// let mut t = Table::new("Demo", &["x", "y"]).with_units(&["", "ms"]);
+/// t.push_row(vec![Cell::int(1), Cell::num(2.5, 1)]);
 /// let s = t.to_string();
 /// assert!(s.contains("Demo"));
 /// assert!(s.contains("2.5"));
+/// assert!(t.to_json().contains("\"unit\":\"ms\""));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Table {
     title: String,
     header: Vec<String>,
-    rows: Vec<Vec<String>>,
+    units: Vec<String>,
+    rows: Vec<Vec<Cell>>,
 }
 
 impl Table {
@@ -33,20 +142,37 @@ impl Table {
         Self {
             title: title.to_owned(),
             header: header.iter().map(|s| (*s).to_owned()).collect(),
+            units: Vec::new(),
             rows: Vec::new(),
         }
     }
 
-    /// Appends a data row. Rows shorter than the header are padded with
-    /// empty cells; longer rows are allowed and extend the layout.
+    /// Attaches per-column units (builder style). Units are metadata for
+    /// the structured (JSON) rendering; the text layout is unchanged —
+    /// headers that want visible units keep spelling them, e.g.
+    /// `"TTFT p99 (ms)"`. Missing trailing entries default to unitless.
+    #[must_use]
+    pub fn with_units(mut self, units: &[&str]) -> Self {
+        self.units = units.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Appends a typed data row. Rows shorter than the header are padded
+    /// with empty cells; longer rows are allowed and extend the layout.
+    pub fn push_row(&mut self, cells: Vec<Cell>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a data row of plain text cells.
     pub fn row(&mut self, cells: &[String]) {
-        self.rows.push(cells.to_vec());
+        self.rows
+            .push(cells.iter().map(|c| Cell::Str(c.clone())).collect());
     }
 
     /// Appends a data row built from displayable values.
     pub fn row_display<D: fmt::Display>(&mut self, cells: &[D]) {
         self.rows
-            .push(cells.iter().map(|c| c.to_string()).collect());
+            .push(cells.iter().map(|c| Cell::Str(c.to_string())).collect());
     }
 
     /// Number of data rows currently in the table.
@@ -61,6 +187,12 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
     /// Renders the table as CSV (header + rows), for machine consumption.
     #[must_use]
     pub fn to_csv(&self) -> String {
@@ -68,9 +200,49 @@ impl Table {
         out.push_str(&self.header.join(","));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            let cells: Vec<String> = row.iter().map(Cell::render).collect();
+            out.push_str(&cells.join(","));
             out.push('\n');
         }
+        out
+    }
+
+    /// Renders the table as one JSON object:
+    /// `{"title": ..., "columns": [{"name", "unit"?}], "rows": [[...]]}`.
+    /// Cells keep their types — see [`Cell::to_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"title\":");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\"columns\":[");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            out.push_str(&json_string(h));
+            if let Some(u) = self.units.get(i).filter(|u| !u.is_empty()) {
+                out.push_str(",\"unit\":");
+                out.push_str(&json_string(u));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, c) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_json());
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
         out
     }
 
@@ -88,7 +260,7 @@ impl Table {
         }
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.chars().count());
+                widths[i] = widths[i].max(c.render().chars().count());
             }
         }
         widths
@@ -114,7 +286,8 @@ impl fmt::Display for Table {
         writeln!(f, "{}", fmt_row(&self.header))?;
         writeln!(f, "{}", "-".repeat(total.max(4)))?;
         for row in &self.rows {
-            writeln!(f, "{}", fmt_row(row))?;
+            let cells: Vec<String> = row.iter().map(Cell::render).collect();
+            writeln!(f, "{}", fmt_row(&cells))?;
         }
         Ok(())
     }
@@ -163,5 +336,42 @@ mod tests {
         assert!(t.is_empty());
         t.row_display(&[42]);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn typed_cells_render_like_their_string_twins() {
+        // The byte-stability contract: a typed row renders exactly like
+        // the pre-rendered strings it replaces.
+        let mut typed = Table::new("T", &["s", "i", "f"]);
+        typed.push_row(vec![Cell::str("x"), Cell::int(42), Cell::num(1.25, 2)]);
+        let mut strings = Table::new("T", &["s", "i", "f"]);
+        strings.row(&["x".into(), "42".into(), num(1.25, 2)]);
+        assert_eq!(typed.to_string(), strings.to_string());
+        assert_eq!(typed.to_csv(), strings.to_csv());
+    }
+
+    #[test]
+    fn json_has_typed_cells_and_units() {
+        let mut t = Table::new("T", &["label", "ms"]).with_units(&["", "ms"]);
+        t.push_row(vec![Cell::str("a\"b"), Cell::num(0.5, 3)]);
+        t.push_row(vec![
+            Cell::int(-7),
+            Cell::Num {
+                value: f64::NAN,
+                digits: 1,
+            },
+        ]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\":\"T\",\"columns\":[{\"name\":\"label\"},\
+             {\"name\":\"ms\",\"unit\":\"ms\"}],\
+             \"rows\":[[\"a\\\"b\",0.500],[-7,null]]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_string("a\nb\t\u{1}"), "\"a\\nb\\t\\u0001\"");
     }
 }
