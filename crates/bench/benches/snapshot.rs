@@ -1,0 +1,87 @@
+//! Snapshot layer overhead: what freezing, thawing, digesting and
+//! replaying a mid-flight serving run costs, so `--checkpoint-every`
+//! cadences can be chosen against real numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_serve::{
+    digest_serve_report, AnalyticCostModel, Fifo, Fleet, FleetRun, PriorityAging, Router,
+    ServeConfig, ServeRun, SessionAffinity, Workload,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ServeConfig::default();
+
+    // A single-machine run frozen mid-flight: a deep queue, a full
+    // batch and a long command log — the expensive snapshot shape.
+    let wl = Workload::poisson(1500.0, 512, 48, 256);
+    let mut run = ServeRun::new(&wl, &cfg);
+    let mut cost = AnalyticCostModel::small();
+    for _ in 0..1500 {
+        if !run.step(&mut cost, &mut Fifo) {
+            break;
+        }
+    }
+    c.bench_function("snapshot_serve_freeze", |b| {
+        b.iter(|| black_box(run.snapshot()));
+    });
+    let bytes = run.snapshot();
+    c.bench_function("snapshot_serve_thaw", |b| {
+        b.iter(|| ServeRun::resume(black_box(&wl), black_box(&bytes)).expect("pristine bytes"));
+    });
+    c.bench_function("snapshot_serve_state_digest", |b| {
+        b.iter(|| black_box(run.state_digest()));
+    });
+
+    // Fleet snapshot including router state.
+    let mut fleet = Fleet::homogeneous(
+        4,
+        &cfg,
+        || Box::new(AnalyticCostModel::small()),
+        || Box::new(PriorityAging::new(0.25)),
+    );
+    let mut router = SessionAffinity::new();
+    let mut fleet_run = fleet.start(&wl);
+    for _ in 0..1500 {
+        if !fleet_run.step(&mut fleet, &mut router) {
+            break;
+        }
+    }
+    c.bench_function("snapshot_fleet_freeze", |b| {
+        b.iter(|| black_box(fleet_run.snapshot(&router)));
+    });
+    let fleet_bytes = fleet_run.snapshot(&router);
+    c.bench_function("snapshot_fleet_thaw", |b| {
+        b.iter(|| {
+            let mut thaw_router: Box<dyn Router> = Box::new(SessionAffinity::new());
+            FleetRun::resume(
+                black_box(&wl),
+                black_box(&fleet),
+                thaw_router.as_mut(),
+                black_box(&fleet_bytes),
+            )
+            .expect("pristine bytes")
+        });
+    });
+
+    // Replaying a complete command log against a fresh core — the
+    // bisection probe's unit of work.
+    let mut full = ServeRun::new(&wl, &cfg);
+    let mut cost = AnalyticCostModel::small();
+    while full.step(&mut cost, &mut Fifo) {}
+    let log = full.log().clone();
+    c.bench_function("snapshot_replay_serve_full_log", |b| {
+        b.iter(|| {
+            let r = log.replay_serve(
+                black_box(&wl),
+                &mut AnalyticCostModel::small(),
+                &cfg,
+                &mut Fifo,
+            );
+            digest_serve_report(&r)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

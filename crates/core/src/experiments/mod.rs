@@ -15,6 +15,7 @@
 //! emits.
 
 pub mod ablations;
+pub mod checkpoint;
 pub mod design_points;
 pub mod ext_scaleout;
 pub mod fig01_roofline;

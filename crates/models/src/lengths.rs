@@ -45,7 +45,9 @@ pub enum LengthDistribution {
 
 impl LengthDistribution {
     /// Maps a uniform draw `u ∈ [0, 1)` to a length via the inverse CDF.
-    /// Lengths are always at least one token.
+    /// Randomly drawn lengths are always at least one token; an explicit
+    /// [`LengthDistribution::Fixed`]`(0)` is honoured as zero, so
+    /// adversarial workloads can model empty prompts deliberately.
     ///
     /// # Panics
     ///
@@ -55,7 +57,7 @@ impl LengthDistribution {
     pub fn sample(&self, u: f64) -> u32 {
         let u = u.clamp(0.0, 1.0 - 1e-12);
         let len = match self {
-            Self::Fixed(n) => *n,
+            Self::Fixed(n) => return *n,
             Self::Uniform { lo, hi } => {
                 let (lo, hi) = (*lo.min(hi), *lo.max(hi));
                 let span = f64::from(hi - lo) + 1.0;
@@ -174,9 +176,17 @@ mod tests {
     }
 
     #[test]
-    fn lengths_are_at_least_one_token() {
+    fn random_lengths_are_at_least_one_token() {
         let d = LengthDistribution::Exponential { mean: 1.0, cap: 8 };
         assert!(d.sample(0.0) >= 1);
-        assert!(LengthDistribution::Fixed(0).sample(0.5) >= 1);
+        let u = LengthDistribution::Uniform { lo: 0, hi: 0 };
+        assert!(u.sample(0.5) >= 1);
+    }
+
+    #[test]
+    fn explicit_fixed_zero_is_honoured() {
+        // Zero-length prompts are a deliberate adversarial input, not a
+        // sampling artefact: only the Fixed variant may produce them.
+        assert_eq!(LengthDistribution::Fixed(0).sample(0.5), 0);
     }
 }

@@ -12,9 +12,10 @@
 //! (round-robin within its class) and the priority/deadline derived
 //! from its class spec — the fields scheduling policies order by.
 
-use crate::class::ClassSpec;
+use crate::class::{ClassSpec, SloTargets};
 use crate::request::Request;
 use crate::rng::ServeRng;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use rpu_models::LengthDistribution;
 use std::collections::VecDeque;
 
@@ -346,6 +347,225 @@ impl RequestSource {
     #[must_use]
     pub fn issued(&self) -> u32 {
         self.issued
+    }
+
+    /// Requests generated but not yet handed to a scheduler.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Serialises the source's *dynamic* state: RNG word, issue
+    /// counters and the pending tape. The distributions and class specs
+    /// are rebuilt from the workload at restore time (they may hold
+    /// `&'static str` names a byte stream cannot carry), which is why
+    /// snapshots fingerprint the workload instead of embedding it.
+    pub(crate) fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.rng.state());
+        w.put_u32(self.issued);
+        w.put_u32(self.budget);
+        w.put_usize(self.class_issued.len());
+        for &n in &self.class_issued {
+            w.put_u32(n);
+        }
+        w.put_usize(self.pending.len());
+        for req in &self.pending {
+            req.save(w);
+        }
+    }
+
+    /// Rebuilds a source from `workload` (static configuration) plus a
+    /// saved dynamic state.
+    pub(crate) fn restore(
+        workload: &Workload,
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<Self, SnapshotError> {
+        let rng = ServeRng::new(r.get_u64()?);
+        let issued = r.get_u32()?;
+        let budget = r.get_u32()?;
+        let classes = r.get_count(4)?;
+        if classes != workload.classes.len() {
+            return Err(SnapshotError::Corrupt("class count differs from workload"));
+        }
+        let mut class_issued = Vec::with_capacity(classes);
+        for _ in 0..classes {
+            class_issued.push(r.get_u32()?);
+        }
+        let n_pending = r.get_count(8)?;
+        let mut pending = VecDeque::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push_back(Request::load(r)?);
+        }
+        Ok(Self {
+            pending,
+            rng,
+            prompt_lens: workload.prompt_lens.clone(),
+            output_lens: workload.output_lens.clone(),
+            classes: workload.classes.clone(),
+            class_issued,
+            issued,
+            budget,
+            think_s: match workload.arrivals {
+                ArrivalProcess::ClosedLoop { think_s, .. } => Some(think_s),
+                _ => None,
+            },
+        })
+    }
+}
+
+/// The hostile-tape families of the adversarial battery. Each stresses
+/// a different scheduler/router pathway; all are deterministic in the
+/// seed, so a failing tape is a one-line reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzFamily {
+    /// Whole bursts of requests arriving at the *same instant*,
+    /// separated by silence — worst case for tie-breaking, telemetry
+    /// staleness and admission-order determinism.
+    FlashBurst,
+    /// A mix dominated by zero-length prompts (nothing to prefill,
+    /// instant readiness) interleaved with ordinary requests.
+    ZeroPrompt,
+    /// Prompts around and beyond the KV capacity: some fill the whole
+    /// machine alone, some can never fit and must be rejected.
+    MonsterContext,
+    /// Class priorities and TTFT deadlines pulling in *opposite*
+    /// directions, so priority- and deadline-ordered policies disagree
+    /// maximally.
+    DeadlineInversion,
+    /// A closed loop of many short-session clients churning across
+    /// tenants — completions constantly re-seed the arrival tape.
+    SessionChurn,
+}
+
+impl FuzzFamily {
+    /// Every family, for exhaustive sweeps.
+    pub const ALL: [Self; 5] = [
+        Self::FlashBurst,
+        Self::ZeroPrompt,
+        Self::MonsterContext,
+        Self::DeadlineInversion,
+        Self::SessionChurn,
+    ];
+
+    /// Family name for test labels and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::FlashBurst => "flash-burst",
+            Self::ZeroPrompt => "zero-prompt",
+            Self::MonsterContext => "monster-context",
+            Self::DeadlineInversion => "deadline-inversion",
+            Self::SessionChurn => "session-churn",
+        }
+    }
+}
+
+/// Generates one hostile workload tape. Deterministic in
+/// `(family, seed)`; tapes are sized for fast exhaustive sweeps
+/// (~100 requests) while still hitting the family's pathology.
+/// Capacity-relative sizes target [`crate::AnalyticCostModel::small`]'s
+/// 4096-token KV.
+#[must_use]
+pub fn fuzz_tape(family: FuzzFamily, seed: u64) -> Workload {
+    let salt = FuzzFamily::ALL
+        .iter()
+        .position(|&f| f == family)
+        .expect("family is in ALL") as u64;
+    let mut rng = ServeRng::new(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    match family {
+        FuzzFamily::FlashBurst => {
+            let bursts = 4 + (rng.next_u64() % 4) as usize;
+            let per_burst = 12 + (rng.next_u64() % 12) as usize;
+            let mut arrivals_s = Vec::with_capacity(bursts * per_burst);
+            let mut t = 0.0;
+            for _ in 0..bursts {
+                t += 0.05 + 0.15 * rng.next_f64();
+                // Every request in the burst lands at exactly t.
+                arrivals_s.extend(std::iter::repeat_n(t, per_burst));
+            }
+            let n = arrivals_s.len() as u32;
+            Workload {
+                arrivals: ArrivalProcess::Trace { arrivals_s },
+                prompt_lens: LengthDistribution::Uniform { lo: 16, hi: 256 },
+                output_lens: LengthDistribution::Uniform { lo: 4, hi: 32 },
+                num_requests: n,
+                seed,
+                classes: vec![ClassSpec::interactive()],
+            }
+        }
+        FuzzFamily::ZeroPrompt => Workload {
+            prompt_lens: LengthDistribution::Fixed(0),
+            output_lens: LengthDistribution::Uniform { lo: 1, hi: 8 },
+            seed,
+            ..Workload::poisson(1500.0, 0, 1, 96)
+        }
+        .with_classes(vec![
+            ClassSpec {
+                share: 2.0,
+                prompt_lens: Some(LengthDistribution::Fixed(0)),
+                output_lens: Some(LengthDistribution::Uniform { lo: 1, hi: 8 }),
+                tenants: 4,
+                ..ClassSpec::interactive()
+            },
+            ClassSpec {
+                share: 1.0,
+                prompt_lens: Some(LengthDistribution::Uniform { lo: 32, hi: 128 }),
+                output_lens: Some(LengthDistribution::Uniform { lo: 4, hi: 16 }),
+                ..ClassSpec::batch()
+            },
+        ]),
+        FuzzFamily::MonsterContext => Workload {
+            prompt_lens: LengthDistribution::Empirical(vec![
+                (64, 2.0),
+                (1024, 1.0),
+                (2000, 1.0),
+                (4000, 1.0),
+                (4090, 1.0),
+                (6000, 1.0),
+            ]),
+            output_lens: LengthDistribution::Uniform { lo: 1, hi: 16 },
+            seed,
+            ..Workload::poisson(600.0, 1, 1, 96)
+        },
+        FuzzFamily::DeadlineInversion => Workload {
+            seed,
+            ..Workload::poisson(2500.0, 1, 1, 96)
+        }
+        .with_classes(vec![
+            // Urgent priority, slack deadline…
+            ClassSpec {
+                share: 1.0,
+                slo: SloTargets::batch(),
+                prompt_lens: Some(LengthDistribution::Uniform { lo: 64, hi: 512 }),
+                output_lens: Some(LengthDistribution::Uniform { lo: 8, hi: 48 }),
+                tenants: 3,
+                ..ClassSpec::interactive()
+            },
+            // …against lazy priority, tight deadline: priority- and
+            // deadline-ordered policies now disagree on every pick.
+            ClassSpec {
+                share: 1.0,
+                slo: SloTargets::interactive(),
+                prompt_lens: Some(LengthDistribution::Uniform { lo: 64, hi: 512 }),
+                output_lens: Some(LengthDistribution::Uniform { lo: 8, hi: 48 }),
+                tenants: 3,
+                ..ClassSpec::batch()
+            },
+        ]),
+        FuzzFamily::SessionChurn => Workload {
+            arrivals: ArrivalProcess::ClosedLoop {
+                clients: 8 + (rng.next_u64() % 8) as u32,
+                think_s: 0.002 * rng.next_f64(),
+            },
+            seed,
+            ..Workload::poisson(1.0, 1, 1, 128)
+        }
+        .with_classes(vec![ClassSpec {
+            tenants: 32,
+            prompt_lens: Some(LengthDistribution::Uniform { lo: 16, hi: 192 }),
+            output_lens: Some(LengthDistribution::Uniform { lo: 2, hi: 24 }),
+            ..ClassSpec::interactive()
+        }]),
     }
 }
 

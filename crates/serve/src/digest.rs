@@ -1,0 +1,235 @@
+//! Stable digests of serving reports and run states.
+//!
+//! A [`ReportDigest`] is a 64-bit FNV-1a hash over every field of a
+//! [`ServeReport`] or [`FleetReport`], with floats canonicalised
+//! (`-0.0` folds into `+0.0`, every NaN into one bit pattern) so the
+//! digest is a pure function of the *values*, not their encodings.
+//! Two runs agree on their digest exactly when they produced the same
+//! report — which makes digests the currency of the differential
+//! machinery: snapshot/resume equivalence, command-log replay checks
+//! and [`crate::bisect`] all compare digests instead of lugging whole
+//! reports around.
+
+use crate::fleet::FleetReport;
+use crate::request::{Request, RequestRecord};
+use crate::scheduler::ServeReport;
+use std::fmt;
+
+/// A stable 64-bit digest of a report or run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReportDigest(pub u64);
+
+impl fmt::Display for ReportDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Streaming FNV-1a 64 hasher feeding a [`ReportDigest`].
+#[derive(Debug, Clone)]
+pub struct DigestWriter {
+    h: u64,
+}
+
+impl Default for DigestWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestWriter {
+    /// A hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            h: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Feeds a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Feeds an `f64` canonically: `-0.0` hashes as `+0.0` and every
+    /// NaN as one fixed pattern, so digests never depend on which of
+    /// several equal-valued bit patterns a computation produced.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(canonical_f64_bits(v));
+    }
+
+    /// The finished digest.
+    #[must_use]
+    pub fn finish(&self) -> ReportDigest {
+        ReportDigest(self.h)
+    }
+}
+
+/// The canonical bit pattern digests hash an `f64` as.
+#[must_use]
+pub fn canonical_f64_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        0x7FF8_0000_0000_0000
+    } else if v == 0.0 {
+        0 // +0.0 and -0.0 compare equal; hash them the same
+    } else {
+        v.to_bits()
+    }
+}
+
+fn hash_request(w: &mut DigestWriter, r: &Request) {
+    w.u32(r.id);
+    w.f64(r.arrival_s);
+    w.u32(r.prompt_len);
+    w.u32(r.output_len);
+    w.u32(r.tenant);
+    w.u64(r.session);
+    w.bytes(&[r.class, r.priority]);
+    w.f64(r.deadline_s);
+}
+
+fn hash_record(w: &mut DigestWriter, r: &RequestRecord) {
+    w.u32(r.id);
+    w.f64(r.arrival_s);
+    w.f64(r.admit_s);
+    w.f64(r.first_token_s);
+    w.f64(r.finish_s);
+    w.u32(r.prompt_len);
+    w.u32(r.output_len);
+    w.u32(r.tenant);
+    w.bytes(&[r.class]);
+    w.u32(r.preemptions);
+}
+
+fn hash_serve_report(w: &mut DigestWriter, r: &ServeReport) {
+    w.usize(r.records.len());
+    for rec in &r.records {
+        hash_record(w, rec);
+    }
+    w.u32(r.rejected);
+    w.usize(r.rejected_requests.len());
+    for req in &r.rejected_requests {
+        hash_request(w, req);
+    }
+    w.u32(r.preemptions);
+    w.f64(r.makespan_s);
+    w.f64(r.decode_busy_s);
+    w.f64(r.prefill_busy_s);
+    w.u64(r.decode_iterations);
+    w.u32(r.peak_batch);
+    w.u64(r.peak_reserved_tokens);
+}
+
+/// Digest of a single-machine report: every record, rejection and
+/// counter, floats canonicalised.
+#[must_use]
+pub fn digest_serve_report(report: &ServeReport) -> ReportDigest {
+    let mut w = DigestWriter::new();
+    hash_serve_report(&mut w, report);
+    w.finish()
+}
+
+/// Digest of a fleet report: per-replica reports in replica order, the
+/// assignment vector, then the merged aggregate.
+#[must_use]
+pub fn digest_fleet_report(report: &FleetReport) -> ReportDigest {
+    let mut w = DigestWriter::new();
+    w.usize(report.replicas.len());
+    for r in &report.replicas {
+        hash_serve_report(&mut w, r);
+    }
+    for &n in &report.assigned {
+        w.u32(n);
+    }
+    hash_serve_report(&mut w, &report.aggregate);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AnalyticCostModel;
+    use crate::fleet::Fleet;
+    use crate::policy::Fifo;
+    use crate::router::RoundRobin;
+    use crate::scheduler::{serve, ServeConfig};
+    use crate::Workload;
+
+    #[test]
+    fn digest_is_stable_across_runs_and_sensitive_to_the_report() {
+        let wl = Workload::poisson(400.0, 128, 16, 24);
+        let a = serve(
+            &wl,
+            &mut AnalyticCostModel::small(),
+            &ServeConfig::default(),
+        );
+        let b = serve(
+            &wl,
+            &mut AnalyticCostModel::small(),
+            &ServeConfig::default(),
+        );
+        assert_eq!(digest_serve_report(&a), digest_serve_report(&b));
+        let other = serve(
+            &Workload { seed: 1, ..wl },
+            &mut AnalyticCostModel::small(),
+            &ServeConfig::default(),
+        );
+        assert_ne!(digest_serve_report(&a), digest_serve_report(&other));
+    }
+
+    #[test]
+    fn float_canonicalisation_folds_equivalent_values() {
+        assert_eq!(canonical_f64_bits(0.0), canonical_f64_bits(-0.0));
+        assert_eq!(canonical_f64_bits(f64::NAN), canonical_f64_bits(-f64::NAN));
+        assert_ne!(canonical_f64_bits(1.0), canonical_f64_bits(2.0));
+        assert_eq!(canonical_f64_bits(f64::INFINITY), f64::INFINITY.to_bits());
+    }
+
+    #[test]
+    fn empty_workload_fleet_report_digests_stably() {
+        // Satellite regression: a 0-request workload must merge to a
+        // digestable report — no NaNs anywhere, same digest every time.
+        let run = || {
+            let mut fleet = Fleet::homogeneous(
+                3,
+                &ServeConfig::default(),
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            );
+            fleet.serve(&Workload::default(), &mut RoundRobin::new())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.aggregate.records.len(), 0);
+        assert_eq!(digest_fleet_report(&a), digest_fleet_report(&b));
+        assert_eq!(a.aggregate.makespan_s, 0.0);
+        assert!(!a.fleet_utilization().is_nan());
+        assert!(!a.imbalance().is_nan());
+        for u in a.per_replica_utilization() {
+            assert!(!u.is_nan());
+        }
+    }
+
+    #[test]
+    fn digest_renders_as_sixteen_hex_digits() {
+        assert_eq!(format!("{}", ReportDigest(0xAB)), "00000000000000ab");
+    }
+}

@@ -50,11 +50,16 @@
 use crate::arrivals::{RequestSource, Workload};
 use crate::class::ClassSpec;
 use crate::cost::CostModel;
+use crate::digest::ReportDigest;
 use crate::metrics::MultiClassReport;
 use crate::policy::SchedulingPolicy;
+use crate::replay::{Command, CommandLog};
 use crate::request::RequestRecord;
-use crate::router::Router;
-use crate::scheduler::{Core, ServeConfig, ServeReport};
+use crate::router::{ReplicaTelemetry, Router};
+use crate::scheduler::{Core, RunStats, ServeConfig, ServeReport};
+use crate::snapshot::{
+    fnv1a, section, workload_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter, KIND_FLEET,
+};
 
 /// One replica of a serving fleet: a machine (cost model), a scheduling
 /// policy and the scheduler knobs it runs under.
@@ -138,38 +143,63 @@ impl Fleet {
     /// Panics if the router returns an out-of-range replica index.
     #[must_use]
     pub fn serve(&mut self, workload: &Workload, router: &mut dyn Router) -> FleetReport {
+        let mut run = self.start(workload);
+        while run.step(self, router) {}
+        run.into_report()
+    }
+
+    /// Begins a resumable run over `workload` — [`Fleet::serve`]
+    /// unrolled into a [`FleetRun`] you can step, snapshot and restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is invalid (see
+    /// [`crate::RequestSource::new`]).
+    #[must_use]
+    pub fn start(&self, workload: &Workload) -> FleetRun {
+        FleetRun {
+            source: RequestSource::new(workload),
+            cores: self.replicas.iter().map(|r| Core::new(r.config)).collect(),
+            assigned: vec![0u32; self.replicas.len()],
+            log: CommandLog::new(),
+            events: 0,
+            fingerprint: workload_fingerprint(workload),
+        }
+    }
+
+    /// Replays a recorded [`CommandLog`] against this fleet: every
+    /// arrival goes to the replica the log routed it to and every step
+    /// runs on the replica the log stepped — no router, no event-order
+    /// scan. Deterministic policies reproduce their decisions, so the
+    /// replayed report digests identically to the recorded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log does not belong to this workload/fleet (an
+    /// enqueue with no arrival pending, or a replica out of range).
+    #[must_use]
+    pub fn replay(&mut self, workload: &Workload, log: &CommandLog) -> FleetReport {
         let mut source = RequestSource::new(workload);
         let mut cores: Vec<Core> = self.replicas.iter().map(|r| Core::new(r.config)).collect();
         let mut assigned = vec![0u32; self.replicas.len()];
-        loop {
-            let next_arrival = source.next_arrival_s().unwrap_or(f64::INFINITY);
-            let (which, next_event) = cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (i, c.next_event_s()))
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("fleets are non-empty");
-            if !next_arrival.is_finite() && !next_event.is_finite() {
-                break;
-            }
-            // Arrivals win ties: a request is routed at its arrival
-            // time, before any replica runs a scheduling event at or
-            // after it — every replica's telemetry is current as of the
-            // arrival.
-            if next_arrival <= next_event {
-                let req = source.pop_ready(next_arrival).expect("arrival is due");
-                let telemetry: Vec<_> = cores
-                    .iter()
-                    .zip(&self.replicas)
-                    .map(|(c, r)| c.telemetry(r.cost.kv_capacity_tokens()))
-                    .collect();
-                let pick = router.route(&req, &telemetry);
-                assert!(pick < cores.len(), "router picked out of range");
-                assigned[pick] += 1;
-                cores[pick].enqueue(req);
-            } else {
-                let replica = &mut self.replicas[which];
-                cores[which].step(replica.cost.as_mut(), replica.policy.as_mut(), &mut source);
+        for cmd in log.commands() {
+            match *cmd {
+                Command::Enqueue { replica } => {
+                    let pick = replica as usize;
+                    assert!(pick < cores.len(), "log routed out of range");
+                    let t = source
+                        .next_arrival_s()
+                        .expect("log enqueues with no arrival pending");
+                    let req = source.pop_ready(t).expect("arrival is due");
+                    assigned[pick] += 1;
+                    cores[pick].enqueue(req);
+                }
+                Command::Step { replica } => {
+                    let which = replica as usize;
+                    assert!(which < cores.len(), "log stepped out of range");
+                    let rep = &mut self.replicas[which];
+                    cores[which].step(rep.cost.as_mut(), rep.policy.as_mut(), &mut source);
+                }
             }
         }
         debug_assert!(source.exhausted());
@@ -178,6 +208,259 @@ impl Fleet {
         FleetReport {
             replicas,
             assigned,
+            aggregate,
+        }
+    }
+}
+
+/// A resumable fleet run: [`Fleet::serve`] unrolled into an object you
+/// can step, snapshot (router state included) and restore such that
+/// the finished [`FleetReport`] is byte-identical to an uninterrupted
+/// run.
+///
+/// The fleet itself (cost models, policies, configs) stays outside the
+/// snapshot — it is rebuilt by the caller, exactly like the workload —
+/// but everything dynamic lives in here: arrival source, per-replica
+/// core state, assignment counts, router state and the command log.
+pub struct FleetRun {
+    source: RequestSource,
+    cores: Vec<Core>,
+    assigned: Vec<u32>,
+    log: CommandLog,
+    events: u64,
+    fingerprint: u64,
+}
+
+impl std::fmt::Debug for FleetRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRun")
+            .field("replicas", &self.cores.len())
+            .field("events", &self.events)
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetRun {
+    /// Executes exactly one global event — an arrival routed and
+    /// enqueued, or one replica's scheduler step — and records it.
+    /// Returns `false` once the run is complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is not the fleet this run was started on
+    /// (replica count differs) or the router picks out of range.
+    pub fn step(&mut self, fleet: &mut Fleet, router: &mut dyn Router) -> bool {
+        assert_eq!(
+            self.cores.len(),
+            fleet.replicas.len(),
+            "fleet changed size mid-run"
+        );
+        let next_arrival = self.source.next_arrival_s().unwrap_or(f64::INFINITY);
+        let (which, next_event) = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.next_event_s()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("fleets are non-empty");
+        if !next_arrival.is_finite() && !next_event.is_finite() {
+            return false;
+        }
+        // Arrivals win ties: a request is routed at its arrival
+        // time, before any replica runs a scheduling event at or
+        // after it — every replica's telemetry is current as of the
+        // arrival.
+        if next_arrival <= next_event {
+            let req = self.source.pop_ready(next_arrival).expect("arrival is due");
+            let telemetry: Vec<_> = self
+                .cores
+                .iter()
+                .zip(&fleet.replicas)
+                .map(|(c, r)| c.telemetry(r.cost.kv_capacity_tokens()))
+                .collect();
+            let pick = router.route(&req, &telemetry);
+            assert!(pick < self.cores.len(), "router picked out of range");
+            self.assigned[pick] += 1;
+            self.cores[pick].enqueue(req);
+            self.log.push(Command::Enqueue {
+                replica: pick as u32,
+            });
+        } else {
+            let replica = &mut fleet.replicas[which];
+            self.cores[which].step(
+                replica.cost.as_mut(),
+                replica.policy.as_mut(),
+                &mut self.source,
+            );
+            self.log.push(Command::Step {
+                replica: which as u32,
+            });
+        }
+        self.events += 1;
+        true
+    }
+
+    /// Events executed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The decision trace recorded so far.
+    #[must_use]
+    pub fn log(&self) -> &CommandLog {
+        &self.log
+    }
+
+    /// Point-in-time lifecycle counters summed across replicas, for
+    /// conservation checks at snapshot points.
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            issued: self.source.issued(),
+            pending_arrivals: self.source.pending(),
+            queued: self.cores.iter().map(|c| c.queue_len() as u32).sum(),
+            active: self.cores.iter().map(|c| c.active_len() as u32).sum(),
+            completed: self.cores.iter().map(Core::completed).sum(),
+            rejected: self.cores.iter().map(Core::rejected).sum(),
+        }
+    }
+
+    /// What every replica currently publishes to the router — the
+    /// counters cap invariants are checked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is not the fleet this run was started on.
+    #[must_use]
+    pub fn telemetry(&self, fleet: &Fleet) -> Vec<ReplicaTelemetry> {
+        assert_eq!(
+            self.cores.len(),
+            fleet.replicas.len(),
+            "fleet changed size mid-run"
+        );
+        self.cores
+            .iter()
+            .zip(&fleet.replicas)
+            .map(|(c, r)| c.telemetry(r.cost.kv_capacity_tokens()))
+            .collect()
+    }
+
+    /// Freezes the whole run — source, every core, assignment counts,
+    /// router state, command log — into a versioned, checksummed byte
+    /// stream.
+    #[must_use]
+    pub fn snapshot(&self, router: &dyn Router) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.begin_section(section::RUN);
+        w.put_u8(KIND_FLEET);
+        w.put_u64(self.fingerprint);
+        w.put_u64(self.events);
+        w.put_usize(self.cores.len());
+        for &n in &self.assigned {
+            w.put_u32(n);
+        }
+        w.end_section();
+        w.begin_section(section::SOURCE);
+        self.source.save(&mut w);
+        w.end_section();
+        for core in &self.cores {
+            w.begin_section(section::CORE);
+            core.save(&mut w);
+            w.end_section();
+        }
+        w.begin_section(section::ROUTER);
+        router.save_state(&mut w);
+        w.end_section();
+        w.begin_section(section::LOG);
+        self.log.save(&mut w);
+        w.end_section();
+        w.finish()
+    }
+
+    /// Thaws a run frozen by [`FleetRun::snapshot`]. The same workload
+    /// and an identically configured fleet must be supplied; `router`
+    /// has its frozen state restored in place. Resuming continues
+    /// bit-identically to the run that was frozen.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: corruption, truncation, version skew, a
+    /// different workload, or a fleet whose replica count or configs
+    /// differ from the frozen run's.
+    pub fn resume(
+        workload: &Workload,
+        fleet: &Fleet,
+        router: &mut dyn Router,
+        bytes: &[u8],
+    ) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.begin_section(section::RUN)?;
+        if r.get_u8()? != KIND_FLEET {
+            return Err(SnapshotError::Corrupt("not a fleet snapshot"));
+        }
+        let fingerprint = r.get_u64()?;
+        if fingerprint != workload_fingerprint(workload) {
+            return Err(SnapshotError::WorkloadMismatch);
+        }
+        let events = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != fleet.replicas.len() {
+            return Err(SnapshotError::Corrupt("replica count differs"));
+        }
+        let mut assigned = Vec::with_capacity(n);
+        for _ in 0..n {
+            assigned.push(r.get_u32()?);
+        }
+        r.end_section()?;
+        r.begin_section(section::SOURCE)?;
+        let source = RequestSource::restore(workload, &mut r)?;
+        r.end_section()?;
+        let mut cores = Vec::with_capacity(n);
+        for replica in &fleet.replicas {
+            r.begin_section(section::CORE)?;
+            let core = Core::restore(&mut r)?;
+            if core.config() != replica.config {
+                return Err(SnapshotError::Corrupt("replica config differs"));
+            }
+            cores.push(core);
+            r.end_section()?;
+        }
+        r.begin_section(section::ROUTER)?;
+        router.load_state(&mut r)?;
+        r.end_section()?;
+        r.begin_section(section::LOG)?;
+        let log = CommandLog::load(&mut r)?;
+        r.end_section()?;
+        Ok(Self {
+            source,
+            cores,
+            assigned,
+            log,
+            events,
+            fingerprint,
+        })
+    }
+
+    /// Digest of the full frozen state (snapshot bytes hashed). Two
+    /// runs share a state digest exactly when they would snapshot to
+    /// identical bytes.
+    #[must_use]
+    pub fn state_digest(&self, router: &dyn Router) -> ReportDigest {
+        ReportDigest(fnv1a(&self.snapshot(router)))
+    }
+
+    /// Finalises the run and yields the merged fleet report.
+    #[must_use]
+    pub fn into_report(self) -> FleetReport {
+        debug_assert!(self.source.exhausted());
+        let replicas: Vec<ServeReport> = self.cores.into_iter().map(Core::into_report).collect();
+        let aggregate = merge(&replicas);
+        FleetReport {
+            replicas,
+            assigned: self.assigned,
             aggregate,
         }
     }

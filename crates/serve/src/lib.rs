@@ -34,6 +34,18 @@
 //! seed reproduces the schedule bit-for-bit, for every policy, router
 //! and fleet size.
 //!
+//! Determinism is load-bearing, so it has its own tooling layer:
+//! [`ServeRun`]/[`FleetRun`] unroll the serving loops into resumable
+//! runs that can be frozen to versioned, checksummed bytes
+//! ([`snapshot`]) and thawed to continue bit-identically; every run
+//! records a [`CommandLog`] whose replay digests
+//! ([`digest_serve_report`]/[`digest_fleet_report`]) identically to
+//! the recording; and when two builds disagree, [`bisect`]
+//! binary-searches the first event where their state digests diverge.
+//! [`fuzz_tape`] generates adversarial workloads (flash bursts,
+//! zero-length prompts, KV-filling monster contexts, deadline
+//! inversions, session churn) to stress all of it.
+//!
 //! # Examples
 //!
 //! ```
@@ -59,28 +71,38 @@
 #![warn(missing_docs)]
 
 mod arrivals;
+pub mod bisect;
 mod class;
 mod cost;
+mod digest;
 mod fleet;
 mod metrics;
 mod policy;
+mod replay;
 mod request;
 mod rng;
 mod router;
 mod scheduler;
+pub mod snapshot;
 
-pub use arrivals::{ArrivalProcess, RequestSource, Workload};
+pub use arrivals::{fuzz_tape, ArrivalProcess, FuzzFamily, RequestSource, Workload};
+pub use bisect::{bisect_divergence, BisectOutcome};
 pub use class::{ClassSpec, SloTargets};
 pub use cost::{AnalyticCostModel, CostModel};
-pub use fleet::{Fleet, FleetReplica, FleetReport};
+pub use digest::{
+    canonical_f64_bits, digest_fleet_report, digest_serve_report, DigestWriter, ReportDigest,
+};
+pub use fleet::{Fleet, FleetReplica, FleetReport, FleetRun};
 pub use metrics::{ClassSlo, MultiClassReport, SloReport};
 pub use policy::{
     ActiveRequest, DeadlineEdf, Fifo, PriorityAging, QueuedRequest, SchedulingPolicy,
     ShortestJobFirst,
 };
+pub use replay::{Command, CommandLog};
 pub use request::{Request, RequestRecord};
 pub use rng::ServeRng;
 pub use router::{
     JoinShortestQueue, LeastKvLoad, ReplicaTelemetry, RoundRobin, Router, SessionAffinity,
 };
-pub use scheduler::{serve, serve_with, ServeConfig, ServeReport};
+pub use scheduler::{serve, serve_with, RunStats, ServeConfig, ServeReport, ServeRun};
+pub use snapshot::SnapshotError;

@@ -15,6 +15,7 @@
 //! | [`SessionAffinity`] | consistent hash of the session key | no | ring cache |
 
 use crate::request::Request;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// The load counters one replica publishes to the router.
 ///
@@ -119,6 +120,25 @@ pub trait Router {
 
     /// Picks the replica index for one arriving request.
     fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize;
+
+    /// Serialises the router's run state into an open snapshot section,
+    /// so a resumed fleet routes exactly as the frozen one would have.
+    /// The default writes nothing — correct for stateless routers.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let _ = w;
+    }
+
+    /// Restores run state written by [`Router::save_state`]. Must read
+    /// exactly what `save_state` wrote. The default reads nothing.
+    ///
+    /// # Errors
+    ///
+    /// A [`SnapshotError`] when the saved state cannot apply to this
+    /// router.
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Blind rotation: requests go to replicas in turn, ignoring telemetry.
@@ -145,6 +165,15 @@ impl Router for RoundRobin {
         let pick = self.next % fleet.len();
         self.next = (pick + 1) % fleet.len();
         pick
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.next);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.next = r.get_usize()?;
+        Ok(())
     }
 }
 
@@ -274,6 +303,28 @@ impl Router for SessionAffinity {
         let i = self.ring.partition_point(|&(point, _)| point < key);
         self.ring[i % self.ring.len()].1
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // The ring itself is a pure function of (vnodes, replica
+        // count): save the inputs, rebuild on load.
+        w.put_u32(self.vnodes);
+        w.put_usize(self.ring_replicas);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let vnodes = r.get_u32()?;
+        if vnodes != self.vnodes {
+            return Err(SnapshotError::Corrupt("affinity vnode count differs"));
+        }
+        let replicas = r.get_usize()?;
+        if replicas == 0 {
+            self.ring.clear();
+            self.ring_replicas = 0;
+        } else {
+            self.rebuild(replicas);
+        }
+        Ok(())
+    }
 }
 
 /// SplitMix64 finalisation: a fast, deterministic bijection on `u64`
@@ -390,5 +441,120 @@ mod tests {
     #[should_panic(expected = "vnode")]
     fn zero_vnodes_rejected() {
         let _ = SessionAffinity::with_vnodes(0);
+    }
+
+    #[test]
+    fn affinity_shrink_remaps_only_the_lost_replicas_keys() {
+        // The reverse resize path: removing a replica must scatter only
+        // its own keys; every other session keeps its placement.
+        let grown = vec![idle(4096); 5];
+        let small = vec![idle(4096); 4];
+        let mut aff = SessionAffinity::new();
+        let mut lost = 0u32;
+        for session in 0..512u64 {
+            let before = aff.route(&req(session), &grown);
+            let after = aff.route(&req(session), &small);
+            if before == 4 {
+                lost += 1; // had to move somewhere in 0..4
+                assert!(after < 4);
+            } else {
+                assert_eq!(before, after, "session {session} moved without cause");
+            }
+        }
+        assert!(lost > 0, "replica 4 owned no keys — test is vacuous");
+    }
+
+    #[test]
+    fn affinity_resize_round_trip_restores_every_placement() {
+        // Grow then shrink back: the ring is a pure function of the
+        // replica count, so placements must be exactly the originals.
+        let small = vec![idle(4096); 3];
+        let grown = vec![idle(4096); 6];
+        let mut aff = SessionAffinity::new();
+        let before: Vec<usize> = (0..256u64).map(|s| aff.route(&req(s), &small)).collect();
+        for s in 0..256u64 {
+            let _ = aff.route(&req(s), &grown);
+        }
+        let after: Vec<usize> = (0..256u64).map(|s| aff.route(&req(s), &small)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn affinity_single_replica_routes_everything_to_it() {
+        let fleet = vec![idle(4096)];
+        let mut aff = SessionAffinity::with_vnodes(1);
+        for session in 0..64u64 {
+            assert_eq!(aff.route(&req(session), &fleet), 0);
+        }
+    }
+
+    #[test]
+    fn jsq_breaks_backlog_ties_by_lowest_index() {
+        // All replicas idle: identical backlog, identical headroom. The
+        // deterministic tie-break must pick index 0 — and stay stable
+        // when later replicas are equally short.
+        let fleet = vec![idle(4096); 4];
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 0);
+        let mut fleet = vec![idle(4096); 4];
+        fleet[0].queue_depth = 1;
+        // 1, 2, 3 tie at backlog 0: lowest index wins.
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn jsq_tie_break_is_by_index_even_in_the_fallback_path() {
+        // No replica has headroom; two tie on backlog. Index decides.
+        let mut fleet = vec![idle(10); 3];
+        fleet[0].queue_depth = 5;
+        fleet[1].queue_depth = 2;
+        fleet[2].queue_depth = 2;
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn jsq_mixed_queue_and_active_counts_sum_into_the_backlog() {
+        let mut fleet = vec![idle(4096); 2];
+        fleet[0].queue_depth = 1;
+        fleet[0].active_requests = 1; // backlog 2
+        fleet[1].active_requests = 2; // backlog 2 — tie, index 0 wins
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 0);
+        fleet[1].active_requests = 1; // backlog 1 — strict winner
+        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn round_robin_cursor_round_trips_through_state() {
+        let fleet = vec![idle(4096); 3];
+        let mut rr = RoundRobin::new();
+        let _ = rr.route(&req(0), &fleet);
+        let _ = rr.route(&req(0), &fleet);
+        let mut w = SnapshotWriter::new();
+        w.begin_section(1);
+        rr.save_state(&mut w);
+        w.end_section();
+        let bytes = w.finish();
+        let mut restored = RoundRobin::new();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        r.begin_section(1).unwrap();
+        restored.load_state(&mut r).unwrap();
+        r.end_section().unwrap();
+        assert_eq!(restored.route(&req(0), &fleet), rr.route(&req(0), &fleet));
+    }
+
+    #[test]
+    fn affinity_state_rejects_mismatched_vnodes() {
+        let aff = SessionAffinity::with_vnodes(8);
+        let mut w = SnapshotWriter::new();
+        w.begin_section(1);
+        aff.save_state(&mut w);
+        w.end_section();
+        let bytes = w.finish();
+        let mut other = SessionAffinity::with_vnodes(16);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        r.begin_section(1).unwrap();
+        assert_eq!(
+            other.load_state(&mut r).unwrap_err(),
+            SnapshotError::Corrupt("affinity vnode count differs")
+        );
     }
 }

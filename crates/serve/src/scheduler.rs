@@ -71,9 +71,14 @@
 
 use crate::arrivals::{RequestSource, Workload};
 use crate::cost::CostModel;
+use crate::digest::ReportDigest;
 use crate::policy::{ActiveRequest, Fifo, QueuedRequest, SchedulingPolicy};
+use crate::replay::{Command, CommandLog};
 use crate::request::{Request, RequestRecord};
 use crate::router::ReplicaTelemetry;
+use crate::snapshot::{
+    fnv1a, section, workload_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter, KIND_SERVE,
+};
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -207,25 +212,243 @@ pub fn serve_with(
     config: &ServeConfig,
     policy: &mut dyn SchedulingPolicy,
 ) -> ServeReport {
-    let mut source = RequestSource::new(workload);
-    let mut core = Core::new(*config);
-    loop {
-        let next_arrival = source.next_arrival_s().unwrap_or(f64::INFINITY);
-        let next_event = core.next_event_s();
+    let mut run = ServeRun::new(workload, config);
+    while run.step(cost, policy) {}
+    run.into_report()
+}
+
+/// Point-in-time counters of a run, for invariant checks at snapshot
+/// points: every issued request must be exactly one of pending, queued,
+/// active, completed or rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Requests issued by the arrival source so far.
+    pub issued: u32,
+    /// Issued but not yet handed to any scheduler.
+    pub pending_arrivals: usize,
+    /// Waiting in scheduler queues (all replicas).
+    pub queued: u32,
+    /// Resident in serving batches (all replicas).
+    pub active: u32,
+    /// Completed (all replicas).
+    pub completed: u32,
+    /// Rejected as over-capacity (all replicas).
+    pub rejected: u32,
+}
+
+impl RunStats {
+    /// `true` when every issued request is accounted for exactly once.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        u64::from(self.issued)
+            == self.pending_arrivals as u64
+                + u64::from(self.queued)
+                + u64::from(self.active)
+                + u64::from(self.completed)
+                + u64::from(self.rejected)
+    }
+}
+
+/// A resumable single-machine serving run: [`serve_with`] unrolled into
+/// an object you can step, snapshot, restore and replay.
+///
+/// Driving a fresh run to completion is bit-identical to
+/// [`serve_with`]; the extras are the checkpointing surface —
+/// [`ServeRun::snapshot`] freezes the entire run state (arrival source,
+/// core, command log) into bytes, [`ServeRun::resume`] picks it back up
+/// such that the finished report is byte-identical to the uninterrupted
+/// run.
+///
+/// ```
+/// use rpu_serve::{AnalyticCostModel, Fifo, ServeConfig, ServeRun, Workload};
+///
+/// let wl = Workload::poisson(400.0, 128, 16, 24);
+/// let cfg = ServeConfig::default();
+/// let mut run = ServeRun::new(&wl, &cfg);
+/// let mut cost = AnalyticCostModel::small();
+/// // Step half-way, freeze, thaw, finish.
+/// for _ in 0..10 {
+///     run.step(&mut cost, &mut Fifo);
+/// }
+/// let bytes = run.snapshot();
+/// let mut resumed = ServeRun::resume(&wl, &bytes).unwrap();
+/// while resumed.step(&mut cost, &mut Fifo) {}
+/// assert_eq!(resumed.into_report().records.len(), 24);
+/// ```
+pub struct ServeRun {
+    source: RequestSource,
+    core: Core,
+    log: CommandLog,
+    events: u64,
+    fingerprint: u64,
+}
+
+impl std::fmt::Debug for ServeRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeRun")
+            .field("events", &self.events)
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeRun {
+    /// A fresh run over `workload`, no events executed yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` is zero or the workload is invalid
+    /// (see [`RequestSource::new`]).
+    #[must_use]
+    pub fn new(workload: &Workload, config: &ServeConfig) -> Self {
+        Self {
+            source: RequestSource::new(workload),
+            core: Core::new(*config),
+            log: CommandLog::new(),
+            events: 0,
+            fingerprint: workload_fingerprint(workload),
+        }
+    }
+
+    /// Executes exactly one event — an arrival hand-off or one core
+    /// step — and records it. Returns `false` once the run is complete
+    /// (no pending arrival, no core event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy misbehaves (see [`serve_with`]).
+    pub fn step(&mut self, cost: &mut dyn CostModel, policy: &mut dyn SchedulingPolicy) -> bool {
+        let next_arrival = self.source.next_arrival_s().unwrap_or(f64::INFINITY);
+        let next_event = self.core.next_event_s();
         if !next_arrival.is_finite() && !next_event.is_finite() {
-            break;
+            return false;
         }
         // Arrivals win ties so the admission phase at any clock value
         // sees every request that has arrived by then.
         if next_arrival <= next_event {
-            let req = source.pop_ready(next_arrival).expect("arrival is due");
-            core.enqueue(req);
+            let req = self.source.pop_ready(next_arrival).expect("arrival is due");
+            self.core.enqueue(req);
+            self.log.push(Command::Enqueue { replica: 0 });
         } else {
-            core.step(cost, policy, &mut source);
+            self.core.step(cost, policy, &mut self.source);
+            self.log.push(Command::Step { replica: 0 });
+        }
+        self.events += 1;
+        true
+    }
+
+    /// Events executed so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The decision trace recorded so far.
+    #[must_use]
+    pub fn log(&self) -> &CommandLog {
+        &self.log
+    }
+
+    /// Point-in-time lifecycle counters, for conservation checks.
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            issued: self.source.issued(),
+            pending_arrivals: self.source.pending(),
+            queued: self.core.queue_len() as u32,
+            active: self.core.active_len() as u32,
+            completed: self.core.completed(),
+            rejected: self.core.rejected(),
         }
     }
-    debug_assert!(source.exhausted());
-    core.into_report()
+
+    /// What the core would publish to a router, given its machine's KV
+    /// capacity — the counters cap invariants are checked against.
+    #[must_use]
+    pub fn telemetry(&self, kv_capacity_tokens: u64) -> ReplicaTelemetry {
+        self.core.telemetry(kv_capacity_tokens)
+    }
+
+    /// Freezes the whole run — source, core, command log — into a
+    /// versioned, checksummed byte stream.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.begin_section(section::RUN);
+        w.put_u8(KIND_SERVE);
+        w.put_u64(self.fingerprint);
+        w.put_u64(self.events);
+        w.put_usize(1);
+        w.end_section();
+        w.begin_section(section::SOURCE);
+        self.source.save(&mut w);
+        w.end_section();
+        w.begin_section(section::CORE);
+        self.core.save(&mut w);
+        w.end_section();
+        w.begin_section(section::LOG);
+        self.log.save(&mut w);
+        w.end_section();
+        w.finish()
+    }
+
+    /// Thaws a run frozen by [`ServeRun::snapshot`]. The same workload
+    /// must be supplied — snapshots carry its fingerprint, not its
+    /// contents — and resuming continues bit-identically to the run
+    /// that was frozen.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: corruption, truncation, version skew or a
+    /// workload other than the one the snapshot was taken against.
+    pub fn resume(workload: &Workload, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.begin_section(section::RUN)?;
+        if r.get_u8()? != KIND_SERVE {
+            return Err(SnapshotError::Corrupt("not a single-machine snapshot"));
+        }
+        let fingerprint = r.get_u64()?;
+        if fingerprint != workload_fingerprint(workload) {
+            return Err(SnapshotError::WorkloadMismatch);
+        }
+        let events = r.get_u64()?;
+        if r.get_usize()? != 1 {
+            return Err(SnapshotError::Corrupt("replica count differs"));
+        }
+        r.end_section()?;
+        r.begin_section(section::SOURCE)?;
+        let source = RequestSource::restore(workload, &mut r)?;
+        r.end_section()?;
+        r.begin_section(section::CORE)?;
+        let core = Core::restore(&mut r)?;
+        r.end_section()?;
+        r.begin_section(section::LOG)?;
+        let log = CommandLog::load(&mut r)?;
+        r.end_section()?;
+        Ok(Self {
+            source,
+            core,
+            log,
+            events,
+            fingerprint,
+        })
+    }
+
+    /// Digest of the full frozen state (snapshot bytes hashed). Two
+    /// runs share a state digest exactly when they would snapshot to
+    /// identical bytes — the probe [`crate::bisect`] binary-searches.
+    #[must_use]
+    pub fn state_digest(&self) -> ReportDigest {
+        ReportDigest(fnv1a(&self.snapshot()))
+    }
+
+    /// Finalises the run and yields its report.
+    #[must_use]
+    pub fn into_report(self) -> ServeReport {
+        debug_assert!(self.source.exhausted());
+        self.core.into_report()
+    }
 }
 
 /// The resumable scheduler state machine behind [`serve_with`] and the
@@ -513,6 +736,125 @@ impl Core {
             }
         }
         self.last_finish_s = self.last_finish_s.max(self.clock);
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    pub(crate) fn completed(&self) -> u32 {
+        self.report.records.len() as u32
+    }
+
+    pub(crate) fn rejected(&self) -> u32 {
+        self.report.rejected
+    }
+
+    pub(crate) fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Serialises the core's full state into an open snapshot section.
+    pub(crate) fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u32(self.config.max_batch);
+        w.put_u32(self.config.seq_bucket);
+        w.put_bool(self.config.collocated_prefill);
+        w.put_usize(self.queue.len());
+        for q in &self.queue {
+            q.save(w);
+        }
+        w.put_usize(self.active.len());
+        for s in &self.active {
+            s.q.save(w);
+            w.put_f64(s.ready_at);
+            w.put_u32(s.context);
+        }
+        w.put_f64(self.clock);
+        w.put_f64(self.first_arrival_s);
+        w.put_f64(self.last_finish_s);
+        w.put_bool(self.stalled);
+        w.put_usize(self.report.records.len());
+        for rec in &self.report.records {
+            rec.save(w);
+        }
+        w.put_u32(self.report.rejected);
+        w.put_usize(self.report.rejected_requests.len());
+        for req in &self.report.rejected_requests {
+            req.save(w);
+        }
+        w.put_u32(self.report.preemptions);
+        w.put_f64(self.report.makespan_s);
+        w.put_f64(self.report.decode_busy_s);
+        w.put_f64(self.report.prefill_busy_s);
+        w.put_u64(self.report.decode_iterations);
+        w.put_u32(self.report.peak_batch);
+        w.put_u64(self.report.peak_reserved_tokens);
+    }
+
+    /// Rebuilds a core from a section written by [`Core::save`].
+    pub(crate) fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let config = ServeConfig {
+            max_batch: r.get_u32()?,
+            seq_bucket: r.get_u32()?,
+            collocated_prefill: r.get_bool()?,
+        };
+        if config.max_batch == 0 {
+            return Err(SnapshotError::Corrupt("max_batch is zero"));
+        }
+        let n_queue = r.get_count(8)?;
+        let mut queue = Vec::with_capacity(n_queue);
+        for _ in 0..n_queue {
+            queue.push(QueuedRequest::load(r)?);
+        }
+        let n_active = r.get_count(8)?;
+        let mut active = Vec::with_capacity(n_active);
+        for _ in 0..n_active {
+            active.push(Slot {
+                q: QueuedRequest::load(r)?,
+                ready_at: r.get_f64()?,
+                context: r.get_u32()?,
+            });
+        }
+        let clock = r.get_f64()?;
+        let first_arrival_s = r.get_f64()?;
+        let last_finish_s = r.get_f64()?;
+        let stalled = r.get_bool()?;
+        let n_records = r.get_count(8)?;
+        let mut records = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            records.push(RequestRecord::load(r)?);
+        }
+        let rejected = r.get_u32()?;
+        let n_rejected = r.get_count(8)?;
+        let mut rejected_requests = Vec::with_capacity(n_rejected);
+        for _ in 0..n_rejected {
+            rejected_requests.push(Request::load(r)?);
+        }
+        Ok(Self {
+            config,
+            queue,
+            active,
+            clock,
+            first_arrival_s,
+            last_finish_s,
+            stalled,
+            report: ServeReport {
+                records,
+                rejected,
+                rejected_requests,
+                preemptions: r.get_u32()?,
+                makespan_s: r.get_f64()?,
+                decode_busy_s: r.get_f64()?,
+                prefill_busy_s: r.get_f64()?,
+                decode_iterations: r.get_u64()?,
+                peak_batch: r.get_u32()?,
+                peak_reserved_tokens: r.get_u64()?,
+            },
+        })
     }
 
     /// Finalises the run: computes the makespan and yields the report.

@@ -1,0 +1,240 @@
+//! The adversarial fuzzing battery.
+//!
+//! Every hostile tape family from [`rpu_serve::fuzz_tape`] — flash
+//! bursts, zero-length prompts, KV-filling monster contexts,
+//! deadline-inverted priority mixes, session-churn storms — is swept
+//! across **all four scheduling policies × all four routers** on a
+//! small heterogeneity-free fleet. At periodic checkpoints mid-run the
+//! battery asserts:
+//!
+//! 1. **Conservation** — every issued request is pending, queued,
+//!    active, completed or rejected, exactly once ([`RunStats`]).
+//! 2. **Caps** — no replica's batch exceeds `max_batch` and no
+//!    replica's resident KV reservation exceeds its capacity.
+//! 3. **Snapshot closure** — freezing the run and thawing it into a
+//!    fresh fleet+router re-freezes to the *same bytes*.
+//!
+//! And per run, the three-way digest equality the whole subsystem
+//! promises: run-to-completion == snapshot-at-midpoint-then-resume ==
+//! command-log replay.
+
+use rpu_serve::{
+    digest_fleet_report, fuzz_tape, AnalyticCostModel, DeadlineEdf, Fifo, Fleet, FleetRun,
+    FuzzFamily, JoinShortestQueue, LeastKvLoad, PriorityAging, RoundRobin, Router, RunStats,
+    SchedulingPolicy, ServeConfig, SessionAffinity, ShortestJobFirst, Workload,
+};
+
+const REPLICAS: usize = 3;
+const POLICIES: usize = 4;
+const ROUTERS: usize = 4;
+
+fn build_policy(i: usize, wl: &Workload) -> Box<dyn SchedulingPolicy> {
+    match i {
+        0 => Box::new(Fifo),
+        1 => Box::new(ShortestJobFirst::for_workload(wl)),
+        2 => Box::new(PriorityAging::new(0.5)),
+        _ => Box::new(DeadlineEdf),
+    }
+}
+
+fn build_router(i: usize) -> Box<dyn Router> {
+    match i {
+        0 => Box::new(RoundRobin::new()),
+        1 => Box::new(JoinShortestQueue),
+        2 => Box::new(LeastKvLoad),
+        _ => Box::new(SessionAffinity::new()),
+    }
+}
+
+fn build_fleet(cfg: &ServeConfig, wl: &Workload, policy_idx: usize) -> Fleet {
+    Fleet::homogeneous(
+        REPLICAS,
+        cfg,
+        || Box::new(AnalyticCostModel::small()),
+        || build_policy(policy_idx, wl),
+    )
+}
+
+fn assert_checkpoint_invariants(
+    run: &FleetRun,
+    fleet: &Fleet,
+    cfg: &ServeConfig,
+    ctx: &str,
+) -> RunStats {
+    let stats = run.stats();
+    assert!(
+        stats.conserved(),
+        "{ctx}: lifecycle leak at event {}: {stats:?}",
+        run.events()
+    );
+    for (i, t) in run.telemetry(fleet).iter().enumerate() {
+        assert!(
+            t.active_requests <= cfg.max_batch,
+            "{ctx}: replica {i} batch {} exceeds max_batch {} at event {}",
+            t.active_requests,
+            cfg.max_batch,
+            run.events()
+        );
+        assert!(
+            t.reserved_tokens <= t.kv_capacity_tokens,
+            "{ctx}: replica {i} reserves {} of {} KV tokens at event {}",
+            t.reserved_tokens,
+            t.kv_capacity_tokens,
+            run.events()
+        );
+    }
+    stats
+}
+
+/// The full battery: 5 families × 4 policies × 4 routers. Each cell
+/// checks conservation/cap/snapshot invariants at every checkpoint and
+/// the three-way digest equality at the end.
+#[test]
+fn battery_every_family_policy_router() {
+    let cfg = ServeConfig::default();
+    for family in FuzzFamily::ALL {
+        for policy_idx in 0..POLICIES {
+            let wl = fuzz_tape(family, 0x0BAD_5EED ^ policy_idx as u64);
+            for router_idx in 0..ROUTERS {
+                let ctx = format!(
+                    "{}/{}/{}",
+                    family.name(),
+                    build_policy(policy_idx, &wl).name(),
+                    router_idx
+                );
+
+                // Reference run, checking invariants as it goes.
+                let mut fleet = build_fleet(&cfg, &wl, policy_idx);
+                let mut router = build_router(router_idx);
+                let mut run = fleet.start(&wl);
+                let mut checkpoints = 0u32;
+                while run.step(&mut fleet, router.as_mut()) {
+                    if run.events().is_multiple_of(64) {
+                        assert_checkpoint_invariants(&run, &fleet, &cfg, &ctx);
+                        // Snapshot closure: thaw into a fresh router,
+                        // re-freeze, bytes must match.
+                        let bytes = run.snapshot(router.as_ref());
+                        let mut router2 = build_router(router_idx);
+                        let thawed = FleetRun::resume(&wl, &fleet, router2.as_mut(), &bytes)
+                            .unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"));
+                        assert_eq!(
+                            thawed.snapshot(router2.as_ref()),
+                            bytes,
+                            "{ctx}: thaw/re-freeze changed bytes at event {}",
+                            run.events()
+                        );
+                        checkpoints += 1;
+                    }
+                }
+                assert!(checkpoints > 0, "{ctx}: battery never checkpointed");
+                let final_stats = assert_checkpoint_invariants(&run, &fleet, &cfg, &ctx);
+                assert_eq!(
+                    final_stats.pending_arrivals, 0,
+                    "{ctx}: arrivals left pending at completion"
+                );
+                assert_eq!(
+                    u64::from(final_stats.completed) + u64::from(final_stats.rejected),
+                    u64::from(wl.num_requests),
+                    "{ctx}: not every request reached a terminal state"
+                );
+                let total_events = run.events();
+                let log = run.log().clone();
+                let reference = digest_fleet_report(&run.into_report());
+
+                // Midpoint snapshot → resume in a fresh fleet+router →
+                // identical final digest.
+                let mut fleet_a = build_fleet(&cfg, &wl, policy_idx);
+                let mut router_a = build_router(router_idx);
+                let mut first_half = fleet_a.start(&wl);
+                for _ in 0..total_events / 2 {
+                    assert!(first_half.step(&mut fleet_a, router_a.as_mut()));
+                }
+                let frozen = first_half.snapshot(router_a.as_ref());
+                let mut fleet_b = build_fleet(&cfg, &wl, policy_idx);
+                let mut router_b = build_router(router_idx);
+                let mut second_half = FleetRun::resume(&wl, &fleet_b, router_b.as_mut(), &frozen)
+                    .unwrap_or_else(|e| panic!("{ctx}: midpoint resume failed: {e}"));
+                while second_half.step(&mut fleet_b, router_b.as_mut()) {}
+                assert_eq!(
+                    digest_fleet_report(&second_half.into_report()),
+                    reference,
+                    "{ctx}: snapshot-at-midpoint-then-resume diverged"
+                );
+
+                // Command-log replay → identical final digest.
+                let mut fleet_c = build_fleet(&cfg, &wl, policy_idx);
+                assert_eq!(
+                    digest_fleet_report(&log.replay_fleet(&wl, &mut fleet_c)),
+                    reference,
+                    "{ctx}: command-log replay diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The tapes themselves are deterministic in (family, seed) and differ
+/// across seeds and families.
+#[test]
+fn fuzz_tapes_are_deterministic_and_distinct() {
+    for family in FuzzFamily::ALL {
+        assert_eq!(
+            fuzz_tape(family, 7),
+            fuzz_tape(family, 7),
+            "{}",
+            family.name()
+        );
+        assert_ne!(
+            fuzz_tape(family, 7),
+            fuzz_tape(family, 8),
+            "{}",
+            family.name()
+        );
+    }
+    assert_ne!(
+        fuzz_tape(FuzzFamily::FlashBurst, 7),
+        fuzz_tape(FuzzFamily::ZeroPrompt, 7)
+    );
+}
+
+/// The hostile properties each family promises actually materialise.
+#[test]
+fn fuzz_tapes_are_actually_hostile() {
+    // Zero-prompt tapes schedule genuinely empty prompts.
+    let wl = fuzz_tape(FuzzFamily::ZeroPrompt, 3);
+    let report = rpu_serve::serve_with(
+        &wl,
+        &mut AnalyticCostModel::small(),
+        &ServeConfig::default(),
+        &mut Fifo,
+    );
+    assert!(
+        report.records.iter().any(|r| r.prompt_len == 0),
+        "zero-prompt tape produced no zero-length prompt"
+    );
+
+    // Monster-context tapes overflow the small machine's KV budget.
+    let wl = fuzz_tape(FuzzFamily::MonsterContext, 3);
+    let report = rpu_serve::serve_with(
+        &wl,
+        &mut AnalyticCostModel::small(),
+        &ServeConfig::default(),
+        &mut Fifo,
+    );
+    assert!(
+        report.rejected > 0,
+        "monster-context tape rejected nothing on a 4096-token machine"
+    );
+
+    // Flash-burst tapes really do pile arrivals onto shared instants.
+    let wl = fuzz_tape(FuzzFamily::FlashBurst, 3);
+    let rpu_serve::ArrivalProcess::Trace { arrivals_s } = &wl.arrivals else {
+        panic!("flash-burst tape is not a trace");
+    };
+    let mut sorted = arrivals_s.clone();
+    sorted.sort_by(f64::total_cmp);
+    assert!(
+        sorted.windows(2).any(|w| w[0] == w[1]),
+        "flash-burst tape has no simultaneous arrivals"
+    );
+}

@@ -1,0 +1,224 @@
+//! Hostile-bytes suite: corrupted and truncated snapshots must fail
+//! with a typed [`SnapshotError`] — never panic, never silently
+//! resume from mangled state.
+//!
+//! The suite takes real mid-run snapshots (single-machine and fleet),
+//! then exhaustively flips every byte and cuts every prefix, asserting
+//! each mutation is rejected. Targeted cases pin the typed variant:
+//! bad magic, format-version skew, per-section checksum mismatch,
+//! truncation, and cross-kind / cross-workload confusion.
+
+use rpu_serve::snapshot::MAGIC;
+use rpu_serve::{
+    AnalyticCostModel, Fifo, Fleet, FleetRun, PriorityAging, RoundRobin, Router, ServeConfig,
+    ServeRun, SessionAffinity, SnapshotError, Workload,
+};
+
+fn serve_snapshot_at(events: u64) -> (Workload, Vec<u8>) {
+    let wl = Workload::poisson(1500.0, 192, 24, 48);
+    let cfg = ServeConfig::default();
+    let mut run = ServeRun::new(&wl, &cfg);
+    let mut cost = AnalyticCostModel::small();
+    for _ in 0..events {
+        assert!(run.step(&mut cost, &mut Fifo));
+    }
+    (wl, run.snapshot())
+}
+
+fn fleet_snapshot_at(events: u64) -> (Workload, Fleet, Vec<u8>) {
+    let wl = Workload::poisson(1500.0, 192, 24, 48);
+    let cfg = ServeConfig::default();
+    let fleet = Fleet::homogeneous(
+        3,
+        &cfg,
+        || Box::new(AnalyticCostModel::small()),
+        || Box::new(PriorityAging::new(0.25)),
+    );
+    let mut serving = Fleet::homogeneous(
+        3,
+        &cfg,
+        || Box::new(AnalyticCostModel::small()),
+        || Box::new(PriorityAging::new(0.25)),
+    );
+    let mut router = SessionAffinity::new();
+    let mut run = serving.start(&wl);
+    for _ in 0..events {
+        assert!(run.step(&mut serving, &mut router));
+    }
+    (wl, fleet, run.snapshot(&router))
+}
+
+/// Offset of the first section id: magic + format version + the
+/// length-prefixed crate version string. Integration tests compile
+/// inside the `rpu-serve` package, so this is the writer's version.
+fn header_len() -> usize {
+    MAGIC.len() + 4 + 8 + env!("CARGO_PKG_VERSION").len()
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let (wl, bytes) = serve_snapshot_at(40);
+    assert!(
+        ServeRun::resume(&wl, &bytes).is_ok(),
+        "pristine bytes must thaw"
+    );
+    for i in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xFF;
+        assert!(
+            ServeRun::resume(&wl, &evil).is_err(),
+            "flipping byte {i} of {} was accepted",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_proper_prefix_truncation_is_rejected() {
+    let (wl, bytes) = serve_snapshot_at(40);
+    for cut in 0..bytes.len() {
+        let err = ServeRun::resume(&wl, &bytes[..cut]).expect_err("a proper prefix was accepted");
+        if cut >= header_len() {
+            assert!(
+                matches!(err, SnapshotError::Truncated),
+                "truncation at {cut} (past the header) gave {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let (wl, mut bytes) = serve_snapshot_at(10);
+    bytes[0] = b'X';
+    assert!(matches!(
+        ServeRun::resume(&wl, &bytes),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
+fn format_version_skew_is_typed() {
+    let (wl, mut bytes) = serve_snapshot_at(10);
+    bytes[MAGIC.len()] = bytes[MAGIC.len()].wrapping_add(1);
+    let err = ServeRun::resume(&wl, &bytes).expect_err("future format accepted");
+    let SnapshotError::VersionMismatch { found, expected } = err else {
+        panic!("expected VersionMismatch, got {err:?}");
+    };
+    assert_ne!(found, expected);
+}
+
+#[test]
+fn crate_version_skew_is_typed() {
+    let (wl, bytes) = serve_snapshot_at(10);
+    // Rewrite the embedded crate version string to a different one of
+    // the same length, leaving everything else intact.
+    let start = MAGIC.len() + 4 + 8;
+    let mut evil = bytes.clone();
+    evil[start] = evil[start].wrapping_add(1);
+    assert!(matches!(
+        ServeRun::resume(&wl, &evil),
+        Err(SnapshotError::VersionMismatch { .. })
+    ));
+}
+
+#[test]
+fn payload_corruption_is_a_checksum_mismatch_naming_the_section() {
+    let (wl, mut bytes) = serve_snapshot_at(10);
+    // First section is RUN: id byte, 8-byte length, then payload.
+    let payload = header_len() + 1 + 8;
+    bytes[payload] ^= 0x01;
+    let err = ServeRun::resume(&wl, &bytes).expect_err("corrupt payload accepted");
+    assert!(
+        matches!(err, SnapshotError::ChecksumMismatch { section: 1 }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_rejected_without_panicking() {
+    let (wl, _) = serve_snapshot_at(1);
+    assert!(matches!(
+        ServeRun::resume(&wl, &[]),
+        Err(SnapshotError::Truncated)
+    ));
+    for n in 1..MAGIC.len() {
+        assert!(ServeRun::resume(&wl, &MAGIC[..n]).is_err());
+    }
+    assert!(matches!(
+        ServeRun::resume(&wl, &MAGIC),
+        Err(SnapshotError::Truncated)
+    ));
+}
+
+#[test]
+fn resuming_under_a_different_workload_is_a_workload_mismatch() {
+    let (_, bytes) = serve_snapshot_at(10);
+    let other = Workload::poisson(1500.0, 192, 24, 47);
+    assert!(matches!(
+        ServeRun::resume(&other, &bytes),
+        Err(SnapshotError::WorkloadMismatch)
+    ));
+}
+
+#[test]
+fn fleet_and_serve_snapshots_do_not_cross_thaw() {
+    let (wl, fleet, fleet_bytes) = fleet_snapshot_at(20);
+    assert!(matches!(
+        ServeRun::resume(&wl, &fleet_bytes),
+        Err(SnapshotError::Corrupt(_))
+    ));
+    let (swl, serve_bytes) = serve_snapshot_at(20);
+    let mut router: Box<dyn Router> = Box::new(SessionAffinity::new());
+    assert!(matches!(
+        FleetRun::resume(&swl, &fleet, router.as_mut(), &serve_bytes),
+        Err(SnapshotError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn fleet_byte_flips_and_truncations_are_rejected() {
+    let (wl, fleet, bytes) = fleet_snapshot_at(64);
+    {
+        let mut router: Box<dyn Router> = Box::new(SessionAffinity::new());
+        assert!(
+            FleetRun::resume(&wl, &fleet, router.as_mut(), &bytes).is_ok(),
+            "pristine fleet bytes must thaw"
+        );
+    }
+    // Sampled flips (every 7th byte) keep the fleet half of the sweep
+    // cheap; the serve half above is exhaustive over the same format.
+    for i in (0..bytes.len()).step_by(7) {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xFF;
+        let mut router: Box<dyn Router> = Box::new(SessionAffinity::new());
+        assert!(
+            FleetRun::resume(&wl, &fleet, router.as_mut(), &evil).is_err(),
+            "flipping fleet byte {i} was accepted"
+        );
+    }
+    for cut in (0..bytes.len()).step_by(7) {
+        let mut router: Box<dyn Router> = Box::new(SessionAffinity::new());
+        assert!(
+            FleetRun::resume(&wl, &fleet, router.as_mut(), &bytes[..cut]).is_err(),
+            "fleet prefix {cut} was accepted"
+        );
+    }
+}
+
+#[test]
+fn resuming_into_a_wrong_sized_fleet_is_rejected() {
+    let (wl, _, bytes) = fleet_snapshot_at(20);
+    let cfg = ServeConfig::default();
+    let smaller = Fleet::homogeneous(
+        2,
+        &cfg,
+        || Box::new(AnalyticCostModel::small()),
+        || Box::new(PriorityAging::new(0.25)),
+    );
+    let mut router: Box<dyn Router> = Box::new(RoundRobin::new());
+    assert!(matches!(
+        FleetRun::resume(&wl, &smaller, router.as_mut(), &bytes),
+        Err(SnapshotError::Corrupt(_))
+    ));
+}

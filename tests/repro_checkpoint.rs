@@ -1,0 +1,86 @@
+//! Checkpoint/resume differential for the repro driver: a registry
+//! run interrupted at *every* target boundary, persisted through
+//! bytes each time and resumed, must render exactly the bytes of an
+//! uninterrupted run — pinned here against the golden snapshots under
+//! `tests/golden/repro/`, the same reference the direct path is held
+//! to. Any drift means a checkpointed reproduction would quietly
+//! publish different numbers than a straight-through one.
+
+use rpu::core::engine::Engine;
+use rpu::core::experiments::checkpoint::{advance, render_resumed, RunCheckpoint};
+use rpu::core::experiments::{find, registry, render, Experiment, Format};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/repro")
+        .join(format!("{name}.txt"))
+}
+
+#[test]
+fn registry_run_interrupted_at_every_target_matches_the_goldens() {
+    let targets = registry();
+    let seq = Engine::sequential();
+    // The harshest interruption schedule: halt after every single
+    // target and round-trip the checkpoint through its byte form, as
+    // if a separate process resumed each time.
+    let mut ck = RunCheckpoint::new(Format::Text);
+    let mut halts = 0;
+    loop {
+        let n = advance(&targets, &seq, &mut ck, 1);
+        ck = RunCheckpoint::from_bytes(&ck.to_bytes()).expect("persisted checkpoint must thaw");
+        if n == 0 {
+            break;
+        }
+        halts += 1;
+    }
+    assert_eq!(halts, targets.len());
+    for t in &targets {
+        let golden = fs::read_to_string(golden_path(t.name())).unwrap_or_else(|e| {
+            panic!("missing golden file for {}: {e}", t.name());
+        });
+        assert!(
+            ck.rendered(t.name()) == Some(golden.as_str()),
+            "{}: checkpoint-resumed rendering drifted from its golden",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn parallel_resume_completes_a_partial_checkpoint_identically() {
+    // Cheap closed-form targets; a partial checkpoint finished by the
+    // parallel resumable sweep must equal direct rendering.
+    let targets: Vec<&dyn Experiment> = ["fig4", "fig3", "design-points", "ext-scaleout"]
+        .iter()
+        .map(|n| find(n).expect("registry target"))
+        .collect();
+    let seq = Engine::sequential();
+    let direct: Vec<String> = targets
+        .iter()
+        .map(|t| render(*t, &t.run(&seq), Format::Text))
+        .collect();
+    for head_start in 0..=targets.len() {
+        let mut ck = RunCheckpoint::new(Format::Text);
+        assert_eq!(advance(&targets, &seq, &mut ck, head_start), head_start);
+        let resumed = render_resumed(&targets, &Engine::new(4), &seq, &mut ck);
+        assert_eq!(resumed, direct, "head start {head_start}");
+        assert_eq!(ck.len(), targets.len());
+    }
+}
+
+#[test]
+fn checkpoints_reject_format_mixing_by_construction() {
+    // A checkpoint records its format; thawing preserves it, so a
+    // driver can refuse to splice text entries into a JSON run.
+    let mut ck = RunCheckpoint::new(Format::Json);
+    let t = find("fig4").expect("registry target");
+    advance(&[t], &Engine::sequential(), &mut ck, 1);
+    let thawed = RunCheckpoint::from_bytes(&ck.to_bytes()).expect("thaw");
+    assert_eq!(thawed.format(), Format::Json);
+    assert!(thawed
+        .rendered("fig4")
+        .expect("entry")
+        .starts_with("{\"name\":\"fig4\""));
+}
