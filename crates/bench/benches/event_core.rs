@@ -1,0 +1,152 @@
+//! Event-core throughput: the calendar-queue fleet driver vs the
+//! retired scan-and-merge reference on a 100k-request workload.
+//!
+//! This bench is the measured half of the event-core migration story.
+//! It drives the same 100k-request Poisson workload through both
+//! paths, demands digest-identical reports (the differential battery
+//! in `crates/serve/tests/event_core_diff.rs` covers breadth; this
+//! covers scale), and records the calendar path's headline numbers —
+//! events/sec, ns/event, peak slab occupancy, speedup over the scan
+//! path — into `BENCH_event_core.json` at the workspace root via
+//! [`rpu_bench::perf::record_or_gate`]:
+//!
+//! - `BENCH_BLESS=1 cargo bench --bench event_core` re-records the
+//!   committed baseline;
+//! - a plain run gates against it, failing on a >25% events/sec
+//!   regression (ratio < 0.75).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::perf::{record_or_gate, PerfSnapshot};
+use rpu_serve::{
+    digest_fleet_report, reference, AnalyticCostModel, CostModel, Fifo, Fleet, FleetReport,
+    RoundRobin, SchedulingPolicy, ServeConfig, Workload,
+};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Replica count for the headline comparison. The scan driver's cost
+/// grows linearly with the fleet width on every event (next-event scan)
+/// and every arrival (telemetry walk); the calendar driver's grows
+/// logarithmically. A wide fleet is exactly the regime the migration
+/// targets.
+const REPLICAS: usize = 128;
+const NUM_REQUESTS: u32 = 100_000;
+
+fn workload() -> Workload {
+    // ~95% utilization across 128 replicas: queues run deep, so the
+    // scan driver pays its per-arrival telemetry walk over a real
+    // backlog while the calendar driver stays incremental.
+    Workload::poisson(52_000.0, 256, 16, NUM_REQUESTS)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 8,
+        ..ServeConfig::default()
+    }
+}
+
+fn mk_fleet(replicas: usize) -> Fleet {
+    Fleet::homogeneous(
+        replicas,
+        &config(),
+        || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+        || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+    )
+}
+
+/// Runs the calendar-queue driver to completion, returning the report,
+/// the number of discrete events processed, the wall time, and the
+/// peak slab occupancy across replicas.
+fn run_calendar(wl: &Workload, replicas: usize) -> (FleetReport, u64, Duration, u32) {
+    let mut fleet = mk_fleet(replicas);
+    let mut router = RoundRobin::new();
+    let start = Instant::now();
+    let mut run = fleet.start(wl);
+    let mut events = 0u64;
+    while run.step(&mut fleet, &mut router) {
+        events += 1;
+    }
+    let elapsed = start.elapsed();
+    let peak = run.peak_slab_occupancy();
+    (run.into_report(), events, elapsed, peak)
+}
+
+/// Runs the scan-and-merge reference driver to completion.
+fn run_scan(wl: &Workload, replicas: usize) -> (FleetReport, Duration) {
+    let mut fleet = mk_fleet(replicas);
+    let mut router = RoundRobin::new();
+    let start = Instant::now();
+    let report = reference::fleet_serve_scan(&mut fleet, wl, &mut router);
+    (report, start.elapsed())
+}
+
+/// The headline measurement: one full 100k-request run through each
+/// driver, equivalence-checked, then recorded or gated against the
+/// committed `BENCH_event_core.json`.
+fn headline(c: &mut Criterion) {
+    let wl = workload();
+
+    // Warm the allocator and caches with a short run before timing.
+    let small = Workload::poisson(20_000.0, 256, 16, 2_000);
+    let _ = run_calendar(&small, REPLICAS);
+
+    // Best-of-3 on the calendar side: the run is deterministic, so the
+    // minimum wall time is the least-interference measurement — the
+    // right statistic to gate on a shared machine.
+    let (fast, events, mut fast_t, peak) = run_calendar(&wl, REPLICAS);
+    for _ in 0..2 {
+        let (again, e, t, p) = run_calendar(&wl, REPLICAS);
+        assert_eq!(
+            (e, p, &again),
+            (events, peak, &fast),
+            "nondeterministic run"
+        );
+        fast_t = fast_t.min(t);
+    }
+    let (slow, slow_t) = run_scan(&wl, REPLICAS);
+    assert_eq!(
+        digest_fleet_report(&fast),
+        digest_fleet_report(&slow),
+        "calendar and scan drivers diverged on the bench workload"
+    );
+    assert_eq!(fast, slow, "reports diverged beyond the digest");
+
+    let events_per_sec = events as f64 / fast_t.as_secs_f64();
+    let ns_per_event = fast_t.as_nanos() as f64 / events as f64;
+    let speedup = slow_t.as_secs_f64() / fast_t.as_secs_f64();
+    println!(
+        "event_core: {events} events in {:.3} s ({events_per_sec:.0} events/s, \
+         {ns_per_event:.0} ns/event), scan {:.3} s, speedup x{speedup:.1}, \
+         peak slab occupancy {peak}",
+        fast_t.as_secs_f64(),
+        slow_t.as_secs_f64(),
+    );
+    assert!(
+        speedup >= 5.0,
+        "calendar path must be at least 5x the scan path on the 100k fleet \
+         workload, measured x{speedup:.2}"
+    );
+
+    let mut snap = PerfSnapshot::new();
+    snap.put("events_per_sec", events_per_sec.round());
+    snap.put("ns_per_event", ns_per_event.round());
+    snap.put("peak_slab_occupancy", f64::from(peak));
+    snap.put("speedup_vs_scan", (speedup * 10.0).round() / 10.0);
+    snap.put("fleet_events", events as f64);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_event_core.json");
+    record_or_gate(&path, &snap, "events_per_sec", 0.75);
+
+    // A repeatable criterion sample on a smaller slice of the same
+    // workload, so `cargo bench` trend lines have a stable target.
+    let sampled = Workload::poisson(20_000.0, 256, 16, 5_000);
+    let mut g = c.benchmark_group("event_core");
+    g.sample_size(10);
+    g.bench_function("calendar_fleet_5k", |b| {
+        b.iter(|| run_calendar(&sampled, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, headline);
+criterion_main!(benches);

@@ -12,9 +12,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpu_bench::checks::expect_band;
+use rpu_bench::perf::{record_or_gate, PerfSnapshot};
 use rpu_core::engine::{grid, Engine};
 use rpu_core::experiments::fleet_sweep;
 use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
 
 fn bench(c: &mut Criterion) {
     // Determinism gate before timing anything: every job count renders
@@ -56,6 +59,27 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Record the engine-speedup trajectory into
+    // BENCH_repro_parallel.json. Informational (gate ratio 0.0): the
+    // speedup depends on the runner's core count, so CI only hard-gates
+    // the event_core throughput; these numbers move via deliberate
+    // BENCH_BLESS re-blesses.
+    let t = Instant::now();
+    black_box(fleet_sweep::run_with(&Engine::new(1)));
+    let seq_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    black_box(fleet_sweep::run_with(&Engine::new(8)));
+    let par_s = t.elapsed().as_secs_f64();
+    let mut snap = PerfSnapshot::new();
+    snap.put("fleet_sweep_jobs1_ms", (seq_s * 1e3).round());
+    snap.put("fleet_sweep_jobs8_ms", (par_s * 1e3).round());
+    snap.put(
+        "engine_speedup_jobs8",
+        (seq_s / par_s * 100.0).round() / 100.0,
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_repro_parallel.json");
+    record_or_gate(&path, &snap, "fleet_sweep_jobs1_ms", 0.0);
 }
 
 criterion_group!(benches, bench);

@@ -3,11 +3,14 @@
 //! cadences can be chosen against real numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::perf::{record_or_gate, PerfSnapshot};
 use rpu_serve::{
     digest_serve_report, AnalyticCostModel, Fifo, Fleet, FleetRun, PriorityAging, Router,
     ServeConfig, ServeRun, SessionAffinity, Workload,
 };
 use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
 
 fn bench(c: &mut Criterion) {
     let cfg = ServeConfig::default();
@@ -81,6 +84,30 @@ fn bench(c: &mut Criterion) {
             digest_serve_report(&r)
         });
     });
+
+    // Record the freeze/thaw trajectory into BENCH_snapshot.json.
+    // Informational (gate ratio 0.0): the numbers ride the committed
+    // trajectory via BENCH_BLESS re-blesses, but CI only hard-gates
+    // the event_core throughput — wall-clock here is too small (and
+    // too shared-runner-noisy) to fail builds on.
+    let iters = 200u32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(run.snapshot());
+    }
+    let freeze_per_sec = f64::from(iters) / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(ServeRun::resume(&wl, &bytes).expect("pristine bytes"));
+    }
+    let thaw_per_sec = f64::from(iters) / t.elapsed().as_secs_f64();
+    let mut snap = PerfSnapshot::new();
+    snap.put("serve_freeze_per_sec", freeze_per_sec.round());
+    snap.put("serve_thaw_per_sec", thaw_per_sec.round());
+    snap.put("serve_snapshot_bytes", bytes.len() as f64);
+    snap.put("fleet_snapshot_bytes", fleet_bytes.len() as f64);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_snapshot.json");
+    record_or_gate(&path, &snap, "serve_freeze_per_sec", 0.0);
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,146 @@
+//! Accuracy battery for [`sweep_latency_lut`]: the flattened LUT must
+//! reproduce the simulator-backed cost model exactly at every knot,
+//! stay within 1% of it off-grid, and drive whole serving runs that
+//! conserve tokens and never admit past KV capacity.
+
+use proptest::prelude::*;
+use rpu_core::serving::{sweep_latency_lut, SharedRpuCostModel};
+use rpu_models::LengthDistribution;
+use rpu_serve::{serve, CostModel, LatencyLut, RequestSource, ServeConfig, Workload};
+use std::sync::OnceLock;
+
+/// One shared test-bed: building the LUT runs the event-driven
+/// simulator once per knot, so every test reuses the same instance.
+fn bed() -> &'static (ServeConfig, LatencyLut, SharedRpuCostModel) {
+    static BED: OnceLock<(ServeConfig, LatencyLut, SharedRpuCostModel)> = OnceLock::new();
+    BED.get_or_init(|| sweep_latency_lut(64, 4, 1024))
+}
+
+#[test]
+fn lut_is_exact_at_every_knot() {
+    let (_, lut, cost) = bed();
+    let mut cost = cost.clone();
+    for batch in 1..=lut.max_batch() {
+        for &ctx in lut.context_knots() {
+            assert_eq!(
+                lut.decode_lookup_s(batch, ctx).to_bits(),
+                cost.decode_step_s(batch, ctx).to_bits(),
+                "decode batch {batch} ctx {ctx} must read back bit-exactly"
+            );
+        }
+    }
+    for &p in lut.prefill_knots() {
+        assert_eq!(
+            lut.prefill_lookup_s(p).to_bits(),
+            cost.prefill_s(p).to_bits(),
+            "prefill prompt {p} must read back bit-exactly"
+        );
+    }
+    assert_eq!(lut.kv_capacity_tokens(), cost.kv_capacity_tokens());
+}
+
+#[test]
+fn off_grid_error_stays_below_one_percent() {
+    let (_, lut, cost) = bed();
+    let mut cost = cost.clone();
+    // Probe midpoints and quarter-points of every context interval —
+    // the worst case for linear interpolation of a smooth surface.
+    let knots: Vec<u32> = lut.context_knots().to_vec();
+    for batch in 1..=lut.max_batch() {
+        for w in knots.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            for ctx in [
+                lo + (hi - lo) / 4,
+                lo + (hi - lo) / 2,
+                lo + 3 * (hi - lo) / 4,
+            ] {
+                let got = lut.decode_lookup_s(batch, ctx);
+                let want = cost.decode_step_s(batch, ctx);
+                let rel = (got - want).abs() / want;
+                assert!(
+                    rel < 0.01,
+                    "decode batch {batch} ctx {ctx}: {got} vs {want} ({:.3}% off)",
+                    rel * 100.0
+                );
+            }
+        }
+    }
+    let pknots: Vec<u32> = lut.prefill_knots().to_vec();
+    for w in pknots.windows(2) {
+        let p = w[0] + (w[1] - w[0]) / 2;
+        let got = lut.prefill_lookup_s(p);
+        let want = cost.prefill_s(p);
+        let rel = (got - want).abs() / want;
+        assert!(
+            rel < 0.01,
+            "prefill prompt {p}: {got} vs {want} ({:.3}% off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn knot_aligned_runs_are_bit_identical_to_the_simulator_model() {
+    // Prompt and context lengths on knots → every price the scheduler
+    // asks for is an exact table read, so the whole run is
+    // bit-identical to driving the memoised simulator model directly.
+    let (config, lut, cost) = bed();
+    let wl = Workload::poisson(400.0, 512, 24, 48);
+    let fast = serve(&wl, &mut lut.clone(), config);
+    let slow = serve(&wl, &mut cost.clone(), config);
+    assert_eq!(fast, slow);
+}
+
+/// Sum of output tokens over every request the workload issues.
+fn issued_output_tokens(wl: &Workload) -> u64 {
+    // Poisson arrivals are open-loop: the issue schedule is independent
+    // of completions, so draining the source enumerates exactly the
+    // requests a serving run will see.
+    let mut src = RequestSource::new(wl);
+    let mut total = 0u64;
+    while let Some(t) = src.next_arrival_s() {
+        let req = src.pop_ready(t).expect("arrival is due");
+        total += u64::from(req.output_len);
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LUT-backed runs complete every admitted token (conservation) and
+    /// the conservative KV reservation never exceeds the capacity the
+    /// LUT carried over from the simulator model.
+    #[test]
+    fn lut_runs_conserve_tokens_and_respect_capacity(
+        rate_rps in 100.0f64..3000.0,
+        num_requests in 4u32..32,
+        seed in 0u64..1 << 48,
+        prompt_hi in 64u32..1024,
+        output_hi in 4u32..32,
+    ) {
+        let (config, lut, _) = bed();
+        let mut wl = Workload::poisson(rate_rps, 64, 16, num_requests);
+        wl.seed = seed;
+        wl.prompt_lens = LengthDistribution::Uniform { lo: 16, hi: prompt_hi };
+        wl.output_lens = LengthDistribution::Uniform { lo: 1, hi: output_hi };
+        let mut model = lut.clone();
+        let report = serve(&wl, &mut model, config);
+        // Every issued request either completes or is rejected, and
+        // every issued output token is accounted for by exactly one of
+        // the two buckets — none lost, none invented.
+        prop_assert_eq!(
+            report.records.len() as u32 + report.rejected,
+            num_requests
+        );
+        let completed = report.output_tokens();
+        let rejected: u64 = report
+            .rejected_requests
+            .iter()
+            .map(|r| u64::from(r.output_len))
+            .sum();
+        prop_assert_eq!(completed + rejected, issued_output_tokens(&wl));
+        // Admission is gated on the carried-over KV capacity.
+        prop_assert!(report.peak_reserved_tokens <= lut.kv_capacity_tokens());
+    }
+}

@@ -1,0 +1,369 @@
+//! The calendar queue at the heart of the discrete-event serving core.
+//!
+//! A [`CalendarQueue`] holds at most one pending wake-up per component
+//! (a fleet replica, a prefilling slot), keyed `(next_tick, id)`: the
+//! component that wants to run earliest pops first, ties broken by the
+//! lowest id — exactly the order the pre-calendar drivers recovered by
+//! scanning every component per event, now in `O(log n)` per operation
+//! instead of `O(n)` per event.
+//!
+//! Rescheduling and cancellation are *lazy*: superseded entries stay in
+//! the heap and are skipped when they surface, identified by a
+//! per-schedule sequence number. Sequence numbers also make the order
+//! total and FIFO: of two live entries with equal `(tick, id)` — which
+//! cannot coexist, since an id holds one live entry — and, more
+//! practically, of any stream of equal-tick wake-ups across ids, the
+//! earlier-scheduled id wins only through its id, and re-scheduling the
+//! same id at the same tick preserves its original heap position cost
+//! without drift. The heap is compacted automatically when stale
+//! entries outnumber live ones.
+//!
+//! ```
+//! use rpu_serve::CalendarQueue;
+//!
+//! let mut q = CalendarQueue::new();
+//! q.schedule(0, 3.0);
+//! q.schedule(1, 1.5);
+//! q.schedule(2, 3.0);
+//! q.schedule(1, 4.0); // reschedule: the 1.5 entry goes stale
+//! assert_eq!(q.peek(), Some((3.0, 0))); // tie at 3.0 → lowest id
+//! assert_eq!(q.pop(), Some((3.0, 0)));
+//! assert_eq!(q.pop(), Some((3.0, 2)));
+//! assert_eq!(q.pop(), Some((4.0, 1)));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Sentinel marking an id with no live entry.
+const NONE_SEQ: u64 = u64::MAX;
+
+/// One heap entry. Ordered min-first by `(tick, id, seq)` — the
+/// `BinaryHeap` is a max-heap, so [`Ord`] is reversed.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tick: f64,
+    id: u32,
+    seq: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap then surfaces the minimum key. Ticks
+        // are never NaN in this crate, but total_cmp keeps the order
+        // total regardless.
+        other
+            .tick
+            .total_cmp(&self.tick)
+            .then(other.id.cmp(&self.id))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-id bookkeeping: the sequence number of the live entry (or
+/// [`NONE_SEQ`]) and its tick, kept for compaction and idempotent
+/// reschedules.
+#[derive(Debug, Clone, Copy)]
+struct IdState {
+    seq: u64,
+    tick: f64,
+}
+
+/// A min-heap of component wake-ups keyed `(tick, id)`, with lazy
+/// rescheduling/cancellation and automatic compaction.
+///
+/// Ids are small dense integers (replica indices, slab keys); the
+/// per-id state lives in a plain `Vec` grown on demand, so every
+/// operation is allocation-free once the queue has seen its largest id.
+#[derive(Debug, Clone, Default)]
+pub struct CalendarQueue {
+    heap: BinaryHeap<Entry>,
+    ids: Vec<IdState>,
+    /// Monotone schedule counter; identifies the live entry per id.
+    seq: u64,
+    /// Number of ids with a live entry.
+    live: usize,
+}
+
+impl CalendarQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty queue with state preallocated for ids `0..n`.
+    #[must_use]
+    pub fn with_components(n: usize) -> Self {
+        let mut q = Self::new();
+        q.ids.resize(
+            n,
+            IdState {
+                seq: NONE_SEQ,
+                tick: f64::INFINITY,
+            },
+        );
+        q.heap.reserve(n);
+        q
+    }
+
+    /// Number of live (scheduled, not cancelled or superseded) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no component has a pending wake-up.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The tick `id` is currently scheduled at, if any.
+    #[must_use]
+    pub fn scheduled_at(&self, id: u32) -> Option<f64> {
+        self.ids
+            .get(id as usize)
+            .filter(|s| s.seq != NONE_SEQ)
+            .map(|s| s.tick)
+    }
+
+    fn state_mut(&mut self, id: u32) -> &mut IdState {
+        let idx = id as usize;
+        if idx >= self.ids.len() {
+            self.ids.resize(
+                idx + 1,
+                IdState {
+                    seq: NONE_SEQ,
+                    tick: f64::INFINITY,
+                },
+            );
+        }
+        &mut self.ids[idx]
+    }
+
+    /// Schedules (or reschedules) `id` to wake at `tick`, replacing any
+    /// previous wake-up for the same id. An infinite tick means "never"
+    /// and is equivalent to [`CalendarQueue::cancel`]. NaN ticks are
+    /// rejected — a wake-up time must order against every other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is NaN.
+    pub fn schedule(&mut self, id: u32, tick: f64) {
+        assert!(!tick.is_nan(), "wake-up ticks must be comparable");
+        if !tick.is_finite() {
+            self.cancel(id);
+            return;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        let st = self.state_mut(id);
+        let was_live = st.seq != NONE_SEQ;
+        if was_live && st.tick == tick {
+            // Idempotent reschedule at the unchanged tick: keep the
+            // existing heap entry instead of shadowing it — a busy
+            // component re-announcing "now" every event must not grow
+            // the heap.
+            return;
+        }
+        st.seq = seq;
+        st.tick = tick;
+        if !was_live {
+            self.live += 1;
+        }
+        self.heap.push(Entry { tick, id, seq });
+        self.maybe_compact();
+    }
+
+    /// Cancels `id`'s pending wake-up, if any. The heap entry goes
+    /// stale and is skipped when it surfaces.
+    pub fn cancel(&mut self, id: u32) {
+        if let Some(st) = self.ids.get_mut(id as usize) {
+            if st.seq != NONE_SEQ {
+                st.seq = NONE_SEQ;
+                st.tick = f64::INFINITY;
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// The earliest live wake-up `(tick, id)` without consuming it.
+    /// Stale entries encountered on the way are discarded.
+    pub fn peek(&mut self) -> Option<(f64, u32)> {
+        while let Some(&e) = self.heap.peek() {
+            if self.is_live(&e) {
+                return Some((e.tick, e.id));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Consumes and returns the earliest live wake-up `(tick, id)`.
+    pub fn pop(&mut self) -> Option<(f64, u32)> {
+        while let Some(e) = self.heap.pop() {
+            if self.is_live(&e) {
+                let st = &mut self.ids[e.id as usize];
+                st.seq = NONE_SEQ;
+                st.tick = f64::INFINITY;
+                self.live -= 1;
+                return Some((e.tick, e.id));
+            }
+        }
+        None
+    }
+
+    fn is_live(&self, e: &Entry) -> bool {
+        self.ids
+            .get(e.id as usize)
+            .is_some_and(|st| st.seq == e.seq)
+    }
+
+    /// Rebuilds the heap from live entries when stale ones dominate,
+    /// bounding memory by the live set instead of the reschedule
+    /// history. Deterministic: the rebuilt heap is a pure function of
+    /// the live `(tick, id, seq)` set, and pop order depends only on
+    /// that set either way.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 64 && self.heap.len() > 2 * self.live {
+            let ids = &self.ids;
+            let entries: Vec<Entry> = self
+                .heap
+                .iter()
+                .filter(|e| ids.get(e.id as usize).is_some_and(|st| st.seq == e.seq))
+                .copied()
+                .collect();
+            self.heap = BinaryHeap::from(entries);
+        }
+    }
+
+    /// Total heap entries including stale ones — exposed so tests can
+    /// pin the compaction bound.
+    #[must_use]
+    pub fn heap_entries(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_then_id_order() {
+        let mut q = CalendarQueue::with_components(4);
+        q.schedule(3, 2.0);
+        q.schedule(1, 1.0);
+        q.schedule(2, 1.0);
+        q.schedule(0, 3.0);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((1.0, 2)));
+        assert_eq!(q.pop(), Some((2.0, 3)));
+        assert_eq!(q.pop(), Some((3.0, 0)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reschedule_supersedes_and_cancel_removes() {
+        let mut q = CalendarQueue::new();
+        q.schedule(0, 5.0);
+        q.schedule(1, 6.0);
+        q.schedule(0, 7.0); // supersede
+        q.cancel(1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek(), Some((7.0, 0)));
+        assert_eq!(q.pop(), Some((7.0, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn infinite_tick_means_never() {
+        let mut q = CalendarQueue::new();
+        q.schedule(0, f64::INFINITY);
+        assert!(q.is_empty());
+        q.schedule(0, 1.0);
+        q.schedule(0, f64::INFINITY); // cancel via reschedule
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "comparable")]
+    fn nan_tick_is_rejected() {
+        CalendarQueue::new().schedule(0, f64::NAN);
+    }
+
+    #[test]
+    fn idempotent_reschedule_does_not_grow_the_heap() {
+        let mut q = CalendarQueue::new();
+        q.schedule(0, 1.0);
+        for _ in 0..1000 {
+            q.schedule(0, 1.0);
+        }
+        assert_eq!(q.heap_entries(), 1);
+        assert_eq!(q.scheduled_at(0), Some(1.0));
+    }
+
+    #[test]
+    fn stale_entries_are_bounded_by_compaction() {
+        let mut q = CalendarQueue::new();
+        // Constantly reschedule a handful of ids to new ticks: without
+        // compaction the heap would hold one entry per reschedule.
+        for round in 0..10_000u32 {
+            q.schedule(round % 8, f64::from(round));
+        }
+        assert_eq!(q.len(), 8);
+        assert!(
+            q.heap_entries() <= 2 * 8 + 64,
+            "heap kept {} entries for 8 live ids",
+            q.heap_entries()
+        );
+    }
+
+    #[test]
+    fn scheduled_at_tracks_the_live_entry() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.scheduled_at(5), None);
+        q.schedule(5, 2.5);
+        assert_eq!(q.scheduled_at(5), Some(2.5));
+        q.schedule(5, 9.0);
+        assert_eq!(q.scheduled_at(5), Some(9.0));
+        q.cancel(5);
+        assert_eq!(q.scheduled_at(5), None);
+    }
+
+    #[test]
+    fn peek_discards_stale_prefix_without_losing_live_entries() {
+        let mut q = CalendarQueue::new();
+        q.schedule(0, 1.0);
+        q.schedule(1, 2.0);
+        q.schedule(0, 3.0); // 1.0 entry now stale at the heap top
+        assert_eq!(q.peek(), Some((2.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 1)));
+        assert_eq!(q.pop(), Some((3.0, 0)));
+    }
+
+    #[test]
+    fn ids_beyond_preallocation_grow_on_demand() {
+        let mut q = CalendarQueue::with_components(2);
+        q.schedule(100, 1.0);
+        assert_eq!(q.pop(), Some((1.0, 100)));
+    }
+}

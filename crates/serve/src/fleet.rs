@@ -48,6 +48,7 @@
 //! ```
 
 use crate::arrivals::{RequestSource, Workload};
+use crate::calendar::CalendarQueue;
 use crate::class::ClassSpec;
 use crate::cost::CostModel;
 use crate::digest::ReportDigest;
@@ -160,11 +161,20 @@ impl Fleet {
         FleetRun {
             source: RequestSource::new(workload),
             cores: self.replicas.iter().map(|r| Core::new(r.config)).collect(),
+            // Fresh cores are idle (next event at infinity), so the
+            // wake-up calendar starts empty; the first arrival seeds it.
+            wake: CalendarQueue::with_components(self.replicas.len()),
             assigned: vec![0u32; self.replicas.len()],
             log: CommandLog::new(),
             events: 0,
             fingerprint: workload_fingerprint(workload),
         }
+    }
+
+    /// The replicas themselves — for the scan-based reference drivers
+    /// in [`crate::reference`].
+    pub(crate) fn replicas_mut(&mut self) -> &mut [FleetReplica] {
+        &mut self.replicas
     }
 
     /// Replays a recorded [`CommandLog`] against this fleet: every
@@ -225,6 +235,13 @@ impl Fleet {
 pub struct FleetRun {
     source: RequestSource,
     cores: Vec<Core>,
+    /// The global wake-up calendar: each replica's next scheduling
+    /// event, keyed `(tick, replica)`. A replica's entry is refreshed
+    /// after every event that touches it — nothing else can move its
+    /// next event — so the driver pops the globally earliest event in
+    /// `O(log n)` instead of scanning every replica per event. Not
+    /// serialised: rebuilt deterministically from the cores on resume.
+    wake: CalendarQueue,
     assigned: Vec<u32>,
     log: CommandLog,
     events: u64,
@@ -258,13 +275,10 @@ impl FleetRun {
             "fleet changed size mid-run"
         );
         let next_arrival = self.source.next_arrival_s().unwrap_or(f64::INFINITY);
-        let (which, next_event) = self
-            .cores
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, c.next_event_s()))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("fleets are non-empty");
+        // The calendar's head is the earliest replica event; ties on
+        // the tick pop the lowest replica index, matching the
+        // first-minimum semantics of the scan this replaces.
+        let next_event = self.wake.peek().map_or(f64::INFINITY, |(t, _)| t);
         if !next_arrival.is_finite() && !next_event.is_finite() {
             return false;
         }
@@ -272,7 +286,7 @@ impl FleetRun {
         // time, before any replica runs a scheduling event at or
         // after it — every replica's telemetry is current as of the
         // arrival.
-        if next_arrival <= next_event {
+        let touched = if next_arrival <= next_event {
             let req = self.source.pop_ready(next_arrival).expect("arrival is due");
             let telemetry: Vec<_> = self
                 .cores
@@ -287,7 +301,10 @@ impl FleetRun {
             self.log.push(Command::Enqueue {
                 replica: pick as u32,
             });
+            pick
         } else {
+            let (_, which) = self.wake.pop().expect("next_event is finite");
+            let which = which as usize;
             let replica = &mut fleet.replicas[which];
             self.cores[which].step(
                 replica.cost.as_mut(),
@@ -297,7 +314,13 @@ impl FleetRun {
             self.log.push(Command::Step {
                 replica: which as u32,
             });
-        }
+            which
+        };
+        // Only the touched replica's next event can have moved (cores
+        // share nothing but the arrival source, which is re-read above
+        // every step).
+        self.wake
+            .schedule(touched as u32, self.cores[touched].next_event_s());
         self.events += 1;
         true
     }
@@ -346,6 +369,18 @@ impl FleetRun {
             .zip(&fleet.replicas)
             .map(|(c, r)| c.telemetry(r.cost.kv_capacity_tokens()))
             .collect()
+    }
+
+    /// Highest number of simultaneously resident requests any single
+    /// replica's slab ever held — the perf trajectory's occupancy
+    /// figure.
+    #[must_use]
+    pub fn peak_slab_occupancy(&self) -> u32 {
+        self.cores
+            .iter()
+            .map(Core::peak_slab_occupancy)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Freezes the whole run — source, every core, assignment counts,
@@ -434,9 +469,17 @@ impl FleetRun {
         r.begin_section(section::LOG)?;
         let log = CommandLog::load(&mut r)?;
         r.end_section()?;
+        // The wake-up calendar is derived state: rebuild it from the
+        // restored cores (identical (tick, id) keys reproduce the
+        // frozen run's pop order exactly).
+        let mut wake = CalendarQueue::with_components(cores.len());
+        for (i, core) in cores.iter_mut().enumerate() {
+            wake.schedule(i as u32, core.next_event_s());
+        }
         Ok(Self {
             source,
             cores,
+            wake,
             assigned,
             log,
             events,
@@ -476,7 +519,7 @@ impl FleetRun {
 /// [`ServeReport::utilization`] on the merged report is therefore
 /// *machine-seconds per wall-second* — up to N for an N-replica fleet;
 /// [`FleetReport::fleet_utilization`] normalises it.
-fn merge(replicas: &[ServeReport]) -> ServeReport {
+pub(crate) fn merge(replicas: &[ServeReport]) -> ServeReport {
     let mut records: Vec<RequestRecord> = replicas
         .iter()
         .flat_map(|r| r.records.iter().copied())

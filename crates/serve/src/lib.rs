@@ -72,27 +72,33 @@
 
 mod arrivals;
 pub mod bisect;
+mod calendar;
 mod class;
 mod cost;
 mod digest;
 mod fleet;
+mod lut;
 mod metrics;
 mod policy;
+pub mod reference;
 mod replay;
 mod request;
 mod rng;
 mod router;
 mod scheduler;
+mod slab;
 pub mod snapshot;
 
 pub use arrivals::{fuzz_tape, ArrivalProcess, FuzzFamily, RequestSource, Workload};
 pub use bisect::{bisect_divergence, BisectOutcome};
+pub use calendar::CalendarQueue;
 pub use class::{ClassSpec, SloTargets};
 pub use cost::{AnalyticCostModel, CostModel};
 pub use digest::{
     canonical_f64_bits, digest_fleet_report, digest_serve_report, DigestWriter, ReportDigest,
 };
 pub use fleet::{Fleet, FleetReplica, FleetReport, FleetRun};
+pub use lut::{LatencyLut, LutBuilder};
 pub use metrics::{ClassSlo, MultiClassReport, SloReport};
 pub use policy::{
     ActiveRequest, DeadlineEdf, Fifo, PriorityAging, QueuedRequest, SchedulingPolicy,
@@ -105,4 +111,5 @@ pub use router::{
     JoinShortestQueue, LeastKvLoad, ReplicaTelemetry, RoundRobin, Router, SessionAffinity,
 };
 pub use scheduler::{serve, serve_with, RunStats, ServeConfig, ServeReport, ServeRun};
+pub use slab::Slab;
 pub use snapshot::SnapshotError;

@@ -1,0 +1,456 @@
+//! Precomputed latency lookup tables.
+//!
+//! The serving hot path prices every decode iteration and every
+//! prefill. Driving those queries through a simulator-backed
+//! [`CostModel`] costs a hash lookup (memoised) or a full simulation
+//! (cold) per event; a [`LatencyLut`] flattens the model once into
+//! dense arrays so steady-state pricing is an array read plus, off the
+//! grid, one bilinear blend.
+//!
+//! The decode surface is sampled on a batch-size × context-length grid
+//! and interpolated bilinearly between knots; prefill is sampled on a
+//! prompt-length axis and interpolated linearly. Queries **at** a knot
+//! read the stored sample exactly — no arithmetic — so a LUT whose grid
+//! covers every point the scheduler can ask for (batch `1..=max_batch`,
+//! contexts at the scheduler's bucket boundaries) reproduces the source
+//! model bit-for-bit. Off-grid queries are clamped to the table's hull
+//! and interpolated; for a model of the form `a + b·batch + c·ctx +
+//! d·batch·ctx` (the analytic machine, and the RPU decode surface to
+//! first order) bilinear interpolation is *exact* everywhere, and for
+//! smooth surfaces the error shrinks quadratically with knot spacing.
+//!
+//! # Plugging a custom `CostModel` through the builder
+//!
+//! Any [`CostModel`] — simulator-backed, closed-form, or measured — can
+//! be flattened; the builder samples it once per knot and the LUT never
+//! touches it again:
+//!
+//! ```
+//! use rpu_serve::{AnalyticCostModel, CostModel, LutBuilder};
+//!
+//! // A custom machine: decode cost quantised to 0.1 ms steps.
+//! struct Quantised(AnalyticCostModel);
+//! impl CostModel for Quantised {
+//!     fn decode_step_s(&mut self, batch: u32, ctx: u32) -> f64 {
+//!         (self.0.decode_step_s(batch, ctx) / 1e-4).ceil() * 1e-4
+//!     }
+//!     fn prefill_s(&mut self, prompt_len: u32) -> f64 {
+//!         self.0.prefill_s(prompt_len)
+//!     }
+//!     fn fits(&self, t: u64) -> bool {
+//!         self.0.fits(t)
+//!     }
+//!     fn kv_capacity_tokens(&self) -> u64 {
+//!         self.0.kv_capacity_tokens()
+//!     }
+//! }
+//!
+//! let mut machine = Quantised(AnalyticCostModel::small());
+//! let lut = LutBuilder::new(8, 1024)
+//!     .context_step(256)
+//!     .prefill_step(64)
+//!     .build(&mut machine);
+//! // Knots read back exactly; the LUT is itself a CostModel.
+//! let mut lut = lut;
+//! assert_eq!(lut.decode_step_s(4, 512), machine.decode_step_s(4, 512));
+//! ```
+
+use crate::cost::CostModel;
+
+/// A dense, immutable latency table: decode over batch × context,
+/// prefill over prompt length. Build one per SKU with [`LutBuilder`];
+/// query it through the [`CostModel`] impl.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyLut {
+    /// Batch knots `1..=max_batch` (dense: index = batch - 1).
+    max_batch: u32,
+    /// Context knots, ascending, non-empty.
+    ctx_knots: Vec<u32>,
+    /// Row-major decode samples: `[batch - 1][ctx_index]`.
+    decode_s: Vec<f64>,
+    /// Prompt-length knots, ascending, starting at 0.
+    prefill_knots: Vec<u32>,
+    /// Prefill samples per prompt knot.
+    prefill_s: Vec<f64>,
+    kv_capacity_tokens: u64,
+}
+
+impl LatencyLut {
+    /// Largest batch size the decode table covers.
+    #[must_use]
+    pub fn max_batch(&self) -> u32 {
+        self.max_batch
+    }
+
+    /// The context knots of the decode grid.
+    #[must_use]
+    pub fn context_knots(&self) -> &[u32] {
+        &self.ctx_knots
+    }
+
+    /// The prompt-length knots of the prefill axis.
+    #[must_use]
+    pub fn prefill_knots(&self) -> &[u32] {
+        &self.prefill_knots
+    }
+
+    /// Total stored samples (decode + prefill) — the LUT's footprint.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.decode_s.len() + self.prefill_s.len()
+    }
+
+    /// Index of the knot interval containing `x`: returns `(lo, hi)`
+    /// knot indices with `lo <= hi`, equal when `x` sits on a knot or
+    /// outside the hull (clamped).
+    fn bracket(knots: &[u32], x: u32) -> (usize, usize) {
+        match knots.binary_search(&x) {
+            Ok(i) => (i, i),
+            Err(0) => (0, 0),
+            Err(i) if i == knots.len() => (i - 1, i - 1),
+            Err(i) => (i - 1, i),
+        }
+    }
+
+    fn decode_at(&self, b_idx: usize, c_idx: usize) -> f64 {
+        self.decode_s[b_idx * self.ctx_knots.len() + c_idx]
+    }
+
+    /// Decode latency by table lookup. Exact array read when `(batch,
+    /// max_context)` lies on the grid; bilinear blend of the four
+    /// surrounding knots otherwise, clamped to the table hull.
+    #[must_use]
+    pub fn decode_lookup_s(&self, batch: u32, max_context: u32) -> f64 {
+        let b = batch.clamp(1, self.max_batch);
+        let b_lo = (b - 1) as usize;
+        let (c_lo, c_hi) = Self::bracket(&self.ctx_knots, max_context);
+        if c_lo == c_hi {
+            return self.decode_at(b_lo, c_lo);
+        }
+        let x0 = f64::from(self.ctx_knots[c_lo]);
+        let x1 = f64::from(self.ctx_knots[c_hi]);
+        let t = (f64::from(max_context) - x0) / (x1 - x0);
+        let y0 = self.decode_at(b_lo, c_lo);
+        let y1 = self.decode_at(b_lo, c_hi);
+        y0 + (y1 - y0) * t
+    }
+
+    /// Prefill latency by table lookup: exact at knots, linear between
+    /// them, clamped at the ends.
+    #[must_use]
+    pub fn prefill_lookup_s(&self, prompt_len: u32) -> f64 {
+        let (lo, hi) = Self::bracket(&self.prefill_knots, prompt_len);
+        if lo == hi {
+            return self.prefill_s[lo];
+        }
+        let x0 = f64::from(self.prefill_knots[lo]);
+        let x1 = f64::from(self.prefill_knots[hi]);
+        let t = (f64::from(prompt_len) - x0) / (x1 - x0);
+        self.prefill_s[lo] + (self.prefill_s[hi] - self.prefill_s[lo]) * t
+    }
+}
+
+impl CostModel for LatencyLut {
+    fn decode_step_s(&mut self, batch: u32, max_context: u32) -> f64 {
+        self.decode_lookup_s(batch, max_context)
+    }
+
+    fn prefill_s(&mut self, prompt_len: u32) -> f64 {
+        self.prefill_lookup_s(prompt_len)
+    }
+
+    fn fits(&self, context_tokens: u64) -> bool {
+        context_tokens <= self.kv_capacity_tokens
+    }
+
+    fn kv_capacity_tokens(&self) -> u64 {
+        self.kv_capacity_tokens
+    }
+}
+
+/// Builds a [`LatencyLut`] by sampling a source [`CostModel`] on a
+/// configurable grid. Batch is always sampled densely (`1..=max_batch`,
+/// matching every batch size the scheduler can form); context and
+/// prompt axes default to the scheduler's bucket spacing.
+#[derive(Debug, Clone)]
+pub struct LutBuilder {
+    max_batch: u32,
+    longest_context: u32,
+    context_step: u32,
+    prefill_step: u32,
+    prefill_tolerance: Option<f64>,
+}
+
+impl LutBuilder {
+    /// A builder covering batches `1..=max_batch` and contexts
+    /// `0..=longest_context`. Context/prompt knot spacing defaults to
+    /// 128 tokens; tune with [`LutBuilder::context_step`] /
+    /// [`LutBuilder::prefill_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    #[must_use]
+    pub fn new(max_batch: u32, longest_context: u32) -> Self {
+        assert!(max_batch > 0, "LUT needs at least batch size 1");
+        Self {
+            max_batch,
+            longest_context,
+            context_step: 128,
+            prefill_step: 128,
+            prefill_tolerance: None,
+        }
+    }
+
+    /// Sets the context-axis knot spacing. Use the scheduler's
+    /// `seq_bucket` so every bucketed context the scheduler prices is a
+    /// knot — then decode pricing is bit-identical to the source model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    #[must_use]
+    pub fn context_step(mut self, step: u32) -> Self {
+        assert!(step > 0, "context step must be positive");
+        self.context_step = step;
+        self
+    }
+
+    /// Sets the prompt-axis knot spacing for the prefill table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    #[must_use]
+    pub fn prefill_step(mut self, step: u32) -> Self {
+        assert!(step > 0, "prefill step must be positive");
+        self.prefill_step = step;
+        self
+    }
+
+    /// Adaptively refines the prefill axis until linear interpolation
+    /// at every interval midpoint is within `rel` of the source model.
+    ///
+    /// Uniform spacing cannot bound interpolation error across a
+    /// *kink* — prefill surfaces typically have one where a fixed
+    /// launch/bandwidth floor gives way to compute-bound growth — so
+    /// the builder bisects each interval whose midpoint interpolates
+    /// worse than `rel` (relative), down to single-token spacing.
+    /// Extra samples cost one `prefill_s` call each; the source model
+    /// is queried, never simulated twice (memoised models make this
+    /// cheap either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel` is not finite and positive.
+    #[must_use]
+    pub fn prefill_tolerance(mut self, rel: f64) -> Self {
+        assert!(
+            rel.is_finite() && rel > 0.0,
+            "prefill tolerance must be a positive fraction"
+        );
+        self.prefill_tolerance = Some(rel);
+        self
+    }
+
+    /// Recursively bisects `(lo, hi)` until the midpoint interpolation
+    /// error is within `rel`, pushing accepted interior knots in
+    /// ascending order. Depth is bounded by `log2(hi - lo)` ≤ 32.
+    fn refine_prefill(
+        model: &mut dyn CostModel,
+        (lo, f_lo): (u32, f64),
+        (hi, f_hi): (u32, f64),
+        rel: f64,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        let mid = lo + (hi - lo) / 2;
+        if mid == lo {
+            return;
+        }
+        let f_mid = model.prefill_s(mid);
+        let t = f64::from(mid - lo) / f64::from(hi - lo);
+        let interp = f_lo + (f_hi - f_lo) * t;
+        if (interp - f_mid).abs() <= rel * f_mid.abs() {
+            return;
+        }
+        Self::refine_prefill(model, (lo, f_lo), (mid, f_mid), rel, out);
+        out.push((mid, f_mid));
+        Self::refine_prefill(model, (mid, f_mid), (hi, f_hi), rel, out);
+    }
+
+    fn axis(longest: u32, step: u32) -> Vec<u32> {
+        let mut knots = Vec::new();
+        let mut x = 0u32;
+        loop {
+            knots.push(x);
+            if x >= longest {
+                break;
+            }
+            x = x.saturating_add(step).min(longest);
+        }
+        knots
+    }
+
+    /// Samples `model` at every knot and freezes the result. The source
+    /// model is only used here — the returned LUT owns plain arrays and
+    /// the model's KV capacity.
+    #[must_use]
+    pub fn build(&self, model: &mut dyn CostModel) -> LatencyLut {
+        let ctx_knots = Self::axis(self.longest_context, self.context_step);
+        let mut decode_s = Vec::with_capacity(self.max_batch as usize * ctx_knots.len());
+        for batch in 1..=self.max_batch {
+            for &ctx in &ctx_knots {
+                decode_s.push(model.decode_step_s(batch, ctx));
+            }
+        }
+        let coarse = Self::axis(self.longest_context, self.prefill_step);
+        let mut samples: Vec<(u32, f64)> =
+            coarse.iter().map(|&p| (p, model.prefill_s(p))).collect();
+        if let Some(rel) = self.prefill_tolerance {
+            let mut refined = Vec::with_capacity(samples.len());
+            for w in 0..samples.len() {
+                refined.push(samples[w]);
+                if let Some(&next) = samples.get(w + 1) {
+                    Self::refine_prefill(model, samples[w], next, rel, &mut refined);
+                }
+            }
+            samples = refined;
+        }
+        let (prefill_knots, prefill_s) = samples.into_iter().unzip();
+        LatencyLut {
+            max_batch: self.max_batch,
+            ctx_knots,
+            decode_s,
+            prefill_knots,
+            prefill_s,
+            kv_capacity_tokens: model.kv_capacity_tokens(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AnalyticCostModel;
+
+    fn build_small() -> (AnalyticCostModel, LatencyLut) {
+        let mut m = AnalyticCostModel::small();
+        let lut = LutBuilder::new(8, 1024)
+            .context_step(128)
+            .prefill_step(128)
+            .build(&mut m);
+        (m, lut)
+    }
+
+    #[test]
+    fn exact_at_every_knot() {
+        let (mut m, lut) = build_small();
+        for batch in 1..=8 {
+            for &ctx in lut.context_knots() {
+                assert_eq!(
+                    lut.decode_lookup_s(batch, ctx),
+                    m.decode_step_s(batch, ctx),
+                    "batch {batch} ctx {ctx}"
+                );
+            }
+        }
+        for &p in lut.prefill_knots() {
+            assert_eq!(lut.prefill_lookup_s(p), m.prefill_s(p));
+        }
+    }
+
+    #[test]
+    fn bilinear_is_exact_for_the_analytic_surface() {
+        // decode = a + d·batch·ctx is bilinear, so interpolation is
+        // exact even off-grid (up to f64 rounding).
+        let (mut m, lut) = build_small();
+        for &(batch, ctx) in &[(3u32, 200u32), (7, 999), (1, 65), (8, 1)] {
+            let got = lut.decode_lookup_s(batch, ctx);
+            let want = m.decode_step_s(batch, ctx);
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "batch {batch} ctx {ctx}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_clamp_to_the_hull() {
+        let (_, lut) = build_small();
+        assert_eq!(lut.decode_lookup_s(0, 512), lut.decode_lookup_s(1, 512));
+        assert_eq!(lut.decode_lookup_s(99, 512), lut.decode_lookup_s(8, 512));
+        assert_eq!(lut.decode_lookup_s(4, 9999), lut.decode_lookup_s(4, 1024));
+        assert_eq!(lut.prefill_lookup_s(9999), lut.prefill_lookup_s(1024));
+    }
+
+    #[test]
+    fn capacity_passes_through() {
+        let (m, lut) = build_small();
+        assert_eq!(lut.kv_capacity_tokens(), m.kv_capacity_tokens);
+        assert!(lut.fits(m.kv_capacity_tokens));
+        assert!(!lut.fits(m.kv_capacity_tokens + 1));
+    }
+
+    #[test]
+    fn axis_always_ends_on_the_longest_context() {
+        // 1000 is not a multiple of 128: the last knot must still be
+        // 1000 so the hull covers every in-range query.
+        let mut m = AnalyticCostModel::small();
+        let lut = LutBuilder::new(2, 1000).context_step(128).build(&mut m);
+        assert_eq!(*lut.context_knots().last().unwrap(), 1000);
+        assert_eq!(lut.context_knots()[0], 0);
+    }
+
+    #[test]
+    fn prefill_tolerance_refines_across_a_kink() {
+        // A prefill surface with a hard kink at 100 tokens: a 1 ms
+        // floor, then linear growth. Uniform 128-token knots straddle
+        // the kink and interpolate the midpoint ~30% high; the refined
+        // axis must bound every interval midpoint to the tolerance.
+        struct Kinked;
+        impl CostModel for Kinked {
+            fn decode_step_s(&mut self, _: u32, _: u32) -> f64 {
+                1e-3
+            }
+            fn prefill_s(&mut self, prompt_len: u32) -> f64 {
+                1e-3f64.max(f64::from(prompt_len) * 1e-5)
+            }
+            fn fits(&self, _: u64) -> bool {
+                true
+            }
+            fn kv_capacity_tokens(&self) -> u64 {
+                u64::MAX
+            }
+        }
+        let coarse = LutBuilder::new(1, 1024).build(&mut Kinked);
+        let refined = LutBuilder::new(1, 1024)
+            .prefill_tolerance(0.005)
+            .build(&mut Kinked);
+        assert!(refined.prefill_knots().len() > coarse.prefill_knots().len());
+        let mut m = Kinked;
+        let knots = refined.prefill_knots().to_vec();
+        for w in knots.windows(2) {
+            let mid = w[0] + (w[1] - w[0]) / 2;
+            let got = refined.prefill_lookup_s(mid);
+            let want = m.prefill_s(mid);
+            assert!(
+                (got - want).abs() <= 0.005 * want,
+                "prompt {mid}: {got} vs {want}"
+            );
+        }
+        // Knots stay sorted and deduplicated after refinement.
+        assert!(knots.windows(2).all(|w| w[0] < w[1]));
+        // Knots still read back exactly.
+        for &p in &knots {
+            assert_eq!(refined.prefill_lookup_s(p), m.prefill_s(p));
+        }
+    }
+
+    #[test]
+    fn zero_context_axis_is_a_single_knot() {
+        let mut m = AnalyticCostModel::small();
+        let lut = LutBuilder::new(1, 0).build(&mut m);
+        assert_eq!(lut.context_knots(), &[0]);
+        assert_eq!(lut.decode_lookup_s(1, 0), m.decode_step_s(1, 0));
+    }
+}

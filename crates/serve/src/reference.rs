@@ -1,0 +1,169 @@
+//! The pre-calendar scan drivers, kept as the differential baseline.
+//!
+//! Before the calendar-queue event core, the serving drivers found the
+//! next event by **scanning**: the single-machine loop recomputed the
+//! core's next event from its slots every step, and the fleet driver
+//! additionally folded a minimum over every replica per event and
+//! rebuilt every replica's telemetry by walking its queues on every
+//! arrival. This module preserves those drivers verbatim — same event
+//! selection, same tie-breaks (first minimum wins, arrivals before
+//! steps) — on top of the same scheduler core, using the core's
+//! scan-based probes instead of its O(1)/O(log n) incremental ones.
+//!
+//! Two jobs, then it retires (one release after the calendar core
+//! lands):
+//!
+//! 1. **Differential baseline** — the equivalence battery drives every
+//!    workload through both paths and demands identical report digests;
+//!    any divergence is a bug in the incremental bookkeeping.
+//! 2. **Perf baseline** — the `event_core` bench measures both paths on
+//!    the same fleet workload; the calendar path's speedup over this
+//!    one is the number the perf trajectory gates on.
+//!
+//! ```
+//! use rpu_serve::{reference, serve, AnalyticCostModel, ServeConfig, Workload};
+//!
+//! let wl = Workload::poisson(300.0, 256, 32, 40);
+//! let cfg = ServeConfig::default();
+//! let fast = serve(&wl, &mut AnalyticCostModel::small(), &cfg);
+//! let slow = reference::serve_scan(
+//!     &wl,
+//!     &mut AnalyticCostModel::small(),
+//!     &cfg,
+//!     &mut rpu_serve::Fifo,
+//! );
+//! assert_eq!(fast, slow);
+//! ```
+
+use crate::arrivals::{RequestSource, Workload};
+use crate::cost::CostModel;
+use crate::fleet::{merge, Fleet, FleetReport};
+use crate::policy::SchedulingPolicy;
+use crate::router::Router;
+use crate::scheduler::{Core, ServeConfig, ServeReport};
+
+/// Serves a workload on one machine with the scan-based driver: the
+/// core's next event is recomputed from its slots every step, exactly
+/// as the pre-calendar loop did. Bit-identical to
+/// [`crate::serve_with`] — the differential suite holds it to that.
+///
+/// # Panics
+///
+/// Panics if `config.max_batch` is zero or the policy misbehaves (see
+/// [`crate::serve_with`]).
+#[must_use]
+pub fn serve_scan(
+    workload: &Workload,
+    cost: &mut dyn CostModel,
+    config: &ServeConfig,
+    policy: &mut dyn SchedulingPolicy,
+) -> ServeReport {
+    let mut source = RequestSource::new(workload);
+    let mut core = Core::new(*config);
+    loop {
+        let next_arrival = source.next_arrival_s().unwrap_or(f64::INFINITY);
+        let next_event = core.next_event_scan();
+        if !next_arrival.is_finite() && !next_event.is_finite() {
+            break;
+        }
+        // Arrivals win ties, exactly as in the calendar driver.
+        if next_arrival <= next_event {
+            let req = source.pop_ready(next_arrival).expect("arrival is due");
+            core.enqueue(req);
+        } else {
+            core.step(cost, policy, &mut source);
+        }
+    }
+    debug_assert!(source.exhausted());
+    core.into_report()
+}
+
+/// Serves a workload across a fleet with the scan-based driver: a
+/// minimum over every replica's recomputed next event per global
+/// event, and every replica's telemetry rebuilt by walking its queues
+/// on each arrival. First minimal replica wins ties (the
+/// `Iterator::min_by` contract the calendar's `(tick, id)` key
+/// reproduces). Bit-identical to [`Fleet::serve`].
+///
+/// # Panics
+///
+/// Panics if the router picks out of range or a policy misbehaves.
+#[must_use]
+pub fn fleet_serve_scan(
+    fleet: &mut Fleet,
+    workload: &Workload,
+    router: &mut dyn Router,
+) -> FleetReport {
+    let mut source = RequestSource::new(workload);
+    let replicas = fleet.replicas_mut();
+    let mut cores: Vec<Core> = replicas.iter().map(|r| Core::new(r.config)).collect();
+    let mut assigned = vec![0u32; replicas.len()];
+    loop {
+        let next_arrival = source.next_arrival_s().unwrap_or(f64::INFINITY);
+        let (which, next_event) = cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.next_event_scan()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("fleets are non-empty");
+        if !next_arrival.is_finite() && !next_event.is_finite() {
+            break;
+        }
+        if next_arrival <= next_event {
+            let req = source.pop_ready(next_arrival).expect("arrival is due");
+            let telemetry: Vec<_> = cores
+                .iter()
+                .zip(replicas.iter())
+                .map(|(c, r)| c.telemetry_scan(r.cost.kv_capacity_tokens()))
+                .collect();
+            let pick = router.route(&req, &telemetry);
+            assert!(pick < cores.len(), "router picked out of range");
+            assigned[pick] += 1;
+            cores[pick].enqueue(req);
+        } else {
+            let rep = &mut replicas[which];
+            cores[which].step(rep.cost.as_mut(), rep.policy.as_mut(), &mut source);
+        }
+    }
+    debug_assert!(source.exhausted());
+    let replica_reports: Vec<ServeReport> = cores.into_iter().map(Core::into_report).collect();
+    let aggregate = merge(&replica_reports);
+    FleetReport {
+        replicas: replica_reports,
+        assigned,
+        aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::AnalyticCostModel;
+    use crate::policy::Fifo;
+    use crate::router::JoinShortestQueue;
+
+    #[test]
+    fn scan_serve_matches_calendar_serve() {
+        let wl = Workload::poisson(800.0, 256, 32, 64);
+        let cfg = ServeConfig::default();
+        let fast = crate::scheduler::serve(&wl, &mut AnalyticCostModel::small(), &cfg);
+        let slow = serve_scan(&wl, &mut AnalyticCostModel::small(), &cfg, &mut Fifo);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn scan_fleet_matches_calendar_fleet() {
+        let wl = Workload::poisson(2500.0, 256, 32, 96);
+        let mk = || {
+            Fleet::homogeneous(
+                3,
+                &ServeConfig::default(),
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            )
+        };
+        let fast = mk().serve(&wl, &mut JoinShortestQueue);
+        let slow = fleet_serve_scan(&mut mk(), &wl, &mut JoinShortestQueue);
+        assert_eq!(fast, slow);
+    }
+}

@@ -70,12 +70,14 @@
 //! ```
 
 use crate::arrivals::{RequestSource, Workload};
+use crate::calendar::CalendarQueue;
 use crate::cost::CostModel;
 use crate::digest::ReportDigest;
 use crate::policy::{ActiveRequest, Fifo, QueuedRequest, SchedulingPolicy};
 use crate::replay::{Command, CommandLog};
 use crate::request::{Request, RequestRecord};
 use crate::router::ReplicaTelemetry;
+use crate::slab::Slab;
 use crate::snapshot::{
     fnv1a, section, workload_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter, KIND_SERVE,
 };
@@ -370,6 +372,22 @@ impl ServeRun {
         self.core.telemetry(kv_capacity_tokens)
     }
 
+    /// Highest number of simultaneously resident requests the request
+    /// slab ever held — the perf trajectory's occupancy figure.
+    #[must_use]
+    pub fn peak_slab_occupancy(&self) -> u32 {
+        self.core.peak_slab_occupancy()
+    }
+
+    /// Live wake-ups in the core's ready calendar — non-zero whenever
+    /// slots are still prefilling towards a future readiness tick.
+    /// Exposed so the snapshot closure suite can prove it froze a run
+    /// with a non-empty event heap.
+    #[must_use]
+    pub fn pending_wakeups(&self) -> usize {
+        self.core.pending_wakeups()
+    }
+
     /// Freezes the whole run — source, core, command log — into a
     /// versioned, checksummed byte stream.
     #[must_use]
@@ -466,7 +484,28 @@ impl ServeRun {
 pub(crate) struct Core {
     config: ServeConfig,
     queue: Vec<QueuedRequest>,
-    active: Vec<Slot>,
+    /// In-flight requests live in slab cells; `active` holds their keys
+    /// in admission order (the order the pre-slab `Vec<Slot>` kept), so
+    /// policy indices and iteration order are unchanged while completed
+    /// cells are recycled without per-event allocation.
+    slab: Slab<Slot>,
+    active: Vec<u32>,
+    /// Pending prefill completions of not-yet-ready slots, keyed by
+    /// slab key. Drained into `ready_count` whenever the clock
+    /// advances; makes [`Core::next_event_s`] O(1).
+    ready_events: CalendarQueue,
+    /// Number of active slots with `ready_at <= clock`.
+    ready_count: u32,
+    // Incrementally maintained telemetry counters. All integer
+    // arithmetic, so they equal recomputation by scan exactly
+    // (debug-asserted in `telemetry`/`next_event_s`).
+    active_reserved: u64,
+    queued_reserved: u64,
+    active_in_flight: u64,
+    queued_in_flight: u64,
+    /// Reusable buffer for the policy's view of the batch during
+    /// preemption decisions — no per-decision allocation.
+    views: Vec<ActiveRequest>,
     clock: f64,
     // Trace tapes may start long after t = 0; the makespan (and every
     // rate derived from it) is anchored at the first arrival.
@@ -477,6 +516,12 @@ pub(crate) struct Core {
     /// reports no further events rather than spinning the driver.
     stalled: bool,
     report: ServeReport,
+}
+
+/// Decode tokens a request still owes, the unit of the in-flight
+/// telemetry counters.
+fn in_flight_tokens(q: &QueuedRequest) -> u64 {
+    u64::from(q.req.output_len.saturating_sub(q.generated))
 }
 
 impl Core {
@@ -490,7 +535,15 @@ impl Core {
         Self {
             config,
             queue: Vec::new(),
-            active: Vec::new(),
+            slab: Slab::with_capacity(config.max_batch as usize),
+            active: Vec::with_capacity(config.max_batch as usize),
+            ready_events: CalendarQueue::with_components(config.max_batch as usize),
+            ready_count: 0,
+            active_reserved: 0,
+            queued_reserved: 0,
+            active_in_flight: 0,
+            queued_in_flight: 0,
+            views: Vec::with_capacity(config.max_batch as usize),
             clock: 0.0,
             first_arrival_s: f64::INFINITY,
             last_finish_s: f64::NEG_INFINITY,
@@ -516,40 +569,118 @@ impl Core {
     pub(crate) fn enqueue(&mut self, req: Request) {
         self.first_arrival_s = self.first_arrival_s.min(req.arrival_s);
         self.clock = self.clock.max(req.arrival_s);
+        self.drain_ready();
         self.stalled = false;
-        self.queue.push(QueuedRequest::fresh(req));
+        let q = QueuedRequest::fresh(req);
+        self.queued_reserved += q.req.reserved_tokens();
+        self.queued_in_flight += in_flight_tokens(&q);
+        self.queue.push(q);
+    }
+
+    /// Promotes every pending prefill completion at or before the clock
+    /// into the ready count. Called after every clock advance so
+    /// `ready_count` always equals the number of slots with
+    /// `ready_at <= clock`.
+    fn drain_ready(&mut self) {
+        while let Some((tick, _)) = self.ready_events.peek() {
+            if tick > self.clock {
+                break;
+            }
+            self.ready_events.pop();
+            self.ready_count += 1;
+        }
     }
 
     /// When this core next wants to run: now (its clock) while it has
     /// queued or decodable work, the earliest prefill completion while
     /// everything admitted is still prefilling, infinity when idle.
-    pub(crate) fn next_event_s(&self) -> f64 {
+    /// O(1) via the ready-event calendar (`&mut` only to let the
+    /// calendar discard lazily-cancelled entries).
+    pub(crate) fn next_event_s(&mut self) -> f64 {
+        let next = if self.stalled {
+            f64::INFINITY
+        } else if self.ready_count > 0 || !self.queue.is_empty() {
+            self.clock
+        } else {
+            self.ready_events.peek().map_or(f64::INFINITY, |(t, _)| t)
+        };
+        debug_assert_eq!(
+            next.to_bits(),
+            self.next_event_scan().to_bits(),
+            "incremental next-event disagrees with scan"
+        );
+        next
+    }
+
+    /// The scan-based next-event computation the pre-calendar driver
+    /// used — kept as the reference implementation (see
+    /// [`crate::reference`]) and as the debug cross-check for the O(1)
+    /// path.
+    pub(crate) fn next_event_scan(&self) -> f64 {
         if self.stalled {
             return f64::INFINITY;
         }
-        if self.active.iter().any(|s| s.ready_at <= self.clock) || !self.queue.is_empty() {
+        if self
+            .active
+            .iter()
+            .any(|&k| self.slab.get(k).is_some_and(|s| s.ready_at <= self.clock))
+            || !self.queue.is_empty()
+        {
             return self.clock;
         }
         self.active
             .iter()
-            .map(|s| s.ready_at)
+            .filter_map(|&k| self.slab.get(k).map(|s| s.ready_at))
             .fold(f64::INFINITY, f64::min)
     }
 
     /// What the core publishes to a fleet router: queue depth, KV
     /// occupancy and outstanding work — never the sampled lengths of
-    /// individual requests or the machine's internals.
+    /// individual requests or the machine's internals. O(1) from the
+    /// incrementally maintained counters.
     pub(crate) fn telemetry(&self, kv_capacity_tokens: u64) -> ReplicaTelemetry {
-        let in_flight = |q: &QueuedRequest| u64::from(q.req.output_len.saturating_sub(q.generated));
+        let t = ReplicaTelemetry {
+            queue_depth: self.queue.len() as u32,
+            active_requests: self.active.len() as u32,
+            reserved_tokens: self.active_reserved,
+            queued_tokens: self.queued_reserved,
+            kv_capacity_tokens,
+            in_flight_tokens: self.active_in_flight + self.queued_in_flight,
+        };
+        debug_assert_eq!(
+            t,
+            self.telemetry_scan(kv_capacity_tokens),
+            "incremental telemetry disagrees with scan"
+        );
+        t
+    }
+
+    /// The scan-based telemetry computation the pre-calendar driver
+    /// used — kept as the reference implementation and as the debug
+    /// cross-check for the incremental counters.
+    pub(crate) fn telemetry_scan(&self, kv_capacity_tokens: u64) -> ReplicaTelemetry {
+        let slots = || self.active.iter().filter_map(|&k| self.slab.get(k));
         ReplicaTelemetry {
             queue_depth: self.queue.len() as u32,
             active_requests: self.active.len() as u32,
-            reserved_tokens: self.active.iter().map(|s| s.q.req.reserved_tokens()).sum(),
+            reserved_tokens: slots().map(|s| s.q.req.reserved_tokens()).sum(),
             queued_tokens: self.queue.iter().map(|q| q.req.reserved_tokens()).sum(),
             kv_capacity_tokens,
-            in_flight_tokens: self.active.iter().map(|s| in_flight(&s.q)).sum::<u64>()
-                + self.queue.iter().map(in_flight).sum::<u64>(),
+            in_flight_tokens: slots().map(|s| in_flight_tokens(&s.q)).sum::<u64>()
+                + self.queue.iter().map(in_flight_tokens).sum::<u64>(),
         }
+    }
+
+    /// Highest number of simultaneously resident requests this core's
+    /// slab ever held — the perf trajectory's occupancy figure.
+    pub(crate) fn peak_slab_occupancy(&self) -> u32 {
+        self.slab.peak_occupancy()
+    }
+
+    /// Live entries in the ready calendar — slots still prefilling
+    /// (or otherwise not yet ready), each holding a future wake-up.
+    pub(crate) fn pending_wakeups(&self) -> usize {
+        self.ready_events.len()
     }
 
     /// Runs one scheduling event: one admission phase, then either one
@@ -583,6 +714,8 @@ impl Core {
             if !cost.fits(cand.req.reserved_tokens()) {
                 // Too large even alone: drop it or the queue wedges.
                 self.queue.remove(pick);
+                self.queued_reserved -= cand.req.reserved_tokens();
+                self.queued_in_flight -= in_flight_tokens(&cand);
                 self.report.rejected += 1;
                 self.report.rejected_requests.push(cand.req);
                 progressed = true;
@@ -595,41 +728,53 @@ impl Core {
             }
             // Make room, preempting if the policy allows.
             loop {
-                let reserved: u64 = self.active.iter().map(|s| s.q.req.reserved_tokens()).sum();
                 if self.active.len() < self.config.max_batch as usize
-                    && cost.fits(reserved + cand.req.reserved_tokens())
+                    && cost.fits(self.active_reserved + cand.req.reserved_tokens())
                 {
                     break;
                 }
                 if evictions_this_phase >= self.config.max_batch {
                     break 'admit;
                 }
-                let views: Vec<ActiveRequest> = self
-                    .active
-                    .iter()
-                    .map(|s| ActiveRequest {
+                self.views.clear();
+                for &key in &self.active {
+                    let s = self.slab.get(key).expect("active key is live");
+                    self.views.push(ActiveRequest {
                         req: s.q.req,
                         generated: s.q.generated,
                         ready: s.ready_at <= self.clock,
-                    })
-                    .collect();
-                let Some(victim) = policy.preempt_victim(&views, &cand, self.clock) else {
+                    });
+                }
+                let Some(victim) = policy.preempt_victim(&self.views, &cand, self.clock) else {
                     break 'admit;
                 };
                 assert!(victim < self.active.len(), "policy evicted out of range");
-                let evicted = self.active.remove(victim);
+                let victim_key = self.active.remove(victim);
+                let evicted = self.slab.remove(victim_key).expect("active key is live");
+                if evicted.ready_at <= self.clock {
+                    self.ready_count -= 1;
+                } else {
+                    self.ready_events.cancel(victim_key);
+                }
+                self.active_reserved -= evicted.q.req.reserved_tokens();
+                self.active_in_flight -= in_flight_tokens(&evicted.q);
                 evictions_this_phase += 1;
                 self.report.preemptions += 1;
                 progressed = true;
-                self.queue.push(QueuedRequest {
+                let back = QueuedRequest {
                     preemptions: evicted.q.preemptions + 1,
                     ..evicted.q
-                });
+                };
+                self.queued_reserved += back.req.reserved_tokens();
+                self.queued_in_flight += in_flight_tokens(&back);
+                self.queue.push(back);
             }
             // Preemption only appends to the queue, so `pick` still
             // names the same request.
             let mut q = self.queue.remove(pick);
             debug_assert_eq!(q.req.id, cand.req.id);
+            self.queued_reserved -= q.req.reserved_tokens();
+            self.queued_in_flight -= in_flight_tokens(&q);
             progressed = true;
             // Resumed requests rebuild their KV with a fresh prefill of
             // everything they had (prompt + generated), vLLM
@@ -638,6 +783,7 @@ impl Core {
             self.report.prefill_busy_s += prefill;
             let ready_at = if self.config.collocated_prefill {
                 self.clock += prefill;
+                self.drain_ready();
                 self.clock
             } else {
                 self.clock + prefill
@@ -646,31 +792,32 @@ impl Core {
                 q.first_admit_s = Some(self.clock);
             }
             let context = q.req.prompt_len.saturating_add(q.generated);
-            self.active.push(Slot {
+            self.active_reserved += q.req.reserved_tokens();
+            self.active_in_flight += in_flight_tokens(&q);
+            let key = self.slab.insert(Slot {
                 q,
                 ready_at,
                 context,
             });
-            let reserved: u64 = self.active.iter().map(|s| s.q.req.reserved_tokens()).sum();
-            self.report.peak_reserved_tokens = self.report.peak_reserved_tokens.max(reserved);
+            self.active.push(key);
+            if ready_at <= self.clock {
+                self.ready_count += 1;
+            } else {
+                self.ready_events.schedule(key, ready_at);
+            }
+            self.report.peak_reserved_tokens =
+                self.report.peak_reserved_tokens.max(self.active_reserved);
             self.report.peak_batch = self.report.peak_batch.max(self.active.len() as u32);
         }
 
-        let decodable = self
-            .active
-            .iter()
-            .filter(|s| s.ready_at <= self.clock)
-            .count();
-        if decodable == 0 {
+        if self.ready_count == 0 {
             // Nothing to decode: jump to the next prefill completion —
             // unless the queue is empty and an arrival comes first, in
             // which case the driver pushes it in and the clock advances
-            // to the arrival instead (via `enqueue`).
-            let next_ready = self
-                .active
-                .iter()
-                .map(|s| s.ready_at)
-                .fold(f64::INFINITY, f64::min);
+            // to the arrival instead (via `enqueue`). With no slot
+            // ready, every active slot's completion is still pending in
+            // the calendar, so its head is the earliest ready_at.
+            let next_ready = self.ready_events.peek().map_or(f64::INFINITY, |(t, _)| t);
             // The cap is read here, not at step entry: a rejection
             // above may have prompted a closed-loop client to issue a
             // request sooner than any arrival that existed before.
@@ -678,6 +825,7 @@ impl Core {
             if next_ready.is_finite() && (!self.queue.is_empty() || next_ready <= arrival_cap) {
                 debug_assert!(next_ready > self.clock, "unready slot at or before clock");
                 self.clock = self.clock.max(next_ready);
+                self.drain_ready();
             } else if !progressed && next_ready.is_infinite() {
                 debug_assert!(
                     self.queue.is_empty(),
@@ -689,35 +837,46 @@ impl Core {
         }
 
         // One decode iteration: one token for every ready request.
-        let batch = decodable as u32;
-        let max_context = self
-            .active
-            .iter()
-            .filter(|s| s.ready_at <= self.clock)
-            .map(|s| s.context)
-            .max()
-            .expect("decodable > 0");
+        let batch = self.ready_count;
+        let mut max_context = 0u32;
+        for &key in &self.active {
+            let s = self.slab.get(key).expect("active key is live");
+            if s.ready_at <= self.clock {
+                max_context = max_context.max(s.context);
+            }
+        }
         let dt = cost.decode_step_s(batch, self.config.bucket(max_context));
         debug_assert!(dt > 0.0, "decode iterations must take time");
         let iter_start = self.clock;
         self.clock += dt;
+        self.drain_ready();
         self.report.decode_busy_s += dt;
         self.report.decode_iterations += 1;
 
         let mut i = 0;
         while i < self.active.len() {
-            if self.active[i].ready_at > iter_start {
+            let key = self.active[i];
+            let slot = self.slab.get_mut(key).expect("active key is live");
+            if slot.ready_at > iter_start {
                 i += 1;
                 continue;
             }
-            let slot = &mut self.active[i];
+            // Mirror the saturating in-flight definition: a request
+            // already at (or past) its output length carries zero
+            // in-flight tokens, so this token moves nothing.
+            if slot.q.generated < slot.q.req.output_len {
+                self.active_in_flight -= 1;
+            }
             slot.q.generated += 1;
             slot.context += 1;
             if slot.q.first_token_s.is_none() {
                 slot.q.first_token_s = Some(self.clock);
             }
             if slot.q.generated >= slot.q.req.output_len {
-                let done = self.active.swap_remove(i);
+                self.active.swap_remove(i);
+                let done = self.slab.remove(key).expect("active key is live");
+                self.ready_count -= 1;
+                self.active_reserved -= done.q.req.reserved_tokens();
                 self.report.records.push(RequestRecord {
                     id: done.q.req.id,
                     arrival_s: done.q.req.arrival_s,
@@ -759,6 +918,12 @@ impl Core {
     }
 
     /// Serialises the core's full state into an open snapshot section.
+    ///
+    /// The slab is written as its raw cell layout (occupancy tags, free
+    /// chain, peak) rather than as a dense request list: key-reuse
+    /// order determines future key assignments, so fragmentation must
+    /// survive the round trip for a resumed run to snapshot
+    /// byte-identically to the uninterrupted one.
     pub(crate) fn save(&self, w: &mut SnapshotWriter) {
         w.put_u32(self.config.max_batch);
         w.put_u32(self.config.seq_bucket);
@@ -767,11 +932,14 @@ impl Core {
         for q in &self.queue {
             q.save(w);
         }
-        w.put_usize(self.active.len());
-        for s in &self.active {
+        self.slab.save(w, SnapshotWriter::put_u32, |w, s: &Slot| {
             s.q.save(w);
             w.put_f64(s.ready_at);
             w.put_u32(s.context);
+        });
+        w.put_usize(self.active.len());
+        for &key in &self.active {
+            w.put_u32(key);
         }
         w.put_f64(self.clock);
         w.put_f64(self.first_arrival_s);
@@ -810,18 +978,43 @@ impl Core {
         for _ in 0..n_queue {
             queue.push(QueuedRequest::load(r)?);
         }
-        let n_active = r.get_count(8)?;
+        let slab: Slab<Slot> = Slab::load(
+            r,
+            SnapshotReader::get_u32,
+            |r| {
+                Ok(Slot {
+                    q: QueuedRequest::load(r)?,
+                    ready_at: r.get_f64()?,
+                    context: r.get_u32()?,
+                })
+            },
+            SnapshotError::Corrupt,
+        )?;
+        let n_active = r.get_count(4)?;
+        if n_active != slab.len() {
+            return Err(SnapshotError::Corrupt("active list disagrees with slab"));
+        }
         let mut active = Vec::with_capacity(n_active);
+        let mut seen = vec![false; slab.capacity()];
         for _ in 0..n_active {
-            active.push(Slot {
-                q: QueuedRequest::load(r)?,
-                ready_at: r.get_f64()?,
-                context: r.get_u32()?,
-            });
+            let key = r.get_u32()?;
+            if !slab.contains(key) {
+                return Err(SnapshotError::Corrupt("active key addresses no live cell"));
+            }
+            if std::mem::replace(&mut seen[key as usize], true) {
+                return Err(SnapshotError::Corrupt("active key listed twice"));
+            }
+            active.push(key);
         }
         let clock = r.get_f64()?;
         let first_arrival_s = r.get_f64()?;
         let last_finish_s = r.get_f64()?;
+        // NaN wall-clock state would poison every comparison downstream
+        // — including the fleet wake calendar, which (rightly) panics
+        // on incomparable ticks. Hostile bytes must fail typed instead.
+        if clock.is_nan() || first_arrival_s.is_nan() || last_finish_s.is_nan() {
+            return Err(SnapshotError::Corrupt("clock state is NaN"));
+        }
         let stalled = r.get_bool()?;
         let n_records = r.get_count(8)?;
         let mut records = Vec::with_capacity(n_records);
@@ -834,10 +1027,47 @@ impl Core {
         for _ in 0..n_rejected {
             rejected_requests.push(Request::load(r)?);
         }
+        // Derived state (ready calendar, incremental counters) is
+        // rebuilt from the slots rather than serialised: it is a pure
+        // function of them, and rebuilding keeps the format free of
+        // redundant fields that could disagree.
+        let mut ready_events = CalendarQueue::with_components(slab.capacity());
+        let mut ready_count = 0u32;
+        let mut active_reserved = 0u64;
+        let mut active_in_flight = 0u64;
+        for &key in &active {
+            let s = slab.get(key).expect("validated above");
+            if s.ready_at.is_nan() {
+                return Err(SnapshotError::Corrupt("slot ready_at is NaN"));
+            }
+            // A resident slot was admitted by definition; completing
+            // one without an admission stamp would panic the record
+            // writer, so hostile bytes must fail here instead.
+            if s.q.first_admit_s.is_none() {
+                return Err(SnapshotError::Corrupt("active slot missing admission time"));
+            }
+            active_reserved += s.q.req.reserved_tokens();
+            active_in_flight += in_flight_tokens(&s.q);
+            if s.ready_at <= clock {
+                ready_count += 1;
+            } else {
+                ready_events.schedule(key, s.ready_at);
+            }
+        }
+        let queued_reserved = queue.iter().map(|q| q.req.reserved_tokens()).sum();
+        let queued_in_flight = queue.iter().map(in_flight_tokens).sum();
         Ok(Self {
             config,
             queue,
+            slab,
             active,
+            ready_events,
+            ready_count,
+            active_reserved,
+            queued_reserved,
+            active_in_flight,
+            queued_in_flight,
+            views: Vec::new(),
             clock,
             first_arrival_s,
             last_finish_s,

@@ -67,7 +67,9 @@ pub(crate) fn workload_fingerprint(workload: &crate::arrivals::Workload) -> u64 
 pub const MAGIC: [u8; 8] = *b"RPUSNAP1";
 
 /// Layout version written into (and demanded from) every snapshot.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 introduced the slab-backed core layout (raw slab cells,
+/// free chain and active key list replacing the dense active vector).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be restored. Every decode failure is one
 /// of these — restoring never panics on hostile bytes.

@@ -1,0 +1,178 @@
+//! Differential equivalence battery: calendar event core vs the
+//! pre-calendar scan drivers.
+//!
+//! The calendar-queue core (`O(log n)` wake-ups, incremental
+//! telemetry, slab storage) must be **bit-identical** to the
+//! scan-and-merge drivers it replaced — same schedules, same
+//! timestamps, same digests. This suite drives a family of 112 seeded
+//! workloads (open loop, closed loop, traced; single- and multi-class;
+//! with preemption pressure) through both paths:
+//!
+//! - single machine, under every scheduling policy (Fifo, SJF,
+//!   PriorityAging, DeadlineEdf);
+//! - a three-replica fleet, under every router (RoundRobin,
+//!   JoinShortestQueue, LeastKvLoad, SessionAffinity), policies
+//!   rotating per workload.
+//!
+//! Each pair must agree on the full report **and** its digest. The
+//! scan drivers live in [`rpu_serve::reference`] for exactly one
+//! release as this suite's baseline; the 18 repro-target goldens are
+//! held byte-identical by the separate golden gate in CI.
+
+use rpu_models::LengthDistribution;
+use rpu_serve::{
+    digest_fleet_report, digest_serve_report, reference, serve_with, AnalyticCostModel,
+    ArrivalProcess, ClassSpec, CostModel, DeadlineEdf, Fifo, Fleet, JoinShortestQueue, LeastKvLoad,
+    PriorityAging, RoundRobin, Router, SchedulingPolicy, ServeConfig, ServeRng, SessionAffinity,
+    ShortestJobFirst, SloTargets, Workload,
+};
+
+const NUM_WORKLOADS: u64 = 112;
+
+/// Builds the `i`-th battery workload and its machine config. Seeded
+/// from the index alone, so the battery is reproducible run to run.
+fn workload(i: u64) -> (Workload, ServeConfig) {
+    let mut s = ServeRng::new(i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i + 1));
+    let arrivals = match s.next_u64() % 3 {
+        0 => ArrivalProcess::Poisson {
+            rate_rps: 50.0 + (s.next_u64() % 3000) as f64,
+        },
+        1 => ArrivalProcess::ClosedLoop {
+            clients: 1 + (s.next_u64() % 10) as u32,
+            think_s: (s.next_u64() % 40) as f64 * 1e-3,
+        },
+        _ => {
+            let n = 6 + s.next_u64() % 30;
+            let mut t = 0.0;
+            let arrivals_s = (0..n)
+                .map(|_| {
+                    t += (s.next_u64() % 800) as f64 * 1e-4;
+                    t
+                })
+                .collect();
+            ArrivalProcess::Trace { arrivals_s }
+        }
+    };
+    let classes = if s.next_u64().is_multiple_of(2) {
+        vec![ClassSpec::interactive()]
+    } else {
+        vec![
+            ClassSpec {
+                share: 3.0,
+                tenants: 2 + (s.next_u64() % 3) as u32,
+                slo: SloTargets::interactive(),
+                ..ClassSpec::interactive()
+            },
+            ClassSpec {
+                share: 1.0,
+                ..ClassSpec::batch()
+            },
+        ]
+    };
+    let num_requests = match &arrivals {
+        ArrivalProcess::Trace { arrivals_s } => arrivals_s.len() as u32,
+        _ => 12 + (s.next_u64() % 36) as u32,
+    };
+    let wl = Workload {
+        arrivals,
+        prompt_lens: LengthDistribution::Uniform {
+            lo: 8,
+            hi: 64 + (s.next_u64() % 448) as u32,
+        },
+        output_lens: LengthDistribution::Uniform {
+            lo: 1,
+            hi: 4 + (s.next_u64() % 28) as u32,
+        },
+        num_requests,
+        seed: s.next_u64(),
+        classes: vec![],
+    }
+    .with_classes(classes);
+    let config = ServeConfig {
+        max_batch: 2 + (s.next_u64() % 7) as u32,
+        collocated_prefill: s.next_u64().is_multiple_of(4),
+        ..ServeConfig::default()
+    };
+    (wl, config)
+}
+
+const POLICIES: [&str; 4] = ["fifo", "sjf", "aging", "edf"];
+const ROUTERS: [&str; 4] = ["round-robin", "jsq", "least-kv", "affinity"];
+
+/// A fresh policy instance by name — both paths get their own copy so
+/// stateful policies cannot leak decisions across the comparison.
+fn policy(name: &str, wl: &Workload) -> Box<dyn SchedulingPolicy> {
+    match name {
+        "fifo" => Box::new(Fifo),
+        "sjf" => Box::new(ShortestJobFirst::for_workload(wl)),
+        "aging" => Box::new(PriorityAging::new(0.05)),
+        "edf" => Box::new(DeadlineEdf),
+        _ => unreachable!("unknown policy {name}"),
+    }
+}
+
+/// A fresh router instance by name.
+fn router(name: &str) -> Box<dyn Router> {
+    match name {
+        "round-robin" => Box::new(RoundRobin::new()),
+        "jsq" => Box::new(JoinShortestQueue),
+        "least-kv" => Box::new(LeastKvLoad),
+        "affinity" => Box::new(SessionAffinity::new()),
+        _ => unreachable!("unknown router {name}"),
+    }
+}
+
+fn machine() -> AnalyticCostModel {
+    AnalyticCostModel::small()
+}
+
+#[test]
+fn calendar_serve_matches_scan_serve_under_every_policy() {
+    for i in 0..NUM_WORKLOADS {
+        let (wl, config) = workload(i);
+        for name in POLICIES {
+            let fast = serve_with(&wl, &mut machine(), &config, policy(name, &wl).as_mut());
+            let slow =
+                reference::serve_scan(&wl, &mut machine(), &config, policy(name, &wl).as_mut());
+            assert_eq!(
+                digest_serve_report(&fast),
+                digest_serve_report(&slow),
+                "workload {i} policy {name}: digests diverge"
+            );
+            assert_eq!(fast, slow, "workload {i} policy {name}: reports diverge");
+        }
+    }
+}
+
+#[test]
+fn calendar_fleet_matches_scan_fleet_under_every_router() {
+    for i in 0..NUM_WORKLOADS {
+        let (wl, config) = workload(i);
+        // Rotate the replica policy across workloads so every
+        // (policy, router) pairing is exercised many times.
+        let mk_fleet = || {
+            let wl = &wl;
+            Fleet::homogeneous(
+                3,
+                &config,
+                || Box::new(machine()) as Box<dyn CostModel>,
+                move || match i % 4 {
+                    0 => Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+                    1 => Box::new(ShortestJobFirst::for_workload(wl)),
+                    2 => Box::new(PriorityAging::new(0.05)),
+                    _ => Box::new(DeadlineEdf),
+                },
+            )
+        };
+        for name in ROUTERS {
+            let fast = mk_fleet().serve(&wl, router(name).as_mut());
+            let slow = reference::fleet_serve_scan(&mut mk_fleet(), &wl, router(name).as_mut());
+            assert_eq!(
+                digest_fleet_report(&fast),
+                digest_fleet_report(&slow),
+                "workload {i} router {name}: digests diverge"
+            );
+            assert_eq!(fast, slow, "workload {i} router {name}: reports diverge");
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Property suite for the event core's two storage primitives — the
+//! [`CalendarQueue`] and the [`Slab`] — plus snapshot closure over the
+//! new core layout.
+//!
+//! The calendar is checked against a naive model (a map of live
+//! wake-ups) under random interleavings of schedule / reschedule /
+//! cancel / pop / peek: no wake-up is ever lost or duplicated, pops
+//! surface in `(tick, id)` order with FIFO-by-id tie-breaks, and the
+//! heap never grows past the compaction bound. The slab is checked
+//! against a map model: keys are never aliased while live, lookups and
+//! removals always agree, and the raw layout round-trips through
+//! serialization preserving free-list reuse order.
+
+use proptest::prelude::*;
+use rpu_serve::{
+    AnalyticCostModel, CalendarQueue, Fifo, Fleet, FleetRun, PriorityAging, ServeConfig, ServeRng,
+    ServeRun, SessionAffinity, Slab, Workload,
+};
+use std::collections::BTreeMap;
+
+/// The naive calendar: id → live tick. The minimum of `(tick, id)`
+/// over its entries is what a correct queue must pop next.
+fn model_min(model: &BTreeMap<u32, f64>) -> Option<(f64, u32)> {
+    model
+        .iter()
+        .map(|(&id, &tick)| (tick, id))
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings of schedule / cancel / pop / peek agree
+    /// with the naive model at every step, and draining at the end
+    /// yields exactly the model's surviving wake-ups, in order.
+    #[test]
+    fn calendar_agrees_with_the_naive_model(seed in 0u64..1 << 48, n_ops in 1usize..400) {
+        let mut rng = ServeRng::new(seed);
+        let mut q = CalendarQueue::with_components(8);
+        let mut model: BTreeMap<u32, f64> = BTreeMap::new();
+        for _ in 0..n_ops {
+            let id = (rng.next_u64() % 16) as u32;
+            match rng.next_u64() % 5 {
+                // Schedule / reschedule (occasionally to infinity).
+                0 | 1 => {
+                    let tick = if rng.next_u64().is_multiple_of(16) {
+                        f64::INFINITY
+                    } else {
+                        (rng.next_u64() % 1000) as f64 / 8.0
+                    };
+                    q.schedule(id, tick);
+                    if tick.is_finite() {
+                        model.insert(id, tick);
+                    } else {
+                        model.remove(&id);
+                    }
+                }
+                2 => {
+                    q.cancel(id);
+                    model.remove(&id);
+                }
+                3 => {
+                    let got = q.pop();
+                    let want = model_min(&model);
+                    prop_assert_eq!(got, want, "pop disagrees with model");
+                    if let Some((_, id)) = want {
+                        model.remove(&id);
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(q.peek(), model_min(&model), "peek disagrees");
+                }
+            }
+            prop_assert_eq!(q.len(), model.len(), "live count drifted");
+            for (&id, &tick) in &model {
+                prop_assert_eq!(q.scheduled_at(id), Some(tick));
+            }
+        }
+        // Drain: every surviving wake-up surfaces exactly once, in
+        // nondecreasing (tick, id) order — none lost, none duplicated.
+        let mut drained = Vec::new();
+        while let Some(e) = q.pop() {
+            drained.push(e);
+        }
+        let mut expected: Vec<(f64, u32)> =
+            model.iter().map(|(&id, &tick)| (tick, id)).collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        prop_assert_eq!(drained, expected);
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// The lazy heap stays within the compaction bound no matter how
+    /// adversarial the reschedule pattern is.
+    #[test]
+    fn calendar_heap_is_bounded_by_live_entries(seed in 0u64..1 << 48) {
+        let mut rng = ServeRng::new(seed);
+        let mut q = CalendarQueue::new();
+        let mut live_cap = 0usize;
+        for _ in 0..5000 {
+            let id = (rng.next_u64() % 12) as u32;
+            q.schedule(id, (rng.next_u64() % 1_000_000) as f64);
+            live_cap = live_cap.max(q.len());
+        }
+        // Compaction triggers above max(64, 2 * live); one uncompacted
+        // push can sit on top.
+        prop_assert!(
+            q.heap_entries() <= (2 * live_cap).max(64) + 1,
+            "heap holds {} entries for {} live ids",
+            q.heap_entries(),
+            live_cap
+        );
+    }
+
+    /// Slab keys behave like map keys: never aliased while live,
+    /// lookups always agree, reuse only after removal.
+    #[test]
+    fn slab_agrees_with_the_naive_model(seed in 0u64..1 << 48, n_ops in 1usize..400) {
+        let mut rng = ServeRng::new(seed);
+        let mut slab: Slab<u64> = Slab::new();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut peak = 0u32;
+        for op in 0..n_ops {
+            if rng.next_u64().is_multiple_of(2) {
+                let value = rng.next_u64();
+                let key = slab.insert(value);
+                prop_assert!(
+                    !model.contains_key(&key),
+                    "op {op}: key {key} aliased while live"
+                );
+                model.insert(key, value);
+            } else {
+                let key = (rng.next_u64() % 16) as u32;
+                prop_assert_eq!(slab.remove(key), model.remove(&key));
+            }
+            peak = peak.max(model.len() as u32);
+            prop_assert_eq!(slab.len(), model.len());
+            prop_assert_eq!(slab.peak_occupancy(), peak);
+            for (&key, &value) in &model {
+                prop_assert_eq!(slab.get(key), Some(&value));
+                prop_assert!(slab.contains(key));
+            }
+            let live: Vec<(u32, u64)> = slab.iter().map(|(k, v)| (k, *v)).collect();
+            let want: Vec<(u32, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(live, want, "iteration order must be ascending keys");
+        }
+    }
+
+    /// The raw layout — free chain included — survives serialization:
+    /// a reloaded slab re-serializes to identical words and hands out
+    /// identical keys for identical insert sequences.
+    #[test]
+    fn slab_layout_roundtrips_preserving_reuse_order(seed in 0u64..1 << 48) {
+        let mut rng = ServeRng::new(seed);
+        let mut slab: Slab<u64> = Slab::new();
+        for _ in 0..120 {
+            if rng.next_u64().is_multiple_of(2) {
+                slab.insert(rng.next_u64());
+            } else {
+                slab.remove((rng.next_u64() % 16) as u32);
+            }
+        }
+        let save = |s: &Slab<u64>| {
+            let mut words: Vec<u64> = Vec::new();
+            s.save(
+                &mut words,
+                |w, x| w.push(u64::from(x)),
+                |w, v| w.push(*v),
+            );
+            words
+        };
+        let words = save(&slab);
+        let mut cursor = (words.clone(), 0usize);
+        let mut reloaded: Slab<u64> = Slab::load(
+            &mut cursor,
+            |c| {
+                let w = c.0.get(c.1).copied().ok_or("eof")?;
+                c.1 += 1;
+                u32::try_from(w).map_err(|_| "overflow")
+            },
+            |c| {
+                let w = c.0.get(c.1).copied().ok_or("eof")?;
+                c.1 += 1;
+                Ok(w)
+            },
+            |_| "corrupt",
+        )
+        .expect("pristine layout thaws");
+        prop_assert_eq!(cursor.1, words.len(), "loader consumed every word");
+        prop_assert_eq!(&save(&reloaded), &words, "reload must re-serialize identically");
+        // Key reuse order is part of the layout: identical inserts on
+        // the original and the reload must yield identical keys.
+        for _ in 0..40 {
+            prop_assert_eq!(slab.insert(7), reloaded.insert(7));
+        }
+    }
+}
+
+/// Steps a run until its core holds a non-empty wake-up heap *and* a
+/// fragmented slab (free holes below live cells), then freezes it.
+/// Panics if the workload never reaches that shape.
+fn freeze_fragmented(wl: &Workload, cfg: &ServeConfig) -> (ServeRun, Vec<u8>) {
+    let mut run = ServeRun::new(wl, cfg);
+    let mut cost = AnalyticCostModel::small();
+    loop {
+        assert!(
+            run.step(&mut cost, &mut PriorityAging::new(0.02)),
+            "run finished before reaching a fragmented mid-run state"
+        );
+        let stats = run.stats();
+        let fragmented = run.peak_slab_occupancy() > stats.active && stats.active >= 1;
+        if fragmented && run.pending_wakeups() > 0 {
+            let bytes = run.snapshot();
+            return (run, bytes);
+        }
+    }
+}
+
+/// Mid-run freeze with a non-empty event heap and a fragmented slab:
+/// the thawed run must re-freeze to the same bytes and finish
+/// bit-identically to the uninterrupted original.
+#[test]
+fn fragmented_mid_run_snapshot_resumes_bit_identically() {
+    // Long prompts make prefill (~4 ms) span several decode steps
+    // (~1.4 ms), so freshly admitted slots hold future wake-ups while
+    // earlier ones decode; varied output lengths stagger completions
+    // so the slab fragments while a prefill is pending.
+    let mut wl = Workload::poisson(2000.0, 2000, 8, 64);
+    wl.output_lens = rpu_models::LengthDistribution::Uniform { lo: 2, hi: 16 };
+    let cfg = ServeConfig {
+        max_batch: 4,
+        ..ServeConfig::default()
+    };
+    let (mut original, bytes) = freeze_fragmented(&wl, &cfg);
+    let mut resumed = ServeRun::resume(&wl, &bytes).expect("snapshot thaws");
+    // Closure: freezing the thawed state reproduces the bytes exactly
+    // — the slab's raw layout (free chain, peak) and the rebuilt
+    // calendar lose nothing in the round trip.
+    assert_eq!(resumed.snapshot(), bytes, "re-freeze must be bit-identical");
+    let mut cost_a = AnalyticCostModel::small();
+    let mut cost_b = AnalyticCostModel::small();
+    let mut pol_a = PriorityAging::new(0.02);
+    let mut pol_b = PriorityAging::new(0.02);
+    while original.step(&mut cost_a, &mut pol_a) {}
+    while resumed.step(&mut cost_b, &mut pol_b) {}
+    assert_eq!(original.into_report(), resumed.into_report());
+}
+
+/// The fleet variant: freeze with replicas mid-prefill, thaw into a
+/// fresh fleet + router, and demand byte-identical re-freeze plus a
+/// bit-identical finish. The fleet's wake calendar is *not*
+/// serialized — this is the test that rebuilding it on resume is
+/// lossless.
+#[test]
+fn fleet_mid_run_snapshot_resumes_bit_identically() {
+    let wl = Workload::poisson(4000.0, 384, 24, 96);
+    let cfg = ServeConfig {
+        max_batch: 4,
+        ..ServeConfig::default()
+    };
+    let mk_fleet = || {
+        Fleet::homogeneous(
+            3,
+            &cfg,
+            || Box::new(AnalyticCostModel::small()) as _,
+            || Box::new(Fifo) as _,
+        )
+    };
+    let mut fleet_a = mk_fleet();
+    let mut router_a = SessionAffinity::new();
+    let mut run_a = fleet_a.start(&wl);
+    for _ in 0..150 {
+        assert!(run_a.step(&mut fleet_a, &mut router_a));
+    }
+    let bytes = run_a.snapshot(&router_a);
+    let fleet_b = mk_fleet();
+    let mut router_b = SessionAffinity::new();
+    let mut run_b = FleetRun::resume(&wl, &fleet_b, &mut router_b, &bytes).expect("thaws");
+    assert_eq!(
+        run_b.snapshot(&router_b),
+        bytes,
+        "fleet re-freeze must be bit-identical"
+    );
+    let mut fleet_b = fleet_b;
+    while run_a.step(&mut fleet_a, &mut router_a) {}
+    while run_b.step(&mut fleet_b, &mut router_b) {}
+    assert_eq!(run_a.into_report(), run_b.into_report());
+}
