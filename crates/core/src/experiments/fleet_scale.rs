@@ -1,0 +1,277 @@
+//! Fleet scale: the event core's width sweep to 1000 replicas.
+//!
+//! The fleet sweep asks a capacity question at planner scale (a
+//! handful of replicas); this sweep asks the *event core* question
+//! behind it: **does the calendar-queue driver keep its per-event cost
+//! flat as the fleet gets wide?** It drives the same analytic-cost
+//! serving stack across fleets of 8 to 1000 replicas at a constant
+//! per-replica offered load (~95% decode utilisation), and reports
+//! events processed, events per request, peak slab occupancy and the
+//! fleet-report digest at every width.
+//!
+//! The registry run keeps the request count small (a fixed number of
+//! requests *per replica*) so the sweep stays cheap enough for the
+//! golden/differential gates that execute every registry target; the
+//! `fleet_scale` bench in `rpu-bench` reuses [`scale_workload`] and
+//! [`run_point`] at 10M requests to time the full-scale run and record
+//! `BENCH_fleet_scale.json`.
+//!
+//! The digest column is the determinism pin: the golden snapshot holds
+//! the exact [`rpu_serve::ReportDigest`] of every width, so any change
+//! to routing order, slab reuse or telemetry accounting at 1000
+//! replicas shows up as a byte diff — at every engine job count.
+
+use crate::engine::Engine;
+use rpu_serve::{
+    digest_fleet_report, AnalyticCostModel, CostModel, Fifo, Fleet, ReportDigest, RoundRobin,
+    SchedulingPolicy, ServeConfig, Workload,
+};
+use rpu_util::table::{Cell, Table};
+
+/// Fleet widths swept, ascending. The top rung is the paper-scale
+/// target: 1000 replicas behind one router.
+pub const WIDTH_SWEEP: [u32; 4] = [8, 64, 256, 1000];
+
+/// Requests per replica in the registry sweep — enough churn that
+/// every replica's slab sees reuse, small enough that the 1000-replica
+/// rung stays test-cheap.
+pub const REQUESTS_PER_REPLICA: u32 = 8;
+
+/// Offered load per replica, requests/second. Saturating-but-stable
+/// on [`AnalyticCostModel::small`] with 256/16 token requests: decode
+/// stays ~fully busy and queues run deep enough to keep batches full,
+/// but the backlog does not grow without bound — at an *overloaded*
+/// rate a long run's per-replica queue grows linearly and admission
+/// cost with it, which is a property of the workload, not the event
+/// core this sweep measures.
+pub const RATE_PER_REPLICA_RPS: f64 = 280.0;
+
+/// Serving batch-size cap per replica.
+pub const MAX_BATCH: u32 = 8;
+
+/// The swept workload at one fleet width: constant per-replica load,
+/// width-dependent seed so no two rungs share an arrival tape.
+#[must_use]
+pub fn scale_workload(replicas: u32, num_requests: u32) -> Workload {
+    Workload {
+        seed: 0x5CA1E ^ u64::from(replicas),
+        ..Workload::poisson(
+            RATE_PER_REPLICA_RPS * f64::from(replicas),
+            256,
+            16,
+            num_requests,
+        )
+    }
+}
+
+/// The serving config every swept replica runs — shared with the
+/// `fleet_scale` bench so the timed 10M-request run exercises exactly
+/// the registry sweep's machine shape.
+#[must_use]
+pub fn scale_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: MAX_BATCH,
+        ..ServeConfig::default()
+    }
+}
+
+/// One fleet width's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Fleet width.
+    pub replicas: u32,
+    /// Requests served.
+    pub requests: u32,
+    /// Discrete events the driver processed.
+    pub events: u64,
+    /// Highest number of simultaneously resident requests any single
+    /// replica's slab ever held.
+    pub peak_slab_occupancy: u32,
+    /// Fleet decode utilisation over the run.
+    pub fleet_utilization: f64,
+    /// Decode-load imbalance (max/mean) across replicas.
+    pub imbalance: f64,
+    /// Digest of the full fleet report — the determinism pin.
+    pub digest: ReportDigest,
+}
+
+/// Runs one width to completion through the calendar-queue driver and
+/// summarises it. Deterministic per `(replicas, workload)`; the bench
+/// wraps this same function in a timer at 10M requests.
+#[must_use]
+pub fn run_point(replicas: u32, wl: &Workload) -> ScalePoint {
+    let mut fleet = Fleet::homogeneous(
+        replicas as usize,
+        &scale_config(),
+        || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+        || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+    );
+    let mut router = RoundRobin::new();
+    let mut run = fleet.start(wl);
+    while run.step(&mut fleet, &mut router) {}
+    let events = run.events();
+    let peak = run.peak_slab_occupancy();
+    let report = run.into_report();
+    ScalePoint {
+        replicas,
+        requests: wl.num_requests,
+        events,
+        peak_slab_occupancy: peak,
+        fleet_utilization: report.fleet_utilization(),
+        imbalance: report.imbalance(),
+        digest: digest_fleet_report(&report),
+    }
+}
+
+/// Results of the scale sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScale {
+    /// Samples, ascending fleet width.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Runs the sweep sequentially.
+#[must_use]
+pub fn run() -> FleetScale {
+    run_with(&Engine::sequential())
+}
+
+/// Runs the sweep with each fleet width as one engine grid point. The
+/// widths are independent runs, so the engine fans them out; the
+/// digests pin that job count never leaks into any rung's report.
+#[must_use]
+pub fn run_with(engine: &Engine) -> FleetScale {
+    let points = engine.par_map(&WIDTH_SWEEP, |_, &replicas| {
+        let wl = scale_workload(replicas, replicas * REQUESTS_PER_REPLICA);
+        run_point(replicas, &wl)
+    });
+    FleetScale { points }
+}
+
+impl FleetScale {
+    /// The sample at one fleet width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not a sweep rung.
+    #[must_use]
+    pub fn point(&self, replicas: u32) -> &ScalePoint {
+        self.points
+            .iter()
+            .find(|p| p.replicas == replicas)
+            .expect("width is a sweep rung")
+    }
+
+    /// Renders the sweep as one table: a row per fleet width with the
+    /// event counts, occupancy and the report digest.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Fleet scale: calendar event core, {} req/s per replica, batch {MAX_BATCH}, \
+                 {REQUESTS_PER_REPLICA} requests per replica",
+                RATE_PER_REPLICA_RPS
+            ),
+            &[
+                "replicas",
+                "requests",
+                "events",
+                "events/req",
+                "peak slab",
+                "fleet util",
+                "imbalance",
+                "digest",
+            ],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                Cell::int(i64::from(p.replicas)),
+                Cell::int(i64::from(p.requests)),
+                Cell::int(p.events as i64),
+                Cell::num(p.events as f64 / f64::from(p.requests), 2),
+                Cell::int(i64::from(p.peak_slab_occupancy)),
+                Cell::num(p.fleet_utilization, 3),
+                Cell::num(p.imbalance, 2),
+                Cell::str(p.digest.to_string()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The sweep is deterministic; run it once and share it across the
+    /// suite (the reproducibility test still runs its own fresh copies).
+    fn sweep() -> &'static FleetScale {
+        static CACHE: OnceLock<FleetScale> = OnceLock::new();
+        CACHE.get_or_init(run)
+    }
+
+    #[test]
+    fn sweeps_every_width_to_completion() {
+        let s = sweep();
+        assert_eq!(s.points.len(), WIDTH_SWEEP.len());
+        for (&w, p) in WIDTH_SWEEP.iter().zip(&s.points) {
+            assert_eq!(p.replicas, w);
+            assert_eq!(p.requests, w * REQUESTS_PER_REPLICA);
+            // Every request costs at least an enqueue event plus one
+            // scheduling step; completed work means a busy fleet.
+            assert!(p.events > u64::from(p.requests));
+            assert!(p.peak_slab_occupancy >= 1);
+            assert!(p.fleet_utilization > 0.0);
+            assert!(p.imbalance >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_rung_reaches_a_thousand_replicas() {
+        // Acceptance: the sweep's top rung really is the paper-scale
+        // width, and its digest is pinned (any drift in slab reuse or
+        // routing order at width 1000 must fail loudly here and in the
+        // golden).
+        let p = sweep().point(1000);
+        assert_eq!(p.replicas, 1000);
+        assert_eq!(p.requests, 8000);
+        assert_eq!(
+            p.digest,
+            digest_fleet_report(&{
+                let wl = scale_workload(1000, 8000);
+                let mut fleet = Fleet::homogeneous(
+                    1000,
+                    &scale_config(),
+                    || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+                    || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+                );
+                fleet.serve(&wl, &mut RoundRobin::new())
+            })
+        );
+    }
+
+    #[test]
+    fn bit_reproducible_across_invocations_and_job_counts() {
+        // Acceptance: digest equality between `--jobs 1` and `--jobs N`
+        // at every width — the thousand-replica smoke test for the
+        // engine's index-stamping.
+        let a = sweep();
+        assert_eq!(a, &run());
+        assert_eq!(a, &run_with(&Engine::new(8)));
+    }
+
+    #[test]
+    fn table_has_one_row_per_width_and_carries_digests() {
+        let t = sweep().table();
+        assert_eq!(t.len(), WIDTH_SWEEP.len());
+        let rendered = t.to_string();
+        for p in &sweep().points {
+            assert!(
+                rendered.contains(&p.digest.to_string()),
+                "digest column missing width {}",
+                p.replicas
+            );
+        }
+    }
+}

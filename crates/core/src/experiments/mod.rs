@@ -30,6 +30,7 @@ pub mod fig11_scaling;
 pub mod fig12_energy_cost;
 pub mod fig13_batch_sweep;
 pub mod fig14_platforms;
+pub mod fleet_scale;
 pub mod fleet_sweep;
 pub mod policy_sweep;
 pub mod serving_sweep;
@@ -119,7 +120,7 @@ impl Experiment for Entry {
 }
 
 /// Every experiment of the reproduction, in `repro`'s canonical order.
-static REGISTRY: [Entry; 18] = [
+static REGISTRY: [Entry; 19] = [
     Entry {
         name: "fig1",
         about: "rooflines: H100 vs RPU at ISO-TDP; AI vs batch",
@@ -209,6 +210,11 @@ static REGISTRY: [Entry; 18] = [
         name: "fleet",
         about: "capacity planning: replicas to hold the SLO, per router",
         run: |e| vec![fleet_sweep::run_with(e).table()],
+    },
+    Entry {
+        name: "fleet-scale",
+        about: "event-core width sweep to 1000 replicas, digest-pinned",
+        run: |e| vec![fleet_scale::run_with(e).table()],
     },
 ];
 
@@ -315,7 +321,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let reg = registry();
-        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.len(), 19);
         for e in &reg {
             assert!(std::ptr::eq(find(e.name()).unwrap(), *e));
             assert!(!e.about().is_empty());

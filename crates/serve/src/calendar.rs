@@ -98,6 +98,12 @@ pub struct CalendarQueue {
     seq: u64,
     /// Number of ids with a live entry.
     live: usize,
+    /// Number of superseded/cancelled entries still sitting in the
+    /// heap. Tracked explicitly — every heap entry is either the live
+    /// entry of its id or stale, so `heap.len() == live + stale` — and
+    /// compaction triggers on `stale > live` rather than inferring
+    /// staleness from the heap length.
+    stale: usize,
 }
 
 impl CalendarQueue {
@@ -184,7 +190,10 @@ impl CalendarQueue {
         }
         st.seq = seq;
         st.tick = tick;
-        if !was_live {
+        if was_live {
+            // The previous entry for this id is now shadowed.
+            self.stale += 1;
+        } else {
             self.live += 1;
         }
         self.heap.push(Entry { tick, id, seq });
@@ -192,13 +201,18 @@ impl CalendarQueue {
     }
 
     /// Cancels `id`'s pending wake-up, if any. The heap entry goes
-    /// stale and is skipped when it surfaces.
+    /// stale and is skipped when it surfaces — or reclaimed right here
+    /// if cancellations have pushed the stale population past the live
+    /// one, so cancel-heavy runs compact as promptly as
+    /// reschedule-heavy ones.
     pub fn cancel(&mut self, id: u32) {
         if let Some(st) = self.ids.get_mut(id as usize) {
             if st.seq != NONE_SEQ {
                 st.seq = NONE_SEQ;
                 st.tick = f64::INFINITY;
                 self.live -= 1;
+                self.stale += 1;
+                self.maybe_compact();
             }
         }
     }
@@ -211,6 +225,7 @@ impl CalendarQueue {
                 return Some((e.tick, e.id));
             }
             self.heap.pop();
+            self.stale -= 1;
         }
         None
     }
@@ -225,6 +240,7 @@ impl CalendarQueue {
                 self.live -= 1;
                 return Some((e.tick, e.id));
             }
+            self.stale -= 1;
         }
         None
     }
@@ -241,7 +257,12 @@ impl CalendarQueue {
     /// the live `(tick, id, seq)` set, and pop order depends only on
     /// that set either way.
     fn maybe_compact(&mut self) {
-        if self.heap.len() > 64 && self.heap.len() > 2 * self.live {
+        debug_assert_eq!(
+            self.heap.len(),
+            self.live + self.stale,
+            "stale accounting drifted from the heap"
+        );
+        if self.heap.len() > 64 && self.stale > self.live {
             let ids = &self.ids;
             let entries: Vec<Entry> = self
                 .heap
@@ -250,6 +271,7 @@ impl CalendarQueue {
                 .copied()
                 .collect();
             self.heap = BinaryHeap::from(entries);
+            self.stale = 0;
         }
     }
 
@@ -335,6 +357,34 @@ mod tests {
             "heap kept {} entries for 8 live ids",
             q.heap_entries()
         );
+    }
+
+    #[test]
+    fn cancel_heavy_tapes_compact_without_oscillation() {
+        // Adversarial schedule/cancel tape: a wide wave of wake-ups is
+        // scheduled and then almost entirely cancelled, repeatedly.
+        // Cancellation never touched the compaction trigger before the
+        // explicit stale counter, so each wave's dead entries survived
+        // in the heap until the *next* schedule happened to fire the
+        // length-based check — and a cancel-heavy fleet run oscillated
+        // between giant heaps and bursty compactions.
+        let mut q = CalendarQueue::new();
+        for wave in 0..50u32 {
+            for id in 0..2000u32 {
+                q.schedule(id, f64::from(wave * 2000 + id));
+            }
+            for id in 0..1999u32 {
+                q.cancel(id);
+            }
+            assert_eq!(q.len(), 1, "only id 1999 survives each wave");
+            assert!(
+                q.heap_entries() <= 64,
+                "wave {wave}: heap kept {} entries for 1 live id",
+                q.heap_entries()
+            );
+        }
+        assert_eq!(q.pop().map(|(_, id)| id), Some(1999));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

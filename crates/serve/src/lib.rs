@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod arrivals;
 pub mod bisect;
 mod calendar;
@@ -80,7 +81,6 @@ mod fleet;
 mod lut;
 mod metrics;
 mod policy;
-pub mod reference;
 mod replay;
 mod request;
 mod rng;
@@ -89,6 +89,7 @@ mod scheduler;
 mod slab;
 pub mod snapshot;
 
+pub use arena::ChunkArena;
 pub use arrivals::{fuzz_tape, ArrivalProcess, FuzzFamily, RequestSource, Workload};
 pub use bisect::{bisect_divergence, BisectOutcome};
 pub use calendar::CalendarQueue;

@@ -612,9 +612,8 @@ impl Core {
         next
     }
 
-    /// The scan-based next-event computation the pre-calendar driver
-    /// used — kept as the reference implementation (see
-    /// [`crate::reference`]) and as the debug cross-check for the O(1)
+    /// The scan-based next-event computation the retired pre-calendar
+    /// driver used — kept as the debug cross-check for the O(1)
     /// path.
     pub(crate) fn next_event_scan(&self) -> f64 {
         if self.stalled {
@@ -655,8 +654,8 @@ impl Core {
         t
     }
 
-    /// The scan-based telemetry computation the pre-calendar driver
-    /// used — kept as the reference implementation and as the debug
+    /// The scan-based telemetry computation the retired pre-calendar
+    /// driver used — kept as the debug
     /// cross-check for the incremental counters.
     pub(crate) fn telemetry_scan(&self, kv_capacity_tokens: u64) -> ReplicaTelemetry {
         let slots = || self.active.iter().filter_map(|&k| self.slab.get(k));

@@ -1,12 +1,15 @@
-//! Indexed slab storage with free-list reuse.
+//! Indexed slab storage with free-list reuse over a chunked bump arena.
 //!
 //! The event core keeps every in-flight request in a [`Slab`]: inserts
 //! return a dense `u32` key, removals push the vacated cell onto an
 //! intrusive free list, and later inserts reuse the most recently freed
-//! cell first (LIFO). In steady state — a fleet running at a stable
-//! batch size — the slab stops allocating entirely; the only growth is
-//! the high-water mark, which it reports as
-//! [`Slab::peak_occupancy`] for the perf trajectory.
+//! cell first (LIFO). Cells live in a [`ChunkArena`] — fixed-size
+//! chunks allocated once and never moved — so growth never relocates
+//! live request state and indices stay valid for the run's lifetime.
+//! In steady state — a fleet running at a stable batch size — the slab
+//! stops allocating entirely; the only growth is the high-water mark,
+//! which it reports as [`Slab::peak_occupancy`] for the perf
+//! trajectory.
 //!
 //! Keys are never aliased while live: a key returned by
 //! [`Slab::insert`] stays valid until exactly one matching
@@ -15,6 +18,8 @@
 //! in which chain order) is part of observable behaviour — reuse order
 //! determines future key assignment — so snapshots serialise the raw
 //! cell layout and free-chain verbatim; see [`Slab::save`].
+
+use crate::arena::ChunkArena;
 
 /// Sentinel: end of the free chain / no free cell.
 const NIL: u32 = u32::MAX;
@@ -27,10 +32,11 @@ enum Cell<T> {
 }
 
 /// A growable arena of `T` addressed by stable `u32` keys, with LIFO
-/// free-list reuse and peak-occupancy tracking.
+/// free-list reuse and peak-occupancy tracking. Backed by a
+/// [`ChunkArena`], so cells never move once materialised.
 #[derive(Debug, Clone)]
 pub struct Slab<T> {
-    cells: Vec<Cell<T>>,
+    cells: ChunkArena<Cell<T>>,
     free_head: u32,
     live: u32,
     peak: u32,
@@ -39,7 +45,7 @@ pub struct Slab<T> {
 impl<T> Default for Slab<T> {
     fn default() -> Self {
         Self {
-            cells: Vec::new(),
+            cells: ChunkArena::new(),
             free_head: NIL,
             live: 0,
             peak: 0,
@@ -54,11 +60,11 @@ impl<T> Slab<T> {
         Self::default()
     }
 
-    /// An empty slab with room for `n` entries before reallocating.
+    /// An empty slab with arena chunks pre-allocated for `n` entries.
     #[must_use]
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            cells: Vec::with_capacity(n),
+            cells: ChunkArena::with_capacity(n),
             ..Self::default()
         }
     }
@@ -97,10 +103,14 @@ impl<T> Slab<T> {
     pub fn insert(&mut self, value: T) -> u32 {
         let key = if self.free_head != NIL {
             let key = self.free_head;
-            match self.cells[key as usize] {
+            let cell = self
+                .cells
+                .get_mut(key as usize)
+                .expect("free head in range");
+            match *cell {
                 Cell::Free(next) => {
                     self.free_head = next;
-                    self.cells[key as usize] = Cell::Occupied(value);
+                    *cell = Cell::Occupied(value);
                     key
                 }
                 Cell::Occupied(_) => unreachable!("free head points at a live cell"),
@@ -188,7 +198,7 @@ impl<T> Slab<T> {
         put_u32(ctx, u32::try_from(self.cells.len()).expect("slab fits u32"));
         put_u32(ctx, self.free_head);
         put_u32(ctx, self.peak);
-        for cell in &self.cells {
+        for cell in self.cells.iter() {
             match cell {
                 Cell::Occupied(v) => {
                     put_u32(ctx, 1);
@@ -220,7 +230,7 @@ impl<T> Slab<T> {
         let n = get_u32(ctx)?;
         let free_head = get_u32(ctx)?;
         let peak = get_u32(ctx)?;
-        let mut cells = Vec::new();
+        let mut cells = ChunkArena::new();
         let mut live = 0u32;
         let mut free = 0u32;
         for _ in 0..n {
@@ -247,15 +257,15 @@ impl<T> Slab<T> {
             if cursor as usize >= cells.len() {
                 return Err(corrupt("slab free chain out of range"));
             }
-            match cells[cursor as usize] {
-                Cell::Free(next) => {
+            match cells.get(cursor as usize) {
+                Some(&Cell::Free(next)) => {
                     visited += 1;
                     if visited > free {
                         return Err(corrupt("slab free chain cycle"));
                     }
                     cursor = next;
                 }
-                Cell::Occupied(_) => return Err(corrupt("slab free chain hits live cell")),
+                _ => return Err(corrupt("slab free chain hits live cell")),
             }
         }
         if visited != free {

@@ -1,30 +1,35 @@
-//! Differential equivalence battery: calendar event core vs the
-//! pre-calendar scan drivers.
+//! Differential closure battery for the calendar event core.
 //!
-//! The calendar-queue core (`O(log n)` wake-ups, incremental
-//! telemetry, slab storage) must be **bit-identical** to the
-//! scan-and-merge drivers it replaced — same schedules, same
-//! timestamps, same digests. This suite drives a family of 112 seeded
-//! workloads (open loop, closed loop, traced; single- and multi-class;
-//! with preemption pressure) through both paths:
+//! The pre-calendar scan drivers are gone (their one-release
+//! deprecation window closed with them); what must hold now is that
+//! the calendar core is **closed under its own mechanisms**: for every
+//! workload, an uninterrupted run, a run snapshotted mid-flight and
+//! resumed, and a replay of the recorded command log all produce
+//! byte-identical reports and digests. This suite drives a family of
+//! 112 seeded workloads (open loop, closed loop, traced; single- and
+//! multi-class; with preemption pressure) through that triangle:
 //!
 //! - single machine, under every scheduling policy (Fifo, SJF,
-//!   PriorityAging, DeadlineEdf);
+//!   PriorityAging, DeadlineEdf): uninterrupted == snapshot/resume at
+//!   the run's midpoint == log replay;
 //! - a three-replica fleet, under every router (RoundRobin,
 //!   JoinShortestQueue, LeastKvLoad, SessionAffinity), policies
-//!   rotating per workload.
+//!   rotating per workload: same triangle, router state frozen too;
+//! - a one-replica fleet against the bare single-machine scheduler:
+//!   the fleet driver must degenerate to it record-for-record.
 //!
-//! Each pair must agree on the full report **and** its digest. The
-//! scan drivers live in [`rpu_serve::reference`] for exactly one
-//! release as this suite's baseline; the 18 repro-target goldens are
-//! held byte-identical by the separate golden gate in CI.
+//! The scan-era cross-checks live on as `debug_assert`s inside the
+//! core (incremental telemetry and next-event vs recomputation by
+//! scan), so every debug run of this battery still exercises them; the
+//! 19 repro-target goldens are held byte-identical by the separate
+//! golden gate in CI.
 
 use rpu_models::LengthDistribution;
 use rpu_serve::{
-    digest_fleet_report, digest_serve_report, reference, serve_with, AnalyticCostModel,
-    ArrivalProcess, ClassSpec, CostModel, DeadlineEdf, Fifo, Fleet, JoinShortestQueue, LeastKvLoad,
-    PriorityAging, RoundRobin, Router, SchedulingPolicy, ServeConfig, ServeRng, SessionAffinity,
-    ShortestJobFirst, SloTargets, Workload,
+    digest_fleet_report, digest_serve_report, serve_with, AnalyticCostModel, ArrivalProcess,
+    ClassSpec, CostModel, DeadlineEdf, Fifo, Fleet, FleetRun, JoinShortestQueue, LeastKvLoad,
+    PriorityAging, RoundRobin, Router, SchedulingPolicy, ServeConfig, ServeRng, ServeRun,
+    SessionAffinity, ShortestJobFirst, SloTargets, Workload,
 };
 
 const NUM_WORKLOADS: u64 = 112;
@@ -99,8 +104,9 @@ fn workload(i: u64) -> (Workload, ServeConfig) {
 const POLICIES: [&str; 4] = ["fifo", "sjf", "aging", "edf"];
 const ROUTERS: [&str; 4] = ["round-robin", "jsq", "least-kv", "affinity"];
 
-/// A fresh policy instance by name — both paths get their own copy so
-/// stateful policies cannot leak decisions across the comparison.
+/// A fresh policy instance by name — every leg of the triangle gets
+/// its own copy so stateful policies cannot leak decisions across the
+/// comparison.
 fn policy(name: &str, wl: &Workload) -> Box<dyn SchedulingPolicy> {
     match name {
         "fifo" => Box::new(Fifo),
@@ -118,7 +124,7 @@ fn router(name: &str) -> Box<dyn Router> {
         "jsq" => Box::new(JoinShortestQueue),
         "least-kv" => Box::new(LeastKvLoad),
         "affinity" => Box::new(SessionAffinity::new()),
-        _ => unreachable!("unknown router {name}"),
+        _ => unreachable!("unknown policy {name}"),
     }
 }
 
@@ -127,25 +133,56 @@ fn machine() -> AnalyticCostModel {
 }
 
 #[test]
-fn calendar_serve_matches_scan_serve_under_every_policy() {
+fn serve_closes_under_snapshot_and_replay_under_every_policy() {
     for i in 0..NUM_WORKLOADS {
         let (wl, config) = workload(i);
         for name in POLICIES {
-            let fast = serve_with(&wl, &mut machine(), &config, policy(name, &wl).as_mut());
-            let slow =
-                reference::serve_scan(&wl, &mut machine(), &config, policy(name, &wl).as_mut());
+            // Leg 1: the uninterrupted run, recording its log.
+            let mut full = ServeRun::new(&wl, &config);
+            let mut cost = machine();
+            let mut p = policy(name, &wl);
+            while full.step(&mut cost, p.as_mut()) {}
+            let total = full.events();
+            let log = full.log().clone();
+            let uninterrupted = full.into_report();
+
+            // Leg 2: snapshot at the midpoint, thaw, finish.
+            let mut head = ServeRun::new(&wl, &config);
+            let mut cost = machine();
+            let mut p = policy(name, &wl);
+            for _ in 0..total / 2 {
+                assert!(head.step(&mut cost, p.as_mut()));
+            }
+            let bytes = head.snapshot();
+            let mut tail = ServeRun::resume(&wl, &bytes)
+                .unwrap_or_else(|e| panic!("workload {i} policy {name}: thaw failed: {e:?}"));
+            let mut cost = machine();
+            let mut p = policy(name, &wl);
+            while tail.step(&mut cost, p.as_mut()) {}
+            let resumed = tail.into_report();
             assert_eq!(
-                digest_serve_report(&fast),
-                digest_serve_report(&slow),
-                "workload {i} policy {name}: digests diverge"
+                digest_serve_report(&resumed),
+                digest_serve_report(&uninterrupted),
+                "workload {i} policy {name}: resume digest diverges"
             );
-            assert_eq!(fast, slow, "workload {i} policy {name}: reports diverge");
+            assert_eq!(
+                resumed, uninterrupted,
+                "workload {i} policy {name}: resumed report diverges"
+            );
+
+            // Leg 3: replay the recorded decisions, no scheduler search.
+            let replayed =
+                log.replay_serve(&wl, &mut machine(), &config, policy(name, &wl).as_mut());
+            assert_eq!(
+                replayed, uninterrupted,
+                "workload {i} policy {name}: replayed report diverges"
+            );
         }
     }
 }
 
 #[test]
-fn calendar_fleet_matches_scan_fleet_under_every_router() {
+fn fleet_closes_under_snapshot_and_replay_under_every_router() {
     for i in 0..NUM_WORKLOADS {
         let (wl, config) = workload(i);
         // Rotate the replica policy across workloads so every
@@ -165,14 +202,80 @@ fn calendar_fleet_matches_scan_fleet_under_every_router() {
             )
         };
         for name in ROUTERS {
-            let fast = mk_fleet().serve(&wl, router(name).as_mut());
-            let slow = reference::fleet_serve_scan(&mut mk_fleet(), &wl, router(name).as_mut());
+            // Leg 1: uninterrupted.
+            let mut fleet = mk_fleet();
+            let mut r = router(name);
+            let mut full = fleet.start(&wl);
+            while full.step(&mut fleet, r.as_mut()) {}
+            let total = full.events();
+            let log = full.log().clone();
+            let uninterrupted = full.into_report();
+
+            // Leg 2: midpoint snapshot (router state included), thaw,
+            // finish.
+            let mut fleet_a = mk_fleet();
+            let mut router_a = router(name);
+            let mut head = fleet_a.start(&wl);
+            for _ in 0..total / 2 {
+                assert!(head.step(&mut fleet_a, router_a.as_mut()));
+            }
+            let bytes = head.snapshot(router_a.as_ref());
+            let mut fleet_b = mk_fleet();
+            let mut router_b = router(name);
+            let mut tail = FleetRun::resume(&wl, &fleet_b, router_b.as_mut(), &bytes)
+                .unwrap_or_else(|e| panic!("workload {i} router {name}: thaw failed: {e:?}"));
+            while tail.step(&mut fleet_b, router_b.as_mut()) {}
+            let resumed = tail.into_report();
             assert_eq!(
-                digest_fleet_report(&fast),
-                digest_fleet_report(&slow),
-                "workload {i} router {name}: digests diverge"
+                digest_fleet_report(&resumed),
+                digest_fleet_report(&uninterrupted),
+                "workload {i} router {name}: resume digest diverges"
             );
-            assert_eq!(fast, slow, "workload {i} router {name}: reports diverge");
+            assert_eq!(
+                resumed, uninterrupted,
+                "workload {i} router {name}: resumed report diverges"
+            );
+
+            // Leg 3: replay the recorded routing/stepping decisions.
+            let replayed = mk_fleet().replay(&wl, &log);
+            assert_eq!(
+                replayed, uninterrupted,
+                "workload {i} router {name}: replayed report diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_replica_fleet_degenerates_to_the_single_machine_scheduler() {
+    for i in 0..NUM_WORKLOADS {
+        let (wl, config) = workload(i);
+        for name in POLICIES {
+            let mut single = serve_with(&wl, &mut machine(), &config, policy(name, &wl).as_mut());
+            let mut fleet = Fleet::homogeneous(
+                1,
+                &config,
+                || Box::new(machine()) as Box<dyn CostModel>,
+                || policy(name, &wl),
+            );
+            let fleet_report = fleet.serve(&wl, router("round-robin").as_mut());
+            // The merge step orders records canonically by
+            // (finish time, id); the bare scheduler emits exact
+            // finish-time ties in batch order. Normalise the single
+            // run to the canonical order — every record and every
+            // scalar must then agree exactly.
+            single
+                .records
+                .sort_by(|a, b| a.finish_s.total_cmp(&b.finish_s).then(a.id.cmp(&b.id)));
+            assert_eq!(
+                digest_serve_report(&fleet_report.aggregate),
+                digest_serve_report(&single),
+                "workload {i} policy {name}: 1-replica fleet digest diverges"
+            );
+            assert_eq!(
+                fleet_report.aggregate, single,
+                "workload {i} policy {name}: 1-replica fleet diverges record-for-record"
+            );
         }
     }
 }

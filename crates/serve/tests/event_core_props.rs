@@ -196,6 +196,93 @@ proptest! {
     }
 }
 
+/// Fleet-scale occupancy: past 1000 resident requests the slab spans
+/// multiple arena chunks, and key discipline must hold through churn —
+/// a key handed out while another request lives under it would corrupt
+/// two requests' state at once.
+#[test]
+fn slab_keys_never_alias_at_fleet_scale_occupancy() {
+    let mut slab: Slab<u32> = Slab::new();
+    let mut live: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut rng = ServeRng::new(0xF1EE7);
+    for v in 0..6000u32 {
+        let k = slab.insert(v);
+        assert!(live.insert(k, v).is_none(), "key {k} aliased while live");
+    }
+    assert_eq!(slab.peak_occupancy(), 6000);
+    for round in 1..=3u32 {
+        // Free roughly half at random, then refill: every handed-out
+        // key must be vacant in the model, and every survivor must
+        // still read back its own value.
+        let keys: Vec<u32> = live.keys().copied().collect();
+        for &k in &keys {
+            if rng.next_u64().is_multiple_of(2) {
+                assert_eq!(slab.remove(k), live.remove(&k));
+            }
+        }
+        for v in 0..1000u32 {
+            let value = round * 10_000 + v;
+            let k = slab.insert(value);
+            assert!(
+                live.insert(k, value).is_none(),
+                "key {k} aliased while live"
+            );
+        }
+        for (&k, &v) in &live {
+            assert_eq!(slab.get(k), Some(&v));
+        }
+    }
+    // Churn reused freed cells instead of growing the arena.
+    assert_eq!(slab.capacity(), 6000, "reuse must not grow the arena");
+}
+
+/// The raw-layout round trip at 1000-replica occupancy: thousands of
+/// cells across several arena chunks, a long fragmented free chain,
+/// and the reload must re-serialize identically and hand out identical
+/// keys — reuse order is part of the layout contract at every scale.
+#[test]
+fn slab_layout_roundtrips_at_fleet_scale_occupancy() {
+    let mut slab: Slab<u64> = Slab::new();
+    let keys: Vec<u32> = (0..4096u64).map(|v| slab.insert(v)).collect();
+    for &k in keys.iter().rev().step_by(3) {
+        slab.remove(k);
+    }
+    let save = |s: &Slab<u64>| {
+        let mut words: Vec<u64> = Vec::new();
+        s.save(&mut words, |w, x| w.push(u64::from(x)), |w, v| w.push(*v));
+        words
+    };
+    let words = save(&slab);
+    let mut cursor = (words.clone(), 0usize);
+    let mut reloaded: Slab<u64> = Slab::load(
+        &mut cursor,
+        |c| {
+            let w = c.0.get(c.1).copied().ok_or("eof")?;
+            c.1 += 1;
+            u32::try_from(w).map_err(|_| "overflow")
+        },
+        |c| {
+            let w = c.0.get(c.1).copied().ok_or("eof")?;
+            c.1 += 1;
+            Ok(w)
+        },
+        |_| "corrupt",
+    )
+    .expect("pristine layout thaws");
+    assert_eq!(cursor.1, words.len(), "loader consumed every word");
+    assert_eq!(
+        save(&reloaded),
+        words,
+        "reload must re-serialize identically"
+    );
+    assert_eq!(reloaded.peak_occupancy(), 4096);
+    // Reuse order: ~1366 freed cells, then fresh growth — identical on
+    // both sides.
+    for v in 0..1500u64 {
+        assert_eq!(slab.insert(v), reloaded.insert(v));
+    }
+}
+
 /// Steps a run until its core holds a non-empty wake-up heap *and* a
 /// fragmented slab (free holes below live cells), then freezes it.
 /// Panics if the workload never reaches that shape.
@@ -243,6 +330,55 @@ fn fragmented_mid_run_snapshot_resumes_bit_identically() {
     let mut pol_b = PriorityAging::new(0.02);
     while original.step(&mut cost_a, &mut pol_a) {}
     while resumed.step(&mut cost_b, &mut pol_b) {}
+    assert_eq!(original.into_report(), resumed.into_report());
+}
+
+/// Restoring a run whose arena holds freed-then-reused slots must not
+/// resurrect stale telemetry: the thawed core's published counters
+/// (in-flight tokens, committed KV) must equal the frozen original's
+/// exactly — a freed slot's tokens leaking back in would misroute
+/// every subsequent arrival. The continuation runs under debug
+/// cross-checks (incremental counters vs recomputation by scan), so
+/// drift introduced later in the run is caught too.
+#[test]
+fn thawed_arena_reuse_does_not_resurrect_stale_telemetry() {
+    let mut wl = Workload::poisson(2000.0, 2000, 8, 64);
+    wl.output_lens = rpu_models::LengthDistribution::Uniform { lo: 2, hi: 16 };
+    let cfg = ServeConfig {
+        max_batch: 4,
+        ..ServeConfig::default()
+    };
+    let (mut original, bytes) = freeze_fragmented(&wl, &cfg);
+    let stats = original.stats();
+    assert!(
+        original.peak_slab_occupancy() > stats.active,
+        "freeze point must hold freed-then-reusable slots"
+    );
+    let mut resumed = ServeRun::resume(&wl, &bytes).expect("snapshot thaws");
+    let kv = AnalyticCostModel::small().kv_capacity_tokens;
+    assert_eq!(
+        resumed.telemetry(kv),
+        original.telemetry(kv),
+        "thawed telemetry differs at the freeze point"
+    );
+    let mut cost_a = AnalyticCostModel::small();
+    let mut cost_b = AnalyticCostModel::small();
+    let mut pol_a = PriorityAging::new(0.02);
+    let mut pol_b = PriorityAging::new(0.02);
+    loop {
+        assert_eq!(
+            resumed.telemetry(kv),
+            original.telemetry(kv),
+            "telemetry drifts after event {}",
+            original.events()
+        );
+        let more = original.step(&mut cost_a, &mut pol_a);
+        if !resumed.step(&mut cost_b, &mut pol_b) {
+            assert!(!more, "runs finish at different event counts");
+            break;
+        }
+        assert!(more, "runs finish at different event counts");
+    }
     assert_eq!(original.into_report(), resumed.into_report());
 }
 

@@ -182,15 +182,20 @@ proptest! {
         prop_assert!(close(sum(&|r| r.throughput_tok_s), m.aggregate.throughput_tok_s));
         prop_assert!(close(sum(&|r| r.goodput_rps), m.aggregate.goodput_rps));
         // Attainment is a ratio, not additive — but it must be the
-        // completion-weighted mean of the class attainments.
+        // completion-weighted mean of the class attainments. Classes
+        // that completed nothing report NaN ("n/a") and carry zero
+        // weight, so they are skipped rather than poisoning the sum.
         if m.aggregate.completed > 0 {
             let weighted: f64 = m
                 .classes
                 .iter()
+                .filter(|c| c.report.completed > 0)
                 .map(|c| c.report.slo_attainment * f64::from(c.report.completed))
                 .sum::<f64>()
                 / f64::from(m.aggregate.completed);
             prop_assert!(close(weighted, m.aggregate.slo_attainment));
+        } else {
+            prop_assert!(m.aggregate.slo_attainment.is_nan());
         }
     }
 }

@@ -31,11 +31,14 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
 }
 
 /// The `p`-th percentile (`0.0 ..= 100.0`) of a sample set, by linear
-/// interpolation between closest ranks; `0.0` for an empty slice.
+/// interpolation between closest ranks; `NaN` for an empty slice — an
+/// empty sample set *has* no percentiles, and reporting `0.0` would be
+/// indistinguishable from a genuinely instant latency (a class with
+/// zero completed requests must not read as a perfect SLO).
 ///
 /// The input need not be sorted; a sorted copy is taken internally.
 /// NaN samples have no rank and are ignored (a slice of only NaNs
-/// behaves like an empty one); a NaN `p` yields `0.0`; `p` outside
+/// behaves like an empty one); a NaN `p` yields `NaN`; `p` outside
 /// `0 ..= 100` clamps. A single sample is every percentile.
 ///
 /// # Examples
@@ -48,15 +51,16 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
 /// assert_eq!(percentile(&xs, 50.0), 2.5);
 /// assert_eq!(percentile(&xs, 100.0), 4.0);
 /// assert_eq!(percentile(&[2.0, f64::NAN], 50.0), 2.0);
+/// assert!(percentile(&[], 99.0).is_nan());
 /// ```
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if p.is_nan() {
-        return 0.0;
+        return f64::NAN;
     }
     let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
     if sorted.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     sorted.sort_by(f64::total_cmp);
     let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
@@ -83,8 +87,9 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Summarises a sample set (all fields `0.0` for an empty slice).
-    /// NaN samples are dropped before summarising, consistently with
+    /// Summarises a sample set (all fields `NaN` for an empty slice —
+    /// "no samples" must not masquerade as "zero latency"). NaN
+    /// samples are dropped before summarising, consistently with
     /// [`percentile`], so the mean and maximum stay well-defined.
     #[must_use]
     pub fn from_samples(xs: &[f64]) -> Self {
@@ -93,9 +98,13 @@ impl Percentiles {
             p50: percentile(&clean, 50.0),
             p95: percentile(&clean, 95.0),
             p99: percentile(&clean, 99.0),
-            mean: mean(&clean),
+            mean: if clean.is_empty() {
+                f64::NAN
+            } else {
+                mean(&clean)
+            },
             max: if clean.is_empty() {
-                0.0
+                f64::NAN
             } else {
                 clean.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             },
@@ -261,24 +270,25 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 100.0);
         // Out-of-range p clamps, single sample is every percentile.
         assert_eq!(percentile(&[7.0], 250.0), 7.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!(percentile(&[], 50.0).is_nan());
     }
 
     #[test]
     fn percentile_edge_cases_are_total() {
-        // Empty slice: every percentile is 0.
-        assert_eq!(percentile(&[], 0.0), 0.0);
-        assert_eq!(percentile(&[], 100.0), 0.0);
+        // Empty slice: there is no percentile, and the sentinel must
+        // not collide with a real (zero) latency.
+        assert!(percentile(&[], 0.0).is_nan());
+        assert!(percentile(&[], 100.0).is_nan());
         // Single sample: every percentile is that sample.
         for p in [0.0, 37.5, 50.0, 99.0, 100.0] {
             assert_eq!(percentile(&[42.0], p), 42.0);
         }
         // NaN samples are rank-less and ignored.
         assert_eq!(percentile(&[f64::NAN, 1.0, 3.0], 50.0), 2.0);
-        assert_eq!(percentile(&[f64::NAN], 50.0), 0.0);
-        assert_eq!(percentile(&[f64::NAN, f64::NAN], 99.0), 0.0);
+        assert!(percentile(&[f64::NAN], 50.0).is_nan());
+        assert!(percentile(&[f64::NAN, f64::NAN], 99.0).is_nan());
         // NaN p has no defined rank either.
-        assert_eq!(percentile(&[1.0, 2.0], f64::NAN), 0.0);
+        assert!(percentile(&[1.0, 2.0], f64::NAN).is_nan());
         // Infinite p clamps like any out-of-range p.
         assert_eq!(percentile(&[1.0, 2.0], f64::INFINITY), 2.0);
         assert_eq!(percentile(&[1.0, 2.0], f64::NEG_INFINITY), 1.0);
@@ -291,9 +301,9 @@ mod tests {
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.max, 3.0);
         let all_nan = Percentiles::from_samples(&[f64::NAN, f64::NAN]);
-        assert_eq!(all_nan.max, 0.0);
-        assert_eq!(all_nan.p50, 0.0);
-        assert_eq!(all_nan.mean, 0.0);
+        assert!(all_nan.max.is_nan());
+        assert!(all_nan.p50.is_nan());
+        assert!(all_nan.mean.is_nan());
     }
 
     #[test]
@@ -312,7 +322,7 @@ mod tests {
         assert_eq!(s.max, -1.0);
         assert!(s.p50 <= s.p99 && s.p99 <= s.max);
         let empty = Percentiles::from_samples(&[]);
-        assert_eq!(empty.max, 0.0);
+        assert!(empty.max.is_nan());
     }
 
     #[test]
