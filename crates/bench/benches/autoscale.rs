@@ -1,0 +1,104 @@
+//! Sustained autoscaled serving: the elastic fleet held for 200k
+//! requests of diurnal load.
+//!
+//! The `autoscale` registry target scores the autoscaler against
+//! static fleets at a test-cheap request count; this bench is its
+//! timed counterpart — best-of-three passes of the same elastic fleet
+//! shape and controller ([`autoscale::scaler_config`]) over a long
+//! diurnal tape, with the headline numbers recorded into
+//! `BENCH_autoscale.json` at the workspace root via
+//! [`rpu_bench::perf::record_or_gate`]:
+//!
+//! - `BENCH_BLESS=1 cargo bench --bench autoscale` re-records the
+//!   committed baseline;
+//! - a plain run gates against it, failing on a >25% requests/sec
+//!   regression (ratio < 0.75) — the lifecycle machinery (routable
+//!   masks, telemetry refresh, control boundaries) must stay off the
+//!   serving hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpu_bench::perf::{record_or_gate, PerfSnapshot};
+use rpu_core::experiments::autoscale::{self, Condition};
+use rpu_serve::{
+    digest_fleet_report, run_autoscaled, Autoscaler, JoinShortestQueue, ReportDigest, Workload,
+};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// The sustained run: the registry workload's diurnal arrival process
+/// held for many compressed days.
+const NUM_REQUESTS: u32 = 200_000;
+
+fn sustained_workload() -> Workload {
+    Workload {
+        num_requests: NUM_REQUESTS,
+        ..autoscale::diurnal_workload()
+    }
+}
+
+/// One full autoscaled pass, timing the serving loop plus the control
+/// loop riding it (both are the product under test).
+fn run_timed(wl: &Workload) -> (ReportDigest, u32, u32, Duration) {
+    let mut fleet = Condition::Autoscaled.fleet();
+    let mut router = JoinShortestQueue;
+    let mut scaler = Autoscaler::new(autoscale::scaler_config());
+    let start = Instant::now();
+    let report = run_autoscaled(&mut fleet, wl, &mut router, &mut scaler);
+    let elapsed = start.elapsed();
+    assert_eq!(
+        report.aggregate.records.len() as u32 + report.aggregate.rejected,
+        wl.num_requests,
+        "sustained run lost requests"
+    );
+    (
+        digest_fleet_report(&report),
+        report.lifecycle.joins,
+        report.lifecycle.drains,
+        elapsed,
+    )
+}
+
+fn headline(c: &mut Criterion) {
+    // Warm up on the registry-sized workload.
+    let _ = run_timed(&autoscale::diurnal_workload());
+
+    // Best of three full passes; the digests pin that the controller's
+    // decisions are bit-identical pass to pass.
+    let wl = sustained_workload();
+    let (digest, joins, drains, mut elapsed) = run_timed(&wl);
+    for _ in 0..2 {
+        let (d, j, dr, el) = run_timed(&wl);
+        assert_eq!(d, digest, "autoscaled run must be deterministic");
+        assert_eq!((j, dr), (joins, drains), "controller decisions drifted");
+        elapsed = elapsed.min(el);
+    }
+    assert!(joins >= 1, "sustained diurnal load never triggered a join");
+    let requests_per_sec = f64::from(NUM_REQUESTS) / elapsed.as_secs_f64();
+    let us_per_request = elapsed.as_micros() as f64 / f64::from(NUM_REQUESTS);
+    println!(
+        "autoscale: {NUM_REQUESTS} requests in {:.3} s ({requests_per_sec:.0} req/s, \
+         {us_per_request:.2} us/req), {joins} joins, {drains} drains",
+        elapsed.as_secs_f64(),
+    );
+
+    let mut snap = PerfSnapshot::new();
+    snap.put("requests_per_sec", requests_per_sec.round());
+    snap.put("us_per_request", (us_per_request * 100.0).round() / 100.0);
+    snap.put("joins", f64::from(joins));
+    snap.put("drains", f64::from(drains));
+    snap.put("requests", f64::from(NUM_REQUESTS));
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_autoscale.json");
+    record_or_gate(&path, &snap, "requests_per_sec", 0.75);
+
+    // A repeatable criterion sample on the registry-sized condition,
+    // so `cargo bench` trend lines have a stable target.
+    let mut g = c.benchmark_group("autoscale");
+    g.sample_size(10);
+    g.bench_function("autoscaled_registry_point", |b| {
+        b.iter(|| autoscale::run_point(Condition::Autoscaled))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, headline);
+criterion_main!(benches);

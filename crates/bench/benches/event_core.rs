@@ -19,8 +19,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpu_bench::perf::{record_or_gate, PerfSnapshot};
 use rpu_serve::{
-    AnalyticCostModel, CostModel, Fifo, Fleet, FleetReport, RoundRobin, SchedulingPolicy,
-    ServeConfig, Workload,
+    AnalyticCostModel, CostModel, Fifo, Fleet, FleetBuilder, FleetReport, RoundRobin,
+    SchedulingPolicy, ServeConfig, Workload,
 };
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -46,12 +46,14 @@ fn config() -> ServeConfig {
 }
 
 fn mk_fleet(replicas: usize) -> Fleet {
-    Fleet::homogeneous(
-        replicas,
-        &config(),
-        || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
-        || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
-    )
+    FleetBuilder::new()
+        .group(
+            replicas,
+            &config(),
+            || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+            || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+        )
+        .build()
 }
 
 /// Runs the calendar-queue driver to completion, returning the report,

@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rpu_bench::perf::{record_or_gate, PerfSnapshot};
 use rpu_core::experiments::fleet_scale::{self, scale_config, scale_workload};
 use rpu_serve::{
-    AnalyticCostModel, CostModel, Fifo, Fleet, RoundRobin, SchedulingPolicy, Workload,
+    AnalyticCostModel, CostModel, Fifo, Fleet, FleetBuilder, RoundRobin, SchedulingPolicy, Workload,
 };
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -28,12 +28,14 @@ const REPLICAS: usize = 1000;
 const NUM_REQUESTS: u32 = 10_000_000;
 
 fn mk_fleet(replicas: usize) -> Fleet {
-    Fleet::homogeneous(
-        replicas,
-        &scale_config(),
-        || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
-        || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
-    )
+    FleetBuilder::new()
+        .group(
+            replicas,
+            &scale_config(),
+            || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+            || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+        )
+        .build()
 }
 
 /// Runs one full workload through the calendar driver, timing only the

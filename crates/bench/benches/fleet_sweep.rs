@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpu_bench::checks::expect_band;
 use rpu_core::experiments::fleet_sweep::{self, RouterKind};
-use rpu_serve::{AnalyticCostModel, Fifo, Fleet, JoinShortestQueue, ServeConfig, SessionAffinity};
+use rpu_serve::{
+    AnalyticCostModel, Fifo, FleetBuilder, JoinShortestQueue, ServeConfig, SessionAffinity,
+};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -30,17 +32,19 @@ fn bench(c: &mut Criterion) {
     let cfg = ServeConfig::default();
     c.bench_function("fleet_jsq_analytic", |b| {
         b.iter(|| {
-            let mut fleet = Fleet::homogeneous(
-                4,
-                &cfg,
-                || {
-                    Box::new(AnalyticCostModel {
-                        kv_capacity_tokens: 16 * 1024,
-                        ..AnalyticCostModel::small()
-                    })
-                },
-                || Box::new(Fifo),
-            );
+            let mut fleet = FleetBuilder::new()
+                .group(
+                    4,
+                    &cfg,
+                    || {
+                        Box::new(AnalyticCostModel {
+                            kv_capacity_tokens: 16 * 1024,
+                            ..AnalyticCostModel::small()
+                        })
+                    },
+                    || Box::new(Fifo),
+                )
+                .build();
             fleet.serve(black_box(&wl), &mut JoinShortestQueue)
         });
     });
@@ -49,17 +53,19 @@ fn bench(c: &mut Criterion) {
     // workload.
     c.bench_function("fleet_affinity_analytic", |b| {
         b.iter(|| {
-            let mut fleet = Fleet::homogeneous(
-                4,
-                &cfg,
-                || {
-                    Box::new(AnalyticCostModel {
-                        kv_capacity_tokens: 16 * 1024,
-                        ..AnalyticCostModel::small()
-                    })
-                },
-                || Box::new(Fifo),
-            );
+            let mut fleet = FleetBuilder::new()
+                .group(
+                    4,
+                    &cfg,
+                    || {
+                        Box::new(AnalyticCostModel {
+                            kv_capacity_tokens: 16 * 1024,
+                            ..AnalyticCostModel::small()
+                        })
+                    },
+                    || Box::new(Fifo),
+                )
+                .build();
             let mut router = SessionAffinity::new();
             fleet.serve(black_box(&wl), &mut router)
         });

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rpu_bench::perf::{record_or_gate, PerfSnapshot};
 use rpu_serve::{
-    digest_serve_report, AnalyticCostModel, Fifo, Fleet, FleetRun, PriorityAging, Router,
+    digest_serve_report, AnalyticCostModel, Fifo, FleetBuilder, FleetRun, PriorityAging, Router,
     ServeConfig, ServeRun, SessionAffinity, Workload,
 };
 use std::hint::black_box;
@@ -37,12 +37,14 @@ fn bench(c: &mut Criterion) {
     });
 
     // Fleet snapshot including router state.
-    let mut fleet = Fleet::homogeneous(
-        4,
-        &cfg,
-        || Box::new(AnalyticCostModel::small()),
-        || Box::new(PriorityAging::new(0.25)),
-    );
+    let mut fleet = FleetBuilder::new()
+        .group(
+            4,
+            &cfg,
+            || Box::new(AnalyticCostModel::small()),
+            || Box::new(PriorityAging::new(0.25)),
+        )
+        .build();
     let mut router = SessionAffinity::new();
     let mut fleet_run = fleet.start(&wl);
     for _ in 0..1500 {

@@ -299,6 +299,6 @@ mod tests {
 
     #[test]
     fn registry_is_untouched_by_the_checkpoint_layer() {
-        assert_eq!(registry().len(), 19);
+        assert_eq!(registry().len(), 20);
     }
 }

@@ -23,8 +23,8 @@
 
 use crate::engine::Engine;
 use rpu_serve::{
-    digest_fleet_report, AnalyticCostModel, CostModel, Fifo, Fleet, ReportDigest, RoundRobin,
-    SchedulingPolicy, ServeConfig, Workload,
+    digest_fleet_report, AnalyticCostModel, CostModel, Fifo, FleetBuilder, ReportDigest,
+    RoundRobin, SchedulingPolicy, ServeConfig, Workload,
 };
 use rpu_util::table::{Cell, Table};
 
@@ -100,12 +100,14 @@ pub struct ScalePoint {
 /// wraps this same function in a timer at 10M requests.
 #[must_use]
 pub fn run_point(replicas: u32, wl: &Workload) -> ScalePoint {
-    let mut fleet = Fleet::homogeneous(
-        replicas as usize,
-        &scale_config(),
-        || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
-        || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
-    );
+    let mut fleet = FleetBuilder::new()
+        .group(
+            replicas as usize,
+            &scale_config(),
+            || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+            || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+        )
+        .build();
     let mut router = RoundRobin::new();
     let mut run = fleet.start(wl);
     while run.step(&mut fleet, &mut router) {}
@@ -240,12 +242,14 @@ mod tests {
             p.digest,
             digest_fleet_report(&{
                 let wl = scale_workload(1000, 8000);
-                let mut fleet = Fleet::homogeneous(
-                    1000,
-                    &scale_config(),
-                    || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
-                    || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
-                );
+                let mut fleet = FleetBuilder::new()
+                    .group(
+                        1000,
+                        &scale_config(),
+                        || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+                        || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+                    )
+                    .build();
                 fleet.serve(&wl, &mut RoundRobin::new())
             })
         );

@@ -20,7 +20,7 @@ use crate::engine::{grid, Engine};
 use crate::serving::{sweep_cost_model, SharedRpuCostModel};
 use rpu_models::{LengthDistribution, ModelConfig};
 use rpu_serve::{
-    ArrivalProcess, ClassSpec, Fifo, Fleet, FleetReport, JoinShortestQueue, LeastKvLoad,
+    ArrivalProcess, ClassSpec, Fifo, FleetBuilder, FleetReport, JoinShortestQueue, LeastKvLoad,
     RoundRobin, Router, ServeConfig, SessionAffinity, Workload,
 };
 use rpu_util::table::{num, Cell, Table};
@@ -186,12 +186,14 @@ fn run_fleet(
     wl: &Workload,
     router: RouterKind,
 ) -> FleetReport {
-    let mut fleet = Fleet::homogeneous(
-        n as usize,
-        config,
-        || Box::new(cost.clone()),
-        || Box::new(Fifo),
-    );
+    let mut fleet = FleetBuilder::new()
+        .group(
+            n as usize,
+            config,
+            || Box::new(cost.clone()),
+            || Box::new(Fifo),
+        )
+        .build();
     fleet.serve(wl, router.build().as_mut())
 }
 

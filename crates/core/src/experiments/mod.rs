@@ -15,6 +15,7 @@
 //! emits.
 
 pub mod ablations;
+pub mod autoscale;
 pub mod checkpoint;
 pub mod design_points;
 pub mod ext_scaleout;
@@ -120,7 +121,7 @@ impl Experiment for Entry {
 }
 
 /// Every experiment of the reproduction, in `repro`'s canonical order.
-static REGISTRY: [Entry; 19] = [
+static REGISTRY: [Entry; 20] = [
     Entry {
         name: "fig1",
         about: "rooflines: H100 vs RPU at ISO-TDP; AI vs batch",
@@ -215,6 +216,11 @@ static REGISTRY: [Entry; 19] = [
         name: "fleet-scale",
         about: "event-core width sweep to 1000 replicas, digest-pinned",
         run: |e| vec![fleet_scale::run_with(e).table()],
+    },
+    Entry {
+        name: "autoscale",
+        about: "autoscaler vs static fleets: SLO-seconds vs machine-seconds",
+        run: |e| vec![autoscale::run_with(e).table()],
     },
 ];
 
@@ -321,7 +327,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let reg = registry();
-        assert_eq!(reg.len(), 19);
+        assert_eq!(reg.len(), 20);
         for e in &reg {
             assert!(std::ptr::eq(find(e.name()).unwrap(), *e));
             assert!(!e.about().is_empty());

@@ -167,7 +167,7 @@ pub fn digest_fleet_report(report: &FleetReport) -> ReportDigest {
 mod tests {
     use super::*;
     use crate::cost::AnalyticCostModel;
-    use crate::fleet::Fleet;
+    use crate::fleet::FleetBuilder;
     use crate::policy::Fifo;
     use crate::router::RoundRobin;
     use crate::scheduler::{serve, ServeConfig};
@@ -208,12 +208,14 @@ mod tests {
         // Satellite regression: a 0-request workload must merge to a
         // digestable report — no NaNs anywhere, same digest every time.
         let run = || {
-            let mut fleet = Fleet::homogeneous(
-                3,
-                &ServeConfig::default(),
-                || Box::new(AnalyticCostModel::small()),
-                || Box::new(Fifo),
-            );
+            let mut fleet = FleetBuilder::new()
+                .group(
+                    3,
+                    &ServeConfig::default(),
+                    || Box::new(AnalyticCostModel::small()),
+                    || Box::new(Fifo),
+                )
+                .build();
             fleet.serve(&Workload::default(), &mut RoundRobin::new())
         };
         let a = run();

@@ -1,4 +1,5 @@
-//! Fleet-scale serving: N scheduler replicas behind one router.
+//! Fleet-scale serving: N scheduler replicas behind one router, with a
+//! first-class dynamic replica set.
 //!
 //! A single [`crate::serve_with`] run answers "what does one machine do
 //! under load?"; a [`Fleet`] answers the question above it: **how many
@@ -7,8 +8,26 @@
 //! [`SchedulingPolicy`], its own [`CostModel`] (and therefore its own
 //! KV capacity — heterogeneous SKUs are just different cost models) and
 //! its own clock. A [`Router`] dispatches every arriving request to one
-//! replica, seeing nothing but the replicas' published
-//! [`crate::ReplicaTelemetry`].
+//! replica, seeing nothing but a [`crate::RoutingView`] of the
+//! replicas' published telemetry and lifecycle mask.
+//!
+//! Fleets are built with [`FleetBuilder`], which names every axis a
+//! replica group varies on — count, scheduler config, cost model
+//! (SKU), policy and initial [`LifecycleState`] — plus fleet-wide
+//! knobs like the failure migration delay.
+//!
+//! # Replica lifecycle
+//!
+//! The replica set is dynamic: a fleet provisions a fixed number of
+//! *slots*, each slot moves between [`LifecycleState`]s through
+//! [`FleetEvent`]s injected at deterministic sim times (see
+//! [`crate::lifecycle`] for the transition table). A draining replica
+//! admits no new work but finishes what it holds; a failed replica
+//! loses its queued and in-flight requests, which re-enter the fleet
+//! through the router after the migration delay and pay a full
+//! re-prefill. Lifecycle events ride the command log and the
+//! `RPUSNAP1` snapshot, so churned runs replay and resume
+//! bit-identically.
 //!
 //! # Simulation order
 //!
@@ -16,12 +35,14 @@
 //! a request is routed exactly at its arrival time, once every
 //! replica's next scheduling event lies at or beyond it, so the
 //! telemetry the router sees is what real replicas would publish at
-//! that instant — not a stale snapshot and not the future. Replica
-//! completions feed the shared arrival source, so closed-loop
-//! workloads work across the fleet (a client's next request may be
-//! routed to a *different* replica than its last). With one replica
-//! the driver degenerates to exactly the single-machine scheduler; the
-//! differential suite asserts record-for-record equality.
+//! that instant — not a stale snapshot and not the future. Ties go
+//! lifecycle event, then displaced re-route, then arrival, then
+//! scheduler step. Replica completions feed the shared arrival source,
+//! so closed-loop workloads work across the fleet (a client's next
+//! request may be routed to a *different* replica than its last). With
+//! one replica the driver degenerates to exactly the single-machine
+//! scheduler; the differential suite asserts record-for-record
+//! equality.
 //!
 //! # Example
 //!
@@ -30,16 +51,18 @@
 //!
 //! ```
 //! use rpu_serve::{
-//!     AnalyticCostModel, Fifo, Fleet, JoinShortestQueue, ServeConfig, Workload,
+//!     AnalyticCostModel, Fifo, FleetBuilder, JoinShortestQueue, ServeConfig, Workload,
 //! };
 //!
 //! let wl = Workload::poisson(1500.0, 256, 32, 64);
-//! let mut fleet = Fleet::homogeneous(
-//!     4,
-//!     &ServeConfig::default(),
-//!     || Box::new(AnalyticCostModel::small()),
-//!     || Box::new(Fifo),
-//! );
+//! let mut fleet = FleetBuilder::new()
+//!     .group(
+//!         4,
+//!         &ServeConfig::default(),
+//!         || Box::new(AnalyticCostModel::small()),
+//!         || Box::new(Fifo),
+//!     )
+//!     .build();
 //! let a = fleet.serve(&wl, &mut JoinShortestQueue);
 //! let b = fleet.serve(&wl, &mut JoinShortestQueue);
 //! assert_eq!(a.aggregate.records.len(), 64);
@@ -47,16 +70,19 @@
 //! assert_eq!(a.assigned.iter().sum::<u32>(), 64);
 //! ```
 
+use std::collections::VecDeque;
+
 use crate::arrivals::{RequestSource, Workload};
 use crate::calendar::CalendarQueue;
 use crate::class::ClassSpec;
 use crate::cost::CostModel;
 use crate::digest::ReportDigest;
+use crate::lifecycle::{FleetEvent, FleetEventKind, LifecycleCounts, LifecycleState};
 use crate::metrics::MultiClassReport;
-use crate::policy::SchedulingPolicy;
+use crate::policy::{QueuedRequest, SchedulingPolicy};
 use crate::replay::{Command, CommandLog};
 use crate::request::RequestRecord;
-use crate::router::{ReplicaTelemetry, Router};
+use crate::router::{ReplicaTelemetry, Router, RoutingView};
 use crate::scheduler::{Core, RunStats, ServeConfig, ServeReport};
 use crate::snapshot::{
     fnv1a, section, workload_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter, KIND_FLEET,
@@ -74,52 +100,192 @@ pub struct FleetReplica {
     pub config: ServeConfig,
 }
 
+/// Builds a [`Fleet`] one replica group at a time.
+///
+/// The builder names every axis a group varies on — count, scheduler
+/// config, cost model (SKU), policy and initial [`LifecycleState`] —
+/// plus fleet-wide knobs like the failure migration delay. Slots added
+/// `Down` are spare capacity an autoscaler (or an injected
+/// [`FleetEvent::Join`][FleetEventKind::Join]) can bring up mid-run.
+///
+/// ```
+/// use rpu_serve::{
+///     AnalyticCostModel, Fifo, FleetBuilder, LifecycleState, ServeConfig,
+/// };
+///
+/// let fleet = FleetBuilder::new()
+///     .migration_delay_s(0.005)
+///     .group(
+///         2,
+///         &ServeConfig::default(),
+///         || Box::new(AnalyticCostModel::small()),
+///         || Box::new(Fifo),
+///     )
+///     .group_with_state(
+///         LifecycleState::Down,
+///         2,
+///         &ServeConfig::default(),
+///         || Box::new(AnalyticCostModel::small()),
+///         || Box::new(Fifo),
+///     )
+///     .build();
+/// assert_eq!(fleet.len(), 4);
+/// ```
+#[must_use]
+pub struct FleetBuilder {
+    replicas: Vec<FleetReplica>,
+    states: Vec<LifecycleState>,
+    migration_delay_s: f64,
+}
+
+impl Default for FleetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetBuilder {
+    /// An empty builder: no replicas, zero migration delay.
+    pub fn new() -> Self {
+        Self {
+            replicas: Vec::new(),
+            states: Vec::new(),
+            migration_delay_s: 0.0,
+        }
+    }
+
+    /// Sets the failure migration delay: how long a request displaced
+    /// by a replica failure waits before it is re-routed (detection
+    /// plus KV re-steering time). Displaced requests also pay a full
+    /// re-prefill on their new replica.
+    pub fn migration_delay_s(mut self, s: f64) -> Self {
+        self.migration_delay_s = s;
+        self
+    }
+
+    /// Adds one explicit replica, initially [`LifecycleState::Live`].
+    pub fn replica(self, replica: FleetReplica) -> Self {
+        self.replica_with_state(LifecycleState::default(), replica)
+    }
+
+    /// Adds one explicit replica in the given initial state.
+    pub fn replica_with_state(mut self, state: LifecycleState, replica: FleetReplica) -> Self {
+        self.replicas.push(replica);
+        self.states.push(state);
+        self
+    }
+
+    /// Adds `count` identical replicas from factory closures (one
+    /// fresh cost model and policy per replica), initially
+    /// [`LifecycleState::Live`].
+    pub fn group(
+        self,
+        count: usize,
+        config: &ServeConfig,
+        cost: impl FnMut() -> Box<dyn CostModel>,
+        policy: impl FnMut() -> Box<dyn SchedulingPolicy>,
+    ) -> Self {
+        self.group_with_state(LifecycleState::default(), count, config, cost, policy)
+    }
+
+    /// Adds `count` identical replicas in the given initial state.
+    /// Groups added [`LifecycleState::Down`] are provisioned spare
+    /// slots: they cost nothing until a join brings them up.
+    pub fn group_with_state(
+        mut self,
+        state: LifecycleState,
+        count: usize,
+        config: &ServeConfig,
+        mut cost: impl FnMut() -> Box<dyn CostModel>,
+        mut policy: impl FnMut() -> Box<dyn SchedulingPolicy>,
+    ) -> Self {
+        for _ in 0..count {
+            self.replicas.push(FleetReplica {
+                cost: cost(),
+                policy: policy(),
+                config: *config,
+            });
+            self.states.push(state);
+        }
+        self
+    }
+
+    /// Finishes the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replicas were added, none starts live, any
+    /// replica's `max_batch` is zero, or the migration delay is
+    /// negative or non-finite.
+    pub fn build(self) -> Fleet {
+        assert!(
+            !self.replicas.is_empty(),
+            "a fleet needs at least one replica"
+        );
+        for r in &self.replicas {
+            assert!(r.config.max_batch >= 1, "max_batch must admit at least one");
+        }
+        assert!(
+            self.migration_delay_s.is_finite() && self.migration_delay_s >= 0.0,
+            "migration delay must be finite and non-negative"
+        );
+        assert!(
+            self.states.contains(&LifecycleState::Live),
+            "a fleet needs at least one live replica"
+        );
+        Fleet {
+            replicas: self.replicas,
+            initial_states: self.states,
+            migration_delay_s: self.migration_delay_s,
+        }
+    }
+}
+
 /// A fleet of scheduler replicas fronted by a [`Router`].
 pub struct Fleet {
     replicas: Vec<FleetReplica>,
+    initial_states: Vec<LifecycleState>,
+    migration_delay_s: f64,
 }
 
 impl Fleet {
-    /// Builds a fleet from explicit (possibly heterogeneous) replicas.
+    /// Builds a fleet from explicit (possibly heterogeneous) replicas,
+    /// all initially live, with no migration delay.
     ///
     /// # Panics
     ///
     /// Panics if `replicas` is empty (a fleet must route somewhere) or
     /// if any replica's `max_batch` is zero.
+    #[deprecated(note = "use `FleetBuilder` — it also names initial \
+                         lifecycle states and the migration delay")]
     #[must_use]
     pub fn new(replicas: Vec<FleetReplica>) -> Self {
-        assert!(!replicas.is_empty(), "a fleet needs at least one replica");
-        for r in &replicas {
-            assert!(r.config.max_batch >= 1, "max_batch must admit at least one");
+        let mut b = FleetBuilder::new();
+        for r in replicas {
+            b = b.replica(r);
         }
-        Self { replicas }
+        b.build()
     }
 
     /// Builds `n` identical replicas from factory closures (one fresh
-    /// cost model and policy per replica).
+    /// cost model and policy per replica), all initially live, with no
+    /// migration delay.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero or `config.max_batch` is zero.
+    #[deprecated(note = "use `FleetBuilder::group`")]
     #[must_use]
     pub fn homogeneous(
         n: usize,
         config: &ServeConfig,
-        mut cost: impl FnMut() -> Box<dyn CostModel>,
-        mut policy: impl FnMut() -> Box<dyn SchedulingPolicy>,
+        cost: impl FnMut() -> Box<dyn CostModel>,
+        policy: impl FnMut() -> Box<dyn SchedulingPolicy>,
     ) -> Self {
-        Self::new(
-            (0..n)
-                .map(|_| FleetReplica {
-                    cost: cost(),
-                    policy: policy(),
-                    config: *config,
-                })
-                .collect(),
-        )
+        FleetBuilder::new().group(n, config, cost, policy).build()
     }
 
-    /// Number of replicas.
+    /// Number of provisioned replica slots (whatever their state).
     #[must_use]
     pub fn len(&self) -> usize {
         self.replicas.len()
@@ -132,16 +298,31 @@ impl Fleet {
         self.replicas.is_empty()
     }
 
+    /// Each slot's initial lifecycle state, in replica order.
+    #[must_use]
+    pub fn initial_states(&self) -> &[LifecycleState] {
+        &self.initial_states
+    }
+
+    /// The failure migration delay, seconds.
+    #[must_use]
+    pub fn migration_delay_s(&self) -> f64 {
+        self.migration_delay_s
+    }
+
     /// Serves a workload across the fleet under `router`.
     ///
     /// Deterministic: the schedule depends only on the workload (seed
-    /// included), the replicas' cost models/policies/configs and the
-    /// router. Reusing a fleet is fine — cost-model memoisation carries
-    /// over, scheduler state does not.
+    /// included), the replicas' cost models/policies/configs, the
+    /// router and any lifecycle events injected on the run (none
+    /// here — use [`Fleet::start`] and [`FleetRun::inject`] for
+    /// churn). Reusing a fleet is fine — cost-model memoisation
+    /// carries over, scheduler state does not.
     ///
     /// # Panics
     ///
-    /// Panics if the router returns an out-of-range replica index.
+    /// Panics if the router returns an out-of-range or unroutable
+    /// replica index.
     #[must_use]
     pub fn serve(&mut self, workload: &Workload, router: &mut dyn Router) -> FleetReport {
         let mut run = self.start(workload);
@@ -150,7 +331,8 @@ impl Fleet {
     }
 
     /// Begins a resumable run over `workload` — [`Fleet::serve`]
-    /// unrolled into a [`FleetRun`] you can step, snapshot and restore.
+    /// unrolled into a [`FleetRun`] you can step, snapshot, restore
+    /// and inject lifecycle events into.
     ///
     /// # Panics
     ///
@@ -160,6 +342,8 @@ impl Fleet {
     pub fn start(&self, workload: &Workload) -> FleetRun {
         let cores: Vec<Core> = self.replicas.iter().map(|r| Core::new(r.config)).collect();
         let telemetry = cached_telemetry(&cores, &self.replicas);
+        let states = self.initial_states.clone();
+        let routable: Vec<bool> = states.iter().map(|s| s.is_routable()).collect();
         FleetRun {
             source: RequestSource::new(workload),
             cores,
@@ -171,64 +355,114 @@ impl Fleet {
             log: CommandLog::new(),
             events: 0,
             fingerprint: workload_fingerprint(workload),
+            states,
+            routable,
+            pending_events: VecDeque::new(),
+            displaced: VecDeque::new(),
+            now_s: 0.0,
+            migration_delay_s: self.migration_delay_s,
+            ms_accrued: 0.0,
+            ms_anchor_s: 0.0,
+            counts: LifecycleCounts::default(),
         }
     }
 
     /// Replays a recorded [`CommandLog`] against this fleet: every
-    /// arrival goes to the replica the log routed it to and every step
-    /// runs on the replica the log stepped — no router, no event-order
-    /// scan. Deterministic policies reproduce their decisions, so the
-    /// replayed report digests identically to the recorded run.
+    /// arrival goes to the replica the log routed it to, every step
+    /// runs on the replica the log stepped, and every lifecycle
+    /// transition and displaced re-route applies exactly where the log
+    /// says — no router, no event-order scan. Deterministic policies
+    /// reproduce their decisions, so the replayed report digests
+    /// identically to the recorded run.
     ///
     /// # Panics
     ///
     /// Panics if the log does not belong to this workload/fleet (an
-    /// enqueue with no arrival pending, or a replica out of range).
+    /// enqueue with no arrival pending, a replica out of range, or a
+    /// lifecycle transition illegal from the replayed state).
     #[must_use]
     pub fn replay(&mut self, workload: &Workload, log: &CommandLog) -> FleetReport {
+        let n = self.replicas.len();
         let mut source = RequestSource::new(workload);
         let mut cores: Vec<Core> = self.replicas.iter().map(|r| Core::new(r.config)).collect();
-        let mut assigned = vec![0u32; self.replicas.len()];
+        let mut assigned = vec![0u32; n];
+        let mut states = self.initial_states.clone();
+        let mut displaced: VecDeque<(f64, QueuedRequest)> = VecDeque::new();
+        let mut counts = LifecycleCounts::default();
+        let mut now = 0.0_f64;
+        let mut ms_accrued = 0.0_f64;
+        let mut ms_anchor = 0.0_f64;
         for cmd in log.commands() {
             match *cmd {
                 Command::Enqueue { replica } => {
                     let pick = replica as usize;
-                    assert!(pick < cores.len(), "log routed out of range");
+                    assert!(pick < n, "log routed out of range");
                     let t = source
                         .next_arrival_s()
                         .expect("log enqueues with no arrival pending");
                     let req = source.pop_ready(t).expect("arrival is due");
+                    now = now.max(t);
                     assigned[pick] += 1;
                     cores[pick].enqueue(req);
                 }
                 Command::Step { replica } => {
                     let which = replica as usize;
-                    assert!(which < cores.len(), "log stepped out of range");
+                    assert!(which < n, "log stepped out of range");
+                    let t = cores[which].next_event_s();
+                    debug_assert!(t.is_finite(), "log stepped an idle replica");
+                    now = now.max(t);
                     let rep = &mut self.replicas[which];
                     cores[which].step(rep.cost.as_mut(), rep.policy.as_mut(), &mut source);
+                }
+                Command::Lifecycle(ev) => {
+                    accrue_machine_seconds(&states, &mut ms_accrued, &mut ms_anchor, ev.at_s);
+                    now = now.max(ev.at_s);
+                    let lost = apply_transition(&mut states, &mut cores, &ev, &mut counts);
+                    for q in lost {
+                        displaced.push_back((ev.at_s + self.migration_delay_s, q));
+                    }
+                }
+                Command::Reroute { replica } => {
+                    let pick = replica as usize;
+                    assert!(pick < n, "log re-routed out of range");
+                    let (due, q) = displaced
+                        .pop_front()
+                        .expect("log re-routes with nothing displaced");
+                    let t = due.max(now);
+                    now = t;
+                    assigned[pick] += 1;
+                    cores[pick].enqueue_displaced(q, t);
                 }
             }
         }
         debug_assert!(source.exhausted());
+        debug_assert!(
+            displaced.is_empty(),
+            "log left displaced requests in flight"
+        );
+        accrue_machine_seconds(&states, &mut ms_accrued, &mut ms_anchor, now);
         let replicas: Vec<ServeReport> = cores.into_iter().map(Core::into_report).collect();
         let aggregate = merge(&replicas);
         FleetReport {
             replicas,
             assigned,
             aggregate,
+            machine_seconds: ms_accrued,
+            lifecycle: counts,
         }
     }
 }
 
 /// A resumable fleet run: [`Fleet::serve`] unrolled into an object you
-/// can step, snapshot (router state included) and restore such that
-/// the finished [`FleetReport`] is byte-identical to an uninterrupted
-/// run.
+/// can step, snapshot (router and lifecycle state included) and
+/// restore such that the finished [`FleetReport`] is byte-identical to
+/// an uninterrupted run.
 ///
 /// The fleet itself (cost models, policies, configs) stays outside the
 /// snapshot — it is rebuilt by the caller, exactly like the workload —
 /// but everything dynamic lives in here: arrival source, per-replica
-/// core state, assignment counts, router state and the command log.
+/// core state, lifecycle states, pending events, displaced requests,
+/// assignment counts, router state and the command log.
 pub struct FleetRun {
     source: RequestSource,
     cores: Vec<Core>,
@@ -241,16 +475,37 @@ pub struct FleetRun {
     wake: CalendarQueue,
     /// Cached per-replica telemetry, index-aligned with `cores`. A
     /// replica's published counters can only change when an event
-    /// touches it, so the driver refreshes exactly one entry per event
-    /// instead of recollecting the whole fleet on every arrival — the
-    /// difference between `O(1)` and `O(n)` routing at 1000 replicas.
-    /// Not serialised: rebuilt deterministically from the cores on
-    /// resume, like the wake-up calendar.
+    /// touches it (a lifecycle transition included), so the driver
+    /// refreshes exactly one entry per event instead of recollecting
+    /// the whole fleet on every arrival — the difference between
+    /// `O(1)` and `O(n)` routing at 1000 replicas. Not serialised:
+    /// rebuilt deterministically from the cores on resume, like the
+    /// wake-up calendar.
     telemetry: Vec<ReplicaTelemetry>,
     assigned: Vec<u32>,
     log: CommandLog,
     events: u64,
     fingerprint: u64,
+    /// Each slot's current lifecycle state, in replica order.
+    states: Vec<LifecycleState>,
+    /// `states[i].is_routable()`, cached as the mask the router sees.
+    routable: Vec<bool>,
+    /// Injected lifecycle events not yet applied, sorted by time
+    /// (stable: equal-time events apply in injection order).
+    pending_events: VecDeque<FleetEvent>,
+    /// Requests displaced by failures, each with the sim time its
+    /// migration delay expires, in displacement order.
+    displaced: VecDeque<(f64, QueuedRequest)>,
+    /// The run's global clock: the time of the last executed event.
+    now_s: f64,
+    migration_delay_s: f64,
+    /// Machine-seconds accrued up to `ms_anchor_s`: one second per
+    /// non-down replica per sim second. Accrued lazily — the non-down
+    /// count only changes at lifecycle events, so the integral is
+    /// advanced exactly there (and once more at report time).
+    ms_accrued: f64,
+    ms_anchor_s: f64,
+    counts: LifecycleCounts,
 }
 
 /// The telemetry every replica currently publishes — the cache the
@@ -263,53 +518,221 @@ fn cached_telemetry(cores: &[Core], replicas: &[FleetReplica]) -> Vec<ReplicaTel
         .collect()
 }
 
+/// Advances the machine-seconds integral to `t`: each non-down (live
+/// or draining) replica pays for its time whether or not it decodes.
+fn accrue_machine_seconds(
+    states: &[LifecycleState],
+    ms_accrued: &mut f64,
+    ms_anchor_s: &mut f64,
+    t: f64,
+) {
+    debug_assert!(t >= *ms_anchor_s, "machine-seconds accrual went backwards");
+    let up = states
+        .iter()
+        .filter(|s| !matches!(s, LifecycleState::Down))
+        .count();
+    *ms_accrued += up as f64 * (t - *ms_anchor_s);
+    *ms_anchor_s = t;
+}
+
+/// Applies one lifecycle transition to the slot it targets, enforcing
+/// the legality table in [`crate::lifecycle`]. Returns the requests a
+/// failure displaced (empty for every other kind).
+fn apply_transition(
+    states: &mut [LifecycleState],
+    cores: &mut [Core],
+    ev: &FleetEvent,
+    counts: &mut LifecycleCounts,
+) -> Vec<QueuedRequest> {
+    let i = ev.replica as usize;
+    assert!(
+        i < states.len(),
+        "lifecycle event targets an unknown replica"
+    );
+    match ev.kind {
+        FleetEventKind::Join => {
+            assert_eq!(
+                states[i],
+                LifecycleState::Down,
+                "join of a non-down replica"
+            );
+            states[i] = LifecycleState::Live;
+            counts.joins += 1;
+            Vec::new()
+        }
+        FleetEventKind::Drain => {
+            assert_eq!(
+                states[i],
+                LifecycleState::Live,
+                "drain of a non-live replica"
+            );
+            states[i] = LifecycleState::Draining;
+            counts.drains += 1;
+            Vec::new()
+        }
+        FleetEventKind::Leave => {
+            assert_eq!(
+                states[i],
+                LifecycleState::Draining,
+                "leave of a non-draining replica"
+            );
+            assert!(
+                cores[i].queue_len() == 0 && cores[i].active_len() == 0,
+                "leave of a non-idle replica"
+            );
+            states[i] = LifecycleState::Down;
+            counts.leaves += 1;
+            Vec::new()
+        }
+        FleetEventKind::Fail => {
+            assert_ne!(states[i], LifecycleState::Down, "fail of a down replica");
+            states[i] = LifecycleState::Down;
+            counts.fails += 1;
+            let lost = cores[i].fail();
+            counts.displaced += lost.len() as u32;
+            lost
+        }
+    }
+}
+
 impl std::fmt::Debug for FleetRun {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetRun")
             .field("replicas", &self.cores.len())
             .field("events", &self.events)
+            .field("now_s", &self.now_s)
             .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("lifecycle", &self.counts)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
 impl FleetRun {
-    /// Executes exactly one global event — an arrival routed and
-    /// enqueued, or one replica's scheduler step — and records it.
-    /// Returns `false` once the run is complete.
+    /// Executes exactly one global event — a lifecycle transition, a
+    /// displaced request re-routed, an arrival routed and enqueued, or
+    /// one replica's scheduler step — and records it. Returns `false`
+    /// once the run is complete.
     ///
     /// # Panics
     ///
     /// Panics if `fleet` is not the fleet this run was started on
-    /// (replica count differs) or the router picks out of range.
+    /// (replica count differs), the router picks an out-of-range or
+    /// unroutable replica, or work remains with every replica down and
+    /// no lifecycle event scheduled (a wedged fleet).
     pub fn step(&mut self, fleet: &mut Fleet, router: &mut dyn Router) -> bool {
         assert_eq!(
             self.cores.len(),
             fleet.replicas.len(),
             "fleet changed size mid-run"
         );
-        let next_arrival = self.source.next_arrival_s().unwrap_or(f64::INFINITY);
+        let next_lifecycle = self
+            .pending_events
+            .front()
+            .map_or(f64::INFINITY, |e| e.at_s);
+        // Routing needs a live replica: with none, arrivals and
+        // re-routes wait for a join (draining replicas may still step
+        // their in-flight work meanwhile).
+        let any_live = self.routable.iter().any(|&r| r);
+        let raw_reroute = self
+            .displaced
+            .front()
+            .map_or(f64::INFINITY, |&(due, _)| due);
+        let next_reroute = if any_live { raw_reroute } else { f64::INFINITY };
+        let raw_arrival = self.source.next_arrival_s().unwrap_or(f64::INFINITY);
+        let next_arrival = if any_live { raw_arrival } else { f64::INFINITY };
         // The calendar's head is the earliest replica event; ties on
         // the tick pop the lowest replica index, matching the
         // first-minimum semantics of the scan this replaces.
-        let next_event = self.wake.peek().map_or(f64::INFINITY, |(t, _)| t);
-        if !next_arrival.is_finite() && !next_event.is_finite() {
+        let next_wake = self.wake.peek().map_or(f64::INFINITY, |(t, _)| t);
+        if !next_lifecycle.is_finite()
+            && !next_reroute.is_finite()
+            && !next_arrival.is_finite()
+            && !next_wake.is_finite()
+        {
+            assert!(
+                !raw_arrival.is_finite() && !raw_reroute.is_finite(),
+                "fleet wedged: requests pending with no live replica \
+                 and no scheduled lifecycle event"
+            );
             return false;
         }
-        // Arrivals win ties: a request is routed at its arrival
-        // time, before any replica runs a scheduling event at or
-        // after it — every replica's telemetry is current as of the
-        // arrival.
-        let touched = if next_arrival <= next_event {
-            let req = self.source.pop_ready(next_arrival).expect("arrival is due");
+        // Tie order: lifecycle transitions apply first (so a router
+        // never sees a mask one event stale), then displaced re-routes,
+        // then arrivals, then scheduler steps — a request is routed at
+        // its arrival time, before any replica runs a scheduling event
+        // at or after it, so every replica's telemetry is current as of
+        // the arrival.
+        let touched = if next_lifecycle <= next_reroute
+            && next_lifecycle <= next_arrival
+            && next_lifecycle <= next_wake
+        {
+            let ev = self.pending_events.pop_front().expect("lifecycle is due");
+            accrue_machine_seconds(
+                &self.states,
+                &mut self.ms_accrued,
+                &mut self.ms_anchor_s,
+                ev.at_s,
+            );
+            self.now_s = self.now_s.max(ev.at_s);
+            let lost = apply_transition(&mut self.states, &mut self.cores, &ev, &mut self.counts);
+            for q in lost {
+                self.displaced
+                    .push_back((ev.at_s + self.migration_delay_s, q));
+            }
+            let i = ev.replica as usize;
+            self.routable[i] = self.states[i].is_routable();
+            self.telemetry[i] =
+                self.cores[i].telemetry(fleet.replicas[i].cost.kv_capacity_tokens());
+            debug_assert_eq!(
+                self.telemetry,
+                cached_telemetry(&self.cores, &fleet.replicas),
+                "telemetry cache drifted after lifecycle event"
+            );
+            self.log.push(Command::Lifecycle(ev));
+            router.on_fleet_event(
+                &ev,
+                &RoutingView::new(&self.telemetry, &self.routable, ev.at_s),
+            );
+            i
+        } else if next_reroute <= next_arrival && next_reroute <= next_wake {
+            let (due, q) = self.displaced.pop_front().expect("re-route is due");
+            // A re-route can come due while later events were already
+            // executing (zero delay, or the clock ran ahead); it fires
+            // at the current clock, never in the past.
+            let t = due.max(self.now_s);
+            self.now_s = t;
             debug_assert_eq!(
                 self.telemetry,
                 cached_telemetry(&self.cores, &fleet.replicas),
                 "telemetry cache drifted from the cores"
             );
-            let pick = router.route(&req, &self.telemetry);
+            let pick = router.route(
+                &q.req,
+                &RoutingView::new(&self.telemetry, &self.routable, t),
+            );
             assert!(pick < self.cores.len(), "router picked out of range");
+            assert!(self.routable[pick], "router picked an unroutable replica");
+            self.assigned[pick] += 1;
+            self.cores[pick].enqueue_displaced(q, t);
+            self.log.push(Command::Reroute {
+                replica: pick as u32,
+            });
+            pick
+        } else if next_arrival <= next_wake {
+            let req = self.source.pop_ready(next_arrival).expect("arrival is due");
+            self.now_s = self.now_s.max(next_arrival);
+            debug_assert_eq!(
+                self.telemetry,
+                cached_telemetry(&self.cores, &fleet.replicas),
+                "telemetry cache drifted from the cores"
+            );
+            let pick = router.route(
+                &req,
+                &RoutingView::new(&self.telemetry, &self.routable, self.now_s),
+            );
+            assert!(pick < self.cores.len(), "router picked out of range");
+            assert!(self.routable[pick], "router picked an unroutable replica");
             self.assigned[pick] += 1;
             self.cores[pick].enqueue(req);
             self.log.push(Command::Enqueue {
@@ -317,7 +740,8 @@ impl FleetRun {
             });
             pick
         } else {
-            let (_, which) = self.wake.pop().expect("next_event is finite");
+            let (tick, which) = self.wake.pop().expect("next_event is finite");
+            self.now_s = self.now_s.max(tick);
             let which = which as usize;
             let replica = &mut fleet.replicas[which];
             self.cores[which].step(
@@ -341,10 +765,97 @@ impl FleetRun {
         true
     }
 
+    /// Schedules a lifecycle event on this run. Events apply in time
+    /// order (equal times: injection order) interleaved with the
+    /// run's own events; legality is checked when the event fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event time is non-finite or in the past, or the
+    /// replica index is out of range.
+    pub fn inject(&mut self, ev: FleetEvent) {
+        assert!(
+            ev.at_s.is_finite() && ev.at_s >= self.now_s,
+            "lifecycle events must be injected at or after the current sim time"
+        );
+        assert!(
+            (ev.replica as usize) < self.cores.len(),
+            "lifecycle event targets an unknown replica"
+        );
+        let idx = self.pending_events.partition_point(|e| e.at_s <= ev.at_s);
+        self.pending_events.insert(idx, ev);
+    }
+
+    /// The sim time of the next event this run would execute, or
+    /// `None` when it is complete (or wedged — [`FleetRun::step`]
+    /// distinguishes the two).
+    #[must_use]
+    pub fn next_time(&mut self) -> Option<f64> {
+        let any_live = self.routable.iter().any(|&r| r);
+        let next_lifecycle = self
+            .pending_events
+            .front()
+            .map_or(f64::INFINITY, |e| e.at_s);
+        let next_reroute = if any_live {
+            self.displaced
+                .front()
+                .map_or(f64::INFINITY, |&(due, _)| due.max(self.now_s))
+        } else {
+            f64::INFINITY
+        };
+        let next_arrival = if any_live {
+            self.source.next_arrival_s().unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+        let next_wake = self.wake.peek().map_or(f64::INFINITY, |(t, _)| t);
+        let t = next_lifecycle
+            .min(next_reroute)
+            .min(next_arrival)
+            .min(next_wake);
+        t.is_finite().then_some(t)
+    }
+
+    /// Steps the run until its next event lies strictly after `t` (or
+    /// it finishes). Returns `true` while events remain — the
+    /// autoscaler's control loop: advance to the next decision
+    /// boundary, look at the fleet, inject, repeat.
+    pub fn step_until(&mut self, fleet: &mut Fleet, router: &mut dyn Router, t: f64) -> bool {
+        while let Some(next) = self.next_time() {
+            if next > t {
+                return true;
+            }
+            if !self.step(fleet, router) {
+                return false;
+            }
+        }
+        // No candidate event at all: let step() decide between clean
+        // completion and a wedged-fleet panic.
+        self.step(fleet, router)
+    }
+
     /// Events executed so far.
     #[must_use]
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// The run's global clock: the sim time of the last executed event.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Each slot's current lifecycle state, in replica order.
+    #[must_use]
+    pub fn states(&self) -> &[LifecycleState] {
+        &self.states
+    }
+
+    /// Lifecycle transitions applied so far.
+    #[must_use]
+    pub fn lifecycle_counts(&self) -> LifecycleCounts {
+        self.counts
     }
 
     /// The decision trace recorded so far.
@@ -364,6 +875,7 @@ impl FleetRun {
             active: self.cores.iter().map(|c| c.active_len() as u32).sum(),
             completed: self.cores.iter().map(Core::completed).sum(),
             rejected: self.cores.iter().map(Core::rejected).sum(),
+            displaced: self.displaced.len() as u32,
         }
     }
 
@@ -385,6 +897,22 @@ impl FleetRun {
         fresh
     }
 
+    /// TTFTs of every request that completed at or after sim time `t`,
+    /// in replica order then per-replica completion order — the
+    /// autoscaler's windowed latency sample.
+    #[must_use]
+    pub fn ttfts_completed_since(&self, t: f64) -> Vec<f64> {
+        self.cores
+            .iter()
+            .flat_map(|c| {
+                c.records()
+                    .iter()
+                    .filter(move |r| r.finish_s >= t)
+                    .map(RequestRecord::ttft_s)
+            })
+            .collect()
+    }
+
     /// Highest number of simultaneously resident requests any single
     /// replica's slab ever held — the perf trajectory's occupancy
     /// figure.
@@ -397,9 +925,9 @@ impl FleetRun {
             .unwrap_or(0)
     }
 
-    /// Freezes the whole run — source, every core, assignment counts,
-    /// router state, command log — into a versioned, checksummed byte
-    /// stream.
+    /// Freezes the whole run — source, every core, lifecycle state,
+    /// pending events, displaced requests, assignment counts, router
+    /// state, command log — into a versioned, checksummed byte stream.
     #[must_use]
     pub fn snapshot(&self, router: &dyn Router) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
@@ -410,6 +938,30 @@ impl FleetRun {
         w.put_usize(self.cores.len());
         for &n in &self.assigned {
             w.put_u32(n);
+        }
+        w.end_section();
+        w.begin_section(section::LIFECYCLE);
+        w.put_usize(self.states.len());
+        for s in &self.states {
+            s.save(&mut w);
+        }
+        w.put_f64(self.now_s);
+        w.put_f64(self.ms_accrued);
+        w.put_f64(self.ms_anchor_s);
+        w.put_f64(self.migration_delay_s);
+        w.put_u32(self.counts.joins);
+        w.put_u32(self.counts.drains);
+        w.put_u32(self.counts.leaves);
+        w.put_u32(self.counts.fails);
+        w.put_u32(self.counts.displaced);
+        w.put_usize(self.pending_events.len());
+        for ev in &self.pending_events {
+            ev.save(&mut w);
+        }
+        w.put_usize(self.displaced.len());
+        for (due, q) in &self.displaced {
+            w.put_f64(*due);
+            q.save(&mut w);
         }
         w.end_section();
         w.begin_section(section::SOURCE);
@@ -432,13 +984,14 @@ impl FleetRun {
     /// Thaws a run frozen by [`FleetRun::snapshot`]. The same workload
     /// and an identically configured fleet must be supplied; `router`
     /// has its frozen state restored in place. Resuming continues
-    /// bit-identically to the run that was frozen.
+    /// bit-identically to the run that was frozen — pending lifecycle
+    /// events and displaced requests included.
     ///
     /// # Errors
     ///
     /// Any [`SnapshotError`]: corruption, truncation, version skew, a
-    /// different workload, or a fleet whose replica count or configs
-    /// differ from the frozen run's.
+    /// different workload, or a fleet whose replica count, configs or
+    /// migration delay differ from the frozen run's.
     pub fn resume(
         workload: &Workload,
         fleet: &Fleet,
@@ -464,6 +1017,50 @@ impl FleetRun {
             assigned.push(r.get_u32()?);
         }
         r.end_section()?;
+        r.begin_section(section::LIFECYCLE)?;
+        if r.get_usize()? != n {
+            return Err(SnapshotError::Corrupt("lifecycle state count differs"));
+        }
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(LifecycleState::load(&mut r)?);
+        }
+        let now_s = r.get_f64()?;
+        let ms_accrued = r.get_f64()?;
+        let ms_anchor_s = r.get_f64()?;
+        if now_s.is_nan() || ms_accrued.is_nan() || ms_anchor_s.is_nan() {
+            return Err(SnapshotError::Corrupt("lifecycle clock state is NaN"));
+        }
+        let migration_delay_s = r.get_f64()?;
+        if migration_delay_s != fleet.migration_delay_s {
+            return Err(SnapshotError::Corrupt("migration delay differs"));
+        }
+        let counts = LifecycleCounts {
+            joins: r.get_u32()?,
+            drains: r.get_u32()?,
+            leaves: r.get_u32()?,
+            fails: r.get_u32()?,
+            displaced: r.get_u32()?,
+        };
+        let num_pending = r.get_count(13)?;
+        let mut pending_events = VecDeque::with_capacity(num_pending);
+        for _ in 0..num_pending {
+            let ev = FleetEvent::load(&mut r)?;
+            if !ev.at_s.is_finite() || (ev.replica as usize) >= n {
+                return Err(SnapshotError::Corrupt("bad pending lifecycle event"));
+            }
+            pending_events.push_back(ev);
+        }
+        let num_displaced = r.get_count(16)?;
+        let mut displaced = VecDeque::with_capacity(num_displaced);
+        for _ in 0..num_displaced {
+            let due = r.get_f64()?;
+            if due.is_nan() {
+                return Err(SnapshotError::Corrupt("displaced due time is NaN"));
+            }
+            displaced.push_back((due, QueuedRequest::load(&mut r)?));
+        }
+        r.end_section()?;
         r.begin_section(section::SOURCE)?;
         let source = RequestSource::restore(workload, &mut r)?;
         r.end_section()?;
@@ -477,21 +1074,28 @@ impl FleetRun {
             cores.push(core);
             r.end_section()?;
         }
+        for (state, core) in states.iter().zip(&cores) {
+            if *state == LifecycleState::Down && (core.queue_len() > 0 || core.active_len() > 0) {
+                return Err(SnapshotError::Corrupt("down replica holds work"));
+            }
+        }
         r.begin_section(section::ROUTER)?;
         router.load_state(&mut r)?;
         r.end_section()?;
         r.begin_section(section::LOG)?;
         let log = CommandLog::load(&mut r)?;
         r.end_section()?;
-        // The wake-up calendar and the telemetry cache are derived
-        // state: rebuild both from the restored cores (identical
-        // (tick, id) keys reproduce the frozen run's pop order
-        // exactly; identical counters reproduce its routing).
+        // The wake-up calendar, the telemetry cache and the routable
+        // mask are derived state: rebuild them from the restored cores
+        // and lifecycle states (identical (tick, id) keys reproduce
+        // the frozen run's pop order exactly; identical counters
+        // reproduce its routing).
         let mut wake = CalendarQueue::with_components(cores.len());
         for (i, core) in cores.iter_mut().enumerate() {
             wake.schedule(i as u32, core.next_event_s());
         }
         let telemetry = cached_telemetry(&cores, &fleet.replicas);
+        let routable: Vec<bool> = states.iter().map(|s| s.is_routable()).collect();
         Ok(Self {
             source,
             cores,
@@ -501,6 +1105,15 @@ impl FleetRun {
             log,
             events,
             fingerprint,
+            states,
+            routable,
+            pending_events,
+            displaced,
+            now_s,
+            migration_delay_s,
+            ms_accrued,
+            ms_anchor_s,
+            counts,
         })
     }
 
@@ -514,14 +1127,26 @@ impl FleetRun {
 
     /// Finalises the run and yields the merged fleet report.
     #[must_use]
-    pub fn into_report(self) -> FleetReport {
+    pub fn into_report(mut self) -> FleetReport {
         debug_assert!(self.source.exhausted());
+        debug_assert!(
+            self.displaced.is_empty(),
+            "report taken with displaced requests in flight"
+        );
+        accrue_machine_seconds(
+            &self.states,
+            &mut self.ms_accrued,
+            &mut self.ms_anchor_s,
+            self.now_s,
+        );
         let replicas: Vec<ServeReport> = self.cores.into_iter().map(Core::into_report).collect();
         let aggregate = merge(&replicas);
         FleetReport {
             replicas,
             assigned: self.assigned,
             aggregate,
+            machine_seconds: self.ms_accrued,
+            lifecycle: self.counts,
         }
     }
 }
@@ -586,15 +1211,23 @@ pub struct FleetReport {
     /// anchored at the first arrival *routed to that replica*.
     pub replicas: Vec<ServeReport>,
     /// Requests the router sent to each replica (completions plus
-    /// rejections), index-aligned with `replicas`.
+    /// rejections, displaced re-routes included), index-aligned with
+    /// `replicas`.
     pub assigned: Vec<u32>,
     /// The fleet-wide merged report: records in completion order,
     /// counts and busy-times summed, makespan spanning the whole run.
     pub aggregate: ServeReport,
+    /// Machine-seconds of capacity paid for: one second per non-down
+    /// (live or draining) replica per sim second, integrated over the
+    /// run. The cost axis the autoscaler trades against SLO-hours.
+    pub machine_seconds: f64,
+    /// Lifecycle transitions the run applied, and the requests
+    /// failures displaced.
+    pub lifecycle: LifecycleCounts,
 }
 
 impl FleetReport {
-    /// Number of replicas.
+    /// Number of provisioned replica slots.
     #[must_use]
     pub fn num_replicas(&self) -> usize {
         self.replicas.len()
@@ -664,37 +1297,91 @@ mod tests {
     use super::*;
     use crate::arrivals::ArrivalProcess;
     use crate::cost::AnalyticCostModel;
+    use crate::lifecycle::churn_tape;
     use crate::policy::Fifo;
     use crate::router::{JoinShortestQueue, RoundRobin, SessionAffinity};
     use rpu_models::LengthDistribution;
 
     fn fleet(n: usize) -> Fleet {
-        Fleet::homogeneous(
-            n,
-            &ServeConfig::default(),
-            || Box::new(AnalyticCostModel::small()),
-            || Box::new(Fifo),
-        )
+        FleetBuilder::new()
+            .group(
+                n,
+                &ServeConfig::default(),
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            )
+            .build()
     }
 
     #[test]
     #[should_panic(expected = "at least one replica")]
     fn empty_fleet_is_rejected() {
-        let _ = Fleet::new(Vec::new());
+        let _ = FleetBuilder::new().build();
     }
 
     #[test]
     #[should_panic(expected = "max_batch")]
     fn zero_batch_replica_is_rejected() {
-        let _ = Fleet::homogeneous(
-            2,
-            &ServeConfig {
-                max_batch: 0,
-                ..ServeConfig::default()
-            },
+        let _ = FleetBuilder::new()
+            .group(
+                2,
+                &ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::default()
+                },
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            )
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one live replica")]
+    fn all_down_fleet_is_rejected() {
+        let _ = FleetBuilder::new()
+            .group_with_state(
+                LifecycleState::Down,
+                2,
+                &ServeConfig::default(),
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            )
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "migration delay")]
+    fn negative_migration_delay_is_rejected() {
+        let _ = fleet_with_delay(-1.0);
+    }
+
+    fn fleet_with_delay(delay: f64) -> Fleet {
+        FleetBuilder::new()
+            .migration_delay_s(delay)
+            .group(
+                2,
+                &ServeConfig::default(),
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            )
+            .build()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_all_live_fleets() {
+        let f = Fleet::homogeneous(
+            3,
+            &ServeConfig::default(),
             || Box::new(AnalyticCostModel::small()),
             || Box::new(Fifo),
         );
+        assert_eq!(f.len(), 3);
+        assert!(f
+            .initial_states()
+            .iter()
+            .all(|s| *s == LifecycleState::Live));
+        assert_eq!(f.migration_delay_s(), 0.0);
     }
 
     #[test]
@@ -708,6 +1395,8 @@ mod tests {
             r.replicas.iter().map(|p| p.records.len()).sum::<usize>(),
             96
         );
+        assert_eq!(r.lifecycle, LifecycleCounts::default());
+        assert!(r.machine_seconds > 0.0);
         // Merged records are in completion order.
         assert!(r
             .aggregate
@@ -782,24 +1471,24 @@ mod tests {
             output_lens: LengthDistribution::Fixed(8),
             ..Workload::poisson(100.0, 1, 1, 10)
         };
-        let mut f = Fleet::new(vec![
-            FleetReplica {
+        let mut f = FleetBuilder::new()
+            .replica(FleetReplica {
                 cost: Box::new(AnalyticCostModel {
                     kv_capacity_tokens: 64 * 1024,
                     ..AnalyticCostModel::small()
                 }),
                 policy: Box::new(Fifo),
                 config: ServeConfig::default(),
-            },
-            FleetReplica {
+            })
+            .replica(FleetReplica {
                 cost: Box::new(AnalyticCostModel {
                     kv_capacity_tokens: 1024,
                     ..AnalyticCostModel::small()
                 }),
                 policy: Box::new(Fifo),
                 config: ServeConfig::default(),
-            },
-        ]);
+            })
+            .build();
         let r = f.serve(&wl, &mut JoinShortestQueue);
         // 2008-token reservations never fit the 1024-token replica, and
         // JSQ respects published capacity, so nothing is rejected.
@@ -821,5 +1510,206 @@ mod tests {
         assert!(r.imbalance() <= 4.0 + 1e-9);
         let m = r.multi_class(&[ClassSpec::interactive()]);
         assert_eq!(m.aggregate.completed, 64);
+    }
+
+    #[test]
+    fn drained_replica_admits_nothing_new() {
+        let wl = Workload::poisson(2000.0, 256, 32, 96);
+        let mut f = fleet(3);
+        let mut router = RoundRobin::new();
+        let mut run = f.start(&wl);
+        run.inject(FleetEvent {
+            at_s: 0.0,
+            replica: 1,
+            kind: FleetEventKind::Drain,
+        });
+        while run.step(&mut f, &mut router) {}
+        let r = run.into_report();
+        assert_eq!(r.assigned[1], 0, "drained replica was routed to");
+        assert_eq!(r.lifecycle.drains, 1);
+        assert_eq!(
+            r.aggregate.records.len() + r.aggregate.rejected as usize,
+            96
+        );
+    }
+
+    #[test]
+    fn failure_displaces_and_conserves_requests() {
+        let wl = Workload::poisson(2000.0, 256, 32, 96);
+        let mut f = fleet_with_delay(0.004);
+        let mut router = RoundRobin::new();
+        let mut run = f.start(&wl);
+        run.inject(FleetEvent {
+            at_s: 0.01,
+            replica: 1,
+            kind: FleetEventKind::Fail,
+        });
+        while run.step(&mut f, &mut router) {}
+        let r = run.into_report();
+        assert_eq!(r.lifecycle.fails, 1);
+        assert!(
+            r.lifecycle.displaced >= 1,
+            "failure at 0.01 displaced nothing"
+        );
+        assert_eq!(
+            r.aggregate.records.len() as u32 + r.aggregate.rejected,
+            96,
+            "every request completes or is rejected exactly once"
+        );
+        // Displaced requests re-enter through the router: the survivor
+        // absorbs them, so assignments over-count total requests.
+        assert!(u64::from(r.assigned.iter().sum::<u32>()) >= 96);
+    }
+
+    #[test]
+    fn drain_then_leave_cuts_machine_seconds() {
+        // A rate one replica sustains: the makespan is arrival-bound,
+        // so running two machines instead of one buys nothing but cost.
+        let wl = Workload::poisson(200.0, 256, 32, 64);
+        let run_with = |drain: bool| {
+            let mut f = fleet(2);
+            let mut router = RoundRobin::new();
+            let mut run = f.start(&wl);
+            if drain {
+                run.inject(FleetEvent {
+                    at_s: 0.0,
+                    replica: 1,
+                    kind: FleetEventKind::Drain,
+                });
+                run.inject(FleetEvent {
+                    at_s: 0.0,
+                    replica: 1,
+                    kind: FleetEventKind::Leave,
+                });
+            }
+            while run.step(&mut f, &mut router) {}
+            run.into_report()
+        };
+        let static_run = run_with(false);
+        let scaled_down = run_with(true);
+        assert_eq!(scaled_down.lifecycle.leaves, 1);
+        assert!(
+            scaled_down.machine_seconds < static_run.machine_seconds,
+            "leaving a replica must cost fewer machine-seconds: {} vs {}",
+            scaled_down.machine_seconds,
+            static_run.machine_seconds
+        );
+    }
+
+    #[test]
+    fn churned_run_replays_identically() {
+        let wl = Workload::poisson(1500.0, 256, 24, 80);
+        let mut f = fleet_with_delay(0.002);
+        let mut router = JoinShortestQueue;
+        let mut run = f.start(&wl);
+        for ev in churn_tape(2, 11, 0.04, 6) {
+            run.inject(ev);
+        }
+        while run.step(&mut f, &mut router) {}
+        let log = run.log().clone();
+        let recorded = run.into_report();
+        assert!(recorded.lifecycle.events() > 0, "tape applied no events");
+        let replayed = f.replay(&wl, &log);
+        assert_eq!(recorded, replayed);
+    }
+
+    #[test]
+    fn churned_run_survives_snapshot_resume() {
+        let wl = Workload::poisson(1500.0, 256, 24, 80);
+        let mut f = fleet_with_delay(0.002);
+        let mut router = JoinShortestQueue;
+
+        let mut straight = f.start(&wl);
+        for ev in churn_tape(2, 5, 0.04, 6) {
+            straight.inject(ev);
+        }
+        let mut resumed = f.start(&wl);
+        for ev in churn_tape(2, 5, 0.04, 6) {
+            resumed.inject(ev);
+        }
+        // Freeze/thaw midway, with events and possibly displaced
+        // requests outstanding, then finish both runs.
+        for _ in 0..200 {
+            if !resumed.step(&mut f, &mut router) {
+                break;
+            }
+        }
+        let bytes = resumed.snapshot(&router);
+        let mut thawed = FleetRun::resume(&wl, &f, &mut router, &bytes).unwrap();
+        assert_eq!(thawed.state_digest(&router), {
+            let mut r2 = JoinShortestQueue;
+            let bytes2 = thawed.snapshot(&r2);
+            let t2 = FleetRun::resume(&wl, &f, &mut r2, &bytes2).unwrap();
+            t2.state_digest(&r2)
+        });
+        while thawed.step(&mut f, &mut router) {}
+        while straight.step(&mut f, &mut router) {}
+        assert_eq!(straight.into_report(), thawed.into_report());
+    }
+
+    #[test]
+    fn stats_conserve_across_failures() {
+        let wl = Workload::poisson(2000.0, 256, 32, 64);
+        let mut f = fleet_with_delay(0.05);
+        let mut router = RoundRobin::new();
+        let mut run = f.start(&wl);
+        run.inject(FleetEvent {
+            at_s: 0.008,
+            replica: 0,
+            kind: FleetEventKind::Fail,
+        });
+        loop {
+            assert!(run.stats().conserved(), "stats leak: {:?}", run.stats());
+            if !run.step(&mut f, &mut router) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wedged")]
+    fn all_replicas_down_with_work_left_panics() {
+        let wl = Workload::poisson(2000.0, 256, 32, 64);
+        let mut f = fleet(1);
+        let mut router = RoundRobin::new();
+        let mut run = f.start(&wl);
+        // Failing the only replica with arrivals left wedges the fleet.
+        run.inject(FleetEvent {
+            at_s: 0.001,
+            replica: 0,
+            kind: FleetEventKind::Fail,
+        });
+        while run.step(&mut f, &mut router) {}
+    }
+
+    #[test]
+    fn down_slot_joins_and_takes_traffic() {
+        let wl = Workload::poisson(2000.0, 256, 32, 96);
+        let mut f = FleetBuilder::new()
+            .group(
+                1,
+                &ServeConfig::default(),
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            )
+            .group_with_state(
+                LifecycleState::Down,
+                1,
+                &ServeConfig::default(),
+                || Box::new(AnalyticCostModel::small()),
+                || Box::new(Fifo),
+            )
+            .build();
+        let mut router = RoundRobin::new();
+        let mut run = f.start(&wl);
+        run.inject(FleetEvent {
+            at_s: 0.005,
+            replica: 1,
+            kind: FleetEventKind::Join,
+        });
+        while run.step(&mut f, &mut router) {}
+        let r = run.into_report();
+        assert_eq!(r.lifecycle.joins, 1);
+        assert!(r.assigned[1] > 0, "joined replica took no traffic");
     }
 }

@@ -17,14 +17,24 @@
 //! [`SloTargets`] — aggregate ([`SloReport`]) and per class
 //! ([`MultiClassReport`]).
 //!
-//! Above the single machine sits the fleet layer: a [`Fleet`] of N
-//! replica schedulers (each with its own policy, cost model and KV
-//! capacity — heterogeneous SKUs welcome) fronted by a pluggable
-//! [`Router`] that sees only replica-published [`ReplicaTelemetry`]:
+//! Above the single machine sits the fleet layer: a [`Fleet`] (built
+//! with [`FleetBuilder`]) of N replica schedulers (each with its own
+//! policy, cost model and KV capacity — heterogeneous SKUs welcome)
+//! fronted by a pluggable [`Router`] that sees a [`RoutingView`] of
+//! replica-published [`ReplicaTelemetry`] and the live/draining mask:
 //! blind [`RoundRobin`], backlog-driven [`JoinShortestQueue`],
 //! occupancy-driven [`LeastKvLoad`] or consistent-hashing
 //! [`SessionAffinity`]. [`FleetReport`] adds per-replica utilisation
 //! and load imbalance on top of the same SLO metrics.
+//!
+//! The replica set itself is dynamic: [`FleetEvent`]s join, drain,
+//! cleanly retire or fail replicas at deterministic sim times
+//! ([`lifecycle`]), failures displace in-flight work back through the
+//! router at a re-prefill cost, and the reactive [`Autoscaler`]
+//! ([`run_autoscaled`]) turns windowed p99-TTFT/KV-occupancy signals
+//! into those events under hysteresis — trading machine-seconds
+//! against SLO attainment on diurnal load
+//! ([`ArrivalProcess::DiurnalOnOff`]).
 //!
 //! Machine costs enter through the [`CostModel`] trait, so this crate
 //! stays independent of the simulator stack: `rpu-core` adapts
@@ -72,12 +82,14 @@
 
 mod arena;
 mod arrivals;
+mod autoscale;
 pub mod bisect;
 mod calendar;
 mod class;
 mod cost;
 mod digest;
 mod fleet;
+pub mod lifecycle;
 mod lut;
 mod metrics;
 mod policy;
@@ -91,6 +103,7 @@ pub mod snapshot;
 
 pub use arena::ChunkArena;
 pub use arrivals::{fuzz_tape, ArrivalProcess, FuzzFamily, RequestSource, Workload};
+pub use autoscale::{run_autoscaled, Autoscaler, AutoscalerConfig};
 pub use bisect::{bisect_divergence, BisectOutcome};
 pub use calendar::CalendarQueue;
 pub use class::{ClassSpec, SloTargets};
@@ -98,7 +111,8 @@ pub use cost::{AnalyticCostModel, CostModel};
 pub use digest::{
     canonical_f64_bits, digest_fleet_report, digest_serve_report, DigestWriter, ReportDigest,
 };
-pub use fleet::{Fleet, FleetReplica, FleetReport, FleetRun};
+pub use fleet::{Fleet, FleetBuilder, FleetReplica, FleetReport, FleetRun};
+pub use lifecycle::{churn_tape, FleetEvent, FleetEventKind, LifecycleCounts, LifecycleState};
 pub use lut::{LatencyLut, LutBuilder};
 pub use metrics::{ClassSlo, MultiClassReport, SloReport};
 pub use policy::{
@@ -109,7 +123,8 @@ pub use replay::{Command, CommandLog};
 pub use request::{Request, RequestRecord};
 pub use rng::ServeRng;
 pub use router::{
-    JoinShortestQueue, LeastKvLoad, ReplicaTelemetry, RoundRobin, Router, SessionAffinity,
+    JoinShortestQueue, LeastKvLoad, ReplicaTelemetry, RoundRobin, Router, RoutingView,
+    SessionAffinity,
 };
 pub use scheduler::{serve, serve_with, RunStats, ServeConfig, ServeReport, ServeRun};
 pub use slab::Slab;

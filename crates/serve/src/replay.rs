@@ -1,8 +1,9 @@
 //! Command logs: record every scheduling decision, replay it later.
 //!
 //! A [`CommandLog`] is the event-level trace of a run: one
-//! [`Command`] per enqueue (which carries the router's replica choice)
-//! and per scheduler step, in global event order. Because every layer
+//! [`Command`] per enqueue (which carries the router's replica choice),
+//! per scheduler step, per replica lifecycle transition and per
+//! displaced-request re-route, in global event order. Because every layer
 //! of the simulator is deterministic, replaying the log against the
 //! same workload and machine reproduces the run decision-for-decision
 //! — the replayed report digests identically to the recorded one. That
@@ -11,12 +12,13 @@
 
 use crate::arrivals::{RequestSource, Workload};
 use crate::cost::CostModel;
+use crate::lifecycle::FleetEvent;
 use crate::policy::SchedulingPolicy;
 use crate::scheduler::{Core, ServeConfig, ServeReport};
 use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// One recorded scheduling event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Command {
     /// The next pending arrival was routed to (and enqueued on) the
     /// given replica. Single-machine runs always record replica 0.
@@ -28,6 +30,14 @@ pub enum Command {
     /// then a decode iteration or clock jump).
     Step {
         /// Replica index that stepped.
+        replica: u32,
+    },
+    /// A replica lifecycle transition was applied (fleet runs only).
+    Lifecycle(FleetEvent),
+    /// A request displaced by a replica failure finished its migration
+    /// delay and was re-routed to (and enqueued on) the given replica.
+    Reroute {
+        /// Replica index the router chose for the displaced request.
         replica: u32,
     },
 }
@@ -61,7 +71,7 @@ pub enum Command {
 ///     digest_serve_report(&replayed),
 /// );
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommandLog {
     commands: Vec<Command>,
 }
@@ -133,6 +143,9 @@ impl CommandLog {
                     assert_eq!(replica, 0, "single-machine log stepped off replica 0");
                     core.step(cost, policy, &mut source);
                 }
+                Command::Lifecycle(_) | Command::Reroute { .. } => {
+                    panic!("single-machine log carries fleet lifecycle commands")
+                }
             }
         }
         debug_assert!(source.exhausted());
@@ -165,6 +178,14 @@ impl CommandLog {
                     w.put_u8(1);
                     w.put_u32(replica);
                 }
+                Command::Lifecycle(ev) => {
+                    w.put_u8(2);
+                    ev.save(w);
+                }
+                Command::Reroute { replica } => {
+                    w.put_u8(3);
+                    w.put_u32(replica);
+                }
             }
         }
     }
@@ -173,11 +194,17 @@ impl CommandLog {
         let n = r.get_count(5)?;
         let mut commands = Vec::with_capacity(n);
         for _ in 0..n {
-            let tag = r.get_u8()?;
-            let replica = r.get_u32()?;
-            commands.push(match tag {
-                0 => Command::Enqueue { replica },
-                1 => Command::Step { replica },
+            commands.push(match r.get_u8()? {
+                0 => Command::Enqueue {
+                    replica: r.get_u32()?,
+                },
+                1 => Command::Step {
+                    replica: r.get_u32()?,
+                },
+                2 => Command::Lifecycle(FleetEvent::load(r)?),
+                3 => Command::Reroute {
+                    replica: r.get_u32()?,
+                },
                 _ => return Err(SnapshotError::Corrupt("bad command tag")),
             });
         }

@@ -2,18 +2,26 @@
 //!
 //! A [`crate::Fleet`] fronts N independent scheduler replicas with one
 //! [`Router`]. The router is deliberately blind to everything except
-//! [`ReplicaTelemetry`] — the counters a real replica would publish
-//! (queue depth, KV occupancy, outstanding tokens) — so routing
-//! policies stay honest: no peeking at another replica's clock, its
-//! policy internals or the sampled lengths of its resident requests.
+//! the [`RoutingView`] — per-replica [`ReplicaTelemetry`] (the counters
+//! a real replica would publish: queue depth, KV occupancy,
+//! outstanding tokens), the live/draining routable mask, and the sim
+//! clock — so routing policies stay honest: no peeking at another
+//! replica's policy internals or the sampled lengths of its resident
+//! requests.
 //!
 //! | Router | Picks | Uses telemetry | Stateful |
 //! |---|---|---|---|
-//! | [`RoundRobin`] | next replica in turn | no | cursor |
+//! | [`RoundRobin`] | next *routable* replica in turn | no | cursor |
 //! | [`JoinShortestQueue`] | fewest queued + resident requests | yes | no |
 //! | [`LeastKvLoad`] | lowest committed-KV fraction | yes | no |
 //! | [`SessionAffinity`] | consistent hash of the session key | no | ring cache |
+//!
+//! All four stock routers re-steer around draining and down replicas:
+//! the mask excludes them from candidacy, and [`SessionAffinity`]
+//! walks a session's ring successors so its keys land on the nearest
+//! live replica — and snap back home when the replica rejoins.
 
+use crate::lifecycle::FleetEvent;
 use crate::request::Request;
 use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
@@ -69,23 +77,111 @@ impl ReplicaTelemetry {
     }
 }
 
+/// Everything a router may see when placing one request: the
+/// index-aligned telemetry of every provisioned replica slot, the
+/// routable mask (`true` only for live replicas — draining and down
+/// slots must not receive new work), and the sim clock.
+///
+/// New routing inputs land here as fields instead of breaking every
+/// downstream [`Router`] `impl` with a signature change.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingView<'a> {
+    telemetry: &'a [ReplicaTelemetry],
+    routable: &'a [bool],
+    now_s: f64,
+}
+
+impl<'a> RoutingView<'a> {
+    /// Bundles one routing decision's inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the telemetry and mask slices disagree on the
+    /// provisioned replica count.
+    #[must_use]
+    pub fn new(telemetry: &'a [ReplicaTelemetry], routable: &'a [bool], now_s: f64) -> Self {
+        assert_eq!(
+            telemetry.len(),
+            routable.len(),
+            "telemetry and routable mask must cover the same replicas"
+        );
+        Self {
+            telemetry,
+            routable,
+            now_s,
+        }
+    }
+
+    /// Provisioned replica slots (routable or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.telemetry.len()
+    }
+
+    /// `true` when the fleet has no provisioned slots at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.telemetry.is_empty()
+    }
+
+    /// The sim clock at the moment of this routing decision, seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Index-aligned telemetry for every provisioned slot.
+    #[must_use]
+    pub fn telemetry(&self) -> &'a [ReplicaTelemetry] {
+        self.telemetry
+    }
+
+    /// Telemetry of one replica slot.
+    #[must_use]
+    pub fn replica(&self, i: usize) -> &'a ReplicaTelemetry {
+        &self.telemetry[i]
+    }
+
+    /// Whether slot `i` may receive new work (live, not draining/down).
+    #[must_use]
+    pub fn is_routable(&self, i: usize) -> bool {
+        self.routable[i]
+    }
+
+    /// Indices of the replicas that may receive new work, ascending.
+    pub fn routable(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.routable.len()).filter(move |&i| self.routable[i])
+    }
+
+    /// How many replicas may receive new work.
+    #[must_use]
+    pub fn routable_count(&self) -> usize {
+        self.routable.iter().filter(|&&r| r).count()
+    }
+}
+
 /// A dispatch policy for a [`crate::Fleet`].
 ///
 /// [`Router::route`] is called once per request, at its arrival time,
-/// with one [`ReplicaTelemetry`] per replica (index-aligned with the
-/// fleet). The returned index must be in range; the fleet panics
-/// otherwise. Decisions must be deterministic functions of the
-/// arguments plus the router's own state — fleet runs are
-/// bit-reproducible for a fixed workload seed.
+/// with a [`RoutingView`] over every provisioned replica slot
+/// (index-aligned with the fleet). The returned index must be in range
+/// *and routable*; the fleet panics otherwise. Decisions must be
+/// deterministic functions of the arguments plus the router's own
+/// state — fleet runs are bit-reproducible for a fixed workload seed.
+///
+/// [`Router::on_fleet_event`] fires after the fleet applies each
+/// lifecycle event, so stateful routers can rebuild caches or shed
+/// affinity for a dead replica; the default does nothing.
 ///
 /// # Worked example
 ///
 /// A custom router is one `impl`. Fewest-outstanding-tokens, sending
-/// each request to the replica with the least decode work in flight:
+/// each request to the routable replica with the least decode work in
+/// flight:
 ///
 /// ```
 /// use rpu_serve::{
-///     AnalyticCostModel, Fifo, Fleet, ReplicaTelemetry, Request, Router, ServeConfig, Workload,
+///     AnalyticCostModel, Fifo, FleetBuilder, Request, Router, RoutingView, ServeConfig, Workload,
 /// };
 ///
 /// struct FewestTokens;
@@ -95,20 +191,24 @@ impl ReplicaTelemetry {
 ///         "fewest-tokens"
 ///     }
 ///
-///     fn route(&mut self, _req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
-///         // Ties broken by index to stay deterministic.
-///         (0..fleet.len())
-///             .min_by_key(|&i| (fleet[i].in_flight_tokens, i))
-///             .expect("fleets are non-empty")
+///     fn route(&mut self, _req: &Request, view: &RoutingView<'_>) -> usize {
+///         // Candidates come from the routable mask — draining and
+///         // down replicas never take new work. Ties broken by index
+///         // to stay deterministic.
+///         view.routable()
+///             .min_by_key(|&i| (view.replica(i).in_flight_tokens, i))
+///             .expect("some replica is routable")
 ///     }
 /// }
 ///
-/// let mut fleet = Fleet::homogeneous(
-///     3,
-///     &ServeConfig::default(),
-///     || Box::new(AnalyticCostModel::small()),
-///     || Box::new(Fifo),
-/// );
+/// let mut fleet = FleetBuilder::new()
+///     .group(
+///         3,
+///         &ServeConfig::default(),
+///         || Box::new(AnalyticCostModel::small()),
+///         || Box::new(Fifo),
+///     )
+///     .build();
 /// let report = fleet.serve(&Workload::poisson(800.0, 256, 16, 30), &mut FewestTokens);
 /// // Routing spreads the work; the fleet completes all of it.
 /// assert_eq!(report.aggregate.records.len(), 30);
@@ -118,8 +218,18 @@ pub trait Router {
     /// Router name for reports and tables.
     fn name(&self) -> &'static str;
 
-    /// Picks the replica index for one arriving request.
-    fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize;
+    /// Picks the replica index for one arriving request. The pick must
+    /// be routable in `view`.
+    fn route(&mut self, req: &Request, view: &RoutingView<'_>) -> usize;
+
+    /// Notifies the router that the fleet just applied `event`; `view`
+    /// reflects the fleet *after* the transition. Stateful routers use
+    /// this to invalidate caches keyed on the live set. The default
+    /// does nothing, which is correct for every router whose decisions
+    /// derive purely from the view.
+    fn on_fleet_event(&mut self, event: &FleetEvent, view: &RoutingView<'_>) {
+        let _ = (event, view);
+    }
 
     /// Serialises the router's run state into an open snapshot section,
     /// so a resumed fleet routes exactly as the frozen one would have.
@@ -141,8 +251,10 @@ pub trait Router {
     }
 }
 
-/// Blind rotation: requests go to replicas in turn, ignoring telemetry.
-/// The baseline every informed router is measured against.
+/// Blind rotation: requests go to routable replicas in turn, ignoring
+/// telemetry. The baseline every informed router is measured against.
+/// Draining or down slots are skipped; the cursor still advances past
+/// the pick, so a rejoining replica slots back into the rotation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RoundRobin {
     next: usize,
@@ -161,10 +273,17 @@ impl Router for RoundRobin {
         "round-robin"
     }
 
-    fn route(&mut self, _req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
-        let pick = self.next % fleet.len();
-        self.next = (pick + 1) % fleet.len();
-        pick
+    fn route(&mut self, _req: &Request, view: &RoutingView<'_>) -> usize {
+        let n = view.len();
+        let start = self.next % n;
+        for k in 0..n {
+            let i = (start + k) % n;
+            if view.is_routable(i) {
+                self.next = (i + 1) % n;
+                return i;
+            }
+        }
+        panic!("no routable replica to round-robin onto");
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
@@ -177,12 +296,13 @@ impl Router for RoundRobin {
     }
 }
 
-/// Join-shortest-queue: the replica with the fewest requests on it
-/// (queued plus resident), restricted to replicas whose published KV
-/// capacity still has room for this request's conservative reservation.
-/// Only when *no* replica has KV headroom does it fall back to the
-/// shortest queue outright (the replica's own admission back-pressure
-/// then queues the request until space frees).
+/// Join-shortest-queue: the routable replica with the fewest requests
+/// on it (queued plus resident), restricted to replicas whose
+/// published KV capacity still has room for this request's
+/// conservative reservation. Only when *no* routable replica has KV
+/// headroom does it fall back to the shortest routable queue outright
+/// (the replica's own admission back-pressure then queues the request
+/// until space frees).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JoinShortestQueue;
 
@@ -191,22 +311,26 @@ impl Router for JoinShortestQueue {
         "jsq"
     }
 
-    fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
+    fn route(&mut self, req: &Request, view: &RoutingView<'_>) -> usize {
         let need = req.reserved_tokens();
         let shortest = |candidates: &mut dyn Iterator<Item = usize>| {
-            candidates.min_by_key(|&i| (fleet[i].backlog(), i))
+            candidates.min_by_key(|&i| (view.replica(i).backlog(), i))
         };
-        shortest(&mut (0..fleet.len()).filter(|&i| fleet[i].has_kv_headroom(need)))
-            .or_else(|| shortest(&mut (0..fleet.len())))
-            .expect("fleets are non-empty")
+        shortest(
+            &mut view
+                .routable()
+                .filter(|&i| view.replica(i).has_kv_headroom(need)),
+        )
+        .or_else(|| shortest(&mut view.routable()))
+        .expect("some replica is routable")
     }
 }
 
-/// Least-KV-load: the replica with the lowest committed-KV fraction of
-/// its own capacity. On heterogeneous fleets this is the natural
-/// weighting — a half-full large replica beats a half-full small one
-/// only when its *fraction* is lower — with backlog and index breaking
-/// ties.
+/// Least-KV-load: the routable replica with the lowest committed-KV
+/// fraction of its own capacity. On heterogeneous fleets this is the
+/// natural weighting — a half-full large replica beats a half-full
+/// small one only when its *fraction* is lower — with backlog and
+/// index breaking ties.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LeastKvLoad;
 
@@ -215,16 +339,16 @@ impl Router for LeastKvLoad {
         "least-kv"
     }
 
-    fn route(&mut self, _req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
-        (0..fleet.len())
+    fn route(&mut self, _req: &Request, view: &RoutingView<'_>) -> usize {
+        view.routable()
             .min_by(|&a, &b| {
-                fleet[a]
+                view.replica(a)
                     .kv_load()
-                    .total_cmp(&fleet[b].kv_load())
-                    .then(fleet[a].backlog().cmp(&fleet[b].backlog()))
+                    .total_cmp(&view.replica(b).kv_load())
+                    .then(view.replica(a).backlog().cmp(&view.replica(b).backlog()))
                     .then(a.cmp(&b))
             })
-            .expect("fleets are non-empty")
+            .expect("some replica is routable")
     }
 }
 
@@ -234,6 +358,13 @@ impl Router for LeastKvLoad {
 /// KV cache warmed on — its earlier ones. Resizing the fleet moves only
 /// the sessions whose ring successor is a new replica's virtual node;
 /// everyone else keeps their placement (the property tests pin this).
+///
+/// The ring covers every *provisioned* slot; when a session's home
+/// replica is draining or down, the lookup walks the ring's successors
+/// to the nearest routable replica — a deterministic spill target that
+/// inherits the session until the home replica rejoins, at which point
+/// the session snaps back (the ring itself never changes, so no other
+/// placement moves).
 #[derive(Debug, Clone)]
 pub struct SessionAffinity {
     vnodes: u32,
@@ -292,16 +423,23 @@ impl Router for SessionAffinity {
         "affinity"
     }
 
-    fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
-        if self.ring_replicas != fleet.len() {
-            self.rebuild(fleet.len());
+    fn route(&mut self, req: &Request, view: &RoutingView<'_>) -> usize {
+        if self.ring_replicas != view.len() {
+            self.rebuild(view.len());
         }
         // A salted key hash keeps session points decoupled from ring
         // points (mix is a bijection, so an unsalted key equal to a
         // vnode word would always collide with it).
         let key = mix(req.session ^ 0xA5A5_5A5A_D1D1_1D1D);
-        let i = self.ring.partition_point(|&(point, _)| point < key);
-        self.ring[i % self.ring.len()].1
+        let start = self.ring.partition_point(|&(point, _)| point < key);
+        let n = self.ring.len();
+        for k in 0..n {
+            let replica = self.ring[(start + k) % n].1;
+            if view.is_routable(replica) {
+                return replica;
+            }
+        }
+        panic!("no routable replica on the affinity ring");
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
@@ -365,12 +503,56 @@ mod tests {
         }
     }
 
+    /// Routes over an all-routable view — the static-fleet case every
+    /// pre-lifecycle test exercised.
+    fn route_all_live<R: Router>(r: &mut R, rq: &Request, fleet: &[ReplicaTelemetry]) -> usize {
+        let mask = vec![true; fleet.len()];
+        r.route(rq, &RoutingView::new(fleet, &mask, 0.0))
+    }
+
+    #[test]
+    fn view_exposes_mask_clock_and_counts() {
+        let fleet = vec![idle(4096); 3];
+        let mask = vec![true, false, true];
+        let view = RoutingView::new(&fleet, &mask, 1.25);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.now_s(), 1.25);
+        assert_eq!(view.routable_count(), 2);
+        assert_eq!(view.routable().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(view.is_routable(0) && !view.is_routable(1));
+        assert_eq!(view.replica(2), &fleet[2]);
+        assert_eq!(view.telemetry().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "same replicas")]
+    fn view_rejects_mismatched_mask() {
+        let fleet = vec![idle(4096); 3];
+        let mask = vec![true; 2];
+        let _ = RoutingView::new(&fleet, &mask, 0.0);
+    }
+
     #[test]
     fn round_robin_rotates() {
         let fleet = vec![idle(4096); 3];
         let mut rr = RoundRobin::new();
-        let picks: Vec<usize> = (0..7).map(|_| rr.route(&req(0), &fleet)).collect();
+        let picks: Vec<usize> = (0..7)
+            .map(|_| route_all_live(&mut rr, &req(0), &fleet))
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_unroutable_replicas() {
+        let fleet = vec![idle(4096); 4];
+        let mask = vec![true, false, true, false];
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..5)
+            .map(|_| rr.route(&req(0), &RoutingView::new(&fleet, &mask, 0.0)))
+            .collect();
+        // Only replicas 0 and 2 are live: the rotation alternates.
+        assert_eq!(picks, vec![0, 2, 0, 2, 0]);
     }
 
     #[test]
@@ -378,10 +560,10 @@ mod tests {
         let mut fleet = vec![idle(4096); 3];
         fleet[0].queue_depth = 2;
         fleet[1].active_requests = 1;
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 2);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 2);
         // Fill replica 2's KV: the next-shortest with headroom wins.
         fleet[2].reserved_tokens = 4096;
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 1);
     }
 
     #[test]
@@ -390,7 +572,29 @@ mod tests {
         fleet[0].queue_depth = 3;
         fleet[1].queue_depth = 1;
         // Request reserves 144 tokens: over both capacities.
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn jsq_never_picks_an_unroutable_replica() {
+        let mut fleet = vec![idle(4096); 3];
+        // Replica 0 is idle (shortest) but draining: 1 must win even
+        // with a deeper queue.
+        fleet[1].queue_depth = 2;
+        fleet[2].queue_depth = 5;
+        let mask = vec![false, true, true];
+        assert_eq!(
+            JoinShortestQueue.route(&req(0), &RoutingView::new(&fleet, &mask, 0.0)),
+            1
+        );
+        // Same in the no-headroom fallback path.
+        let mut tight = vec![idle(10); 3];
+        tight[1].queue_depth = 4;
+        tight[2].queue_depth = 3;
+        assert_eq!(
+            JoinShortestQueue.route(&req(0), &RoutingView::new(&tight, &mask, 0.0)),
+            2
+        );
     }
 
     #[test]
@@ -398,7 +602,20 @@ mod tests {
         let mut fleet = vec![idle(8192), idle(1024)];
         fleet[0].reserved_tokens = 4096; // 50 % of a big replica
         fleet[1].reserved_tokens = 256; // 25 % of a small one
-        assert_eq!(LeastKvLoad.route(&req(0), &fleet), 1);
+        assert_eq!(route_all_live(&mut LeastKvLoad, &req(0), &fleet), 1);
+    }
+
+    #[test]
+    fn least_kv_ignores_unroutable_replicas() {
+        let mut fleet = vec![idle(8192); 3];
+        fleet[1].reserved_tokens = 4096;
+        fleet[2].reserved_tokens = 8192;
+        // Replica 0 is the emptiest but down.
+        let mask = vec![false, true, true];
+        assert_eq!(
+            LeastKvLoad.route(&req(0), &RoutingView::new(&fleet, &mask, 0.0)),
+            1
+        );
     }
 
     #[test]
@@ -407,9 +624,9 @@ mod tests {
         let mut aff = SessionAffinity::new();
         let mut hits = vec![0u32; 4];
         for session in 0..256u64 {
-            let first = aff.route(&req(session), &fleet);
+            let first = route_all_live(&mut aff, &req(session), &fleet);
             for _ in 0..3 {
-                assert_eq!(aff.route(&req(session), &fleet), first);
+                assert_eq!(route_all_live(&mut aff, &req(session), &fleet), first);
             }
             hits[first] += 1;
         }
@@ -420,14 +637,34 @@ mod tests {
     }
 
     #[test]
+    fn affinity_spills_to_ring_successor_and_snaps_back() {
+        let fleet = vec![idle(4096); 4];
+        let mut aff = SessionAffinity::new();
+        for session in 0..256u64 {
+            let home = route_all_live(&mut aff, &req(session), &fleet);
+            let mut mask = vec![true; 4];
+            mask[home] = false;
+            let spill = aff.route(&req(session), &RoutingView::new(&fleet, &mask, 0.0));
+            assert_ne!(spill, home, "session {session} routed to a masked replica");
+            // Deterministic spill target: same mask, same answer.
+            assert_eq!(
+                spill,
+                aff.route(&req(session), &RoutingView::new(&fleet, &mask, 0.0))
+            );
+            // Home replica back: the session snaps back, nothing moved.
+            assert_eq!(route_all_live(&mut aff, &req(session), &fleet), home);
+        }
+    }
+
+    #[test]
     fn affinity_resize_moves_keys_only_to_the_new_replica() {
         let small = vec![idle(4096); 3];
         let grown = vec![idle(4096); 4];
         let mut aff = SessionAffinity::new();
         let mut moved = 0u32;
         for session in 0..512u64 {
-            let before = aff.route(&req(session), &small);
-            let after = aff.route(&req(session), &grown);
+            let before = route_all_live(&mut aff, &req(session), &small);
+            let after = route_all_live(&mut aff, &req(session), &grown);
             if before != after {
                 assert_eq!(after, 3, "session {session} moved to an old replica");
                 moved += 1;
@@ -452,8 +689,8 @@ mod tests {
         let mut aff = SessionAffinity::new();
         let mut lost = 0u32;
         for session in 0..512u64 {
-            let before = aff.route(&req(session), &grown);
-            let after = aff.route(&req(session), &small);
+            let before = route_all_live(&mut aff, &req(session), &grown);
+            let after = route_all_live(&mut aff, &req(session), &small);
             if before == 4 {
                 lost += 1; // had to move somewhere in 0..4
                 assert!(after < 4);
@@ -471,11 +708,15 @@ mod tests {
         let small = vec![idle(4096); 3];
         let grown = vec![idle(4096); 6];
         let mut aff = SessionAffinity::new();
-        let before: Vec<usize> = (0..256u64).map(|s| aff.route(&req(s), &small)).collect();
+        let before: Vec<usize> = (0..256u64)
+            .map(|s| route_all_live(&mut aff, &req(s), &small))
+            .collect();
         for s in 0..256u64 {
-            let _ = aff.route(&req(s), &grown);
+            let _ = route_all_live(&mut aff, &req(s), &grown);
         }
-        let after: Vec<usize> = (0..256u64).map(|s| aff.route(&req(s), &small)).collect();
+        let after: Vec<usize> = (0..256u64)
+            .map(|s| route_all_live(&mut aff, &req(s), &small))
+            .collect();
         assert_eq!(before, after);
     }
 
@@ -484,7 +725,7 @@ mod tests {
         let fleet = vec![idle(4096)];
         let mut aff = SessionAffinity::with_vnodes(1);
         for session in 0..64u64 {
-            assert_eq!(aff.route(&req(session), &fleet), 0);
+            assert_eq!(route_all_live(&mut aff, &req(session), &fleet), 0);
         }
     }
 
@@ -494,11 +735,11 @@ mod tests {
         // deterministic tie-break must pick index 0 — and stay stable
         // when later replicas are equally short.
         let fleet = vec![idle(4096); 4];
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 0);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 0);
         let mut fleet = vec![idle(4096); 4];
         fleet[0].queue_depth = 1;
         // 1, 2, 3 tie at backlog 0: lowest index wins.
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 1);
     }
 
     #[test]
@@ -508,7 +749,7 @@ mod tests {
         fleet[0].queue_depth = 5;
         fleet[1].queue_depth = 2;
         fleet[2].queue_depth = 2;
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 1);
     }
 
     #[test]
@@ -517,17 +758,17 @@ mod tests {
         fleet[0].queue_depth = 1;
         fleet[0].active_requests = 1; // backlog 2
         fleet[1].active_requests = 2; // backlog 2 — tie, index 0 wins
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 0);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 0);
         fleet[1].active_requests = 1; // backlog 1 — strict winner
-        assert_eq!(JoinShortestQueue.route(&req(0), &fleet), 1);
+        assert_eq!(route_all_live(&mut JoinShortestQueue, &req(0), &fleet), 1);
     }
 
     #[test]
     fn round_robin_cursor_round_trips_through_state() {
         let fleet = vec![idle(4096); 3];
         let mut rr = RoundRobin::new();
-        let _ = rr.route(&req(0), &fleet);
-        let _ = rr.route(&req(0), &fleet);
+        let _ = route_all_live(&mut rr, &req(0), &fleet);
+        let _ = route_all_live(&mut rr, &req(0), &fleet);
         let mut w = SnapshotWriter::new();
         w.begin_section(1);
         rr.save_state(&mut w);
@@ -538,7 +779,10 @@ mod tests {
         r.begin_section(1).unwrap();
         restored.load_state(&mut r).unwrap();
         r.end_section().unwrap();
-        assert_eq!(restored.route(&req(0), &fleet), rr.route(&req(0), &fleet));
+        assert_eq!(
+            route_all_live(&mut restored, &req(0), &fleet),
+            route_all_live(&mut rr, &req(0), &fleet)
+        );
     }
 
     #[test]
@@ -556,5 +800,23 @@ mod tests {
             other.load_state(&mut r).unwrap_err(),
             SnapshotError::Corrupt("affinity vnode count differs")
         );
+    }
+
+    #[test]
+    fn default_fleet_event_hook_is_a_no_op() {
+        use crate::lifecycle::{FleetEvent, FleetEventKind};
+        let fleet = vec![idle(4096); 2];
+        let mask = vec![true, false];
+        let view = RoutingView::new(&fleet, &mask, 3.0);
+        let ev = FleetEvent {
+            at_s: 3.0,
+            replica: 1,
+            kind: FleetEventKind::Drain,
+        };
+        // Stateless routers take the default hook; it must not disturb
+        // subsequent picks.
+        let mut jsq = JoinShortestQueue;
+        jsq.on_fleet_event(&ev, &view);
+        assert_eq!(jsq.route(&req(0), &view), 0);
     }
 }

@@ -236,6 +236,10 @@ pub struct RunStats {
     pub completed: u32,
     /// Rejected as over-capacity (all replicas).
     pub rejected: u32,
+    /// Displaced by a replica failure and waiting out the migration
+    /// delay before re-routing (fleet runs only; always zero for a
+    /// single-machine run).
+    pub displaced: u32,
 }
 
 impl RunStats {
@@ -248,6 +252,7 @@ impl RunStats {
                 + u64::from(self.active)
                 + u64::from(self.completed)
                 + u64::from(self.rejected)
+                + u64::from(self.displaced)
     }
 }
 
@@ -362,6 +367,7 @@ impl ServeRun {
             active: self.core.active_len() as u32,
             completed: self.core.completed(),
             rejected: self.core.rejected(),
+            displaced: 0,
         }
     }
 
@@ -575,6 +581,68 @@ impl Core {
         self.queued_reserved += q.req.reserved_tokens();
         self.queued_in_flight += in_flight_tokens(&q);
         self.queue.push(q);
+    }
+
+    /// Hands a *displaced* request — one that lost its replica to a
+    /// failure — back to this core at sim time `now`. Unlike a fresh
+    /// arrival it keeps its cross-preemption progress: generated
+    /// tokens, first admit/token stamps and preemption count survive,
+    /// and the next admission re-prefills prompt + generated tokens
+    /// exactly as a preemption resume would.
+    pub(crate) fn enqueue_displaced(&mut self, q: QueuedRequest, now: f64) {
+        self.first_arrival_s = self.first_arrival_s.min(q.req.arrival_s);
+        self.clock = self.clock.max(now);
+        self.drain_ready();
+        self.stalled = false;
+        self.queued_reserved += q.req.reserved_tokens();
+        self.queued_in_flight += in_flight_tokens(&q);
+        self.queue.push(q);
+    }
+
+    /// Crashes this core: every queued and resident request is stripped
+    /// out and returned (queue order first, then batch admission
+    /// order), the batch, ready calendar and telemetry counters are
+    /// emptied, and the clock stays where it was. Resident requests
+    /// count one more preemption — their KV is gone and the next
+    /// admission pays a full re-prefill of prompt + generated tokens.
+    /// Completion records and rejection counts survive: the failure
+    /// loses in-flight *work*, not history.
+    pub(crate) fn fail(&mut self) -> Vec<QueuedRequest> {
+        let mut displaced: Vec<QueuedRequest> =
+            Vec::with_capacity(self.queue.len() + self.active.len());
+        for q in self.queue.drain(..) {
+            self.queued_reserved -= q.req.reserved_tokens();
+            self.queued_in_flight -= in_flight_tokens(&q);
+            displaced.push(q);
+        }
+        for key in std::mem::take(&mut self.active) {
+            let slot = self.slab.remove(key).expect("active key is live");
+            if slot.ready_at <= self.clock {
+                self.ready_count -= 1;
+            } else {
+                self.ready_events.cancel(key);
+            }
+            self.active_reserved -= slot.q.req.reserved_tokens();
+            self.active_in_flight -= in_flight_tokens(&slot.q);
+            displaced.push(QueuedRequest {
+                preemptions: slot.q.preemptions + 1,
+                ..slot.q
+            });
+        }
+        debug_assert_eq!(self.ready_count, 0, "failed core still counts ready slots");
+        debug_assert_eq!(self.active_reserved, 0, "failed core still reserves KV");
+        debug_assert_eq!(
+            self.queued_reserved + self.active_in_flight + self.queued_in_flight,
+            0
+        );
+        self.stalled = false;
+        displaced
+    }
+
+    /// Completion records so far, in completion order — the telemetry
+    /// window the autoscaler derives its p99 TTFT signal from.
+    pub(crate) fn records(&self) -> &[RequestRecord] {
+        &self.report.records
     }
 
     /// Promotes every pending prefill completion at or before the clock

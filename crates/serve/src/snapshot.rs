@@ -48,6 +48,10 @@ pub(crate) mod section {
     pub const ROUTER: u8 = 4;
     /// The command log recorded so far.
     pub const LOG: u8 = 5;
+    /// Replica lifecycle state: per-slot states, pending fleet events,
+    /// displaced requests and machine-seconds accounting (fleet
+    /// snapshots only; written between RUN and SOURCE).
+    pub const LIFECYCLE: u8 = 6;
 }
 
 /// Snapshot kind tag: single-machine run.
@@ -69,7 +73,10 @@ pub const MAGIC: [u8; 8] = *b"RPUSNAP1";
 /// Layout version written into (and demanded from) every snapshot.
 /// Version 2 introduced the slab-backed core layout (raw slab cells,
 /// free chain and active key list replacing the dense active vector).
-pub const FORMAT_VERSION: u32 = 2;
+/// Version 3 added the fleet LIFECYCLE section (replica states,
+/// pending fleet events, displaced requests, machine-seconds) and the
+/// lifecycle/re-route command-log tags.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be restored. Every decode failure is one
 /// of these — restoring never panics on hostile bytes.

@@ -2,9 +2,11 @@
 //!
 //! Every hostile tape family from [`rpu_serve::fuzz_tape`] — flash
 //! bursts, zero-length prompts, KV-filling monster contexts,
-//! deadline-inverted priority mixes, session-churn storms — is swept
-//! across **all four scheduling policies × all four routers** on a
-//! small heterogeneity-free fleet. At periodic checkpoints mid-run the
+//! deadline-inverted priority mixes, session-churn storms, replica-churn
+//! arrival storms — is swept across **all four scheduling policies ×
+//! all four routers** on a small heterogeneity-free fleet. The
+//! replica-churn family additionally re-runs with a [`churn_tape`]
+//! lifecycle storm injected, so failures displace live work mid-tape. At periodic checkpoints mid-run the
 //! battery asserts:
 //!
 //! 1. **Conservation** — every issued request is pending, queued,
@@ -19,9 +21,9 @@
 //! command-log replay.
 
 use rpu_serve::{
-    digest_fleet_report, fuzz_tape, AnalyticCostModel, DeadlineEdf, Fifo, Fleet, FleetRun,
-    FuzzFamily, JoinShortestQueue, LeastKvLoad, PriorityAging, RoundRobin, Router, RunStats,
-    SchedulingPolicy, ServeConfig, SessionAffinity, ShortestJobFirst, Workload,
+    churn_tape, digest_fleet_report, fuzz_tape, AnalyticCostModel, DeadlineEdf, Fifo, Fleet,
+    FleetBuilder, FleetRun, FuzzFamily, JoinShortestQueue, LeastKvLoad, PriorityAging, RoundRobin,
+    Router, RunStats, SchedulingPolicy, ServeConfig, SessionAffinity, ShortestJobFirst, Workload,
 };
 
 const REPLICAS: usize = 3;
@@ -47,12 +49,14 @@ fn build_router(i: usize) -> Box<dyn Router> {
 }
 
 fn build_fleet(cfg: &ServeConfig, wl: &Workload, policy_idx: usize) -> Fleet {
-    Fleet::homogeneous(
-        REPLICAS,
-        cfg,
-        || Box::new(AnalyticCostModel::small()),
-        || build_policy(policy_idx, wl),
-    )
+    FleetBuilder::new()
+        .group(
+            REPLICAS,
+            cfg,
+            || Box::new(AnalyticCostModel::small()),
+            || build_policy(policy_idx, wl),
+        )
+        .build()
 }
 
 fn assert_checkpoint_invariants(
@@ -86,7 +90,7 @@ fn assert_checkpoint_invariants(
     stats
 }
 
-/// The full battery: 5 families × 4 policies × 4 routers. Each cell
+/// The full battery: 6 families × 4 policies × 4 routers. Each cell
 /// checks conservation/cap/snapshot invariants at every checkpoint and
 /// the three-way digest equality at the end.
 #[test]
@@ -169,6 +173,98 @@ fn battery_every_family_policy_router() {
                     "{ctx}: command-log replay diverged"
                 );
             }
+        }
+    }
+}
+
+/// The replica-churn leg: the hostile ReplicaChurn arrival tape paired
+/// with an injected [`churn_tape`] lifecycle storm, across every policy
+/// × router. Same checkpoint invariants as the main battery, plus the
+/// three-way digest equality with lifecycle commands riding the log.
+#[test]
+fn churn_battery_lifecycle_storms() {
+    let cfg = ServeConfig::default();
+    for policy_idx in 0..POLICIES {
+        let wl = fuzz_tape(FuzzFamily::ReplicaChurn, 0x0BAD_5EED ^ policy_idx as u64);
+        let storm = churn_tape(REPLICAS as u32, 0xC0DE ^ policy_idx as u64, 0.08, 8);
+        assert!(!storm.is_empty(), "churn storm generated no events");
+        for router_idx in 0..ROUTERS {
+            let ctx = format!(
+                "replica-churn/{}/{}",
+                build_policy(policy_idx, &wl).name(),
+                router_idx
+            );
+
+            // Reference run with the storm injected up front; pending
+            // events ride the snapshot and the command log.
+            let mut fleet = build_fleet(&cfg, &wl, policy_idx);
+            let mut router = build_router(router_idx);
+            let mut run = fleet.start(&wl);
+            for ev in &storm {
+                run.inject(*ev);
+            }
+            while run.step(&mut fleet, router.as_mut()) {
+                if run.events().is_multiple_of(64) {
+                    assert_checkpoint_invariants(&run, &fleet, &cfg, &ctx);
+                    let bytes = run.snapshot(router.as_ref());
+                    let mut router2 = build_router(router_idx);
+                    let thawed = FleetRun::resume(&wl, &fleet, router2.as_mut(), &bytes)
+                        .unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"));
+                    assert_eq!(
+                        thawed.snapshot(router2.as_ref()),
+                        bytes,
+                        "{ctx}: thaw/re-freeze changed bytes at event {}",
+                        run.events()
+                    );
+                }
+            }
+            let final_stats = assert_checkpoint_invariants(&run, &fleet, &cfg, &ctx);
+            assert_eq!(
+                u64::from(final_stats.completed) + u64::from(final_stats.rejected),
+                u64::from(wl.num_requests),
+                "{ctx}: not every request reached a terminal state"
+            );
+            let total_events = run.events();
+            let log = run.log().clone();
+            let report = run.into_report();
+            assert_eq!(
+                report.lifecycle.events(),
+                storm.len() as u32,
+                "{ctx}: not every lifecycle event was applied"
+            );
+            let reference = digest_fleet_report(&report);
+
+            // Midpoint snapshot → resume → identical digest. Events
+            // applied before the midpoint live in the restored states;
+            // the rest ride the snapshot's pending list.
+            let mut fleet_a = build_fleet(&cfg, &wl, policy_idx);
+            let mut router_a = build_router(router_idx);
+            let mut first_half = fleet_a.start(&wl);
+            for ev in &storm {
+                first_half.inject(*ev);
+            }
+            for _ in 0..total_events / 2 {
+                assert!(first_half.step(&mut fleet_a, router_a.as_mut()));
+            }
+            let frozen = first_half.snapshot(router_a.as_ref());
+            let mut fleet_b = build_fleet(&cfg, &wl, policy_idx);
+            let mut router_b = build_router(router_idx);
+            let mut second_half = FleetRun::resume(&wl, &fleet_b, router_b.as_mut(), &frozen)
+                .unwrap_or_else(|e| panic!("{ctx}: midpoint resume failed: {e}"));
+            while second_half.step(&mut fleet_b, router_b.as_mut()) {}
+            assert_eq!(
+                digest_fleet_report(&second_half.into_report()),
+                reference,
+                "{ctx}: churned snapshot-resume diverged"
+            );
+
+            // Command-log replay carries the lifecycle commands.
+            let mut fleet_c = build_fleet(&cfg, &wl, policy_idx);
+            assert_eq!(
+                digest_fleet_report(&log.replay_fleet(&wl, &mut fleet_c)),
+                reference,
+                "{ctx}: churned command-log replay diverged"
+            );
         }
     }
 }

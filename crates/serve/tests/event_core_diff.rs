@@ -27,9 +27,9 @@
 use rpu_models::LengthDistribution;
 use rpu_serve::{
     digest_fleet_report, digest_serve_report, serve_with, AnalyticCostModel, ArrivalProcess,
-    ClassSpec, CostModel, DeadlineEdf, Fifo, Fleet, FleetRun, JoinShortestQueue, LeastKvLoad,
-    PriorityAging, RoundRobin, Router, SchedulingPolicy, ServeConfig, ServeRng, ServeRun,
-    SessionAffinity, ShortestJobFirst, SloTargets, Workload,
+    ClassSpec, CostModel, DeadlineEdf, Fifo, FleetBuilder, FleetRun, JoinShortestQueue,
+    LeastKvLoad, PriorityAging, RoundRobin, Router, SchedulingPolicy, ServeConfig, ServeRng,
+    ServeRun, SessionAffinity, ShortestJobFirst, SloTargets, Workload,
 };
 
 const NUM_WORKLOADS: u64 = 112;
@@ -189,17 +189,19 @@ fn fleet_closes_under_snapshot_and_replay_under_every_router() {
         // (policy, router) pairing is exercised many times.
         let mk_fleet = || {
             let wl = &wl;
-            Fleet::homogeneous(
-                3,
-                &config,
-                || Box::new(machine()) as Box<dyn CostModel>,
-                move || match i % 4 {
-                    0 => Box::new(Fifo) as Box<dyn SchedulingPolicy>,
-                    1 => Box::new(ShortestJobFirst::for_workload(wl)),
-                    2 => Box::new(PriorityAging::new(0.05)),
-                    _ => Box::new(DeadlineEdf),
-                },
-            )
+            FleetBuilder::new()
+                .group(
+                    3,
+                    &config,
+                    || Box::new(machine()) as Box<dyn CostModel>,
+                    move || match i % 4 {
+                        0 => Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+                        1 => Box::new(ShortestJobFirst::for_workload(wl)),
+                        2 => Box::new(PriorityAging::new(0.05)),
+                        _ => Box::new(DeadlineEdf),
+                    },
+                )
+                .build()
         };
         for name in ROUTERS {
             // Leg 1: uninterrupted.
@@ -252,12 +254,14 @@ fn one_replica_fleet_degenerates_to_the_single_machine_scheduler() {
         let (wl, config) = workload(i);
         for name in POLICIES {
             let mut single = serve_with(&wl, &mut machine(), &config, policy(name, &wl).as_mut());
-            let mut fleet = Fleet::homogeneous(
-                1,
-                &config,
-                || Box::new(machine()) as Box<dyn CostModel>,
-                || policy(name, &wl),
-            );
+            let mut fleet = FleetBuilder::new()
+                .group(
+                    1,
+                    &config,
+                    || Box::new(machine()) as Box<dyn CostModel>,
+                    || policy(name, &wl),
+                )
+                .build();
             let fleet_report = fleet.serve(&wl, router("round-robin").as_mut());
             // The merge step orders records canonically by
             // (finish time, id); the bare scheduler emits exact

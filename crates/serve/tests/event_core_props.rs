@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 use rpu_serve::{
-    AnalyticCostModel, CalendarQueue, Fifo, Fleet, FleetRun, PriorityAging, ServeConfig, ServeRng,
-    ServeRun, SessionAffinity, Slab, Workload,
+    AnalyticCostModel, CalendarQueue, Fifo, FleetBuilder, FleetRun, PriorityAging, ServeConfig,
+    ServeRng, ServeRun, SessionAffinity, Slab, Workload,
 };
 use std::collections::BTreeMap;
 
@@ -395,12 +395,14 @@ fn fleet_mid_run_snapshot_resumes_bit_identically() {
         ..ServeConfig::default()
     };
     let mk_fleet = || {
-        Fleet::homogeneous(
-            3,
-            &cfg,
-            || Box::new(AnalyticCostModel::small()) as _,
-            || Box::new(Fifo) as _,
-        )
+        FleetBuilder::new()
+            .group(
+                3,
+                &cfg,
+                || Box::new(AnalyticCostModel::small()) as _,
+                || Box::new(Fifo) as _,
+            )
+            .build()
     };
     let mut fleet_a = mk_fleet();
     let mut router_a = SessionAffinity::new();

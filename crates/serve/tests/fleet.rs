@@ -19,10 +19,10 @@
 
 use rpu_models::LengthDistribution;
 use rpu_serve::{
-    serve_with, AnalyticCostModel, ArrivalProcess, ClassSpec, CostModel, DeadlineEdf, Fifo, Fleet,
-    FleetReplica, JoinShortestQueue, LeastKvLoad, PriorityAging, ReplicaTelemetry, Request,
-    RequestRecord, RoundRobin, Router, SchedulingPolicy, ServeConfig, ServeRng, SessionAffinity,
-    ShortestJobFirst, Workload,
+    serve_with, AnalyticCostModel, ArrivalProcess, ClassSpec, CostModel, DeadlineEdf, Fifo,
+    FleetBuilder, FleetReplica, JoinShortestQueue, LeastKvLoad, PriorityAging, Request,
+    RequestRecord, RoundRobin, Router, RoutingView, SchedulingPolicy, ServeConfig, ServeRng,
+    SessionAffinity, ShortestJobFirst, Workload,
 };
 
 const NUM_WORKLOADS: u64 = 24;
@@ -123,16 +123,18 @@ fn single_replica_fleet_matches_bare_scheduler() {
         for (p, policy) in policies(&wl).iter_mut().enumerate() {
             let expected = serve_with(&wl, &mut machine(), &config, policy.as_mut());
             for router in &mut routers() {
-                let mut fleet = Fleet::new(vec![FleetReplica {
-                    cost: Box::new(machine()),
-                    policy: match p {
-                        0 => Box::new(Fifo),
-                        1 => Box::new(ShortestJobFirst::for_workload(&wl)),
-                        2 => Box::new(PriorityAging::new(0.5)),
-                        _ => Box::new(DeadlineEdf),
-                    },
-                    config,
-                }]);
+                let mut fleet = FleetBuilder::new()
+                    .replica(FleetReplica {
+                        cost: Box::new(machine()),
+                        policy: match p {
+                            0 => Box::new(Fifo),
+                            1 => Box::new(ShortestJobFirst::for_workload(&wl)),
+                            2 => Box::new(PriorityAging::new(0.5)),
+                            _ => Box::new(DeadlineEdf),
+                        },
+                        config,
+                    })
+                    .build();
                 let got = fleet.serve(&wl, router.as_mut());
                 assert_eq!(
                     got.replicas[0],
@@ -167,12 +169,14 @@ fn affinity_growth_moves_sessions_only_to_the_new_replica() {
         ..Workload::poisson(300.0, 64, 8, 128)
     };
     let placement = |n: usize| -> Vec<Option<usize>> {
-        let mut fleet = Fleet::homogeneous(
-            n,
-            &ServeConfig::default(),
-            || Box::new(machine()),
-            || Box::new(Fifo),
-        );
+        let mut fleet = FleetBuilder::new()
+            .group(
+                n,
+                &ServeConfig::default(),
+                || Box::new(machine()),
+                || Box::new(Fifo),
+            )
+            .build();
         let report = fleet.serve(&wl, &mut SessionAffinity::new());
         let mut by_tenant = vec![None; 32];
         for (r, rep) in report.replicas.iter().enumerate() {
@@ -217,11 +221,13 @@ fn jsq_respects_published_kv_capacity() {
             "recording"
         }
 
-        fn route(&mut self, req: &Request, fleet: &[ReplicaTelemetry]) -> usize {
-            let pick = self.inner.route(req, fleet);
+        fn route(&mut self, req: &Request, view: &RoutingView<'_>) -> usize {
+            let pick = self.inner.route(req, view);
             self.decisions += 1;
             let need = req.reserved_tokens();
-            if !fleet[pick].has_kv_headroom(need) && fleet.iter().any(|t| t.has_kv_headroom(need)) {
+            if !view.replica(pick).has_kv_headroom(need)
+                && view.telemetry().iter().any(|t| t.has_kv_headroom(need))
+            {
                 self.violations += 1;
             }
             pick
@@ -240,17 +246,19 @@ fn jsq_respects_published_kv_capacity() {
         violations: 0,
         decisions: 0,
     };
-    let mut fleet = Fleet::homogeneous(
-        3,
-        &ServeConfig::default(),
-        || {
-            Box::new(AnalyticCostModel {
-                kv_capacity_tokens: 2048,
-                ..AnalyticCostModel::small()
-            })
-        },
-        || Box::new(Fifo),
-    );
+    let mut fleet = FleetBuilder::new()
+        .group(
+            3,
+            &ServeConfig::default(),
+            || {
+                Box::new(AnalyticCostModel {
+                    kv_capacity_tokens: 2048,
+                    ..AnalyticCostModel::small()
+                })
+            },
+            || Box::new(Fifo),
+        )
+        .build();
     let report = fleet.serve(&wl, &mut router);
     assert_eq!(router.decisions, 40);
     assert_eq!(router.violations, 0, "JSQ routed over KV capacity");
@@ -264,8 +272,9 @@ fn assignments_account_for_every_request() {
     for i in 0..NUM_WORKLOADS {
         let (wl, config) = workload(i);
         for router in &mut routers() {
-            let mut fleet =
-                Fleet::homogeneous(3, &config, || Box::new(machine()), || Box::new(Fifo));
+            let mut fleet = FleetBuilder::new()
+                .group(3, &config, || Box::new(machine()), || Box::new(Fifo))
+                .build();
             let report = fleet.serve(&wl, router.as_mut());
             assert_eq!(
                 report.assigned.iter().sum::<u32>(),
@@ -309,18 +318,18 @@ fn heterogeneous_fleet_serves_oversized_requests_on_the_big_replica() {
         ..machine()
     };
     assert_eq!(big.kv_capacity_tokens(), 8192);
-    let mut fleet = Fleet::new(vec![
-        FleetReplica {
+    let mut fleet = FleetBuilder::new()
+        .replica(FleetReplica {
             cost: Box::new(small),
             policy: Box::new(Fifo),
             config: ServeConfig::default(),
-        },
-        FleetReplica {
+        })
+        .replica(FleetReplica {
             cost: Box::new(big),
             policy: Box::new(Fifo),
             config: ServeConfig::default(),
-        },
-    ]);
+        })
+        .build();
     let report = fleet.serve(&wl, &mut JoinShortestQueue);
     // 3100-token requests only ever fit replica 1; JSQ sees that from
     // telemetry, so nothing lands on (and bounces off) replica 0.

@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use rpu_models::LengthDistribution;
 use rpu_serve::{
-    AnalyticCostModel, ArrivalProcess, ClassSpec, Fleet, JoinShortestQueue, LeastKvLoad,
+    AnalyticCostModel, ArrivalProcess, ClassSpec, FleetBuilder, JoinShortestQueue, LeastKvLoad,
     PriorityAging, RoundRobin, Router, ServeConfig, SessionAffinity, SloTargets, Workload,
 };
 
@@ -105,12 +105,14 @@ fn serve(
     router: &mut dyn Router,
     cfg: &ServeConfig,
 ) -> rpu_serve::FleetReport {
-    let mut fleet = Fleet::homogeneous(
-        n,
-        cfg,
-        || Box::new(machine()),
-        || Box::new(PriorityAging::new(0.25)),
-    );
+    let mut fleet = FleetBuilder::new()
+        .group(
+            n,
+            cfg,
+            || Box::new(machine()),
+            || Box::new(PriorityAging::new(0.25)),
+        )
+        .build();
     fleet.serve(wl, router)
 }
 

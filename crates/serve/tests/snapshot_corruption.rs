@@ -10,8 +10,8 @@
 
 use rpu_serve::snapshot::MAGIC;
 use rpu_serve::{
-    AnalyticCostModel, Fifo, Fleet, FleetRun, PriorityAging, RoundRobin, Router, ServeConfig,
-    ServeRun, SessionAffinity, SnapshotError, Workload,
+    AnalyticCostModel, Fifo, Fleet, FleetBuilder, FleetRun, PriorityAging, RoundRobin, Router,
+    ServeConfig, ServeRun, SessionAffinity, SnapshotError, Workload,
 };
 
 fn serve_snapshot_at(events: u64) -> (Workload, Vec<u8>) {
@@ -28,18 +28,22 @@ fn serve_snapshot_at(events: u64) -> (Workload, Vec<u8>) {
 fn fleet_snapshot_at(events: u64) -> (Workload, Fleet, Vec<u8>) {
     let wl = Workload::poisson(1500.0, 192, 24, 48);
     let cfg = ServeConfig::default();
-    let fleet = Fleet::homogeneous(
-        3,
-        &cfg,
-        || Box::new(AnalyticCostModel::small()),
-        || Box::new(PriorityAging::new(0.25)),
-    );
-    let mut serving = Fleet::homogeneous(
-        3,
-        &cfg,
-        || Box::new(AnalyticCostModel::small()),
-        || Box::new(PriorityAging::new(0.25)),
-    );
+    let fleet = FleetBuilder::new()
+        .group(
+            3,
+            &cfg,
+            || Box::new(AnalyticCostModel::small()),
+            || Box::new(PriorityAging::new(0.25)),
+        )
+        .build();
+    let mut serving = FleetBuilder::new()
+        .group(
+            3,
+            &cfg,
+            || Box::new(AnalyticCostModel::small()),
+            || Box::new(PriorityAging::new(0.25)),
+        )
+        .build();
     let mut router = SessionAffinity::new();
     let mut run = serving.start(&wl);
     for _ in 0..events {
@@ -210,12 +214,14 @@ fn fleet_byte_flips_and_truncations_are_rejected() {
 fn resuming_into_a_wrong_sized_fleet_is_rejected() {
     let (wl, _, bytes) = fleet_snapshot_at(20);
     let cfg = ServeConfig::default();
-    let smaller = Fleet::homogeneous(
-        2,
-        &cfg,
-        || Box::new(AnalyticCostModel::small()),
-        || Box::new(PriorityAging::new(0.25)),
-    );
+    let smaller = FleetBuilder::new()
+        .group(
+            2,
+            &cfg,
+            || Box::new(AnalyticCostModel::small()),
+            || Box::new(PriorityAging::new(0.25)),
+        )
+        .build();
     let mut router: Box<dyn Router> = Box::new(RoundRobin::new());
     assert!(matches!(
         FleetRun::resume(&wl, &smaller, router.as_mut(), &bytes),
@@ -305,12 +311,14 @@ fn checksummed_fleet_core_mutations_never_panic_the_wake_rebuild() {
             let evil = mutate_checksummed(&bytes, start, len, i);
             let mut router: Box<dyn Router> = Box::new(SessionAffinity::new());
             if let Ok(mut run) = FleetRun::resume(&wl, &fleet, router.as_mut(), &evil) {
-                let mut serving = Fleet::homogeneous(
-                    3,
-                    &ServeConfig::default(),
-                    || Box::new(AnalyticCostModel::small()),
-                    || Box::new(PriorityAging::new(0.25)),
-                );
+                let mut serving = FleetBuilder::new()
+                    .group(
+                        3,
+                        &ServeConfig::default(),
+                        || Box::new(AnalyticCostModel::small()),
+                        || Box::new(PriorityAging::new(0.25)),
+                    )
+                    .build();
                 for _ in 0..2_000 {
                     if !run.step(&mut serving, router.as_mut()) {
                         break;

@@ -13,9 +13,9 @@ use proptest::prelude::*;
 use rpu_models::LengthDistribution;
 use rpu_serve::{
     digest_fleet_report, digest_serve_report, AnalyticCostModel, ArrivalProcess, ClassSpec,
-    DeadlineEdf, Fifo, Fleet, FleetRun, JoinShortestQueue, LeastKvLoad, PriorityAging, RoundRobin,
-    Router, SchedulingPolicy, ServeConfig, ServeRun, SessionAffinity, ShortestJobFirst, SloTargets,
-    Workload,
+    DeadlineEdf, Fifo, FleetBuilder, FleetRun, JoinShortestQueue, LeastKvLoad, PriorityAging,
+    RoundRobin, Router, SchedulingPolicy, ServeConfig, ServeRun, SessionAffinity, ShortestJobFirst,
+    SloTargets, Workload,
 };
 
 fn arb_workload() -> impl Strategy<Value = Workload> {
@@ -160,12 +160,12 @@ proptest! {
         router_idx in 0usize..4,
     ) {
         let cfg = ServeConfig::default();
-        let build_fleet = || Fleet::homogeneous(
+        let build_fleet = || FleetBuilder::new().group(
             n,
             &cfg,
             || Box::new(AnalyticCostModel::small()),
             || Box::new(PriorityAging::new(0.25)),
-        );
+        ).build();
 
         let mut fleet = build_fleet();
         let mut router = build_router(router_idx);

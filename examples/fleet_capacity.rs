@@ -14,7 +14,7 @@
 
 use rpu::core::experiments::fleet_sweep::{self, RouterKind};
 use rpu::core::serving::{RpuCostModel, SharedRpuCostModel};
-use rpu::serve::{Fifo, Fleet, FleetReplica, JoinShortestQueue, ServeConfig};
+use rpu::serve::{Fifo, FleetBuilder, FleetReplica, JoinShortestQueue, ServeConfig};
 use rpu::{ModelConfig, Precision, RpuSystem};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config,
         })
     };
-    let mut fleet = Fleet::new(vec![replica(64)?, replica(16)?, replica(16)?]);
+    let mut fleet = FleetBuilder::new()
+        .replica(replica(64)?)
+        .replica(replica(16)?)
+        .replica(replica(16)?)
+        .build();
     let report = fleet.serve(&fleet_sweep::workload(top), &mut JoinShortestQueue);
     let slo = report.multi_class(&fleet_sweep::classes());
     println!(
