@@ -72,6 +72,15 @@ fn parse(args: &[String]) -> Result<Option<Options>, String> {
                 usage();
                 return Ok(None);
             }
+            // Hidden: per-subsystem hot-path counters (wheel ops,
+            // index updates, route calls, scratch reuse) from one
+            // probe run per built-in router. CI greps the output to
+            // assert `route_scan_fallbacks=0` — the built-in routers
+            // must never fall back to an O(replicas) scan.
+            "--counters" => {
+                print!("{}", exp::fleet_scale::counters_report());
+                return Ok(None);
+            }
             "--jobs" | "-j" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 jobs = v

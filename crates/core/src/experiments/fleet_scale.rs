@@ -201,6 +201,66 @@ impl FleetScale {
     }
 }
 
+/// Per-subsystem hot-path counters behind the `repro --counters`
+/// probe: the 64-replica rung run once per built-in router, one line
+/// each with the [`rpu_serve::PerfCounters`] the fleet driver kept and
+/// the reporting path's scratch-buffer reuse hits.
+///
+/// The load is the sweep's own saturating-but-stable point, so the
+/// join-shortest-queue argmin always has KV headroom and
+/// `route_scan_fallbacks` must read 0 for every built-in router — the
+/// line CI greps to prove the `O(R)` route scans stayed retired.
+#[must_use]
+pub fn counters_report() -> String {
+    use rpu_serve::{JoinShortestQueue, LeastKvLoad, Router, SessionAffinity};
+
+    const REPLICAS: u32 = 64;
+    const REQUESTS: u32 = REPLICAS * 50;
+
+    type MkRouter = fn() -> Box<dyn Router>;
+    let routers: [(&str, MkRouter); 4] = [
+        ("round_robin", || Box::new(RoundRobin::new())),
+        ("jsq", || Box::new(JoinShortestQueue)),
+        ("least_kv", || Box::new(LeastKvLoad)),
+        ("affinity", || Box::new(SessionAffinity::new())),
+    ];
+    let wl = scale_workload(REPLICAS, REQUESTS);
+    let mut out = String::new();
+    for (name, mk) in routers {
+        let mut fleet = FleetBuilder::new()
+            .group(
+                REPLICAS as usize,
+                &scale_config(),
+                || Box::new(AnalyticCostModel::small()) as Box<dyn CostModel>,
+                || Box::new(Fifo) as Box<dyn SchedulingPolicy>,
+            )
+            .build();
+        let mut router = mk();
+        let mut run = fleet.start(&wl);
+        while run.step(&mut fleet, router.as_mut()) {}
+        let c = run.perf_counters();
+        let hits_before = rpu_serve::scratch_reuse_hits();
+        // Latency percentiles are computed when the SLO summary is
+        // built — that is the selection-over-scratch path whose reuse
+        // the counter watches.
+        let _ = run.into_report().multi_class(&wl.classes);
+        let scratch_hits = rpu_serve::scratch_reuse_hits() - hits_before;
+        out.push_str(&format!(
+            "counters[{name}]: replicas={REPLICAS} requests={REQUESTS} \
+             route_calls={} route_index_hits={} route_scan_fallbacks={} \
+             index_leaf_updates={} index_marks={} wheel_ops={} \
+             scratch_reuse_hits={scratch_hits}\n",
+            c.route_calls,
+            c.route_index_hits,
+            c.route_scan_fallbacks,
+            c.index_leaf_updates,
+            c.index_marks,
+            c.wheel_ops,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +323,39 @@ mod tests {
         let a = sweep();
         assert_eq!(a, &run());
         assert_eq!(a, &run_with(&Engine::new(8)));
+    }
+
+    #[test]
+    fn counters_probe_covers_every_builtin_router_with_zero_scan_fallbacks() {
+        // The CI perf-counters leg greps these lines: every built-in
+        // router must route entirely off the index, and the routed
+        // work must actually show up in the counters.
+        let report = counters_report();
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 4, "one line per built-in router:\n{report}");
+        for name in ["round_robin", "jsq", "least_kv", "affinity"] {
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.starts_with(&format!("counters[{name}]"))),
+                "missing router line `{name}`:\n{report}"
+            );
+        }
+        for line in &lines {
+            assert!(
+                line.contains("route_scan_fallbacks=0"),
+                "built-in router fell back to an O(R) scan: {line}"
+            );
+            assert!(
+                !line.contains("route_calls=0 "),
+                "probe routed nothing: {line}"
+            );
+            assert!(!line.contains("wheel_ops=0 "), "calendar idle: {line}");
+            assert!(
+                !line.ends_with("scratch_reuse_hits=0"),
+                "report path reallocated per metric: {line}"
+            );
+        }
     }
 
     #[test]

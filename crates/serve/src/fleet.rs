@@ -82,7 +82,8 @@ use crate::metrics::MultiClassReport;
 use crate::policy::{QueuedRequest, SchedulingPolicy};
 use crate::replay::{Command, CommandLog};
 use crate::request::RequestRecord;
-use crate::router::{ReplicaTelemetry, Router, RoutingView};
+use crate::router::{ReplicaTelemetry, RouteStats, Router, RoutingView};
+use crate::routing_index::FleetRoutingIndex;
 use crate::scheduler::{Core, RunStats, ServeConfig, ServeReport};
 use crate::snapshot::{
     fnv1a, section, workload_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter, KIND_FLEET,
@@ -344,6 +345,12 @@ impl Fleet {
         let telemetry = cached_telemetry(&cores, &self.replicas);
         let states = self.initial_states.clone();
         let routable: Vec<bool> = states.iter().map(|s| s.is_routable()).collect();
+        let index = FleetRoutingIndex::new(&telemetry, &routable);
+        let kv_caps = self
+            .replicas
+            .iter()
+            .map(|r| r.cost.kv_capacity_tokens())
+            .collect();
         FleetRun {
             source: RequestSource::new(workload),
             cores,
@@ -351,6 +358,9 @@ impl Fleet {
             // wake-up calendar starts empty; the first arrival seeds it.
             wake: CalendarQueue::with_components(self.replicas.len()),
             telemetry,
+            index,
+            route_stats: RouteStats::default(),
+            kv_caps,
             assigned: vec![0u32; self.replicas.len()],
             log: CommandLog::new(),
             events: 0,
@@ -482,6 +492,17 @@ pub struct FleetRun {
     /// rebuilt deterministically from the cores on resume, like the
     /// wake-up calendar.
     telemetry: Vec<ReplicaTelemetry>,
+    /// Ordered indexes over `telemetry` and `routable` — the routers'
+    /// `O(log R)` lookup structure. One dirty mark per event keeps it
+    /// in sync; like the telemetry cache it is derived state, rebuilt
+    /// on resume, never serialised.
+    index: FleetRoutingIndex,
+    /// Routing-path counters, shared into every view handed a router.
+    route_stats: RouteStats,
+    /// Each replica's published KV capacity, cached once at run start:
+    /// capacities are fixed per cost model, so the per-event telemetry
+    /// refresh skips the virtual call.
+    kv_caps: Vec<u64>,
     assigned: Vec<u32>,
     log: CommandLog,
     events: u64,
@@ -506,6 +527,30 @@ pub struct FleetRun {
     ms_accrued: f64,
     ms_anchor_s: f64,
     counts: LifecycleCounts,
+}
+
+/// Per-subsystem hot-path counters for one [`FleetRun`] — the numbers
+/// behind the repro driver's `--counters` report. All counts are since
+/// run start (or resume; they are diagnostic state, not part of the
+/// snapshot wire format).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Routing decisions made (arrivals plus displaced re-routes).
+    pub route_calls: u64,
+    /// Routing lookups answered from the [`FleetRoutingIndex`].
+    pub route_index_hits: u64,
+    /// Linear `O(R)` routing scans taken. Zero for the built-in
+    /// routers outside join-shortest-queue's KV-saturated slow path.
+    pub route_scan_fallbacks: u64,
+    /// Routing-index leaf refreshes applied (each an `O(log R)`
+    /// tournament pull-up).
+    pub index_leaf_updates: u64,
+    /// Routing-index dirty marks observed (one per event that touched
+    /// a replica's telemetry or lifecycle state).
+    pub index_marks: u64,
+    /// Calendar-queue insertions across the fleet wake calendar and
+    /// every core's ready calendar.
+    pub wheel_ops: u64,
 }
 
 /// The telemetry every replica currently publishes — the cache the
@@ -632,8 +677,15 @@ impl FleetRun {
             .map_or(f64::INFINITY, |e| e.at_s);
         // Routing needs a live replica: with none, arrivals and
         // re-routes wait for a join (draining replicas may still step
-        // their in-flight work meanwhile).
-        let any_live = self.routable.iter().any(|&r| r);
+        // their in-flight work meanwhile). The index maintains the
+        // live count incrementally, so this is O(1) instead of a mask
+        // scan per event.
+        let any_live = self.index.live_count() > 0;
+        debug_assert_eq!(
+            any_live,
+            self.routable.iter().any(|&r| r),
+            "index live count drifted from the routable mask"
+        );
         let raw_reroute = self
             .displaced
             .front()
@@ -682,8 +734,8 @@ impl FleetRun {
             }
             let i = ev.replica as usize;
             self.routable[i] = self.states[i].is_routable();
-            self.telemetry[i] =
-                self.cores[i].telemetry(fleet.replicas[i].cost.kv_capacity_tokens());
+            self.index.set_routable(i, self.routable[i]);
+            self.telemetry[i] = self.cores[i].telemetry(self.kv_caps[i]);
             debug_assert_eq!(
                 self.telemetry,
                 cached_telemetry(&self.cores, &fleet.replicas),
@@ -692,7 +744,9 @@ impl FleetRun {
             self.log.push(Command::Lifecycle(ev));
             router.on_fleet_event(
                 &ev,
-                &RoutingView::new(&self.telemetry, &self.routable, ev.at_s),
+                &RoutingView::new(&self.telemetry, &self.routable, ev.at_s)
+                    .with_index(&self.index)
+                    .with_stats(&self.route_stats),
             );
             i
         } else if next_reroute <= next_arrival && next_reroute <= next_wake {
@@ -707,9 +761,12 @@ impl FleetRun {
                 cached_telemetry(&self.cores, &fleet.replicas),
                 "telemetry cache drifted from the cores"
             );
+            self.route_stats.note_route_call();
             let pick = router.route(
                 &q.req,
-                &RoutingView::new(&self.telemetry, &self.routable, t),
+                &RoutingView::new(&self.telemetry, &self.routable, t)
+                    .with_index(&self.index)
+                    .with_stats(&self.route_stats),
             );
             assert!(pick < self.cores.len(), "router picked out of range");
             assert!(self.routable[pick], "router picked an unroutable replica");
@@ -727,9 +784,12 @@ impl FleetRun {
                 cached_telemetry(&self.cores, &fleet.replicas),
                 "telemetry cache drifted from the cores"
             );
+            self.route_stats.note_route_call();
             let pick = router.route(
                 &req,
-                &RoutingView::new(&self.telemetry, &self.routable, self.now_s),
+                &RoutingView::new(&self.telemetry, &self.routable, self.now_s)
+                    .with_index(&self.index)
+                    .with_stats(&self.route_stats),
             );
             assert!(pick < self.cores.len(), "router picked out of range");
             assert!(self.routable[pick], "router picked an unroutable replica");
@@ -759,8 +819,8 @@ impl FleetRun {
         // re-read above every step).
         self.wake
             .schedule(touched as u32, self.cores[touched].next_event_s());
-        self.telemetry[touched] =
-            self.cores[touched].telemetry(fleet.replicas[touched].cost.kv_capacity_tokens());
+        self.telemetry[touched] = self.cores[touched].telemetry(self.kv_caps[touched]);
+        self.index.mark_dirty(touched);
         self.events += 1;
         true
     }
@@ -791,7 +851,7 @@ impl FleetRun {
     /// distinguishes the two).
     #[must_use]
     pub fn next_time(&mut self) -> Option<f64> {
-        let any_live = self.routable.iter().any(|&r| r);
+        let any_live = self.index.live_count() > 0;
         let next_lifecycle = self
             .pending_events
             .front()
@@ -923,6 +983,24 @@ impl FleetRun {
             .map(Core::peak_slab_occupancy)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Per-subsystem hot-path counters accumulated so far — calendar
+    /// insertions, routing-index maintenance and routing decisions.
+    /// Diagnostic only (the repro driver's `--counters` report): never
+    /// serialised, reset on resume.
+    #[must_use]
+    pub fn perf_counters(&self) -> PerfCounters {
+        let (index_leaf_updates, index_marks) = self.index.update_counts();
+        PerfCounters {
+            route_calls: self.route_stats.route_calls(),
+            route_index_hits: self.route_stats.index_hits(),
+            route_scan_fallbacks: self.route_stats.scan_fallbacks(),
+            index_leaf_updates,
+            index_marks,
+            wheel_ops: self.wake.scheduled_ops()
+                + self.cores.iter().map(Core::calendar_ops).sum::<u64>(),
+        }
     }
 
     /// Freezes the whole run — source, every core, lifecycle state,
@@ -1096,11 +1174,20 @@ impl FleetRun {
         }
         let telemetry = cached_telemetry(&cores, &fleet.replicas);
         let routable: Vec<bool> = states.iter().map(|s| s.is_routable()).collect();
+        let index = FleetRoutingIndex::new(&telemetry, &routable);
+        let kv_caps = fleet
+            .replicas
+            .iter()
+            .map(|r| r.cost.kv_capacity_tokens())
+            .collect();
         Ok(Self {
             source,
             cores,
             wake,
             telemetry,
+            index,
+            route_stats: RouteStats::default(),
+            kv_caps,
             assigned,
             log,
             events,

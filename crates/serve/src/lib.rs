@@ -97,6 +97,7 @@ mod replay;
 mod request;
 mod rng;
 mod router;
+mod routing_index;
 mod scheduler;
 mod slab;
 pub mod snapshot;
@@ -111,10 +112,10 @@ pub use cost::{AnalyticCostModel, CostModel};
 pub use digest::{
     canonical_f64_bits, digest_fleet_report, digest_serve_report, DigestWriter, ReportDigest,
 };
-pub use fleet::{Fleet, FleetBuilder, FleetReplica, FleetReport, FleetRun};
+pub use fleet::{Fleet, FleetBuilder, FleetReplica, FleetReport, FleetRun, PerfCounters};
 pub use lifecycle::{churn_tape, FleetEvent, FleetEventKind, LifecycleCounts, LifecycleState};
 pub use lut::{LatencyLut, LutBuilder};
-pub use metrics::{ClassSlo, MultiClassReport, SloReport};
+pub use metrics::{scratch_reuse_hits, ClassSlo, MultiClassReport, SloReport};
 pub use policy::{
     ActiveRequest, DeadlineEdf, Fifo, PriorityAging, QueuedRequest, SchedulingPolicy,
     ShortestJobFirst,
@@ -123,9 +124,10 @@ pub use replay::{Command, CommandLog};
 pub use request::{Request, RequestRecord};
 pub use rng::ServeRng;
 pub use router::{
-    JoinShortestQueue, LeastKvLoad, ReplicaTelemetry, RoundRobin, Router, RoutingView,
+    JoinShortestQueue, LeastKvLoad, ReplicaTelemetry, RoundRobin, RouteStats, Router, RoutingView,
     SessionAffinity,
 };
+pub use routing_index::FleetRoutingIndex;
 pub use scheduler::{serve, serve_with, RunStats, ServeConfig, ServeReport, ServeRun};
 pub use slab::Slab;
 pub use snapshot::SnapshotError;

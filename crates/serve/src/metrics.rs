@@ -1,11 +1,26 @@
 //! SLO reporting: latency percentiles, goodput and utilisation —
 //! aggregate and per SLO class.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::class::{ClassSpec, SloTargets};
 use crate::request::RequestRecord;
 use crate::scheduler::ServeReport;
 use rpu_util::stats::Percentiles;
 use rpu_util::table::{num, Table};
+
+/// Latency summaries served from an already-allocated scratch buffer
+/// (no realloc), process-wide. Diagnostic only — the repro driver's
+/// `--counters` report reads it to confirm the reporting path stays
+/// allocation-free after its first buffer.
+static SCRATCH_REUSE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of latency summaries that reused an existing
+/// scratch allocation instead of growing one.
+#[must_use]
+pub fn scratch_reuse_hits() -> u64 {
+    SCRATCH_REUSE_HITS.load(Ordering::Relaxed)
+}
 
 /// Aggregated serving metrics for one run (or one class of it).
 #[derive(Debug, Clone, PartialEq)]
@@ -60,9 +75,23 @@ fn summarise(
     run: &ServeReport,
     slo_of: &dyn Fn(&RequestRecord) -> SloTargets,
 ) -> SloReport {
-    let ttfts: Vec<f64> = records.iter().map(|r| r.ttft_s()).collect();
-    let tpots: Vec<f64> = records.iter().map(|r| r.tpot_s()).collect();
-    let e2es: Vec<f64> = records.iter().map(|r| r.e2e_s()).collect();
+    // One scratch buffer serves all three latency summaries: filled,
+    // summarised by selection (no sort, no per-metric allocation),
+    // refilled. At fleet scale the old path — three sample vectors,
+    // each fully sorted — dominated report time.
+    let mut scratch: Vec<f64> = Vec::with_capacity(records.len());
+    let summarise_metric = |scratch: &mut Vec<f64>, sample: &dyn Fn(&RequestRecord) -> f64| {
+        let cap = scratch.capacity();
+        scratch.clear();
+        scratch.extend(records.iter().map(|r| sample(r)));
+        if cap > 0 && scratch.capacity() == cap {
+            SCRATCH_REUSE_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        Percentiles::from_scratch(scratch)
+    };
+    let ttft = summarise_metric(&mut scratch, &RequestRecord::ttft_s);
+    let tpot = summarise_metric(&mut scratch, &RequestRecord::tpot_s);
+    let e2e = summarise_metric(&mut scratch, &RequestRecord::e2e_s);
     let good = records
         .iter()
         .filter(|r| {
@@ -74,9 +103,9 @@ fn summarise(
     let tokens: u64 = records.iter().map(|r| u64::from(r.output_len)).sum();
     let span = run.makespan_s.max(f64::MIN_POSITIVE);
     SloReport {
-        ttft: Percentiles::from_samples(&ttfts),
-        tpot: Percentiles::from_samples(&tpots),
-        e2e: Percentiles::from_samples(&e2es),
+        ttft,
+        tpot,
+        e2e,
         completed: completed as u32,
         rejected,
         throughput_rps: completed as f64 / span,

@@ -159,6 +159,16 @@ pub trait SchedulingPolicy {
         let _ = (active, candidate, clock);
         None
     }
+
+    /// Whether [`SchedulingPolicy::preempt_victim`] can ever name a
+    /// victim. Purely a fast-path hint: when `false`, the scheduler
+    /// skips building the batch view it would otherwise assemble on
+    /// every admission attempt against a full batch — the outcome (the
+    /// candidate waits) is identical either way. Policies overriding
+    /// `preempt_victim` must leave this at `true`.
+    fn may_preempt(&self) -> bool {
+        true
+    }
 }
 
 /// Selects the queue index minimising `key`, or `None` on an empty
@@ -195,6 +205,10 @@ impl SchedulingPolicy for Fifo {
 
     fn select(&mut self, queue: &[QueuedRequest], _clock: f64) -> Option<usize> {
         argmin_by(queue, |q| (q.req.arrival_s, q.req.id))
+    }
+
+    fn may_preempt(&self) -> bool {
+        false
     }
 }
 
@@ -246,6 +260,10 @@ impl SchedulingPolicy for ShortestJobFirst {
     fn select(&mut self, queue: &[QueuedRequest], _clock: f64) -> Option<usize> {
         argmin_by(queue, |q| (self.predicted_work(q), q.req.id))
     }
+
+    fn may_preempt(&self) -> bool {
+        false
+    }
 }
 
 /// Priority-class admission with bounded-starvation aging.
@@ -296,6 +314,10 @@ impl SchedulingPolicy for PriorityAging {
             };
             (effective, q.req.arrival_s, q.req.id)
         })
+    }
+
+    fn may_preempt(&self) -> bool {
+        false
     }
 }
 

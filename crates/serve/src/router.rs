@@ -21,8 +21,11 @@
 //! walks a session's ring successors so its keys land on the nearest
 //! live replica — and snap back home when the replica rejoins.
 
+use std::cell::Cell;
+
 use crate::lifecycle::FleetEvent;
 use crate::request::Request;
+use crate::routing_index::FleetRoutingIndex;
 use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// The load counters one replica publishes to the router.
@@ -77,6 +80,55 @@ impl ReplicaTelemetry {
     }
 }
 
+/// Per-decision counters for the routing path, shared by reference
+/// into every [`RoutingView`] a run constructs. `Cell`-based so the
+/// view can stay `Copy` and routers keep taking `&RoutingView`.
+///
+/// [`RouteStats::scan_fallbacks`] is the number to watch: it counts
+/// every `O(R)` linear scan taken where an indexed lookup was the
+/// alternative — zero on a built-in-router run with the fleet's
+/// [`FleetRoutingIndex`] attached (barring the KV-saturated
+/// join-shortest-queue slow path, which is exact by design).
+#[derive(Debug, Default)]
+pub struct RouteStats {
+    route_calls: Cell<u64>,
+    index_hits: Cell<u64>,
+    scan_fallbacks: Cell<u64>,
+}
+
+impl RouteStats {
+    /// Routing decisions made (one per arrival or displaced re-route).
+    #[must_use]
+    pub fn route_calls(&self) -> u64 {
+        self.route_calls.get()
+    }
+
+    /// Indexed (`O(log R)` or bitset) lookups answered.
+    #[must_use]
+    pub fn index_hits(&self) -> u64 {
+        self.index_hits.get()
+    }
+
+    /// Linear `O(R)` scans taken — no index attached, or a router's
+    /// exact slow path.
+    #[must_use]
+    pub fn scan_fallbacks(&self) -> u64 {
+        self.scan_fallbacks.get()
+    }
+
+    pub(crate) fn note_route_call(&self) {
+        self.route_calls.set(self.route_calls.get() + 1);
+    }
+
+    fn note_index_hit(&self) {
+        self.index_hits.set(self.index_hits.get() + 1);
+    }
+
+    fn note_scan(&self) {
+        self.scan_fallbacks.set(self.scan_fallbacks.get() + 1);
+    }
+}
+
 /// Everything a router may see when placing one request: the
 /// index-aligned telemetry of every provisioned replica slot, the
 /// routable mask (`true` only for live replicas — draining and down
@@ -84,11 +136,66 @@ impl ReplicaTelemetry {
 ///
 /// New routing inputs land here as fields instead of breaking every
 /// downstream [`Router`] `impl` with a signature change.
+///
+/// # Writing an `O(log R)` custom router
+///
+/// A fleet run attaches its [`FleetRoutingIndex`] to every view it
+/// hands a router, and the view's [`RoutingView::min_backlog_replica`],
+/// [`RoutingView::min_kv_load_replica`] and
+/// [`RoutingView::next_routable_from`] lookups answer from that index
+/// in `O(log R)` (falling back to the exact linear scan on a bare
+/// view, so picks are identical either way). Custom routers opt in by
+/// phrasing their decision through those lookups instead of scanning
+/// [`RoutingView::routable`]:
+///
+/// ```
+/// use rpu_serve::{
+///     AnalyticCostModel, Fifo, FleetBuilder, JoinShortestQueue, Request, Router, RoutingView,
+///     ServeConfig, Workload,
+/// };
+///
+/// /// Shortest queue while the pick has KV headroom; overflow spills
+/// /// to the replica with the lowest committed-KV fraction.
+/// struct ShortestWithSpill;
+///
+/// impl Router for ShortestWithSpill {
+///     fn name(&self) -> &'static str {
+///         "shortest-spill"
+///     }
+///
+///     fn route(&mut self, req: &Request, view: &RoutingView<'_>) -> usize {
+///         let pick = view.min_backlog_replica().expect("some replica is routable");
+///         if view.replica(pick).has_kv_headroom(req.reserved_tokens()) {
+///             pick
+///         } else {
+///             view.min_kv_load_replica().expect("some replica is routable")
+///         }
+///     }
+/// }
+///
+/// let mut fleet = FleetBuilder::new()
+///     .group(
+///         4,
+///         &ServeConfig::default(),
+///         || Box::new(AnalyticCostModel::small()),
+///         || Box::new(Fifo),
+///     )
+///     .build();
+/// let workload = Workload::poisson(800.0, 256, 16, 40);
+/// let report = fleet.serve(&workload, &mut ShortestWithSpill);
+/// assert_eq!(report.aggregate.records.len(), 40);
+/// // Identical decisions to the equivalent scan-based router: while
+/// // every replica has headroom, this *is* join-shortest-queue.
+/// let scanned = fleet.serve(&workload, &mut JoinShortestQueue);
+/// assert_eq!(report.assigned, scanned.assigned);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct RoutingView<'a> {
     telemetry: &'a [ReplicaTelemetry],
     routable: &'a [bool],
     now_s: f64,
+    index: Option<&'a FleetRoutingIndex>,
+    stats: Option<&'a RouteStats>,
 }
 
 impl<'a> RoutingView<'a> {
@@ -109,7 +216,28 @@ impl<'a> RoutingView<'a> {
             telemetry,
             routable,
             now_s,
+            index: None,
+            stats: None,
         }
+    }
+
+    /// Attaches a [`FleetRoutingIndex`] kept in sync with `telemetry`
+    /// and the routable mask: the view's argmin and next-routable
+    /// lookups then answer from the index instead of scanning. The
+    /// fleet driver attaches its own index to every view it builds;
+    /// custom harnesses may attach one they maintain themselves.
+    #[must_use]
+    pub fn with_index(mut self, index: &'a FleetRoutingIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// Attaches routing-path counters; the view's lookups record
+    /// index hits and scan fallbacks into them.
+    #[must_use]
+    pub fn with_stats(mut self, stats: &'a RouteStats) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// Provisioned replica slots (routable or not).
@@ -157,6 +285,87 @@ impl<'a> RoutingView<'a> {
     #[must_use]
     pub fn routable_count(&self) -> usize {
         self.routable.iter().filter(|&&r| r).count()
+    }
+
+    fn note_index_hit(&self) {
+        if let Some(s) = self.stats {
+            s.note_index_hit();
+        }
+    }
+
+    pub(crate) fn note_scan(&self) {
+        if let Some(s) = self.stats {
+            s.note_scan();
+        }
+    }
+
+    /// The routable replica with the fewest requests on it, ties broken
+    /// by lowest index — the exact argmin `(backlog, index)` order
+    /// [`JoinShortestQueue`] ranks by. `None` when nothing is routable.
+    ///
+    /// `O(log R)` with an attached [`FleetRoutingIndex`], an `O(R)`
+    /// scan otherwise — same answer either way.
+    #[must_use]
+    pub fn min_backlog_replica(&self) -> Option<usize> {
+        if let Some(idx) = self.index {
+            self.note_index_hit();
+            idx.min_backlog_replica(self.telemetry)
+        } else {
+            self.note_scan();
+            self.routable()
+                .min_by_key(|&i| (self.telemetry[i].backlog(), i))
+        }
+    }
+
+    /// The routable replica with the lowest committed-KV fraction,
+    /// ties broken by backlog then index — [`LeastKvLoad`]'s exact
+    /// comparison order (`f64::total_cmp` on the fraction). `None`
+    /// when nothing is routable.
+    ///
+    /// `O(log R)` with an attached [`FleetRoutingIndex`], an `O(R)`
+    /// scan otherwise — same answer either way.
+    #[must_use]
+    pub fn min_kv_load_replica(&self) -> Option<usize> {
+        if let Some(idx) = self.index {
+            self.note_index_hit();
+            idx.min_kv_load_replica(self.telemetry)
+        } else {
+            self.note_scan();
+            self.routable().min_by(|&a, &b| {
+                self.telemetry[a]
+                    .kv_load()
+                    .total_cmp(&self.telemetry[b].kv_load())
+                    .then(
+                        self.telemetry[a]
+                            .backlog()
+                            .cmp(&self.telemetry[b].backlog()),
+                    )
+                    .then(a.cmp(&b))
+            })
+        }
+    }
+
+    /// The first routable replica in the wrapping slot order `start,
+    /// start + 1, .., len - 1, 0, .., start - 1` — [`RoundRobin`]'s
+    /// probe. `None` when nothing is routable.
+    ///
+    /// A bitset word-scan with an attached [`FleetRoutingIndex`], a
+    /// per-slot loop otherwise — same answer either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start` is not a valid slot index.
+    #[must_use]
+    pub fn next_routable_from(&self, start: usize) -> Option<usize> {
+        assert!(start < self.routable.len(), "start slot out of range");
+        if let Some(idx) = self.index {
+            self.note_index_hit();
+            idx.next_routable_from(start)
+        } else {
+            self.note_scan();
+            let n = self.routable.len();
+            (0..n).map(|k| (start + k) % n).find(|&i| self.routable[i])
+        }
     }
 }
 
@@ -276,14 +485,11 @@ impl Router for RoundRobin {
     fn route(&mut self, _req: &Request, view: &RoutingView<'_>) -> usize {
         let n = view.len();
         let start = self.next % n;
-        for k in 0..n {
-            let i = (start + k) % n;
-            if view.is_routable(i) {
-                self.next = (i + 1) % n;
-                return i;
-            }
-        }
-        panic!("no routable replica to round-robin onto");
+        let Some(i) = view.next_routable_from(start) else {
+            panic!("no routable replica to round-robin onto");
+        };
+        self.next = (i + 1) % n;
+        i
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
@@ -303,6 +509,13 @@ impl Router for RoundRobin {
 /// headroom does it fall back to the shortest routable queue outright
 /// (the replica's own admission back-pressure then queues the request
 /// until space frees).
+///
+/// With a [`FleetRoutingIndex`] attached to the view, the common case
+/// is one `O(log R)` lookup: the global backlog argmin that has KV
+/// headroom *is* the headroom-restricted argmin (the restricted set is
+/// a subset containing it). Only when the argmin is KV-saturated does
+/// the exact restricted scan run — counted as a
+/// [`RouteStats::scan_fallbacks`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JoinShortestQueue;
 
@@ -313,16 +526,21 @@ impl Router for JoinShortestQueue {
 
     fn route(&mut self, req: &Request, view: &RoutingView<'_>) -> usize {
         let need = req.reserved_tokens();
-        let shortest = |candidates: &mut dyn Iterator<Item = usize>| {
-            candidates.min_by_key(|&i| (view.replica(i).backlog(), i))
-        };
-        shortest(
-            &mut view
-                .routable()
-                .filter(|&i| view.replica(i).has_kv_headroom(need)),
-        )
-        .or_else(|| shortest(&mut view.routable()))
-        .expect("some replica is routable")
+        let g = view
+            .min_backlog_replica()
+            .expect("some replica is routable");
+        if view.replica(g).has_kv_headroom(need) {
+            return g;
+        }
+        // The shortest replica is KV-saturated: run the exact
+        // headroom-restricted scan. An empty restricted set means no
+        // routable replica fits the request, and the overall-shortest
+        // `g` takes it (its admission back-pressure queues the work).
+        view.note_scan();
+        view.routable()
+            .filter(|&i| view.replica(i).has_kv_headroom(need))
+            .min_by_key(|&i| (view.replica(i).backlog(), i))
+            .unwrap_or(g)
     }
 }
 
@@ -340,14 +558,7 @@ impl Router for LeastKvLoad {
     }
 
     fn route(&mut self, _req: &Request, view: &RoutingView<'_>) -> usize {
-        view.routable()
-            .min_by(|&a, &b| {
-                view.replica(a)
-                    .kv_load()
-                    .total_cmp(&view.replica(b).kv_load())
-                    .then(view.replica(a).backlog().cmp(&view.replica(b).backlog()))
-                    .then(a.cmp(&b))
-            })
+        view.min_kv_load_replica()
             .expect("some replica is routable")
     }
 }

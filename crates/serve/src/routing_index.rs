@@ -1,0 +1,449 @@
+//! Incremental ordered indexes over replica telemetry: `O(log R)`
+//! routing lookups for a fleet of `R` replicas.
+//!
+//! The fleet driver refreshes exactly one replica's telemetry per
+//! event, so a full `O(R)` scan per routing decision re-reads `R - 1`
+//! entries that cannot have changed. [`FleetRoutingIndex`] turns that
+//! scan into an indexed lookup:
+//!
+//! * two **tournament trees** (flat, power-of-two padded, one `u64` /
+//!   key-pair per node) hold every *routable* replica keyed exactly as
+//!   the built-in routers compare them — `(backlog, index)` for
+//!   [`crate::JoinShortestQueue`] and `(kv-load bits, backlog, index)`
+//!   for [`crate::LeastKvLoad`]. Internal nodes store the full winning
+//!   key, so the argmin is a root read and a leaf refresh is one
+//!   `O(log R)` pull-up;
+//! * a **routable bitset** answers "first routable replica at or after
+//!   slot `i`, wrapping" — [`crate::RoundRobin`]'s probe — by word
+//!   scan instead of a per-slot loop.
+//!
+//! Updates are split in two so runs that never query a tree never pay
+//! for it: the driver **marks** a replica dirty in `O(1)` after each
+//! event, and the first query **flushes** the accumulated dirty set
+//! (each replica at most once) before reading the root. Lifecycle
+//! transitions update the bitset eagerly — it is the cheap index and
+//! the one `RoundRobin` needs fresh.
+//!
+//! Key packing preserves the routers' exact comparison order. Backlogs
+//! pack as `backlog << 32 | index`, so the unsigned order of the packed
+//! word is the lexicographic `(backlog, index)` order. KV load is
+//! `ReplicaTelemetry::kv_load()` — a non-negative `f64`, whose IEEE bit
+//! pattern orders identically to `f64::total_cmp` — paired with the
+//! backlog word for the tie-break. Unroutable replicas and padding
+//! leaves hold `u64::MAX` keys and can never win a tournament.
+//!
+//! The index is *derived* state: it is rebuilt from telemetry on run
+//! start and resume and is never serialised, so snapshot wire formats
+//! are untouched. Routers reach it through
+//! [`crate::RoutingView::min_backlog_replica`] and friends, which fall
+//! back to the original scans when no index is attached — custom
+//! routers opt in by calling those methods instead of scanning.
+
+use std::cell::RefCell;
+
+use crate::router::ReplicaTelemetry;
+
+/// Sentinel key for unroutable replicas and padding leaves: loses every
+/// tournament. A real key only equals this when a replica with index
+/// `u32::MAX` carries a backlog of `u32::MAX` — beyond any
+/// constructible fleet.
+const NO_KEY: u64 = u64::MAX;
+
+/// Packs the join-shortest-queue comparison key: unsigned order of the
+/// packed word is the `(backlog, index)` order the router scans by.
+fn backlog_key(t: &ReplicaTelemetry, i: usize) -> u64 {
+    (u64::from(t.backlog()) << 32) | i as u64
+}
+
+/// Packs the least-KV-load comparison key. `kv_load()` is non-negative,
+/// so its raw bits order exactly as `f64::total_cmp`; the backlog word
+/// carries the router's `(backlog, index)` tie-break.
+fn kv_key(t: &ReplicaTelemetry, i: usize) -> (u64, u64) {
+    (t.kv_load().to_bits(), backlog_key(t, i))
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Provisioned replica slots (leaves in use).
+    n: usize,
+    /// Leaf span: `n.next_power_of_two()`.
+    size: usize,
+    /// Min-tournament over packed `(backlog, index)` keys; 1-based,
+    /// root at `[1]`, leaves at `[size ..]`.
+    backlog: Vec<u64>,
+    /// Min-tournament over `(kv-load bits, backlog-key)` pairs.
+    kv: Vec<(u64, u64)>,
+    /// Routable bitset, one bit per slot, maintained eagerly.
+    live: Vec<u64>,
+    /// Number of set bits in `live`.
+    live_count: usize,
+    /// Replicas whose leaves are stale, each listed at most once.
+    dirty: Vec<u32>,
+    /// `dirty` membership, indexed by replica.
+    dirty_mask: Vec<bool>,
+    /// Leaf refreshes applied (each an `O(log R)` pull-up).
+    leaf_updates: u64,
+    /// Dirty marks observed (one per telemetry delta event).
+    marks: u64,
+}
+
+impl Inner {
+    fn is_live(&self, i: usize) -> bool {
+        (self.live[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Recomputes leaf `i` from its telemetry and pulls the change up
+    /// to the root, stopping at the first ancestor both tournaments
+    /// already agree on.
+    fn refresh_leaf(&mut self, i: usize, t: &ReplicaTelemetry) {
+        let (bk, kk) = if self.is_live(i) {
+            (backlog_key(t, i), kv_key(t, i))
+        } else {
+            (NO_KEY, (NO_KEY, NO_KEY))
+        };
+        let mut node = self.size + i;
+        if self.backlog[node] == bk && self.kv[node] == kk {
+            return;
+        }
+        self.backlog[node] = bk;
+        self.kv[node] = kk;
+        while node > 1 {
+            node /= 2;
+            let (l, r) = (node * 2, node * 2 + 1);
+            let nb = self.backlog[l].min(self.backlog[r]);
+            let nk = self.kv[l].min(self.kv[r]);
+            if self.backlog[node] == nb && self.kv[node] == nk {
+                break;
+            }
+            self.backlog[node] = nb;
+            self.kv[node] = nk;
+        }
+        self.leaf_updates += 1;
+    }
+
+    /// Applies every pending dirty mark against the current telemetry.
+    fn flush(&mut self, telemetry: &[ReplicaTelemetry]) {
+        debug_assert_eq!(telemetry.len(), self.n, "index and telemetry disagree");
+        while let Some(i) = self.dirty.pop() {
+            let i = i as usize;
+            self.dirty_mask[i] = false;
+            self.refresh_leaf(i, &telemetry[i]);
+        }
+    }
+
+    /// First routable slot in the wrapping order `start, start + 1, ..,
+    /// n - 1, 0, .., start - 1`.
+    fn next_routable(&self, start: usize) -> Option<usize> {
+        if self.live_count == 0 {
+            return None;
+        }
+        debug_assert!(start < self.n);
+        let nw = self.live.len();
+        let w0 = start / 64;
+        let head = self.live[w0] & (!0u64 << (start % 64));
+        if head != 0 {
+            return Some(w0 * 64 + head.trailing_zeros() as usize);
+        }
+        for k in 1..=nw {
+            let w = (w0 + k) % nw;
+            let m = if w == w0 {
+                // Back at the start word: only the bits before `start`
+                // remain candidates.
+                self.live[w0] & !(!0u64 << (start % 64))
+            } else {
+                self.live[w]
+            };
+            if m != 0 {
+                return Some(w * 64 + m.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+/// Incrementally maintained routing indexes over one fleet's replica
+/// telemetry — see the module docs for the design.
+///
+/// Owned by [`crate::FleetRun`], which marks one replica dirty per
+/// event and flips bitset bits on lifecycle transitions; queries come
+/// from routers via [`crate::RoutingView`]. Queries take `&self`
+/// (lazy flushing uses interior mutability) so a `RoutingView` can
+/// carry a shared reference.
+pub struct FleetRoutingIndex {
+    inner: RefCell<Inner>,
+}
+
+impl std::fmt::Debug for FleetRoutingIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("FleetRoutingIndex")
+            .field("replicas", &inner.n)
+            .field("live", &inner.live_count)
+            .field("dirty", &inner.dirty.len())
+            .field("leaf_updates", &inner.leaf_updates)
+            .finish()
+    }
+}
+
+impl FleetRoutingIndex {
+    /// Builds the index over a fleet's current telemetry and routable
+    /// mask (index-aligned, as in [`crate::RoutingView::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices disagree on the replica count.
+    #[must_use]
+    pub fn new(telemetry: &[ReplicaTelemetry], routable: &[bool]) -> Self {
+        assert_eq!(
+            telemetry.len(),
+            routable.len(),
+            "telemetry and routable mask must cover the same replicas"
+        );
+        let n = telemetry.len();
+        let size = n.next_power_of_two().max(1);
+        let mut live = vec![0u64; n.div_ceil(64).max(1)];
+        let mut live_count = 0;
+        for (i, &r) in routable.iter().enumerate() {
+            if r {
+                live[i / 64] |= 1u64 << (i % 64);
+                live_count += 1;
+            }
+        }
+        let mut inner = Inner {
+            n,
+            size,
+            backlog: vec![NO_KEY; 2 * size],
+            kv: vec![(NO_KEY, NO_KEY); 2 * size],
+            live,
+            live_count,
+            dirty: Vec::with_capacity(n),
+            dirty_mask: vec![false; n],
+            leaf_updates: 0,
+            marks: 0,
+        };
+        for (i, t) in telemetry.iter().enumerate() {
+            inner.refresh_leaf(i, t);
+        }
+        inner.leaf_updates = 0;
+        Self {
+            inner: RefCell::new(inner),
+        }
+    }
+
+    /// Records that replica `i`'s telemetry may have changed: `O(1)`,
+    /// deduplicated. The stale leaf is recomputed lazily on the next
+    /// tree query.
+    pub fn mark_dirty(&self, i: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.marks += 1;
+        if !inner.dirty_mask[i] {
+            inner.dirty_mask[i] = true;
+            inner.dirty.push(i as u32);
+        }
+    }
+
+    /// Flips replica `i`'s routable bit (eagerly — the bitset must be
+    /// fresh for every query) and marks its tree leaves dirty.
+    pub fn set_routable(&self, i: usize, routable: bool) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let (word, bit) = (i / 64, 1u64 << (i % 64));
+            let was = inner.live[word] & bit != 0;
+            if was != routable {
+                inner.live[word] ^= bit;
+                if routable {
+                    inner.live_count += 1;
+                } else {
+                    inner.live_count -= 1;
+                }
+            }
+        }
+        self.mark_dirty(i);
+    }
+
+    /// How many replicas are currently routable.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.inner.borrow().live_count
+    }
+
+    /// The routable replica minimising `(backlog, index)` — the
+    /// argmin [`crate::JoinShortestQueue`] scans for — or `None` when
+    /// nothing is routable. Flushes pending dirty marks against
+    /// `telemetry`, which must be the same per-replica slice the marks
+    /// were issued for.
+    #[must_use]
+    pub fn min_backlog_replica(&self, telemetry: &[ReplicaTelemetry]) -> Option<usize> {
+        let mut inner = self.inner.borrow_mut();
+        inner.flush(telemetry);
+        let key = inner.backlog[1];
+        (key != NO_KEY).then_some((key & u64::from(u32::MAX)) as usize)
+    }
+
+    /// The routable replica minimising `(kv_load, backlog, index)`
+    /// under `f64::total_cmp` — [`crate::LeastKvLoad`]'s exact order —
+    /// or `None` when nothing is routable.
+    #[must_use]
+    pub fn min_kv_load_replica(&self, telemetry: &[ReplicaTelemetry]) -> Option<usize> {
+        let mut inner = self.inner.borrow_mut();
+        inner.flush(telemetry);
+        let (load, key) = inner.kv[1];
+        (load != NO_KEY).then_some((key & u64::from(u32::MAX)) as usize)
+    }
+
+    /// First routable replica in the wrapping slot order `start, start
+    /// + 1, .., n - 1, 0, ..` — [`crate::RoundRobin`]'s probe — or
+    /// `None` when nothing is routable.
+    #[must_use]
+    pub fn next_routable_from(&self, start: usize) -> Option<usize> {
+        self.inner.borrow().next_routable(start)
+    }
+
+    /// `(leaf updates applied, dirty marks observed)` since
+    /// construction — the index-maintenance counters behind the
+    /// driver's `--counters` report.
+    #[must_use]
+    pub fn update_counts(&self) -> (u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.leaf_updates, inner.marks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tel(queue: u32, active: u32, reserved: u64, cap: u64) -> ReplicaTelemetry {
+        ReplicaTelemetry {
+            queue_depth: queue,
+            active_requests: active,
+            reserved_tokens: reserved,
+            queued_tokens: 0,
+            kv_capacity_tokens: cap,
+            in_flight_tokens: 0,
+        }
+    }
+
+    /// Reference scans with the routers' exact comparison order.
+    fn scan_backlog(telemetry: &[ReplicaTelemetry], routable: &[bool]) -> Option<usize> {
+        (0..telemetry.len())
+            .filter(|&i| routable[i])
+            .min_by_key(|&i| (telemetry[i].backlog(), i))
+    }
+
+    fn scan_kv(telemetry: &[ReplicaTelemetry], routable: &[bool]) -> Option<usize> {
+        (0..telemetry.len())
+            .filter(|&i| routable[i])
+            .min_by(|&a, &b| {
+                telemetry[a]
+                    .kv_load()
+                    .total_cmp(&telemetry[b].kv_load())
+                    .then(telemetry[a].backlog().cmp(&telemetry[b].backlog()))
+                    .then(a.cmp(&b))
+            })
+    }
+
+    #[test]
+    fn argmins_match_scans_after_incremental_updates() {
+        let mut telemetry: Vec<ReplicaTelemetry> = (0..13)
+            .map(|i| tel(i % 3, 0, u64::from(i) * 100, 4096))
+            .collect();
+        let routable = vec![true; 13];
+        let idx = FleetRoutingIndex::new(&telemetry, &routable);
+        assert_eq!(
+            idx.min_backlog_replica(&telemetry),
+            scan_backlog(&telemetry, &routable)
+        );
+        assert_eq!(
+            idx.min_kv_load_replica(&telemetry),
+            scan_kv(&telemetry, &routable)
+        );
+        // A deterministic little churn: bump one replica at a time.
+        for step in 0..200usize {
+            let i = (step * 7) % 13;
+            telemetry[i].queue_depth = (step % 5) as u32;
+            telemetry[i].reserved_tokens = (step as u64 * 37) % 5000;
+            idx.mark_dirty(i);
+            assert_eq!(
+                idx.min_backlog_replica(&telemetry),
+                scan_backlog(&telemetry, &routable),
+                "backlog argmin diverged at step {step}"
+            );
+            assert_eq!(
+                idx.min_kv_load_replica(&telemetry),
+                scan_kv(&telemetry, &routable),
+                "kv argmin diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn unroutable_replicas_never_win() {
+        let telemetry: Vec<ReplicaTelemetry> = (0..5).map(|i| tel(i, 0, 0, 4096)).collect();
+        let mut routable = vec![true; 5];
+        let idx = FleetRoutingIndex::new(&telemetry, &routable);
+        assert_eq!(idx.min_backlog_replica(&telemetry), Some(0));
+        idx.set_routable(0, false);
+        routable[0] = false;
+        assert_eq!(idx.min_backlog_replica(&telemetry), Some(1));
+        assert_eq!(
+            idx.min_kv_load_replica(&telemetry),
+            scan_kv(&telemetry, &routable)
+        );
+        idx.set_routable(0, true);
+        assert_eq!(idx.min_backlog_replica(&telemetry), Some(0));
+    }
+
+    #[test]
+    fn empty_and_all_down_fleets_answer_none() {
+        let idx = FleetRoutingIndex::new(&[], &[]);
+        assert_eq!(idx.min_backlog_replica(&[]), None);
+        assert_eq!(idx.live_count(), 0);
+        let telemetry = vec![tel(0, 0, 0, 1024); 3];
+        let idx = FleetRoutingIndex::new(&telemetry, &[false; 3]);
+        assert_eq!(idx.min_backlog_replica(&telemetry), None);
+        assert_eq!(idx.min_kv_load_replica(&telemetry), None);
+        assert_eq!(idx.next_routable_from(1), None);
+    }
+
+    #[test]
+    fn next_routable_wraps_like_the_round_robin_probe() {
+        // 130 slots spans three bitset words; punch a sparse pattern.
+        let n = 130;
+        let telemetry = vec![tel(0, 0, 0, 1024); n];
+        let mut routable = vec![false; n];
+        for &i in &[3usize, 64, 65, 127, 129] {
+            routable[i] = true;
+        }
+        let idx = FleetRoutingIndex::new(&telemetry, &routable);
+        let reference = |start: usize| (0..n).map(|k| (start + k) % n).find(|&i| routable[i]);
+        for start in 0..n {
+            assert_eq!(
+                idx.next_routable_from(start),
+                reference(start),
+                "start {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_marks_deduplicate_and_flush_once() {
+        let mut telemetry = vec![tel(1, 0, 0, 1024); 4];
+        let idx = FleetRoutingIndex::new(&telemetry, &[true; 4]);
+        telemetry[2].queue_depth = 0;
+        for _ in 0..10 {
+            idx.mark_dirty(2);
+        }
+        assert_eq!(idx.min_backlog_replica(&telemetry), Some(2));
+        let (updates, marks) = idx.update_counts();
+        assert_eq!(marks, 10);
+        assert_eq!(
+            updates, 1,
+            "dedup must collapse repeated marks into one refresh"
+        );
+        // An unchanged leaf costs no pull-up on the next flush.
+        idx.mark_dirty(2);
+        let _ = idx.min_backlog_replica(&telemetry);
+        assert_eq!(idx.update_counts().0, 1);
+    }
+}

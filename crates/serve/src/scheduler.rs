@@ -493,9 +493,12 @@ pub(crate) struct Core {
     /// In-flight requests live in slab cells; `active` holds their keys
     /// in admission order (the order the pre-slab `Vec<Slot>` kept), so
     /// policy indices and iteration order are unchanged while completed
-    /// cells are recycled without per-event allocation.
+    /// cells are recycled without per-event allocation. Each entry
+    /// mirrors the slot's decode-critical fields (`ready_at`,
+    /// `context`) so the per-iteration batch scans stay on this
+    /// contiguous array instead of chasing slab cells.
     slab: Slab<Slot>,
-    active: Vec<u32>,
+    active: Vec<BatchSlot>,
     /// Pending prefill completions of not-yet-ready slots, keyed by
     /// slab key. Drained into `ready_count` whenever the clock
     /// advances; makes [`Core::next_event_s`] O(1).
@@ -528,6 +531,42 @@ pub(crate) struct Core {
 /// telemetry counters.
 fn in_flight_tokens(q: &QueuedRequest) -> u64 {
     u64::from(q.req.output_len.saturating_sub(q.generated))
+}
+
+/// A batch-resident slot as the decode hot loop sees it: the slab key
+/// plus every field a decode iteration reads or writes, kept in one
+/// contiguous array so the per-token loop never touches the scattered
+/// slab cells. The mirrored fields (`context`, `generated`,
+/// `first_token_s`) are authoritative while a request is resident; the
+/// cold paths that surface the slab cell (completion, preemption,
+/// failure, snapshot save) patch them back in.
+#[derive(Debug, Clone, Copy)]
+struct BatchSlot {
+    key: u32,
+    context: u32,
+    generated: u32,
+    output_len: u32,
+    ready_at: f64,
+    /// First-token time; NaN while no token has been emitted (the
+    /// in-band image of `QueuedRequest::first_token_s`).
+    first_token_s: f64,
+}
+
+impl BatchSlot {
+    /// The hot image of `first_token_s` as the queued-request option.
+    fn first_token_opt(&self) -> Option<f64> {
+        if self.first_token_s.is_nan() {
+            None
+        } else {
+            Some(self.first_token_s)
+        }
+    }
+
+    /// Decode tokens still owed, from the authoritative hot counter —
+    /// the batch-resident analogue of [`in_flight_tokens`].
+    fn in_flight_tokens(&self) -> u64 {
+        u64::from(self.output_len.saturating_sub(self.generated))
+    }
 }
 
 impl Core {
@@ -615,16 +654,18 @@ impl Core {
             self.queued_in_flight -= in_flight_tokens(&q);
             displaced.push(q);
         }
-        for key in std::mem::take(&mut self.active) {
-            let slot = self.slab.remove(key).expect("active key is live");
+        for a in std::mem::take(&mut self.active) {
+            let slot = self.slab.remove(a.key).expect("active key is live");
             if slot.ready_at <= self.clock {
                 self.ready_count -= 1;
             } else {
-                self.ready_events.cancel(key);
+                self.ready_events.cancel(a.key);
             }
             self.active_reserved -= slot.q.req.reserved_tokens();
-            self.active_in_flight -= in_flight_tokens(&slot.q);
+            self.active_in_flight -= a.in_flight_tokens();
             displaced.push(QueuedRequest {
+                generated: a.generated,
+                first_token_s: a.first_token_opt(),
                 preemptions: slot.q.preemptions + 1,
                 ..slot.q
             });
@@ -687,17 +728,17 @@ impl Core {
         if self.stalled {
             return f64::INFINITY;
         }
-        if self
-            .active
-            .iter()
-            .any(|&k| self.slab.get(k).is_some_and(|s| s.ready_at <= self.clock))
-            || !self.queue.is_empty()
+        if self.active.iter().any(|a| {
+            self.slab
+                .get(a.key)
+                .is_some_and(|s| s.ready_at <= self.clock)
+        }) || !self.queue.is_empty()
         {
             return self.clock;
         }
         self.active
             .iter()
-            .filter_map(|&k| self.slab.get(k).map(|s| s.ready_at))
+            .filter_map(|a| self.slab.get(a.key).map(|s| s.ready_at))
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -726,14 +767,20 @@ impl Core {
     /// driver used — kept as the debug
     /// cross-check for the incremental counters.
     pub(crate) fn telemetry_scan(&self, kv_capacity_tokens: u64) -> ReplicaTelemetry {
-        let slots = || self.active.iter().filter_map(|&k| self.slab.get(k));
+        let slots = || self.active.iter().filter_map(|a| self.slab.get(a.key));
         ReplicaTelemetry {
             queue_depth: self.queue.len() as u32,
             active_requests: self.active.len() as u32,
             reserved_tokens: slots().map(|s| s.q.req.reserved_tokens()).sum(),
             queued_tokens: self.queue.iter().map(|q| q.req.reserved_tokens()).sum(),
             kv_capacity_tokens,
-            in_flight_tokens: slots().map(|s| in_flight_tokens(&s.q)).sum::<u64>()
+            // Resident decode progress is authoritative in the hot
+            // batch array, not the slab cell.
+            in_flight_tokens: self
+                .active
+                .iter()
+                .map(BatchSlot::in_flight_tokens)
+                .sum::<u64>()
                 + self.queue.iter().map(in_flight_tokens).sum::<u64>(),
         }
     }
@@ -748,6 +795,12 @@ impl Core {
     /// (or otherwise not yet ready), each holding a future wake-up.
     pub(crate) fn pending_wakeups(&self) -> usize {
         self.ready_events.len()
+    }
+
+    /// Total insertions into the ready calendar so far — this core's
+    /// share of the fleet's wheel-ops counter.
+    pub(crate) fn calendar_ops(&self) -> u64 {
+        self.ready_events.scheduled_ops()
     }
 
     /// Runs one scheduling event: one admission phase, then either one
@@ -803,32 +856,40 @@ impl Core {
                 if evictions_this_phase >= self.config.max_batch {
                     break 'admit;
                 }
+                // A policy that never preempts always answers "the
+                // candidate waits" — skip assembling the batch view it
+                // would ignore.
+                if !policy.may_preempt() {
+                    break 'admit;
+                }
                 self.views.clear();
-                for &key in &self.active {
-                    let s = self.slab.get(key).expect("active key is live");
+                for a in &self.active {
+                    let s = self.slab.get(a.key).expect("active key is live");
                     self.views.push(ActiveRequest {
                         req: s.q.req,
-                        generated: s.q.generated,
-                        ready: s.ready_at <= self.clock,
+                        generated: a.generated,
+                        ready: a.ready_at <= self.clock,
                     });
                 }
                 let Some(victim) = policy.preempt_victim(&self.views, &cand, self.clock) else {
                     break 'admit;
                 };
                 assert!(victim < self.active.len(), "policy evicted out of range");
-                let victim_key = self.active.remove(victim);
-                let evicted = self.slab.remove(victim_key).expect("active key is live");
+                let va = self.active.remove(victim);
+                let evicted = self.slab.remove(va.key).expect("active key is live");
                 if evicted.ready_at <= self.clock {
                     self.ready_count -= 1;
                 } else {
-                    self.ready_events.cancel(victim_key);
+                    self.ready_events.cancel(va.key);
                 }
                 self.active_reserved -= evicted.q.req.reserved_tokens();
-                self.active_in_flight -= in_flight_tokens(&evicted.q);
+                self.active_in_flight -= va.in_flight_tokens();
                 evictions_this_phase += 1;
                 self.report.preemptions += 1;
                 progressed = true;
                 let back = QueuedRequest {
+                    generated: va.generated,
+                    first_token_s: va.first_token_opt(),
                     preemptions: evicted.q.preemptions + 1,
                     ..evicted.q
                 };
@@ -861,12 +922,20 @@ impl Core {
             let context = q.req.prompt_len.saturating_add(q.generated);
             self.active_reserved += q.req.reserved_tokens();
             self.active_in_flight += in_flight_tokens(&q);
+            let hot = BatchSlot {
+                key: 0,
+                context,
+                generated: q.generated,
+                output_len: q.req.output_len,
+                ready_at,
+                first_token_s: q.first_token_s.unwrap_or(f64::NAN),
+            };
             let key = self.slab.insert(Slot {
                 q,
                 ready_at,
                 context,
             });
-            self.active.push(key);
+            self.active.push(BatchSlot { key, ..hot });
             if ready_at <= self.clock {
                 self.ready_count += 1;
             } else {
@@ -906,10 +975,9 @@ impl Core {
         // One decode iteration: one token for every ready request.
         let batch = self.ready_count;
         let mut max_context = 0u32;
-        for &key in &self.active {
-            let s = self.slab.get(key).expect("active key is live");
-            if s.ready_at <= self.clock {
-                max_context = max_context.max(s.context);
+        for a in &self.active {
+            if a.ready_at <= self.clock {
+                max_context = max_context.max(a.context);
             }
         }
         let dt = cost.decode_step_s(batch, self.config.bucket(max_context));
@@ -922,33 +990,32 @@ impl Core {
 
         let mut i = 0;
         while i < self.active.len() {
-            let key = self.active[i];
-            let slot = self.slab.get_mut(key).expect("active key is live");
-            if slot.ready_at > iter_start {
+            let a = &mut self.active[i];
+            if a.ready_at > iter_start {
                 i += 1;
                 continue;
             }
             // Mirror the saturating in-flight definition: a request
             // already at (or past) its output length carries zero
             // in-flight tokens, so this token moves nothing.
-            if slot.q.generated < slot.q.req.output_len {
+            if a.generated < a.output_len {
                 self.active_in_flight -= 1;
             }
-            slot.q.generated += 1;
-            slot.context += 1;
-            if slot.q.first_token_s.is_none() {
-                slot.q.first_token_s = Some(self.clock);
+            a.generated += 1;
+            a.context += 1;
+            if a.first_token_s.is_nan() {
+                a.first_token_s = self.clock;
             }
-            if slot.q.generated >= slot.q.req.output_len {
-                self.active.swap_remove(i);
-                let done = self.slab.remove(key).expect("active key is live");
+            if a.generated >= a.output_len {
+                let a = self.active.swap_remove(i);
+                let done = self.slab.remove(a.key).expect("active key is live");
                 self.ready_count -= 1;
                 self.active_reserved -= done.q.req.reserved_tokens();
                 self.report.records.push(RequestRecord {
                     id: done.q.req.id,
                     arrival_s: done.q.req.arrival_s,
                     admit_s: done.q.first_admit_s.expect("admitted at least once"),
-                    first_token_s: done.q.first_token_s.expect("at least one token"),
+                    first_token_s: a.first_token_opt().expect("at least one token"),
                     finish_s: self.clock,
                     prompt_len: done.q.req.prompt_len,
                     output_len: done.q.req.output_len,
@@ -999,14 +1066,26 @@ impl Core {
         for q in &self.queue {
             q.save(w);
         }
+        // Decode progress (`generated`, `first_token_s`, `context`) is
+        // authoritative in the hot batch array; patch it back into each
+        // cell's image as it is written. Cells serialise in key order
+        // and the occupied set is exactly the batch, so a key-sorted
+        // walk of the batch lines up one-to-one.
+        let mut by_key: Vec<&BatchSlot> = self.active.iter().collect();
+        by_key.sort_by_key(|a| a.key);
+        let mut next = by_key.into_iter();
         self.slab.save(w, SnapshotWriter::put_u32, |w, s: &Slot| {
-            s.q.save(w);
+            let a = next.next().expect("occupied cell without a batch entry");
+            let mut q = s.q;
+            q.generated = a.generated;
+            q.first_token_s = a.first_token_opt();
+            q.save(w);
             w.put_f64(s.ready_at);
-            w.put_u32(s.context);
+            w.put_u32(a.context);
         });
         w.put_usize(self.active.len());
-        for &key in &self.active {
-            w.put_u32(key);
+        for a in &self.active {
+            w.put_u32(a.key);
         }
         w.put_f64(self.clock);
         w.put_f64(self.first_arrival_s);
@@ -1071,7 +1150,15 @@ impl Core {
             if std::mem::replace(&mut seen[key as usize], true) {
                 return Err(SnapshotError::Corrupt("active key listed twice"));
             }
-            active.push(key);
+            let s = slab.get(key).expect("validated above");
+            active.push(BatchSlot {
+                key,
+                context: s.context,
+                generated: s.q.generated,
+                output_len: s.q.req.output_len,
+                ready_at: s.ready_at,
+                first_token_s: s.q.first_token_s.unwrap_or(f64::NAN),
+            });
         }
         let clock = r.get_f64()?;
         let first_arrival_s = r.get_f64()?;
@@ -1102,8 +1189,8 @@ impl Core {
         let mut ready_count = 0u32;
         let mut active_reserved = 0u64;
         let mut active_in_flight = 0u64;
-        for &key in &active {
-            let s = slab.get(key).expect("validated above");
+        for a in &active {
+            let s = slab.get(a.key).expect("validated above");
             if s.ready_at.is_nan() {
                 return Err(SnapshotError::Corrupt("slot ready_at is NaN"));
             }
@@ -1118,7 +1205,7 @@ impl Core {
             if s.ready_at <= clock {
                 ready_count += 1;
             } else {
-                ready_events.schedule(key, s.ready_at);
+                ready_events.schedule(a.key, s.ready_at);
             }
         }
         let queued_reserved = queue.iter().map(|q| q.req.reserved_tokens()).sum();

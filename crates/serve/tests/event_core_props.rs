@@ -90,6 +90,121 @@ proptest! {
         prop_assert_eq!(q.pop(), None);
     }
 
+    /// The timing-wheel mode (large component counts skip the linear
+    /// small mode entirely) agrees with the same naive model: bucket
+    /// redistribution, the overflow rung and lazy stale entries never
+    /// lose, duplicate or reorder a wake-up. Wide tick ranges force
+    /// traffic through every rung; negative ticks and signed zeros
+    /// exercise the packed-key fold.
+    #[test]
+    fn wheel_mode_calendar_agrees_with_the_naive_model(
+        seed in 0u64..1 << 48,
+        n_ops in 1usize..500,
+    ) {
+        let mut rng = ServeRng::new(seed);
+        // 64 components start directly in wheel mode.
+        let mut q = CalendarQueue::with_components(64);
+        let mut model: BTreeMap<u32, f64> = BTreeMap::new();
+        for _ in 0..n_ops {
+            let id = (rng.next_u64() % 96) as u32;
+            match rng.next_u64() % 5 {
+                0 | 1 => {
+                    let tick = match rng.next_u64() % 8 {
+                        0 => f64::INFINITY,
+                        1 => -((rng.next_u64() % 64) as f64) / 4.0,
+                        2 => -0.0,
+                        // Wide spread: hits high rungs and forces
+                        // redistribution as the cursor advances.
+                        3 => (rng.next_u64() % (1 << 40)) as f64,
+                        _ => (rng.next_u64() % 4096) as f64 / 16.0,
+                    };
+                    q.schedule(id, tick);
+                    if tick.is_finite() {
+                        model.insert(id, tick);
+                    } else {
+                        model.remove(&id);
+                    }
+                }
+                2 => {
+                    q.cancel(id);
+                    model.remove(&id);
+                }
+                3 => {
+                    let got = q.pop();
+                    let want = model_min(&model);
+                    prop_assert_eq!(got, want, "wheel pop disagrees with model");
+                    if let Some((_, id)) = want {
+                        model.remove(&id);
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(q.peek(), model_min(&model), "wheel peek disagrees");
+                }
+            }
+            prop_assert_eq!(q.len(), model.len(), "wheel live count drifted");
+        }
+        let mut drained = Vec::new();
+        while let Some(e) = q.pop() {
+            drained.push(e);
+        }
+        let mut expected: Vec<(f64, u32)> =
+            model.iter().map(|(&id, &tick)| (tick, id)).collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        prop_assert_eq!(drained, expected);
+        prop_assert!(q.is_empty());
+    }
+
+    /// A calendar that starts in small mode and is pushed past the
+    /// small-mode population cap promotes to the wheel mid-stream; the
+    /// promotion must be invisible to the model — same pops, same
+    /// peeks, same live set, before and after.
+    #[test]
+    fn promotion_mid_stream_is_invisible_to_the_model(
+        seed in 0u64..1 << 48,
+        n_ops in 1usize..300,
+    ) {
+        let mut rng = ServeRng::new(seed);
+        // Starts small (8 <= the small cap)...
+        let mut q = CalendarQueue::with_components(8);
+        let mut model: BTreeMap<u32, f64> = BTreeMap::new();
+        // ...then 48 distinct live ids force a promotion.
+        for id in 0..48u32 {
+            let tick = (rng.next_u64() % 2048) as f64 / 8.0;
+            q.schedule(id, tick);
+            model.insert(id, tick);
+            prop_assert_eq!(q.peek(), model_min(&model), "peek drifted during growth");
+        }
+        for _ in 0..n_ops {
+            let id = (rng.next_u64() % 64) as u32;
+            match rng.next_u64() % 4 {
+                0 | 1 => {
+                    let tick = (rng.next_u64() % 4096) as f64 / 8.0;
+                    q.schedule(id, tick);
+                    model.insert(id, tick);
+                }
+                2 => {
+                    q.cancel(id);
+                    model.remove(&id);
+                }
+                _ => {
+                    let got = q.pop();
+                    let want = model_min(&model);
+                    prop_assert_eq!(got, want, "post-promotion pop disagrees");
+                    if let Some((_, id)) = want {
+                        model.remove(&id);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        while let Some(got) = q.pop() {
+            let want = model_min(&model).expect("model has an entry for every pop");
+            prop_assert_eq!(got, want);
+            model.remove(&want.1);
+        }
+        prop_assert!(model.is_empty(), "wake-ups lost across promotion");
+    }
+
     /// The lazy heap stays within the compaction bound no matter how
     /// adversarial the reschedule pattern is.
     #[test]

@@ -55,19 +55,55 @@ pub fn geo_mean(xs: &[f64]) -> f64 {
 /// ```
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if p.is_nan() {
+    let mut clean: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    percentile_mut(&mut clean, p)
+}
+
+/// [`percentile`] without the sort: selection over a caller-owned
+/// scratch slice, `O(n)` instead of `O(n log n)` and allocation-free.
+/// Returns bit-identical results to [`percentile`] on the same
+/// samples — the reporting path's quantile equivalence test pins this
+/// exhaustively.
+///
+/// The slice must already be NaN-free ([`percentile`] filters; here
+/// the caller owns that step, so one scratch buffer can serve many
+/// quantiles). The slice is permuted, not sorted: repeated calls at
+/// different `p` on the same scratch stay correct, since selection is
+/// order-independent.
+///
+/// # Panics
+///
+/// Debug-panics when the slice contains a NaN sample. In release a
+/// NaN ranks after every number (`f64::total_cmp` order) instead of
+/// being dropped.
+#[must_use]
+pub fn percentile_mut(xs: &mut [f64], p: f64) -> f64 {
+    debug_assert!(
+        xs.iter().all(|x| !x.is_nan()),
+        "percentile_mut needs a NaN-free slice"
+    );
+    if p.is_nan() || xs.is_empty() {
         return f64::NAN;
     }
-    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
-    sorted.sort_by(f64::total_cmp);
-    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (xs.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    let (_, &mut lo_v, right) = xs.select_nth_unstable_by(lo, f64::total_cmp);
+    let hi_v = if hi == lo {
+        lo_v
+    } else {
+        // `hi == lo + 1`, so the next order statistic is the smallest
+        // element of the right partition. Ties under `total_cmp` are
+        // bit-identical values, so this minimum is exactly the sorted
+        // copy's `[hi]`.
+        right
+            .iter()
+            .copied()
+            .min_by(f64::total_cmp)
+            .expect("hi < len, so the right partition is non-empty")
+    };
+    lo_v + frac * (hi_v - lo_v)
 }
 
 /// The p50/p95/p99 latency summary used by SLO reporting, with the mean
@@ -93,21 +129,39 @@ impl Percentiles {
     /// [`percentile`], so the mean and maximum stay well-defined.
     #[must_use]
     pub fn from_samples(xs: &[f64]) -> Self {
-        let clean: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        let mut scratch: Vec<f64> = xs.to_vec();
+        Self::from_scratch(&mut scratch)
+    }
+
+    /// [`Percentiles::from_samples`] over a caller-owned scratch
+    /// buffer: NaNs are filtered out of `scratch` in place (order
+    /// preserved, so the mean accumulates in sample order and matches
+    /// [`Percentiles::from_samples`] bit-for-bit), then each quantile
+    /// is selected without sorting. The buffer is left permuted;
+    /// reusing it across metrics amortises the one allocation the
+    /// summary needs.
+    #[must_use]
+    pub fn from_scratch(scratch: &mut Vec<f64>) -> Self {
+        scratch.retain(|x| !x.is_nan());
+        if scratch.is_empty() {
+            return Self {
+                p50: f64::NAN,
+                p95: f64::NAN,
+                p99: f64::NAN,
+                mean: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        // Mean and max read the pristine sample order before the
+        // selection passes permute the buffer.
+        let mean = mean(scratch);
+        let max = scratch.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Self {
-            p50: percentile(&clean, 50.0),
-            p95: percentile(&clean, 95.0),
-            p99: percentile(&clean, 99.0),
-            mean: if clean.is_empty() {
-                f64::NAN
-            } else {
-                mean(&clean)
-            },
-            max: if clean.is_empty() {
-                f64::NAN
-            } else {
-                clean.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-            },
+            p50: percentile_mut(scratch, 50.0),
+            p95: percentile_mut(scratch, 95.0),
+            p99: percentile_mut(scratch, 99.0),
+            mean,
+            max,
         }
     }
 }
@@ -259,6 +313,99 @@ mod tests {
     fn geo_mean_basics() {
         assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geo_mean(&[1.0, -1.0]), 0.0);
+    }
+
+    /// The sort-based reference [`percentile`] replaced: a full
+    /// `total_cmp` sort, then closest-rank interpolation.
+    fn percentile_by_sort(xs: &[f64], p: f64) -> f64 {
+        if p.is_nan() {
+            return f64::NAN;
+        }
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        sorted.sort_by(f64::total_cmp);
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    }
+
+    #[test]
+    fn selection_percentile_equals_sort_percentile_exhaustively() {
+        // Every sample tuple up to length 4 over a value set chosen to
+        // stress the edges — signed zeros, infinities, ties, NaN (which
+        // must be dropped, not ranked) — against every interesting p.
+        // Bit-for-bit: the selection path is a pure optimisation.
+        let values = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            1e-300,
+        ];
+        let ps = [
+            f64::NAN,
+            -10.0,
+            0.0,
+            12.5,
+            50.0,
+            66.6,
+            95.0,
+            99.0,
+            100.0,
+            250.0,
+        ];
+        let mut cases = 0u64;
+        for len in 0..=4usize {
+            let combos = values.len().pow(len as u32);
+            for seed in 0..combos {
+                let mut xs = Vec::with_capacity(len);
+                let mut s = seed;
+                for _ in 0..len {
+                    xs.push(values[s % values.len()]);
+                    s /= values.len();
+                }
+                for &p in &ps {
+                    let reference = percentile_by_sort(&xs, p);
+                    let fast = percentile(&xs, p);
+                    assert_eq!(
+                        reference.to_bits(),
+                        fast.to_bits(),
+                        "diverged on xs={xs:?} p={p}"
+                    );
+                    cases += 1;
+                }
+            }
+        }
+        assert!(cases > 30_000, "exhaustive sweep ran {cases} cases");
+    }
+
+    #[test]
+    fn from_scratch_matches_from_samples_and_reuses_the_buffer() {
+        let xs = [3.0, f64::NAN, 1.0, 2.0, f64::NAN, -0.0, 9.5];
+        let mut scratch: Vec<f64> = Vec::with_capacity(xs.len());
+        scratch.extend_from_slice(&xs);
+        let cap = scratch.capacity();
+        let a = Percentiles::from_scratch(&mut scratch);
+        let b = Percentiles::from_samples(&xs);
+        assert_eq!(
+            (a.p50.to_bits(), a.p95.to_bits(), a.p99.to_bits()),
+            (b.p50.to_bits(), b.p95.to_bits(), b.p99.to_bits())
+        );
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.max.to_bits(), b.max.to_bits());
+        assert_eq!(scratch.capacity(), cap, "summary must not reallocate");
+        // All-NaN and empty scratches summarise like empty samples.
+        scratch.clear();
+        scratch.extend_from_slice(&[f64::NAN, f64::NAN]);
+        let empty = Percentiles::from_scratch(&mut scratch);
+        assert!(empty.p99.is_nan() && empty.mean.is_nan() && empty.max.is_nan());
     }
 
     #[test]
